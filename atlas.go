@@ -1,0 +1,299 @@
+// Package atlas is the public API of this repository: a Go implementation
+// of Atlas, the database-exploration front-end of Sellam & Kersten, "Fast
+// Cartography for Data Explorers" (PVLDB 6(12), 2013).
+//
+// Atlas answers queries with queries: instead of returning tuples, an
+// exploration returns a ranked list of data maps — small sets of simple
+// conjunctive queries, each describing a coherent region of the data. The
+// user picks a region and drills down, or asks for the next map.
+//
+// Quick start:
+//
+//	table := atlas.CensusDataset(50_000, 1)
+//	ex, err := atlas.New(table, atlas.DefaultOptions())
+//	if err != nil { ... }
+//	res, err := ex.Explore("EXPLORE census WHERE age BETWEEN 17 AND 90")
+//	if err != nil { ... }
+//	for _, m := range res.Maps {
+//	    fmt.Print(m)
+//	}
+//
+// The pipeline implements the paper's Section 3 framework: the CUT
+// primitive over every usable attribute, dependency clustering of the
+// resulting candidate maps (variation of information + SLINK), per-cluster
+// merging (product or composition) and entropy ranking — plus the
+// Section 5 extensions: sketch-accelerated cuts, sampling with an anytime
+// loop, anticipative session caching, FK-join exploration and
+// high-cardinality column screening.
+package atlas
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cql"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/sample"
+	"repro/internal/session"
+	"repro/internal/storage"
+)
+
+// Re-exported core types. The facade keeps downstream imports to a single
+// package; the aliased types are documented in their home packages.
+type (
+	// Table is an immutable columnar table.
+	Table = storage.Table
+	// Schema describes a table's fields.
+	Schema = storage.Schema
+	// Field is one named, typed column of a schema.
+	Field = storage.Field
+	// Query is a conjunction of predicates over one table.
+	Query = query.Query
+	// Predicate restricts a single attribute.
+	Predicate = query.Predicate
+	// Map is a data map: disjoint region queries plus their covers.
+	Map = core.Map
+	// Region is one query of a map with its measured extent.
+	Region = core.Region
+	// Result is the ranked answer to one exploration.
+	Result = core.Result
+	// Options configures the map-generation pipeline.
+	Options = core.Options
+	// AnytimeOptions tunes progressive (sampled) exploration.
+	AnytimeOptions = core.AnytimeOptions
+	// AnytimeResult is the outcome of a progressive exploration.
+	AnytimeResult = core.AnytimeResult
+	// Session is a stateful drill-down exploration.
+	Session = session.Session
+	// Node is one step of a session.
+	Node = session.Node
+	// AttrProfile compares an attribute's distribution inside a region
+	// with the whole table (the "why is this region interesting" view).
+	AttrProfile = core.AttrProfile
+	// ValueLift is one over/under-represented categorical value.
+	ValueLift = core.ValueLift
+	// ExampleRow is one sampled tuple from a region.
+	ExampleRow = core.ExampleRow
+)
+
+// Re-exported configuration constants.
+const (
+	// CutEquiWidth splits numeric ranges into equal-width intervals.
+	CutEquiWidth = core.CutEquiWidth
+	// CutMedian splits numeric ranges at quantiles (the paper default).
+	CutMedian = core.CutMedian
+	// CutVariance minimizes within-interval variance (optimal 1-D
+	// k-means).
+	CutVariance = core.CutVariance
+	// CutSketch approximates median cuts with a one-pass GK sketch.
+	CutSketch = core.CutSketch
+	// MergeProduct merges cluster maps with the ×-product grid.
+	MergeProduct = core.MergeProduct
+	// MergeCompose merges by locally re-cutting regions (default).
+	MergeCompose = core.MergeCompose
+	// DistVI is the raw variation-of-information distance.
+	DistVI = core.DistVI
+	// DistNVI is VI normalized by joint entropy (default).
+	DistNVI = core.DistNVI
+	// DistNMI is 1 − normalized mutual information.
+	DistNMI = core.DistNMI
+)
+
+// DefaultOptions returns the paper's pipeline configuration (8 regions,
+// 3 cut attributes, 8 maps, binary median cuts, normalized VI at 0.95,
+// composition merging, screening on).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultAnytimeOptions returns the progressive-exploration defaults.
+func DefaultAnytimeOptions() AnytimeOptions { return core.DefaultAnytimeOptions() }
+
+// Explorer is the top-level handle: one table plus a pipeline
+// configuration.
+type Explorer struct {
+	table *Table
+	opts  Options
+	cart  *core.Cartographer
+}
+
+// New builds an Explorer over a table.
+func New(table *Table, opts Options) (*Explorer, error) {
+	cart, err := core.NewCartographer(table, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Explorer{table: table, opts: opts, cart: cart}, nil
+}
+
+// Table returns the explored table.
+func (e *Explorer) Table() *Table { return e.table }
+
+// Explore parses a CQL statement ("EXPLORE t WHERE … [WITH …]"),
+// validates it against the table, and returns the ranked data maps. WITH
+// options override the explorer's defaults for this call only; WITH
+// SAMPLE f runs the pipeline on a uniform f-fraction sample.
+func (e *Explorer) Explore(cqlText string) (*Result, error) {
+	q, o, err := cql.ParseAndBind(cqlText, e.table)
+	if err != nil {
+		return nil, err
+	}
+	effective, err := cql.ApplyOptions(e.opts, o)
+	if err != nil {
+		return nil, err
+	}
+	tbl := e.table
+	if o.Sample > 0 && o.Sample < 1 {
+		k := int(o.Sample * float64(tbl.NumRows()))
+		if k < 1 {
+			k = 1
+		}
+		tbl = sample.Table(tbl, k, 1)
+	}
+	cart, err := core.NewCartographer(tbl, effective)
+	if err != nil {
+		return nil, err
+	}
+	return cart.Explore(q)
+}
+
+// ExploreQuery runs the pipeline on an already-built query.
+func (e *Explorer) ExploreQuery(q Query) (*Result, error) {
+	return e.cart.Explore(q)
+}
+
+// ExploreAnytime runs the progressive Section 5.1 loop: results refine
+// over growing samples until they stabilize, the data is exhausted, or
+// ctx is done.
+func (e *Explorer) ExploreAnytime(ctx context.Context, cqlText string, opts AnytimeOptions) (*AnytimeResult, error) {
+	q, _, err := cql.ParseAndBind(cqlText, e.table)
+	if err != nil {
+		return nil, err
+	}
+	return e.cart.ExploreAnytime(ctx, q, opts)
+}
+
+// NewSession starts a stateful drill-down session with result caching
+// and anticipative prefetching.
+func (e *Explorer) NewSession() *Session { return session.New(e.cart) }
+
+// ParseQuery parses and binds a CQL statement without executing it.
+func (e *Explorer) ParseQuery(cqlText string) (Query, error) {
+	q, _, err := cql.ParseAndBind(cqlText, e.table)
+	return q, err
+}
+
+// Count evaluates a query and returns how many rows it selects.
+func (e *Explorer) Count(q Query) (int, error) { return engine.Count(e.table, q) }
+
+// DescribeRegion explains why a region is interesting by profiling every
+// non-pinned attribute inside the region against the whole table
+// (Section 5.2's explanation feature). Profiles come back sorted by
+// decreasing deviation.
+func (e *Explorer) DescribeRegion(q Query) ([]AttrProfile, error) {
+	return core.DescribeRegion(e.table, q)
+}
+
+// RegionExamples returns up to k random example tuples from a region —
+// the Section 5.2 presentation aid. Deterministic in seed.
+func (e *Explorer) RegionExamples(q Query, k int, seed int64) ([]ExampleRow, error) {
+	return core.RegionExamples(e.table, q, k, seed)
+}
+
+// RepresentativeExamples returns up to k tuples chosen near the region's
+// numeric medians — "representative" rather than random examples.
+func (e *Explorer) RepresentativeExamples(q Query, k int) ([]ExampleRow, error) {
+	return core.RepresentativeExamples(e.table, q, k)
+}
+
+// LoadCSV reads a table from CSV with type inference (first row must be
+// a header).
+func LoadCSV(name string, r io.Reader) (*Table, error) {
+	return storage.ReadCSV(name, r, nil)
+}
+
+// LoadCSVFile reads a table from a CSV file; the table is named after
+// the file unless name is non-empty.
+func LoadCSVFile(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if name == "" {
+		name = path
+	}
+	return storage.ReadCSV(name, f, nil)
+}
+
+// WriteCSV writes a table as CSV.
+func WriteCSV(t *Table, w io.Writer) error { return storage.WriteCSV(t, w) }
+
+// ColumnSummary holds the descriptive statistics of one column.
+type ColumnSummary = storage.ColumnSummary
+
+// Summarize computes descriptive statistics for every column of a table.
+func Summarize(t *Table) []ColumnSummary { return storage.Summarize(t) }
+
+// JoinFK materializes the inner FK join of a fact table with a dimension
+// table (Section 5.2 multi-table exploration).
+func JoinFK(fact *Table, factKey string, dim *Table, dimKey, resultName string) (*Table, error) {
+	return engine.JoinFK(fact, factKey, dim, dimKey, resultName)
+}
+
+// ---- bundled synthetic datasets (stand-ins for the paper's data; see
+// DESIGN.md "Substitutions") ----
+
+// CensusDataset generates the paper's Figure 2 survey data: age, sex,
+// education, salary, eye_color with planted dependencies.
+func CensusDataset(n int, seed int64) *Table { return datagen.Census(n, seed) }
+
+// BodyMetricsDataset generates the Figures 4–5 data: a dependent
+// {age, income, education_years} trio and a clustered {size, weight}
+// pair. The second return value is the planted cluster label per row.
+func BodyMetricsDataset(n int, seed int64) (*Table, []int) { return datagen.BodyMetrics(n, seed) }
+
+// SkySurveyDataset generates SDSS-like photometry with three object
+// classes occupying distinct color loci.
+func SkySurveyDataset(n int, seed int64) *Table { return datagen.SkySurvey(n, seed) }
+
+// Figure5Dataset generates the paper's Figure 5 scenario: four planted
+// (size, weight) clusters whose weight boundary depends on the size
+// region, so only composition-style local cuts recover them. The second
+// return value is the planted cluster label (0–3) per row.
+func Figure5Dataset(n int, seed int64) (*Table, []int) { return datagen.Figure5(n, seed) }
+
+// OrdersDataset generates a TPC-like fact/dimension pair with a planted
+// cross-table dependency (customer segment ↔ order amount).
+func OrdersDataset(nOrders, nCustomers int, seed int64) (orders, customers *Table) {
+	return datagen.Orders(nOrders, nCustomers, seed)
+}
+
+// NewRange returns the closed interval predicate attr ∈ [lo, hi].
+func NewRange(attr string, lo, hi float64) Predicate { return query.NewRange(attr, lo, hi) }
+
+// NewIn returns the set predicate attr ∈ values.
+func NewIn(attr string, values ...string) Predicate { return query.NewIn(attr, values...) }
+
+// NewBoolEq returns the predicate attr = v.
+func NewBoolEq(attr string, v bool) Predicate { return query.NewBoolEq(attr, v) }
+
+// NewQuery builds a conjunctive query over the named table.
+func NewQuery(table string, preds ...Predicate) Query { return query.New(table, preds...) }
+
+// FormatResult renders a result for terminals: the input, base counts,
+// flagged columns and every ranked map.
+func FormatResult(r *Result) string {
+	out := fmt.Sprintf("%s\n%d of %d rows selected, %d map(s) in %v\n",
+		r.Input.String(), r.BaseCount, r.TotalRows, len(r.Maps), r.Elapsed.Round(1000))
+	for _, f := range r.Flagged {
+		out += fmt.Sprintf("  [screened out %s: %s]\n", f.Attr, f.Reason)
+	}
+	for i, m := range r.Maps {
+		out += fmt.Sprintf("#%d %s", i+1, m.String())
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package atlas
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestFacadeExplore(t *testing.T) {
+	tbl := CensusDataset(10000, 1)
+	ex, err := New(tbl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Explore("EXPLORE census WHERE age BETWEEN 17 AND 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Maps) == 0 {
+		t.Fatal("no maps")
+	}
+	if ex.Table() != tbl {
+		t.Fatal("Table accessor wrong")
+	}
+}
+
+func TestFacadeExploreWithSample(t *testing.T) {
+	tbl := CensusDataset(20000, 2)
+	ex, err := New(tbl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Explore("EXPLORE census WITH SAMPLE 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRows != 2000 {
+		t.Fatalf("sampled TotalRows = %d, want 2000", res.TotalRows)
+	}
+	if len(res.Maps) == 0 {
+		t.Fatal("no maps on sample")
+	}
+}
+
+func TestFacadeExploreErrors(t *testing.T) {
+	ex, err := New(CensusDataset(100, 3), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"garbage", "EXPLORE census WHERE nope = 1", "EXPLORE census WITH DISTANCE bogus"} {
+		if _, err := ex.Explore(q); err == nil {
+			t.Errorf("Explore(%q) should fail", q)
+		}
+	}
+}
+
+func TestFacadeExploreQueryAndCount(t *testing.T) {
+	ex, err := New(CensusDataset(5000, 4), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery("census", NewIn("sex", "Male"))
+	n, err := ex.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n == 5000 {
+		t.Fatalf("Count = %d", n)
+	}
+	res, err := ex.ExploreQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseCount != n {
+		t.Fatalf("BaseCount = %d, want %d", res.BaseCount, n)
+	}
+}
+
+func TestFacadeAnytime(t *testing.T) {
+	ex, err := New(CensusDataset(20000, 5), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.ExploreAnytime(context.Background(), "EXPLORE census", DefaultAnytimeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == nil || len(res.Rounds) == 0 {
+		t.Fatal("anytime returned nothing")
+	}
+}
+
+func TestFacadeSession(t *testing.T) {
+	ex, err := New(CensusDataset(3000, 6), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ex.NewSession()
+	q, err := ex.ParseQuery("EXPLORE census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Explore(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DrillDown(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	tbl := CensusDataset(100, 7)
+	var sb strings.Builder
+	if err := WriteCSV(tbl, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV("census", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 100 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+}
+
+func TestFacadeJoinFK(t *testing.T) {
+	orders, customers := OrdersDataset(1000, 50, 8)
+	j, err := JoinFK(orders, "cid", customers, "cid", "orders_joined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 1000 {
+		t.Fatalf("join rows = %d", j.NumRows())
+	}
+	ex, err := New(j, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Explore("EXPLORE orders_joined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the planted cross-table dependency must surface as one map
+	found := false
+	for _, m := range res.Maps {
+		if m.Key() == "amount,segment" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing {amount,segment} map; got %v", keysOf(res))
+	}
+}
+
+func keysOf(r *Result) []string {
+	out := make([]string, len(r.Maps))
+	for i, m := range r.Maps {
+		out[i] = m.Key()
+	}
+	return out
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	if tbl, labels := BodyMetricsDataset(100, 1); tbl.NumRows() != 100 || len(labels) != 100 {
+		t.Fatal("body metrics wrong")
+	}
+	if tbl := SkySurveyDataset(100, 1); tbl.NumRows() != 100 {
+		t.Fatal("sky survey wrong")
+	}
+}
+
+func TestFormatResult(t *testing.T) {
+	ex, err := New(CensusDataset(2000, 9), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Explore("EXPLORE census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FormatResult(res)
+	if !strings.Contains(s, "rows selected") || !strings.Contains(s, "#1 map on") {
+		t.Fatalf("FormatResult = %q", s)
+	}
+}
+
+func TestFacadeLoadCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/d.csv"
+	tbl := CensusDataset(50, 10)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(tbl, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadCSVFile("census", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 50 || got.Name() != "census" {
+		t.Fatalf("rows=%d name=%s", got.NumRows(), got.Name())
+	}
+	// default name = path
+	got2, err := LoadCSVFile("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Name() != path {
+		t.Fatalf("name = %s", got2.Name())
+	}
+	if _, err := LoadCSVFile("", dir+"/missing.csv"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestFacadeSummarize(t *testing.T) {
+	sums := Summarize(CensusDataset(100, 11))
+	if len(sums) != 5 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].Name != "age" || sums[0].Min < 17 {
+		t.Fatalf("age summary = %+v", sums[0])
+	}
+}
+
+func TestFacadeDescribeAndExamples(t *testing.T) {
+	ex, err := New(CensusDataset(5000, 12), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := NewQuery("census", NewIn("salary", ">50K"))
+	profiles, err := ex.DescribeRegion(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) == 0 {
+		t.Fatal("no profiles")
+	}
+	rows, err := ex.RegionExamples(region, 3, 1)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("examples = %d err %v", len(rows), err)
+	}
+	reps, err := ex.RepresentativeExamples(region, 2)
+	if err != nil || len(reps) != 2 {
+		t.Fatalf("representatives = %d err %v", len(reps), err)
+	}
+}
+
+func TestFacadeFigure5Dataset(t *testing.T) {
+	tbl, labels := Figure5Dataset(200, 1)
+	if tbl.NumRows() != 200 || len(labels) != 200 {
+		t.Fatal("shape wrong")
+	}
+	for _, l := range labels {
+		if l < 0 || l > 3 {
+			t.Fatalf("label %d", l)
+		}
+	}
+}
+
+func TestFacadeExploreSampleEdge(t *testing.T) {
+	ex, err := New(CensusDataset(100, 13), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SAMPLE too small for one row still works (clamped to 1)
+	res, err := ex.Explore("EXPLORE census WITH SAMPLE 0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRows != 1 {
+		t.Fatalf("TotalRows = %d", res.TotalRows)
+	}
+}

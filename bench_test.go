@@ -1,0 +1,188 @@
+package atlas
+
+// The benchmark harness: one benchmark per experiment (E1–E15, the
+// regenerated figures and claims of the paper — see DESIGN.md for the
+// index and EXPERIMENTS.md for recorded results), plus micro-benchmarks
+// for the pipeline's cost drivers (CUT strategies, dependency distances,
+// SLINK, FK join, end-to-end exploration latency).
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkE4 -benchmem
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/query"
+)
+
+// benchExperiment runs a registered experiment in quick mode, discarding
+// its printed tables; the benchmark time is the full experiment cost.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_Figure2_TwoMaps(b *testing.B)          { benchExperiment(b, "E1") }
+func BenchmarkE2_Figure3_Cut(b *testing.B)              { benchExperiment(b, "E2") }
+func BenchmarkE3_Figure4_MapClustering(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4_Figure5_ProductVsCompose(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE5_LatencyVsBaselines(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6_CutMethodAblation(b *testing.B)        { benchExperiment(b, "E6") }
+func BenchmarkE7_SplitsAblation(b *testing.B)           { benchExperiment(b, "E7") }
+func BenchmarkE8_DistanceAblation(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9_EntropyRanking(b *testing.B)           { benchExperiment(b, "E9") }
+func BenchmarkE10_SamplingAnytime(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkE11_SketchCut(b *testing.B)               { benchExperiment(b, "E11") }
+func BenchmarkE12_MultiTableJoin(b *testing.B)          { benchExperiment(b, "E12") }
+func BenchmarkE13_Screening(b *testing.B)               { benchExperiment(b, "E13") }
+func BenchmarkE14_SLINKVsNaive(b *testing.B)            { benchExperiment(b, "E14") }
+func BenchmarkE15_ReadabilityBudgets(b *testing.B)      { benchExperiment(b, "E15") }
+
+// ---- pipeline micro-benchmarks ----
+
+// BenchmarkExplore measures the end-to-end Explore latency (the paper's
+// quasi-real-time requirement) as the table grows.
+func BenchmarkExplore(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
+		b.Run(fmt.Sprintf("census_n=%d", n), func(b *testing.B) {
+			tbl := datagen.Census(n, 1)
+			cart, err := core.NewCartographer(tbl, core.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := query.New("census")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cart.Explore(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e9, "rows/s")
+		})
+	}
+}
+
+// BenchmarkExploreAnytime measures a full progressive run on a large
+// table (it normally stabilizes long before reading everything).
+func BenchmarkExploreAnytime(b *testing.B) {
+	tbl := datagen.Census(500000, 1)
+	cart, err := core.NewCartographer(tbl, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.New("census")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cart.ExploreAnytime(context.Background(), q, core.DefaultAnytimeOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCutStrategies isolates the cost of the CUT primitive per
+// strategy (paper Section 3.1/5.1: CUT "is called many times", making it
+// the optimization target).
+func BenchmarkCutStrategies(b *testing.B) {
+	tbl, _ := datagen.ClusterPair(200000, 0.5, 1)
+	sel := bitvec.NewFull(tbl.NumRows())
+	for _, strat := range []core.NumericCut{core.CutEquiWidth, core.CutMedian, core.CutVariance, core.CutSketch} {
+		b.Run(string(strat), func(b *testing.B) {
+			opts := core.DefaultCutOptions()
+			opts.Numeric = strat
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CutPredicates(tbl, sel, "x", opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMapDistance measures one dependency-distance evaluation
+// (contingency + VI) between two candidate maps.
+func BenchmarkMapDistance(b *testing.B) {
+	tbl := datagen.Census(100000, 1)
+	base := bitvec.NewFull(tbl.NumRows())
+	mk := func(attr string) *core.Map {
+		regions, err := core.CutQuery(tbl, base, query.New("census"), attr, core.DefaultCutOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := core.BuildMap(tbl, base, []string{attr}, regions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	ma, ms := mk("age"), mk("sex")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MapDistance(ma, ms, core.DistNVI); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSLINK measures map clustering over synthetic candidate sets.
+func BenchmarkSLINK(b *testing.B) {
+	for _, k := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			dist := func(i, j int) float64 {
+				return float64((i*31+j*17)%100) / 100.0
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.SLINK(k, dist)
+			}
+		})
+	}
+}
+
+// BenchmarkEval measures raw conjunctive-filter throughput.
+func BenchmarkEval(b *testing.B) {
+	tbl := datagen.Census(1000000, 1)
+	q := query.New("census",
+		query.NewRange("age", 20, 60),
+		query.NewIn("education", "BSc", "MSc"),
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Eval(tbl, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1e6*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+}
+
+// BenchmarkJoinFK measures FK-join materialization (Section 5.2).
+func BenchmarkJoinFK(b *testing.B) {
+	orders, customers := datagen.Orders(200000, 5000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.JoinFK(orders, "cid", customers, "cid", "j"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

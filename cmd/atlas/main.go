@@ -1,0 +1,262 @@
+// Command atlas is the interactive explorer: a terminal front-end to the
+// mapping engine (the paper's GUI layer, adapted to a REPL).
+//
+// Usage:
+//
+//	atlas -dataset census            # explore a bundled synthetic dataset
+//	atlas -csv data.csv -table name  # explore a CSV file
+//
+// REPL commands:
+//
+//	explore <CQL>      run an exploration, e.g. explore EXPLORE census
+//	maps               re-print the current ranked maps
+//	pick <map> <reg>   drill down into a region (1-based indexes)
+//	back               return to the parent exploration
+//	history            show the drill-down tree walked so far
+//	schema             print the table schema
+//	help               this text
+//	quit               exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "census", "bundled dataset: census, body, sky, orders")
+		rows    = flag.Int("rows", 50000, "rows to generate for bundled datasets")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		csvPath = flag.String("csv", "", "explore a CSV file instead of a bundled dataset")
+		tblName = flag.String("table", "", "table name for -csv (defaults to the file path)")
+	)
+	flag.Parse()
+
+	table, err := loadTable(*dataset, *rows, *seed, *csvPath, *tblName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atlas:", err)
+		os.Exit(1)
+	}
+	ex, err := atlas.New(table, atlas.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atlas:", err)
+		os.Exit(1)
+	}
+	sess := ex.NewSession()
+
+	fmt.Printf("Atlas explorer — table %q (%d rows, %d columns). Type 'help' for commands.\n",
+		table.Name(), table.NumRows(), table.NumCols())
+	fmt.Printf("Try: explore EXPLORE %s\n", table.Name())
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("atlas> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToLower(cmd) {
+		case "quit", "exit":
+			return
+		case "help":
+			printHelp()
+		case "schema":
+			for _, sum := range atlas.Summarize(table) {
+				fmt.Println(" ", sum.String())
+			}
+		case "explore":
+			q, err := ex.ParseQuery(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			node, err := sess.Explore(q)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printNode(node)
+			sess.Prefetch(4)
+		case "maps":
+			node, err := sess.Current()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printNode(node)
+		case "pick":
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				fmt.Println("usage: pick <map> <region> (1-based)")
+				continue
+			}
+			mi, err1 := strconv.Atoi(parts[0])
+			ri, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				fmt.Println("usage: pick <map> <region> (1-based)")
+				continue
+			}
+			node, err := sess.DrillDown(mi-1, ri-1)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printNode(node)
+			sess.Prefetch(4)
+		case "why":
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				fmt.Println("usage: why <map> <region> (1-based)")
+				continue
+			}
+			mi, err1 := strconv.Atoi(parts[0])
+			ri, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				fmt.Println("usage: why <map> <region> (1-based)")
+				continue
+			}
+			node, err := sess.Current()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if mi < 1 || mi > len(node.Result.Maps) {
+				fmt.Println("error: map index out of range")
+				continue
+			}
+			m := node.Result.Maps[mi-1]
+			if ri < 1 || ri > len(m.Regions) {
+				fmt.Println("error: region index out of range")
+				continue
+			}
+			profiles, err := ex.DescribeRegion(m.Regions[ri-1].Query)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("what makes %s special:\n", m.Regions[ri-1].Query.String())
+			for i, p := range profiles {
+				if i >= 5 {
+					break
+				}
+				fmt.Println("  -", p.String())
+			}
+		case "peek":
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				fmt.Println("usage: peek <map> <region> (1-based)")
+				continue
+			}
+			mi, err1 := strconv.Atoi(parts[0])
+			ri, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				fmt.Println("usage: peek <map> <region> (1-based)")
+				continue
+			}
+			node, err := sess.Current()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if mi < 1 || mi > len(node.Result.Maps) {
+				fmt.Println("error: map index out of range")
+				continue
+			}
+			m := node.Result.Maps[mi-1]
+			if ri < 1 || ri > len(m.Regions) {
+				fmt.Println("error: region index out of range")
+				continue
+			}
+			examples, err := ex.RepresentativeExamples(m.Regions[ri-1].Query, 5)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			header := make([]string, table.NumCols())
+			for i := 0; i < table.NumCols(); i++ {
+				header[i] = table.Schema().Field(i).Name
+			}
+			fmt.Println("representative tuples:", strings.Join(header, " | "))
+			for _, e := range examples {
+				fmt.Println("  ", strings.Join(e.Values, " | "))
+			}
+		case "interests":
+			w := sess.Interest()
+			if len(w) == 0 {
+				fmt.Println("no drill-downs yet — no learned interests")
+				continue
+			}
+			for attr, weight := range w {
+				fmt.Printf("  %-20s %.2f\n", attr, weight)
+			}
+		case "back":
+			node, err := sess.Back()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printNode(node)
+		case "history":
+			for _, n := range sess.History() {
+				indent := ""
+				if n.Parent >= 0 {
+					indent = "  "
+				}
+				fmt.Printf("%s[%d] %s (%d rows)\n", indent, n.ID, n.Query.String(), n.Result.BaseCount)
+			}
+		default:
+			fmt.Printf("unknown command %q; type 'help'\n", cmd)
+		}
+	}
+}
+
+func loadTable(dataset string, rows int, seed int64, csvPath, tblName string) (*atlas.Table, error) {
+	if csvPath != "" {
+		return atlas.LoadCSVFile(tblName, csvPath)
+	}
+	switch dataset {
+	case "census":
+		return atlas.CensusDataset(rows, seed), nil
+	case "body":
+		t, _ := atlas.BodyMetricsDataset(rows, seed)
+		return t, nil
+	case "sky":
+		return atlas.SkySurveyDataset(rows, seed), nil
+	case "orders":
+		orders, customers := atlas.OrdersDataset(rows, rows/40+1, seed)
+		return atlas.JoinFK(orders, "cid", customers, "cid", "orders")
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want census, body, sky or orders)", dataset)
+	}
+}
+
+func printNode(n *atlas.Node) {
+	fmt.Print(atlas.FormatResult(n.Result))
+	fmt.Println("pick a region with: pick <map#> <region#>  (e.g. pick 1 1)")
+}
+
+func printHelp() {
+	fmt.Println(`commands:
+  explore <CQL>      run an exploration, e.g. explore EXPLORE census WHERE age BETWEEN 20 AND 60
+  maps               re-print the current ranked maps
+  pick <map> <reg>   drill down into a region (1-based)
+  why <map> <reg>    explain what makes a region special vs the whole table
+  peek <map> <reg>   show representative example tuples from a region
+  interests          show the attribute interests learned from your drill-downs
+  back               return to the parent exploration
+  history            show the exploration tree
+  schema             print the table schema
+  quit               exit`)
+}

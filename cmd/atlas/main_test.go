@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadTableBundledDatasets(t *testing.T) {
+	cases := []struct {
+		dataset string
+		rows    int
+	}{
+		{"census", 100},
+		{"body", 100},
+		{"sky", 100},
+		{"orders", 100},
+	}
+	for _, c := range cases {
+		tbl, err := loadTable(c.dataset, c.rows, 1, "", "")
+		if err != nil {
+			t.Errorf("%s: %v", c.dataset, err)
+			continue
+		}
+		if tbl.NumRows() == 0 {
+			t.Errorf("%s: empty table", c.dataset)
+		}
+	}
+	if _, err := loadTable("nope", 10, 1, "", ""); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestLoadTableCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(path, []byte("x,y\n1,a\n2,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := loadTable("", 0, 0, path, "mytable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name() != "mytable" || tbl.NumRows() != 2 {
+		t.Fatalf("table = %s rows %d", tbl.Name(), tbl.NumRows())
+	}
+	if _, err := loadTable("", 0, 0, filepath.Join(dir, "missing.csv"), ""); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,72 @@
+// Command atlasbench regenerates the paper's figures and claims as
+// printed experiments (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	atlasbench -list
+//	atlasbench -exp E1,E4
+//	atlasbench -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		ids   = flag.String("exp", "", "comma-separated experiment ids to run (e.g. E1,E4)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced input sizes")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-5s %-55s %s\n", "id", "title", "paper artifact")
+		for _, e := range exp.All() {
+			fmt.Printf("%-5s %-55s %s\n", e.ID, e.Title, e.Artifact)
+		}
+		return
+	}
+
+	var todo []exp.Experiment
+	switch {
+	case *all:
+		todo = exp.All()
+	case *ids != "":
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exp.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "atlasbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := 0
+	for _, e := range todo {
+		fmt.Printf("\n######## %s — %s (%s) ########\n", e.ID, e.Title, e.Artifact)
+		start := time.Now()
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "atlasbench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

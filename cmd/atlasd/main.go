@@ -1,0 +1,73 @@
+// Command atlasd serves the mapping engine over HTTP/JSON — the back end
+// of the paper's Web GUI layer (Figure 6).
+//
+// Usage:
+//
+//	atlasd -addr :8080 -dataset census -rows 100000
+//	atlasd -addr :8080 -csv data.csv -table mydata
+//
+// Endpoints:
+//
+//	GET  /api/schema
+//	POST /api/explore                 {"cql": "EXPLORE census WHERE ..."}
+//	POST /api/sessions                → {"id": 0}
+//	GET  /api/sessions/{id}
+//	GET  /api/sessions/{id}/history
+//	POST /api/sessions/{id}/explore   {"cql": "..."}
+//	POST /api/sessions/{id}/drill     {"map": 0, "region": 1}
+//	POST /api/sessions/{id}/back
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataset = flag.String("dataset", "census", "bundled dataset: census, body, sky, orders")
+		rows    = flag.Int("rows", 100000, "rows to generate for bundled datasets")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		csvPath = flag.String("csv", "", "serve a CSV file instead of a bundled dataset")
+		tblName = flag.String("table", "", "table name for -csv")
+	)
+	flag.Parse()
+
+	table, err := loadTable(*dataset, *rows, *seed, *csvPath, *tblName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atlasd:", err)
+		os.Exit(1)
+	}
+	srv := server.New(table, atlas.DefaultOptions())
+	log.Printf("atlasd: serving table %q (%d rows) on %s", table.Name(), table.NumRows(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadTable(dataset string, rows int, seed int64, csvPath, tblName string) (*atlas.Table, error) {
+	if csvPath != "" {
+		return atlas.LoadCSVFile(tblName, csvPath)
+	}
+	switch dataset {
+	case "census":
+		return atlas.CensusDataset(rows, seed), nil
+	case "body":
+		t, _ := atlas.BodyMetricsDataset(rows, seed)
+		return t, nil
+	case "sky":
+		return atlas.SkySurveyDataset(rows, seed), nil
+	case "orders":
+		orders, customers := atlas.OrdersDataset(rows, rows/40+1, seed)
+		return atlas.JoinFK(orders, "cid", customers, "cid", "orders")
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}

@@ -1,0 +1,74 @@
+// Command atlasgen writes the bundled synthetic datasets to CSV files so
+// they can be inspected, versioned, or loaded into other systems.
+//
+// Usage:
+//
+//	atlasgen -dataset census -rows 50000 -o census.csv
+//	atlasgen -dataset orders -rows 100000 -o orders.csv -o2 customers.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "census", "dataset: census, body, sky, fig5, orders")
+		rows    = flag.Int("rows", 50000, "rows to generate")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output CSV path (required)")
+		out2    = flag.String("o2", "", "second output path (customers table for -dataset orders)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "atlasgen: -o is required")
+		os.Exit(2)
+	}
+
+	write := func(t *atlas.Table, path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := atlas.WriteCSV(t, f); err != nil {
+			return err
+		}
+		fmt.Printf("atlasgen: wrote %s (%d rows, %d cols)\n", path, t.NumRows(), t.NumCols())
+		return nil
+	}
+
+	var err error
+	switch *dataset {
+	case "census":
+		err = write(atlas.CensusDataset(*rows, *seed), *out)
+	case "body":
+		t, _ := atlas.BodyMetricsDataset(*rows, *seed)
+		err = write(t, *out)
+	case "sky":
+		err = write(atlas.SkySurveyDataset(*rows, *seed), *out)
+	case "fig5":
+		t, _ := atlas.Figure5Dataset(*rows, *seed)
+		err = write(t, *out)
+	case "orders":
+		if *out2 == "" {
+			fmt.Fprintln(os.Stderr, "atlasgen: -dataset orders needs -o2 for the customers table")
+			os.Exit(2)
+		}
+		orders, customers := atlas.OrdersDataset(*rows, *rows/40+1, *seed)
+		if err = write(orders, *out); err == nil {
+			err = write(customers, *out2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "atlasgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atlasgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Multi-table exploration (paper Section 5.2): real databases are not
+// one wide table. This example materializes the FK join of an orders
+// fact table with a customers dimension and explores the result. The
+// planted dependency — gold-segment customers place large orders — spans
+// the two tables and only becomes visible after the join.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	orders, customers := atlas.OrdersDataset(200000, 5000, 13)
+	fmt.Printf("orders: %d rows, customers: %d rows\n", orders.NumRows(), customers.NumRows())
+
+	// First, explore the bare fact table: segment is invisible here.
+	exFact, err := atlas.New(orders, atlas.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	resFact, err := exFact.Explore("EXPLORE orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmaps over the bare fact table:")
+	for i, m := range resFact.Maps {
+		fmt.Printf("  #%d {%s}\n", i+1, m.Key())
+	}
+
+	// Materialize the join (the paper's "naive" strategy — it calls
+	// reducing this cost an open problem; we measure it instead).
+	start := time.Now()
+	joined, err := atlas.JoinFK(orders, "cid", customers, "cid", "orders_x_customers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njoin materialized: %d rows × %d cols in %v\n",
+		joined.NumRows(), joined.NumCols(), time.Since(start).Round(time.Millisecond))
+
+	ex, err := atlas.New(joined, atlas.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ex.Explore("EXPLORE orders_x_customers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmaps over the joined table:")
+	fmt.Print(atlas.FormatResult(res))
+
+	for _, m := range res.Maps {
+		if m.Key() == "amount,segment" {
+			fmt.Println("\nthe cross-table dependency {amount, segment} surfaced — invisible before the join.")
+			return
+		}
+	}
+	fmt.Println("\nWARNING: expected an {amount, segment} map")
+}

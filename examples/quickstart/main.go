@@ -1,0 +1,40 @@
+// Quickstart: load a dataset, run one exploration, print the ranked
+// data maps. This is the smallest useful Atlas program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A synthetic census with planted structure: {age, sex} and
+	// {education, salary} are dependent pairs, eye_color is noise.
+	table := atlas.CensusDataset(20000, 1)
+
+	ex, err := atlas.New(table, atlas.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Atlas answers queries with queries: instead of tuples you get a
+	// ranked list of data maps, each a handful of sub-queries.
+	res, err := ex.Explore("EXPLORE census WHERE age BETWEEN 17 AND 90")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(atlas.FormatResult(res))
+
+	// Drill down: take the first region of the best map and map it again.
+	if len(res.Maps) > 0 && len(res.Maps[0].Regions) > 0 {
+		sub := res.Maps[0].Regions[0].Query
+		fmt.Printf("\ndrilling into: %s\n\n", sub.String())
+		res2, err := ex.ExploreQuery(sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(atlas.FormatResult(res2))
+	}
+}

@@ -1,0 +1,79 @@
+// SkyServer-style exploration (paper Section 5.2 names the SDSS as a
+// target dataset): photometric magnitudes of stars, galaxies and quasars.
+// The object classes occupy distinct loci in color space, so the
+// magnitude columns are mutually dependent while the sky coordinates are
+// uniform noise. Atlas groups the magnitudes into one map whose regions
+// align with the hidden classes — the example verifies that alignment
+// against the (normally unknown) class column.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	full := atlas.SkySurveyDataset(40000, 3)
+
+	// Hide the class column: the explorer should find structure blind.
+	blind, err := full.Project("sky", "ra", "dec", "mag_u", "mag_g", "mag_r", "mag_i")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := atlas.DefaultOptions()
+	opts.Cut.Numeric = atlas.CutVariance // magnitudes cluster; variance cuts find the gaps
+	ex, err := atlas.New(blind, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := ex.Explore("EXPLORE sky")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Blind exploration of the photometric catalog:")
+	fmt.Print(atlas.FormatResult(res))
+
+	// Validation against the hidden truth: regions of the top magnitude
+	// map should be nearly pure in object class.
+	var magMap *atlas.Map
+	for _, m := range res.Maps {
+		if len(m.Attrs) >= 2 && m.Attrs[0][:3] == "mag" {
+			magMap = m
+			break
+		}
+	}
+	if magMap == nil {
+		log.Fatal("skyserver example: expected a map over magnitude columns")
+	}
+	classCol, err := full.ColumnByName("class")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("checking the magnitude map against the hidden class column:")
+	labels := magMap.Assignment().Labels
+	for ri := range magMap.Regions {
+		counts := map[string]int{}
+		for row, lab := range labels {
+			if int(lab) == ri {
+				counts[classCol.Render(row)]++
+			}
+		}
+		best, total := "", 0
+		bestN := 0
+		for cls, n := range counts {
+			total += n
+			if n > bestN {
+				best, bestN = cls, n
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Printf("  region %d (%6d objects): %5.1f%% %s\n",
+			ri+1, total, 100*float64(bestN)/float64(total), best)
+	}
+}

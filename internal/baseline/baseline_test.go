@@ -1,0 +1,253 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// blobs generates k well-separated Gaussian blobs in dim dimensions.
+func blobs(n, k, dim int, seed int64) ([][]float64, []int) {
+	r := rand.New(rand.NewSource(seed))
+	data := make([][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := r.Intn(k)
+		labels[i] = c
+		row := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			row[d] = float64(c*30) + r.NormFloat64()
+		}
+		data[i] = row
+	}
+	return data, labels
+}
+
+// agreementScore measures how well predicted clusters match truth via
+// best-case purity (sufficient for well-separated blobs).
+func agreementScore(pred, truth []int) float64 {
+	// majority truth label per predicted cluster
+	byCluster := map[int]map[int]int{}
+	for i, p := range pred {
+		if byCluster[p] == nil {
+			byCluster[p] = map[int]int{}
+		}
+		byCluster[p][truth[i]]++
+	}
+	correct := 0
+	for _, counts := range byCluster {
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	data, truth := blobs(600, 3, 4, 1)
+	res, err := KMeans(data, 3, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agreementScore(res.Labels, truth); got < 0.98 {
+		t.Errorf("purity = %v, want near-perfect on separated blobs", got)
+	}
+	if res.Iterations < 1 || res.Inertia <= 0 {
+		t.Errorf("iterations=%d inertia=%v", res.Iterations, res.Inertia)
+	}
+	if len(res.Centers) != 3 {
+		t.Errorf("centers = %d", len(res.Centers))
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, 2, 10, 1); err == nil {
+		t.Error("empty data should fail")
+	}
+	data, _ := blobs(10, 2, 2, 1)
+	if _, err := KMeans(data, 0, 10, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := KMeans(data, 11, 10, 1); err == nil {
+		t.Error("k>n should fail")
+	}
+	ragged := [][]float64{{1, 2}, {1}}
+	if _, err := KMeans(ragged, 1, 10, 1); err == nil {
+		t.Error("ragged data should fail")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	data, _ := blobs(200, 2, 3, 2)
+	a, err := KMeans(data, 2, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(data, 2, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed should give identical labels")
+		}
+	}
+}
+
+func TestKMeansSinglePointPerCluster(t *testing.T) {
+	data := [][]float64{{0}, {100}}
+	res, err := KMeans(data, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[0] == res.Labels[1] {
+		t.Error("distinct points should split")
+	}
+}
+
+func TestNumericMatrix(t *testing.T) {
+	tbl, _ := datagen.BodyMetrics(100, 1)
+	m, rows, err := NumericMatrix(tbl, []string{"size", "weight"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 100 || len(rows) != 100 || len(m[0]) != 2 {
+		t.Fatalf("matrix %dx%d rows %d", len(m), len(m[0]), len(rows))
+	}
+	if _, _, err := NumericMatrix(tbl, []string{"ghost"}); err == nil {
+		t.Error("missing column should fail")
+	}
+	census := datagen.Census(10, 1)
+	if _, _, err := NumericMatrix(census, []string{"sex"}); err == nil {
+		t.Error("non-numeric column should fail")
+	}
+}
+
+func TestCliqueFindsSubspaceClusters(t *testing.T) {
+	// clusters live in dims 0..1; dims 2..3 are noise
+	tbl, _ := datagen.SubspaceClusters(2000, 4, 2, 2, 3)
+	data, _, err := NumericMatrix(tbl, []string{"d0", "d1", "d2", "d3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Clique(data, CliqueOptions{Xi: 8, Tau: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the subspace {0,1} must appear with at least 2 clusters
+	found := false
+	for _, sc := range res.Subspaces {
+		if len(sc.Dims) == 2 && sc.Dims[0] == 0 && sc.Dims[1] == 1 {
+			if len(sc.Clusters) >= 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("clique did not find the planted 2-D subspace clusters")
+	}
+	if res.UnitsExamined == 0 {
+		t.Error("UnitsExamined not tracked")
+	}
+}
+
+func TestCliqueCostGrowsWithDimensions(t *testing.T) {
+	mk := func(dims int) int {
+		tbl, _ := datagen.SubspaceClusters(500, dims, 2, 2, 5)
+		names := make([]string, dims)
+		for i := range names {
+			names[i] = tbl.Schema().Field(i).Name
+		}
+		data, _, err := NumericMatrix(tbl, names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Clique(data, CliqueOptions{Xi: 6, Tau: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.UnitsExamined
+	}
+	if c4, c8 := mk(4), mk(8); c8 < 2*c4 {
+		t.Errorf("cost should grow combinatorially: dims=4 %d, dims=8 %d", c4, c8)
+	}
+}
+
+func TestCliqueValidation(t *testing.T) {
+	data := [][]float64{{1, 2}}
+	if _, err := Clique(nil, DefaultCliqueOptions()); err == nil {
+		t.Error("empty data")
+	}
+	if _, err := Clique(data, CliqueOptions{Xi: 1, Tau: 0.1}); err == nil {
+		t.Error("Xi < 2")
+	}
+	if _, err := Clique(data, CliqueOptions{Xi: 4, Tau: 0}); err == nil {
+		t.Error("Tau = 0")
+	}
+	if _, err := Clique(data, CliqueOptions{Xi: 4, Tau: 1.5}); err == nil {
+		t.Error("Tau > 1")
+	}
+}
+
+func TestCliqueMaxDimCap(t *testing.T) {
+	data, _ := blobs(300, 2, 5, 4)
+	res, err := Clique(data, CliqueOptions{Xi: 6, Tau: 0.05, MaxDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range res.Subspaces {
+		if len(sc.Dims) > 2 {
+			t.Fatalf("subspace %v exceeds MaxDim", sc.Dims)
+		}
+	}
+}
+
+func TestSingleLinkTuplesRecoversBlobs(t *testing.T) {
+	data, truth := blobs(300, 3, 2, 6)
+	labels, err := SingleLinkTuples(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agreementScore(labels, truth); got < 0.98 {
+		t.Errorf("purity = %v", got)
+	}
+	// exactly 3 labels
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("labels = %d distinct, want 3", len(seen))
+	}
+}
+
+func TestSingleLinkTuplesValidation(t *testing.T) {
+	if _, err := SingleLinkTuples(nil, 1); err == nil {
+		t.Error("empty data")
+	}
+	data := [][]float64{{1}, {2}}
+	if _, err := SingleLinkTuples(data, 3); err == nil {
+		t.Error("k > n")
+	}
+	if _, err := SingleLinkTuples(data, 0); err == nil {
+		t.Error("k < 1")
+	}
+}
+
+func TestSingleLinkTuplesK1(t *testing.T) {
+	data, _ := blobs(50, 2, 2, 7)
+	labels, err := SingleLinkTuples(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("k=1 should give one cluster")
+		}
+	}
+}

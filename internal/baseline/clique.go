@@ -1,0 +1,274 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CliqueOptions tunes the grid-based subspace clustering comparator
+// (after CLIQUE, Agrawal et al.; the representative of the exhaustive
+// subspace-clustering literature the paper cites as [8]).
+type CliqueOptions struct {
+	// Xi is the number of grid cells per dimension.
+	Xi int
+	// Tau is the density threshold: a unit is dense when it holds at
+	// least Tau·n points.
+	Tau float64
+	// MaxDim caps the subspace dimensionality explored (0 = no cap).
+	MaxDim int
+}
+
+// DefaultCliqueOptions returns the conventional defaults (10 cells, 1%).
+func DefaultCliqueOptions() CliqueOptions { return CliqueOptions{Xi: 10, Tau: 0.01} }
+
+// Unit is one dense grid cell of a subspace: Cells[i] is the cell index
+// along Dims[i].
+type Unit struct {
+	Dims  []int
+	Cells []int
+	Count int
+}
+
+// SubspaceClusters is the set of clusters found in one subspace: each
+// cluster is a set of connected dense units.
+type SubspaceClusters struct {
+	Dims     []int
+	Units    []Unit
+	Clusters [][]int // indexes into Units
+}
+
+// CliqueResult is the full lattice of dense subspaces.
+type CliqueResult struct {
+	// Subspaces lists every subspace holding dense units, by level.
+	Subspaces []SubspaceClusters
+	// UnitsExamined counts candidate units tested (the cost driver).
+	UnitsExamined int
+}
+
+// Clique runs bottom-up grid subspace clustering: find dense 1-D units,
+// join subspaces level by level (Apriori-style), and report connected
+// components of dense units per subspace. Its cost grows combinatorially
+// with dimensionality — exactly the behaviour experiment E5 contrasts
+// with Atlas.
+func Clique(data [][]float64, opts CliqueOptions) (*CliqueResult, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: clique on empty data")
+	}
+	if opts.Xi < 2 {
+		return nil, fmt.Errorf("baseline: Xi must be >= 2, got %d", opts.Xi)
+	}
+	if opts.Tau <= 0 || opts.Tau > 1 {
+		return nil, fmt.Errorf("baseline: Tau must be in (0,1], got %g", opts.Tau)
+	}
+	dim := len(data[0])
+	minCount := int(opts.Tau * float64(n))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// precompute per-dimension cell index of every point
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		lo[d], hi[d] = data[0][d], data[0][d]
+		for _, row := range data {
+			if row[d] < lo[d] {
+				lo[d] = row[d]
+			}
+			if row[d] > hi[d] {
+				hi[d] = row[d]
+			}
+		}
+	}
+	cellOf := make([][]int, n)
+	for i, row := range data {
+		cells := make([]int, dim)
+		for d := 0; d < dim; d++ {
+			if hi[d] == lo[d] {
+				cells[d] = 0
+				continue
+			}
+			c := int(float64(opts.Xi) * (row[d] - lo[d]) / (hi[d] - lo[d]))
+			if c >= opts.Xi {
+				c = opts.Xi - 1
+			}
+			cells[d] = c
+		}
+		cellOf[i] = cells
+	}
+
+	res := &CliqueResult{}
+
+	// level 1: dense units per dimension
+	level := map[string]*Unit{}
+	for d := 0; d < dim; d++ {
+		counts := make([]int, opts.Xi)
+		for i := 0; i < n; i++ {
+			counts[cellOf[i][d]]++
+		}
+		res.UnitsExamined += opts.Xi
+		for c, cnt := range counts {
+			if cnt >= minCount {
+				u := &Unit{Dims: []int{d}, Cells: []int{c}, Count: cnt}
+				level[unitKey(u)] = u
+			}
+		}
+	}
+	res.appendLevel(level)
+
+	maxDim := opts.MaxDim
+	if maxDim <= 0 || maxDim > dim {
+		maxDim = dim
+	}
+	for lv := 2; lv <= maxDim && len(level) > 0; lv++ {
+		// Apriori join: combine units sharing all but the last dimension.
+		next := map[string]*Unit{}
+		units := make([]*Unit, 0, len(level))
+		for _, u := range level {
+			units = append(units, u)
+		}
+		sort.Slice(units, func(a, b int) bool { return unitKey(units[a]) < unitKey(units[b]) })
+		for a := 0; a < len(units); a++ {
+			for b := a + 1; b < len(units); b++ {
+				cand, ok := joinUnits(units[a], units[b])
+				if !ok {
+					continue
+				}
+				key := unitKey(cand)
+				if _, dup := next[key]; dup {
+					continue
+				}
+				// count support
+				res.UnitsExamined++
+				cnt := 0
+				for i := 0; i < n; i++ {
+					match := true
+					for j, d := range cand.Dims {
+						if cellOf[i][d] != cand.Cells[j] {
+							match = false
+							break
+						}
+					}
+					if match {
+						cnt++
+					}
+				}
+				if cnt >= minCount {
+					cand.Count = cnt
+					next[key] = cand
+				}
+			}
+		}
+		res.appendLevel(next)
+		level = next
+	}
+	return res, nil
+}
+
+// joinUnits merges two units of the same level whose first k-1 dims and
+// cells agree; the result covers k+1 dims.
+func joinUnits(a, b *Unit) (*Unit, bool) {
+	k := len(a.Dims)
+	if len(b.Dims) != k {
+		return nil, false
+	}
+	for i := 0; i < k-1; i++ {
+		if a.Dims[i] != b.Dims[i] || a.Cells[i] != b.Cells[i] {
+			return nil, false
+		}
+	}
+	if a.Dims[k-1] >= b.Dims[k-1] {
+		return nil, false // keep dims strictly increasing; avoids duplicates
+	}
+	dims := append(append([]int(nil), a.Dims...), b.Dims[k-1])
+	cells := append(append([]int(nil), a.Cells...), b.Cells[k-1])
+	return &Unit{Dims: dims, Cells: cells}, true
+}
+
+func unitKey(u *Unit) string {
+	var sb strings.Builder
+	for i, d := range u.Dims {
+		fmt.Fprintf(&sb, "%d:%d;", d, u.Cells[i])
+	}
+	return sb.String()
+}
+
+// appendLevel groups a level's dense units by subspace and records their
+// connected components.
+func (r *CliqueResult) appendLevel(level map[string]*Unit) {
+	bySubspace := map[string][]Unit{}
+	for _, u := range level {
+		key := fmt.Sprint(u.Dims)
+		bySubspace[key] = append(bySubspace[key], *u)
+	}
+	keys := make([]string, 0, len(bySubspace))
+	for k := range bySubspace {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		units := bySubspace[k]
+		sort.Slice(units, func(a, b int) bool { return unitKey(&units[a]) < unitKey(&units[b]) })
+		sc := SubspaceClusters{Dims: units[0].Dims, Units: units}
+		sc.Clusters = connectedUnits(units)
+		r.Subspaces = append(r.Subspaces, sc)
+	}
+}
+
+// connectedUnits groups units that are grid-adjacent (differ by one cell
+// along exactly one dimension) into clusters.
+func connectedUnits(units []Unit) [][]int {
+	n := len(units)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	adjacent := func(a, b Unit) bool {
+		diff := 0
+		for i := range a.Dims {
+			d := a.Cells[i] - b.Cells[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				return false
+			}
+			if d == 1 {
+				diff++
+			}
+		}
+		return diff == 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if adjacent(units[i], units[j]) {
+				pi, pj := find(i), find(j)
+				if pi != pj {
+					parent[pj] = pi
+				}
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}

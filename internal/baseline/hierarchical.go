@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// SingleLinkTuples clusters data rows with exhaustive single-linkage
+// agglomeration down to k clusters, returning per-row labels in [0, k).
+// This is the "one exhaustive dendrogram" strategy the paper contrasts
+// with Atlas's lazy maps: O(n²) time and memory via a Prim-style minimum
+// spanning tree, so it is only feasible on small inputs — which is the
+// point of the comparison.
+func SingleLinkTuples(data [][]float64, k int) ([]int, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: clustering empty data")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("baseline: k=%d invalid for n=%d", k, n)
+	}
+	// Build the MST with Prim's algorithm (O(n²)): single-linkage
+	// clusters at any level are MST components after removing the
+	// longest edges.
+	inTree := make([]bool, n)
+	minEdge := make([]float64, n)
+	minFrom := make([]int, n)
+	for i := range minEdge {
+		minEdge[i] = math.Inf(1)
+	}
+	type edge struct {
+		a, b int
+		w    float64
+	}
+	edges := make([]edge, 0, n-1)
+	cur := 0
+	inTree[0] = true
+	for added := 1; added < n; added++ {
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if d := sqDist(data[cur], data[j]); d < minEdge[j] {
+					minEdge[j] = d
+					minFrom[j] = cur
+				}
+			}
+		}
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !inTree[j] && minEdge[j] < bestD {
+				best, bestD = j, minEdge[j]
+			}
+		}
+		edges = append(edges, edge{minFrom[best], best, bestD})
+		inTree[best] = true
+		cur = best
+	}
+	// Remove the k-1 longest edges: a max-heap of edge weights.
+	h := &edgeHeap{}
+	heap.Init(h)
+	for i, e := range edges {
+		heap.Push(h, heapEdge{i, e.w})
+	}
+	removed := map[int]bool{}
+	for i := 0; i < k-1 && h.Len() > 0; i++ {
+		removed[heap.Pop(h).(heapEdge).idx] = true
+	}
+	// Components of the remaining forest.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, e := range edges {
+		if !removed[i] {
+			pa, pb := find(e.a), find(e.b)
+			if pa != pb {
+				parent[pb] = pa
+			}
+		}
+	}
+	labelOf := map[int]int{}
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := labelOf[r]; !ok {
+			labelOf[r] = len(labelOf)
+		}
+		labels[i] = labelOf[r]
+	}
+	return labels, nil
+}
+
+type heapEdge struct {
+	idx int
+	w   float64
+}
+
+type edgeHeap []heapEdge
+
+func (h edgeHeap) Len() int           { return len(h) }
+func (h edgeHeap) Less(i, j int) bool { return h[i].w > h[j].w } // max-heap
+func (h edgeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x any)        { *h = append(*h, x.(heapEdge)) }
+func (h *edgeHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return out
+}

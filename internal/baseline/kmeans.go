@@ -1,0 +1,186 @@
+// Package baseline implements the comparison systems the paper positions
+// Atlas against (Section 6): full-space k-means ([5]), CLIQUE-style grid
+// subspace clustering ([8]), and naive single-linkage clustering of
+// tuples ([14] applied exhaustively). The experiment harness uses them
+// for the latency and quality comparisons.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/storage"
+)
+
+// KMeansResult holds the outcome of Lloyd's algorithm.
+type KMeansResult struct {
+	// Labels assigns each row to a cluster in [0, K).
+	Labels []int
+	// Centers are the final centroids.
+	Centers [][]float64
+	// Iterations is the number of Lloyd rounds run.
+	Iterations int
+	// Inertia is the final sum of squared distances to centroids.
+	Inertia float64
+}
+
+// KMeans clusters rows of data into k groups using k-means++ seeding and
+// Lloyd iterations. Deterministic in seed.
+func KMeans(data [][]float64, k, maxIter int, seed int64) (*KMeansResult, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: k-means on empty data")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("baseline: k=%d invalid for n=%d", k, n)
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+	dim := len(data[0])
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("baseline: row %d has %d dims, want %d", i, len(row), dim)
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	centers := seedPlusPlus(data, k, r)
+	labels := make([]int, n)
+	var inertia float64
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// assignment step
+		changed := false
+		inertia = 0
+		for i, row := range data {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := sqDist(row, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+			inertia += bestD
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// update step
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, row := range data {
+			c := labels[i]
+			counts[c]++
+			for d, v := range row {
+				next[c][d] += v
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// re-seed an empty cluster at a random point
+				copy(next[c], data[r.Intn(n)])
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(counts[c])
+			}
+		}
+		centers = next
+	}
+	return &KMeansResult{Labels: labels, Centers: centers, Iterations: iters, Inertia: inertia}, nil
+}
+
+// seedPlusPlus picks initial centers with k-means++ (squared-distance
+// weighted sampling).
+func seedPlusPlus(data [][]float64, k int, r *rand.Rand) [][]float64 {
+	n := len(data)
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), data[r.Intn(n)]...))
+	dists := make([]float64, n)
+	for len(centers) < k {
+		total := 0.0
+		for i, row := range data {
+			best := math.Inf(1)
+			for _, ctr := range centers {
+				if d := sqDist(row, ctr); d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		if total == 0 {
+			// all points coincide with centers; duplicate one
+			centers = append(centers, append([]float64(nil), data[r.Intn(n)]...))
+			continue
+		}
+		target := r.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), data[pick]...))
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NumericMatrix extracts the named numeric columns of a table as a dense
+// row-major matrix, skipping rows with NULL in any of the columns.
+// It returns the matrix and the original row index of each output row.
+func NumericMatrix(t *storage.Table, attrs []string) ([][]float64, []int, error) {
+	cols := make([]storage.Column, len(attrs))
+	for i, a := range attrs {
+		c, err := t.ColumnByName(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !c.Type().IsNumeric() {
+			return nil, nil, fmt.Errorf("baseline: column %q is not numeric", a)
+		}
+		cols[i] = c
+	}
+	var out [][]float64
+	var rows []int
+	for r := 0; r < t.NumRows(); r++ {
+		row := make([]float64, len(cols))
+		ok := true
+		for i, c := range cols {
+			if c.IsNull(r) {
+				ok = false
+				break
+			}
+			switch cc := c.(type) {
+			case *storage.Int64Column:
+				row[i] = float64(cc.At(r))
+			case *storage.Float64Column:
+				row[i] = cc.At(r)
+			}
+		}
+		if ok {
+			out = append(out, row)
+			rows = append(rows, r)
+		}
+	}
+	return out, rows, nil
+}

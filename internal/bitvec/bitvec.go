@@ -1,0 +1,227 @@
+// Package bitvec provides packed bit vectors used as selection vectors
+// throughout the engine: a bit per row of a table, set when the row is
+// selected. All binary operations require operands of identical length.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length packed bit vector. The zero value is an empty
+// vector of length 0; use New to create one of a given length.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of length n.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// NewFull returns an all-ones vector of length n.
+func NewFull(n int) *Vector {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.trim()
+	return v
+}
+
+// FromIndexes returns a vector of length n with exactly the given bits set.
+func FromIndexes(n int, idx []int) *Vector {
+	v := New(n)
+	for _, i := range idx {
+		v.Set(i)
+	}
+	return v
+}
+
+// trim clears the unused tail bits of the last word so that Count and
+// word-wise equality stay exact.
+func (v *Vector) trim() {
+	if r := v.n % wordBits; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (uint64(1) << uint(r)) - 1
+	}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= uint64(1) << uint(i%wordBits)
+}
+
+// Clear clears bit i.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= uint64(1) << uint(i%wordBits)
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(uint64(1)<<uint(i%wordBits)) != 0
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// And sets v = v AND o and returns v.
+func (v *Vector) And(o *Vector) *Vector {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+	return v
+}
+
+// Or sets v = v OR o and returns v.
+func (v *Vector) Or(o *Vector) *Vector {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+	return v
+}
+
+// AndNot sets v = v AND NOT o and returns v.
+func (v *Vector) AndNot(o *Vector) *Vector {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] &^= o.words[i]
+	}
+	return v
+}
+
+// Xor sets v = v XOR o and returns v.
+func (v *Vector) Xor(o *Vector) *Vector {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] ^= o.words[i]
+	}
+	return v
+}
+
+// Not flips every bit in place and returns v.
+func (v *Vector) Not() *Vector {
+	for i := range v.words {
+		v.words[i] = ^v.words[i]
+	}
+	v.trim()
+	return v
+}
+
+func (v *Vector) sameLen(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// Equal reports whether v and o have identical length and bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether at least one bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Indexes returns the positions of all set bits in ascending order.
+func (v *Vector) Indexes() []int {
+	out := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		base := wi * wordBits
+		for w != 0 {
+			out = append(out, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every set bit in ascending order. It stops early if
+// fn returns false.
+func (v *Vector) ForEach(fn func(i int) bool) {
+	for wi, w := range v.words {
+		base := wi * wordBits
+		for w != 0 {
+			if !fn(base + bits.TrailingZeros64(w)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Rank returns the number of set bits in [0, i). Rank(Len()) == Count().
+func (v *Vector) Rank(i int) int {
+	if i < 0 || i > v.n {
+		panic(fmt.Sprintf("bitvec: rank index %d out of range [0,%d]", i, v.n))
+	}
+	c := 0
+	full := i / wordBits
+	for wi := 0; wi < full; wi++ {
+		c += bits.OnesCount64(v.words[wi])
+	}
+	if r := i % wordBits; r != 0 {
+		c += bits.OnesCount64(v.words[full] & ((uint64(1) << uint(r)) - 1))
+	}
+	return c
+}
+
+// String renders the vector as a 0/1 string, low index first. Intended for
+// tests and debugging of short vectors.
+func (v *Vector) String() string {
+	b := make([]byte, v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

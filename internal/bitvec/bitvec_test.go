@@ -1,0 +1,287 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", v.Count())
+	}
+	if v.Any() {
+		t.Fatal("Any() = true on empty vector")
+	}
+}
+
+func TestNewFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 129, 1000} {
+		v := NewFull(n)
+		if v.Count() != n {
+			t.Errorf("NewFull(%d).Count() = %d", n, v.Count())
+		}
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Errorf("Get(%d) = false after Set", i)
+		}
+	}
+	if got := v.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Error("Get(64) = true after Clear")
+	}
+	if got := v.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for name, fn := range map[string]func(){
+		"Set(-1)":   func() { v.Set(-1) },
+		"Set(10)":   func() { v.Set(10) },
+		"Get(10)":   func() { v.Get(10) },
+		"Clear(10)": func() { v.Clear(10) },
+		"Rank(11)":  func() { v.Rank(11) },
+		"Rank(-1)":  func() { v.Rank(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Error("And with mismatched lengths should panic")
+		}
+	}()
+	a.And(b)
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromIndexes(8, []int{0, 1, 2, 3})
+	b := FromIndexes(8, []int{2, 3, 4, 5})
+
+	if got := a.Clone().And(b).Indexes(); !eqInts(got, []int{2, 3}) {
+		t.Errorf("And = %v", got)
+	}
+	if got := a.Clone().Or(b).Indexes(); !eqInts(got, []int{0, 1, 2, 3, 4, 5}) {
+		t.Errorf("Or = %v", got)
+	}
+	if got := a.Clone().AndNot(b).Indexes(); !eqInts(got, []int{0, 1}) {
+		t.Errorf("AndNot = %v", got)
+	}
+	if got := a.Clone().Xor(b).Indexes(); !eqInts(got, []int{0, 1, 4, 5}) {
+		t.Errorf("Xor = %v", got)
+	}
+	if got := a.Clone().Not().Indexes(); !eqInts(got, []int{4, 5, 6, 7}) {
+		t.Errorf("Not = %v", got)
+	}
+}
+
+func TestNotTrimsTail(t *testing.T) {
+	// Not on a 65-bit vector must not set bits beyond Len.
+	v := New(65).Not()
+	if got := v.Count(); got != 65 {
+		t.Fatalf("Count after Not = %d, want 65", got)
+	}
+}
+
+func TestIndexesRoundTrip(t *testing.T) {
+	idx := []int{0, 5, 17, 63, 64, 90}
+	v := FromIndexes(100, idx)
+	if got := v.Indexes(); !eqInts(got, idx) {
+		t.Fatalf("Indexes = %v, want %v", got, idx)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	v := FromIndexes(100, []int{1, 2, 3, 4, 5})
+	var seen []int
+	v.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if !eqInts(seen, []int{1, 2, 3}) {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestRank(t *testing.T) {
+	v := FromIndexes(130, []int{0, 10, 64, 65, 129})
+	cases := []struct{ i, want int }{
+		{0, 0}, {1, 1}, {10, 1}, {11, 2}, {64, 2}, {65, 3}, {66, 4},
+		{129, 4}, {130, 5},
+	}
+	for _, c := range cases {
+		if got := v.Rank(c.i); got != c.want {
+			t.Errorf("Rank(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromIndexes(70, []int{1, 69})
+	b := FromIndexes(70, []int{1, 69})
+	c := FromIndexes(70, []int{1, 68})
+	d := FromIndexes(71, []int{1, 69})
+	if !a.Equal(b) {
+		t.Error("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Error("a should not equal c")
+	}
+	if a.Equal(d) {
+		t.Error("a should not equal d (length differs)")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := FromIndexes(5, []int{0, 3})
+	if got := v.String(); got != "10010" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomVec builds a deterministic random vector and its reference boolean
+// slice for property checks.
+func randomVec(r *rand.Rand, n int) (*Vector, []bool) {
+	v := New(n)
+	ref := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+			ref[i] = true
+		}
+	}
+	return v, ref
+}
+
+func TestPropertyOpsMatchNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		a, ra := randomVec(r, n)
+		b, rb := randomVec(r, n)
+
+		and := a.Clone().And(b)
+		or := a.Clone().Or(b)
+		xor := a.Clone().Xor(b)
+		andNot := a.Clone().AndNot(b)
+		not := a.Clone().Not()
+
+		for i := 0; i < n; i++ {
+			if and.Get(i) != (ra[i] && rb[i]) {
+				t.Fatalf("n=%d And bit %d wrong", n, i)
+			}
+			if or.Get(i) != (ra[i] || rb[i]) {
+				t.Fatalf("n=%d Or bit %d wrong", n, i)
+			}
+			if xor.Get(i) != (ra[i] != rb[i]) {
+				t.Fatalf("n=%d Xor bit %d wrong", n, i)
+			}
+			if andNot.Get(i) != (ra[i] && !rb[i]) {
+				t.Fatalf("n=%d AndNot bit %d wrong", n, i)
+			}
+			if not.Get(i) != !ra[i] {
+				t.Fatalf("n=%d Not bit %d wrong", n, i)
+			}
+		}
+	}
+}
+
+func TestPropertyCountEqualsLenIndexes(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v, _ := randomVec(rand.New(rand.NewSource(seed)), n)
+		return v.Count() == len(v.Indexes())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRankMonotone(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		v, _ := randomVec(rand.New(rand.NewSource(seed)), n)
+		prev := 0
+		for i := 0; i <= n; i++ {
+			rk := v.Rank(i)
+			if rk < prev || rk > i {
+				return false
+			}
+			prev = rk
+		}
+		return prev == v.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, _ := randomVec(r, n)
+		b, _ := randomVec(r, n)
+		// NOT(a AND b) == NOT(a) OR NOT(b)
+		lhs := a.Clone().And(b).Not()
+		rhs := a.Clone().Not().Or(b.Clone().Not())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkAnd(b *testing.B) {
+	x := NewFull(1 << 20)
+	y := NewFull(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.And(y)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	x := NewFull(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}

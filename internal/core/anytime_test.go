@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/query"
+)
+
+func TestAnytimeOptionsValidate(t *testing.T) {
+	if err := DefaultAnytimeOptions().validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AnytimeOptions{
+		{InitialSample: 0, GrowthFactor: 2},
+		{InitialSample: 10, GrowthFactor: 1},
+		{InitialSample: 10, GrowthFactor: 2, StableRounds: -1},
+	}
+	for i, o := range bad {
+		if err := o.validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestGroupingJaccard(t *testing.T) {
+	cases := []struct {
+		a, b [][]string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[][]string{{"a", "b"}}, [][]string{{"b", "a"}}, 1},
+		{[][]string{{"a"}}, [][]string{{"b"}}, 0},
+		{[][]string{{"a"}, {"b"}}, [][]string{{"a"}, {"c"}}, 1.0 / 3.0},
+		{[][]string{{"a", "b"}, {"c"}}, [][]string{{"a", "b"}}, 0.5},
+	}
+	for i, c := range cases {
+		if got := GroupingJaccard(c.a, c.b); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestExploreAnytimeStabilizes(t *testing.T) {
+	tbl := datagen.Census(30000, 21)
+	c, err := NewCartographer(tbl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.ExploreAnytime(context.Background(), query.New("census"), DefaultAnytimeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 2 {
+		t.Fatalf("rounds = %d, want progressive refinement", len(res.Rounds))
+	}
+	if res.Final == nil || len(res.Final.Maps) == 0 {
+		t.Fatal("no final maps")
+	}
+	// the planted structure is strong: the run should stabilize before
+	// reading all 30000 rows
+	if !res.Stabilized {
+		t.Error("expected stabilization on strongly structured data")
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.SampleSize >= 30000 {
+		t.Error("stabilization should save reading the full table")
+	}
+	// sample sizes increase
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].SampleSize <= res.Rounds[i-1].SampleSize {
+			t.Fatal("sample sizes must grow")
+		}
+	}
+}
+
+func TestExploreAnytimeFindsSameGroupsAsFull(t *testing.T) {
+	tbl := datagen.Census(20000, 22)
+	c, _ := NewCartographer(tbl, DefaultOptions())
+	full, err := c.Explore(query.New("census"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	any, err := c.ExploreAnytime(context.Background(), query.New("census"), DefaultAnytimeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim := GroupingJaccard(full.AttrClusters, any.Final.AttrClusters); sim < 0.99 {
+		t.Errorf("anytime grouping differs from full-data grouping: %v vs %v",
+			any.Final.AttrClusters, full.AttrClusters)
+	}
+}
+
+func TestExploreAnytimeRespectsContext(t *testing.T) {
+	tbl := datagen.Census(50000, 23)
+	c, _ := NewCartographer(tbl, DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before the run: it must still return round zero? No —
+	// a cancelled context before any round yields an error.
+	if _, err := c.ExploreAnytime(ctx, query.New("census"), DefaultAnytimeOptions()); err == nil {
+		t.Fatal("fully cancelled run should error (no rounds completed)")
+	}
+
+	// a short but non-zero budget completes at least one round and
+	// reports interruption (or legitimately finishes early).
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel2()
+	opts := DefaultAnytimeOptions()
+	opts.StableRounds = 0 // force running until data or time is exhausted
+	res, err := c.ExploreAnytime(ctx2, query.New("census"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == nil {
+		t.Fatal("anytime must always return the best result so far")
+	}
+}
+
+func TestExploreAnytimeTinyTable(t *testing.T) {
+	tbl := datagen.Census(50, 24)
+	c, _ := NewCartographer(tbl, DefaultOptions())
+	res, err := c.ExploreAnytime(context.Background(), query.New("census"), DefaultAnytimeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 || res.Rounds[0].SampleSize != 50 {
+		t.Fatalf("rounds = %+v, want single full-data round", res.Rounds)
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Options configures the full map-generation pipeline. The zero value is
+// not usable; start from DefaultOptions.
+type Options struct {
+	// MaxRegions bounds regions per map (the paper: "a map with more
+	// than 8 regions is hard to read").
+	MaxRegions int
+	// MaxPredicates bounds the cut attributes per map (the paper:
+	// "queries should be simple, with very few predicates; we target
+	// less than 3").
+	MaxPredicates int
+	// MaxMaps bounds the ranked maps returned per exploration step.
+	MaxMaps int
+	// Cut parameterizes the CUT primitive.
+	Cut CutOptions
+	// Distance selects the dependency measure between candidate maps.
+	Distance Distance
+	// DependencyThreshold is the dendrogram cut height: candidate maps
+	// merge only while their distance stays below it. Units follow
+	// Distance (the default NVI is scale-free in [0,1]).
+	DependencyThreshold float64
+	// Merge selects Product or Composition for each cluster.
+	Merge MergeKind
+	// Screen enables Section 5.2 column screening.
+	Screen bool
+	// ScreenOpts tunes screening when enabled.
+	ScreenOpts ScreenOptions
+	// AttrsFromQuery restricts candidate attributes to those the user
+	// query constrains; by default every usable column is a candidate.
+	AttrsFromQuery bool
+	// KeepSingletons: when false, clusters of a single candidate map are
+	// dropped from the result unless nothing else survives. The paper
+	// returns some single-attribute maps, so the default keeps them.
+	KeepSingletons bool
+}
+
+// DefaultOptions returns the paper's configuration: 8 regions, 3 cut
+// attributes, 8 maps, binary median cuts, normalized VI with a 0.95
+// merge threshold, composition merging, screening on.
+func DefaultOptions() Options {
+	return Options{
+		MaxRegions:          8,
+		MaxPredicates:       3,
+		MaxMaps:             8,
+		Cut:                 DefaultCutOptions(),
+		Distance:            DistNVI,
+		DependencyThreshold: 0.95,
+		Merge:               MergeCompose,
+		Screen:              true,
+		ScreenOpts:          DefaultScreenOptions(),
+		KeepSingletons:      true,
+	}
+}
+
+func (o Options) validate() error {
+	if o.MaxRegions < 2 {
+		return fmt.Errorf("core: MaxRegions must be >= 2, got %d", o.MaxRegions)
+	}
+	if o.MaxPredicates < 1 {
+		return fmt.Errorf("core: MaxPredicates must be >= 1, got %d", o.MaxPredicates)
+	}
+	if o.MaxMaps < 1 {
+		return fmt.Errorf("core: MaxMaps must be >= 1, got %d", o.MaxMaps)
+	}
+	if o.DependencyThreshold < 0 {
+		return fmt.Errorf("core: DependencyThreshold must be >= 0, got %g", o.DependencyThreshold)
+	}
+	if err := o.Cut.validate(); err != nil {
+		return err
+	}
+	if err := o.Distance.validate(); err != nil {
+		return err
+	}
+	return o.Merge.validate()
+}
+
+// Cartographer generates ranked data maps over one table — the mapping
+// engine of the paper's architecture (Section 4, layer 2).
+type Cartographer struct {
+	table *storage.Table
+	opts  Options
+}
+
+// NewCartographer validates the options and builds a Cartographer.
+func NewCartographer(t *storage.Table, opts Options) (*Cartographer, error) {
+	if t == nil {
+		return nil, errors.New("core: nil table")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Cartographer{table: t, opts: opts}, nil
+}
+
+// Table returns the table being explored.
+func (c *Cartographer) Table() *storage.Table { return c.table }
+
+// Options returns the pipeline configuration.
+func (c *Cartographer) Options() Options { return c.opts }
+
+// Result is the answer to one exploration step: the ranked data maps for
+// a user query, plus diagnostics.
+type Result struct {
+	// Input is the user query that was mapped.
+	Input query.Query
+	// TotalRows is the table size.
+	TotalRows int
+	// BaseCount is the number of rows the input query selects.
+	BaseCount int
+	// Maps is the ranked result set (Section 3.4), best first.
+	Maps []*Map
+	// Candidates is the single-attribute candidate set (Section 3.1),
+	// one map per usable attribute, in schema order.
+	Candidates []*Map
+	// AttrClusters records which attributes were grouped by the
+	// dependency clustering (Section 3.2), in result order.
+	AttrClusters [][]string
+	// Flagged lists columns excluded by screening (Section 5.2).
+	Flagged []ScreenFinding
+	// Elapsed is the wall-clock time of the pipeline.
+	Elapsed time.Duration
+}
+
+// Explore runs the four-step framework of Section 3 on a user query:
+// candidate generation (CUT per attribute), dependency clustering of the
+// candidates, per-cluster merging, and entropy ranking.
+func (c *Cartographer) Explore(q query.Query) (*Result, error) {
+	start := time.Now()
+	if q.Table != "" && q.Table != c.table.Name() {
+		return nil, fmt.Errorf("core: query targets table %q, cartographer holds %q", q.Table, c.table.Name())
+	}
+	base, err := engine.Eval(c.table, q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Input:     q,
+		TotalRows: c.table.NumRows(),
+		BaseCount: base.Count(),
+	}
+	if res.BaseCount == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Step 0 (Section 5.2): screen out keys, codes, comments, constants.
+	attrs := c.candidateAttrs(q, base, res)
+
+	// Step 1 (Section 3.1): one candidate map per attribute.
+	candidates := make([]*Map, 0, len(attrs))
+	for _, attr := range attrs {
+		regions, err := CutQuery(c.table, base, q, attr, c.opts.Cut)
+		var deg *ErrDegenerate
+		if errors.As(err, &deg) {
+			res.Flagged = append(res.Flagged, ScreenFinding{Attr: attr, Reason: ScreenConstant})
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		m, err := BuildMap(c.table, base, []string{attr}, regions)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, m)
+	}
+	res.Candidates = candidates
+	if len(candidates) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Step 2 (Section 3.2): cluster candidates by statistical dependency.
+	clusters, err := c.clusterCandidates(candidates)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3 (Section 3.3): merge each cluster into one map.
+	var maps []*Map
+	for _, idxs := range clusters {
+		group := make([]*Map, len(idxs))
+		for i, ci := range idxs {
+			group[i] = candidates[ci]
+		}
+		if len(group) == 1 && !c.opts.KeepSingletons && len(clusters) > 1 {
+			continue
+		}
+		m, err := MergeCluster(c.table, base, q, group, c.opts.Merge, c.opts.Cut, c.opts.MaxRegions)
+		var deg *ErrDegenerate
+		if errors.As(err, &deg) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		maps = append(maps, m)
+		res.AttrClusters = append(res.AttrClusters, m.Attrs)
+	}
+
+	// Step 4 (Section 3.4): rank by decreasing entropy, cap the answer.
+	RankMaps(maps)
+	if len(maps) > c.opts.MaxMaps {
+		maps = maps[:c.opts.MaxMaps]
+	}
+	res.Maps = maps
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// candidateAttrs selects the attributes to cut, applying screening and
+// the AttrsFromQuery restriction.
+func (c *Cartographer) candidateAttrs(q query.Query, base *bitvec.Vector, res *Result) []string {
+	var pool []string
+	if c.opts.AttrsFromQuery {
+		pool = q.Attrs()
+	} else {
+		for i := 0; i < c.table.NumCols(); i++ {
+			pool = append(pool, c.table.Schema().Field(i).Name)
+		}
+	}
+	if !c.opts.Screen {
+		return pool
+	}
+	keep, flagged := ScreenColumns(c.table, base, c.opts.ScreenOpts)
+	res.Flagged = append(res.Flagged, flagged...)
+	keepSet := make(map[string]bool, len(keep))
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	var out []string
+	for _, a := range pool {
+		if keepSet[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// clusterCandidates runs SLINK over the candidate distance matrix and
+// cuts the dendrogram at the dependency threshold, holding cluster sizes
+// to the predicate budget.
+func (c *Cartographer) clusterCandidates(candidates []*Map) ([][]int, error) {
+	n := len(candidates)
+	if n == 1 {
+		return [][]int{{0}}, nil
+	}
+	dm, err := DistanceMatrix(candidates, c.opts.Distance)
+	if err != nil {
+		return nil, err
+	}
+	dend := SLINK(n, func(i, j int) float64 { return dm[i][j] })
+	return dend.CutWithBudget(c.opts.DependencyThreshold, c.opts.MaxPredicates), nil
+}

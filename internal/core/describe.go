@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// This file implements the Section 5.2 "real life users" extension the
+// paper sketches as future work: "explain why a region is interesting,
+// by charting the attributes of the subset versus those of the whole
+// database". DescribeRegion profiles every attribute inside a region
+// against the full table and ranks the attributes by how much the region
+// deviates.
+
+// ValueLift reports how over- or under-represented one categorical value
+// is inside a region.
+type ValueLift struct {
+	Value string
+	// GlobalShare and RegionShare are the value's frequency overall and
+	// inside the region.
+	GlobalShare, RegionShare float64
+	// Lift is RegionShare / GlobalShare (∞ is clamped to a large value;
+	// 1 means unremarkable).
+	Lift float64
+}
+
+// AttrProfile compares one attribute's distribution inside a region with
+// its distribution over the whole table.
+type AttrProfile struct {
+	Attr string
+	Type storage.DataType
+
+	// Numeric attributes: means and the standardized shift
+	// (region mean − global mean) / global standard deviation.
+	GlobalMean, RegionMean float64
+	StandardizedShift      float64
+
+	// Categorical/bool attributes: per-value lifts, sorted by absolute
+	// log-lift, and the total variation distance between the two
+	// distributions.
+	Lifts          []ValueLift
+	TotalVariation float64
+
+	// Interest is the ranking score: |StandardizedShift| for numeric
+	// attributes, TotalVariation for categorical ones. Higher means the
+	// region is more unusual on this attribute.
+	Interest float64
+}
+
+// String renders a one-line human explanation.
+func (p AttrProfile) String() string {
+	switch {
+	case p.Type.IsNumeric():
+		dir := "above"
+		if p.StandardizedShift < 0 {
+			dir = "below"
+		}
+		return fmt.Sprintf("%s: mean %.4g vs %.4g overall (%.2fσ %s average)",
+			p.Attr, p.RegionMean, p.GlobalMean, math.Abs(p.StandardizedShift), dir)
+	default:
+		var parts []string
+		for i, l := range p.Lifts {
+			if i >= 3 {
+				break
+			}
+			parts = append(parts, fmt.Sprintf("%s ×%.2f", l.Value, l.Lift))
+		}
+		return fmt.Sprintf("%s: shifted by %.0f%% (%s)", p.Attr, 100*p.TotalVariation, strings.Join(parts, ", "))
+	}
+}
+
+// DescribeRegion profiles the region selected by q against the whole
+// table, returning attribute profiles sorted by decreasing interest.
+// Attributes the region query pins (constant inside the region by
+// construction) are skipped — their deviation is tautological.
+func DescribeRegion(t *storage.Table, q query.Query) ([]AttrProfile, error) {
+	sel, err := engine.Eval(t, q)
+	if err != nil {
+		return nil, err
+	}
+	if !sel.Any() {
+		return nil, fmt.Errorf("core: region %s selects no rows", q.String())
+	}
+	full := bitvec.NewFull(t.NumRows())
+	pinned := map[string]bool{}
+	for _, p := range q.Preds {
+		pinned[p.Attr] = true
+	}
+	var out []AttrProfile
+	for ci := 0; ci < t.NumCols(); ci++ {
+		f := t.Schema().Field(ci)
+		if pinned[f.Name] {
+			continue
+		}
+		var prof *AttrProfile
+		switch f.Type {
+		case storage.Int64, storage.Float64:
+			prof, err = profileNumeric(t, f, sel, full)
+		case storage.String:
+			prof, err = profileCategorical(t, f, sel, full)
+		case storage.Bool:
+			prof, err = profileBool(t, f, sel, full)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if prof != nil {
+			out = append(out, *prof)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Interest != out[j].Interest {
+			return out[i].Interest > out[j].Interest
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out, nil
+}
+
+func profileNumeric(t *storage.Table, f storage.Field, sel, full *bitvec.Vector) (*AttrProfile, error) {
+	global, err := engine.NumericValuesUnder(t, f.Name, full)
+	if err != nil {
+		return nil, err
+	}
+	region, err := engine.NumericValuesUnder(t, f.Name, sel)
+	if err != nil {
+		return nil, err
+	}
+	if len(global) == 0 || len(region) == 0 {
+		return nil, nil
+	}
+	gMean := stats.Mean(global)
+	rMean := stats.Mean(region)
+	gStd := math.Sqrt(stats.Variance(global))
+	shift := 0.0
+	if gStd > 0 {
+		shift = (rMean - gMean) / gStd
+	}
+	return &AttrProfile{
+		Attr: f.Name, Type: f.Type,
+		GlobalMean: gMean, RegionMean: rMean,
+		StandardizedShift: shift,
+		Interest:          math.Abs(shift),
+	}, nil
+}
+
+func profileCategorical(t *storage.Table, f storage.Field, sel, full *bitvec.Vector) (*AttrProfile, error) {
+	dict, gCounts, err := engine.CategoryCountsUnder(t, f.Name, full)
+	if err != nil {
+		return nil, err
+	}
+	_, rCounts, err := engine.CategoryCountsUnder(t, f.Name, sel)
+	if err != nil {
+		return nil, err
+	}
+	gTotal, rTotal := 0, 0
+	for i := range gCounts {
+		gTotal += gCounts[i]
+		rTotal += rCounts[i]
+	}
+	if gTotal == 0 || rTotal == 0 {
+		return nil, nil
+	}
+	prof := &AttrProfile{Attr: f.Name, Type: f.Type}
+	tv := 0.0
+	for i, v := range dict {
+		gs := float64(gCounts[i]) / float64(gTotal)
+		rs := float64(rCounts[i]) / float64(rTotal)
+		tv += math.Abs(gs - rs)
+		if gCounts[i] == 0 && rCounts[i] == 0 {
+			continue
+		}
+		lift := 1e9
+		if gs > 0 {
+			lift = rs / gs
+		}
+		prof.Lifts = append(prof.Lifts, ValueLift{Value: v, GlobalShare: gs, RegionShare: rs, Lift: lift})
+	}
+	prof.TotalVariation = tv / 2
+	prof.Interest = prof.TotalVariation
+	sort.Slice(prof.Lifts, func(i, j int) bool {
+		return absLogLift(prof.Lifts[i].Lift) > absLogLift(prof.Lifts[j].Lift)
+	})
+	return prof, nil
+}
+
+func absLogLift(l float64) float64 {
+	if l <= 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(math.Log(l))
+}
+
+func profileBool(t *storage.Table, f storage.Field, sel, full *bitvec.Vector) (*AttrProfile, error) {
+	gf, gt, err := engine.BoolCountsUnder(t, f.Name, full)
+	if err != nil {
+		return nil, err
+	}
+	rf, rt, err := engine.BoolCountsUnder(t, f.Name, sel)
+	if err != nil {
+		return nil, err
+	}
+	if gf+gt == 0 || rf+rt == 0 {
+		return nil, nil
+	}
+	gShareT := float64(gt) / float64(gf+gt)
+	rShareT := float64(rt) / float64(rf+rt)
+	prof := &AttrProfile{Attr: f.Name, Type: f.Type}
+	mkLift := func(val string, gs, rs float64) ValueLift {
+		lift := 1e9
+		if gs > 0 {
+			lift = rs / gs
+		}
+		return ValueLift{Value: val, GlobalShare: gs, RegionShare: rs, Lift: lift}
+	}
+	prof.Lifts = []ValueLift{
+		mkLift("true", gShareT, rShareT),
+		mkLift("false", 1-gShareT, 1-rShareT),
+	}
+	sort.Slice(prof.Lifts, func(i, j int) bool {
+		return absLogLift(prof.Lifts[i].Lift) > absLogLift(prof.Lifts[j].Lift)
+	})
+	prof.TotalVariation = math.Abs(gShareT - rShareT)
+	prof.Interest = prof.TotalVariation
+	return prof, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+func TestDescribeRegionFindsShiftedAttributes(t *testing.T) {
+	tbl := datagen.Census(20000, 7)
+	// high earners: education distribution must shift (more MSc),
+	// eye color must not.
+	region := query.New("census", query.NewIn("salary", ">50K"))
+	profiles, err := DescribeRegion(tbl, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAttr := map[string]AttrProfile{}
+	for _, p := range profiles {
+		byAttr[p.Attr] = p
+	}
+	// salary is pinned by the region query: skipped
+	if _, ok := byAttr["salary"]; ok {
+		t.Error("pinned attribute should be skipped")
+	}
+	edu, ok := byAttr["education"]
+	if !ok {
+		t.Fatal("education profile missing")
+	}
+	eye, ok := byAttr["eye_color"]
+	if !ok {
+		t.Fatal("eye_color profile missing")
+	}
+	if edu.Interest < 5*eye.Interest {
+		t.Errorf("education interest %v should dwarf eye_color %v", edu.Interest, eye.Interest)
+	}
+	// education must rank above eye_color
+	eduRank, eyeRank := -1, -1
+	for i, p := range profiles {
+		if p.Attr == "education" {
+			eduRank = i
+		}
+		if p.Attr == "eye_color" {
+			eyeRank = i
+		}
+	}
+	if eduRank > eyeRank {
+		t.Error("education should rank above eye_color")
+	}
+	// MSc must be over-represented among high earners
+	var mscLift float64
+	for _, l := range edu.Lifts {
+		if l.Value == "MSc" {
+			mscLift = l.Lift
+		}
+	}
+	if mscLift < 1.3 {
+		t.Errorf("MSc lift = %v, want clearly > 1", mscLift)
+	}
+}
+
+func TestDescribeRegionNumericShift(t *testing.T) {
+	tbl, _ := datagen.BodyMetrics(20000, 3)
+	// the heavy cluster: size must shift up strongly
+	region := query.New("body", query.NewRange("weight", 60, 100))
+	profiles, err := DescribeRegion(tbl, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var size AttrProfile
+	found := false
+	for _, p := range profiles {
+		if p.Attr == "size" {
+			size, found = p, true
+		}
+	}
+	if !found {
+		t.Fatal("size profile missing")
+	}
+	if size.StandardizedShift < 0.5 {
+		t.Errorf("size shift = %v, want strongly positive", size.StandardizedShift)
+	}
+	if size.RegionMean <= size.GlobalMean {
+		t.Error("region mean should exceed global mean")
+	}
+	if !strings.Contains(size.String(), "above") {
+		t.Errorf("String = %q", size.String())
+	}
+}
+
+func TestDescribeRegionBool(t *testing.T) {
+	s := storage.MustSchema(
+		storage.Field{Name: "x", Type: storage.Float64},
+		storage.Field{Name: "flag", Type: storage.Bool},
+	)
+	b := storage.NewBuilder("t", s)
+	for i := 0; i < 1000; i++ {
+		// flag is true mostly when x is high
+		b.MustAppendRow(float64(i), i >= 800)
+	}
+	tbl := b.MustBuild()
+	profiles, err := DescribeRegion(tbl, query.New("t", query.NewRange("x", 800, 1000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 1 || profiles[0].Attr != "flag" {
+		t.Fatalf("profiles = %+v", profiles)
+	}
+	if profiles[0].TotalVariation < 0.7 {
+		t.Errorf("flag total variation = %v, want high", profiles[0].TotalVariation)
+	}
+	lifts := map[string]float64{}
+	for _, l := range profiles[0].Lifts {
+		lifts[l.Value] = l.Lift
+	}
+	if lifts["true"] < 3 {
+		t.Errorf("true lift = %v, want strongly over-represented", lifts["true"])
+	}
+	if lifts["false"] > 0.2 {
+		t.Errorf("false lift = %v, want near zero", lifts["false"])
+	}
+}
+
+func TestDescribeRegionErrors(t *testing.T) {
+	tbl := datagen.Census(100, 1)
+	if _, err := DescribeRegion(tbl, query.New("census", query.NewRange("age", 900, 999))); err == nil {
+		t.Fatal("empty region should error")
+	}
+	if _, err := DescribeRegion(tbl, query.New("census", query.NewRange("ghost", 0, 1))); err == nil {
+		t.Fatal("bad query should error")
+	}
+}
+
+func TestDescribeRegionWholeTableIsBoring(t *testing.T) {
+	tbl := datagen.Census(5000, 2)
+	profiles, err := DescribeRegion(tbl, query.New("census"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		if p.Interest > 0.05 {
+			t.Errorf("whole-table region should have no interesting attrs; %s has %v", p.Attr, p.Interest)
+		}
+	}
+}
+
+func TestAttrProfileStringCategorical(t *testing.T) {
+	p := AttrProfile{
+		Attr: "edu", Type: storage.String,
+		Lifts:          []ValueLift{{Value: "MSc", GlobalShare: 0.3, RegionShare: 0.6, Lift: 2}},
+		TotalVariation: 0.3,
+	}
+	s := p.String()
+	if !strings.Contains(s, "edu") || !strings.Contains(s, "MSc") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Distance selects the map dependency measure of Section 3.2. All
+// variants are "the more X1 and X2 are mutually dependent, the lower
+// d(M1, M2)".
+type Distance string
+
+const (
+	// DistVI is the raw Variation of Information (bits) — the paper's
+	// preferred, metric choice (Meilă 2007).
+	DistVI Distance = "vi"
+	// DistNVI is VI normalized by the joint entropy, in [0,1]. This is
+	// the pipeline default: the threshold becomes scale-free.
+	DistNVI Distance = "nvi"
+	// DistNMI is 1 − normalized mutual information, the non-metric
+	// MI-based alternative the paper discusses.
+	DistNMI Distance = "nmi"
+)
+
+func (d Distance) validate() error {
+	switch d {
+	case DistVI, DistNVI, DistNMI:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown distance %q", d)
+	}
+}
+
+// MapDistance computes the chosen dependency distance between two maps
+// over the same table, using their cached assignments (Definition 2: the
+// underlying variable of a map is the region index of a random tuple).
+func MapDistance(a, b *Map, kind Distance) (float64, error) {
+	if err := kind.validate(); err != nil {
+		return 0, err
+	}
+	if a.assign == nil || b.assign == nil {
+		return 0, fmt.Errorf("core: map distance requires cached assignments")
+	}
+	ct, err := engine.Contingency(a.assign, b.assign)
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case DistVI:
+		return ct.VariationOfInformation(), nil
+	case DistNVI:
+		return ct.NormalizedVI(), nil
+	default: // DistNMI
+		return 1 - ct.NormalizedMI(), nil
+	}
+}
+
+// DistanceMatrix computes the symmetric pairwise distance matrix of a
+// candidate set. The diagonal is 0.
+func DistanceMatrix(maps []*Map, kind Distance) ([][]float64, error) {
+	n := len(maps)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v, err := MapDistance(maps[i], maps[j], kind)
+			if err != nil {
+				return nil, err
+			}
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Region is one query of a data map together with its measured extent.
+type Region struct {
+	// Query describes the region (a conjunction of simple predicates).
+	Query query.Query
+	// Count is the number of selected rows the region covers.
+	Count int
+	// Cover is C(Q): Count divided by the total rows of the table
+	// (Section 3's definition).
+	Cover float64
+}
+
+// Map is a data map: a small set of disjoint region queries over a set of
+// attributes (Section 2). Maps returned by the pipeline carry their
+// entropy score and cached row assignment.
+type Map struct {
+	// Attrs lists the attributes the map cuts on, sorted.
+	Attrs []string
+	// Regions are the map's queries with their covers.
+	Regions []Region
+	// Entropy is the Section 3.4 ranking score (bits) of the region
+	// cover distribution.
+	Entropy float64
+
+	assign *engine.Assignment
+}
+
+// NumRegions returns the number of regions.
+func (m *Map) NumRegions() int { return len(m.Regions) }
+
+// Assignment returns the cached per-row region labeling, or nil when the
+// map was built without one.
+func (m *Map) Assignment() *engine.Assignment { return m.assign }
+
+// Key returns a deterministic identity string for the map's attribute
+// set, used for grouping and stable ordering.
+func (m *Map) Key() string { return strings.Join(m.Attrs, ",") }
+
+// String renders a compact multi-line description.
+func (m *Map) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "map on {%s} (entropy %.3f):\n", m.Key(), m.Entropy)
+	for _, r := range m.Regions {
+		fmt.Fprintf(&b, "  %-60s  %6d rows (%5.1f%%)\n", renderPreds(r.Query), r.Count, 100*r.Cover)
+	}
+	return b.String()
+}
+
+func renderPreds(q query.Query) string {
+	parts := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// BuildMap measures a set of region queries against the table under the
+// base selection and assembles a Map: per-region counts, covers, the
+// entropy score, and the cached assignment. attrs is the set of cut
+// attributes the regions vary on.
+func BuildMap(t *storage.Table, base *bitvec.Vector, attrs []string, regions []query.Query) (*Map, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("core: map with zero regions")
+	}
+	assign, err := engine.Assign(t, regions, base)
+	if err != nil {
+		return nil, err
+	}
+	total := t.NumRows()
+	out := make([]Region, len(regions))
+	for i, rq := range regions {
+		cover := 0.0
+		if total > 0 {
+			cover = float64(assign.Counts[i]) / float64(total)
+		}
+		out[i] = Region{Query: rq, Count: assign.Counts[i], Cover: cover}
+	}
+	sortedAttrs := append([]string(nil), attrs...)
+	sort.Strings(sortedAttrs)
+	return &Map{
+		Attrs:   sortedAttrs,
+		Regions: out,
+		Entropy: assign.Entropy(),
+		assign:  assign,
+	}, nil
+}
+
+// DropEmptyRegions returns a copy of m without zero-count regions,
+// re-measured against the table (assignment and entropy refreshed).
+// Returns m unchanged when no region is empty.
+func (m *Map) DropEmptyRegions(t *storage.Table, base *bitvec.Vector) (*Map, error) {
+	var keep []query.Query
+	for _, r := range m.Regions {
+		if r.Count > 0 {
+			keep = append(keep, r.Query)
+		}
+	}
+	if len(keep) == len(m.Regions) {
+		return m, nil
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("core: map on {%s} is entirely empty", m.Key())
+	}
+	return BuildMap(t, base, m.Attrs, keep)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// MergeKind selects how the maps of one cluster are combined
+// (Section 3.3).
+type MergeKind string
+
+const (
+	// MergeProduct intersects each region of one map with each region of
+	// the other (Definition 3): a global grid. Natural partitionings,
+	// but data clusters are "unlikely to appear on the map".
+	MergeProduct MergeKind = "product"
+	// MergeCompose cuts the queries of one map on the attributes of the
+	// other (Definition 4), re-estimating the cut inside each region —
+	// "a higher chance of revealing the clusters in the data".
+	MergeCompose MergeKind = "compose"
+)
+
+func (m MergeKind) validate() error {
+	switch m {
+	case MergeProduct, MergeCompose:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown merge kind %q", m)
+	}
+}
+
+// ProductMaps implements Definition 3: the ×-product of candidate maps.
+// Region queries are the k-wise conjunctions of the candidates' regions
+// applied over the shared parent query. The operator is associative and
+// commutative, so any number of maps can be merged; maps are folded in
+// order and a map whose inclusion would push the region count beyond
+// maxRegions (readability budget, Section 2) is skipped. Empty
+// intersections are dropped.
+func ProductMaps(t *storage.Table, base *bitvec.Vector, parent query.Query, maps []*Map, maxRegions int) (*Map, error) {
+	if len(maps) == 0 {
+		return nil, errors.New("core: product of zero maps")
+	}
+	if maxRegions < 2 {
+		maxRegions = 2
+	}
+	regions := []query.Query{parent}
+	var attrs []string
+	for mi, m := range maps {
+		if mi > 0 && len(regions)*len(m.Regions) > maxRegions {
+			continue // budget: skip this candidate
+		}
+		attrs = append(attrs, m.Attrs...)
+		next := make([]query.Query, 0, len(regions)*len(m.Regions))
+		for _, r := range regions {
+			for _, mr := range m.Regions {
+				q := r
+				// apply every predicate the candidate's region adds
+				for _, a := range m.Attrs {
+					if pi := mr.Query.PredOn(a); pi >= 0 {
+						q = applyPredicate(q, mr.Query.Preds[pi])
+					}
+				}
+				next = append(next, q)
+			}
+		}
+		regions = next
+	}
+	built, err := BuildMap(t, base, attrs, regions)
+	if err != nil {
+		return nil, err
+	}
+	return built.DropEmptyRegions(t, base)
+}
+
+// ComposeMaps implements Definition 4: starting from the parent query,
+// successively CUT every region on each attribute in attrs, re-estimating
+// cut points inside the region (this is what lets composition reveal
+// local cluster structure, Figure 5). A region whose local cut is
+// degenerate (constant attribute inside the region) is kept unsplit. An
+// attribute whose cuts would push the region count beyond maxRegions is
+// skipped entirely.
+func ComposeMaps(t *storage.Table, base *bitvec.Vector, parent query.Query, attrs []string, opts CutOptions, maxRegions int) (*Map, error) {
+	if len(attrs) == 0 {
+		return nil, errors.New("core: composition over zero attributes")
+	}
+	if maxRegions < 2 {
+		maxRegions = 2
+	}
+	regions := []query.Query{parent}
+	var usedAttrs []string
+	for _, attr := range attrs {
+		if len(regions)*2 > maxRegions {
+			break // even binary cuts would blow the budget
+		}
+		next := make([]query.Query, 0, len(regions)*opts.Splits)
+		for _, r := range regions {
+			subs, err := CutQuery(t, base, r, attr, opts)
+			var deg *ErrDegenerate
+			switch {
+			case err == nil:
+				next = append(next, subs...)
+			case errors.As(err, &deg):
+				next = append(next, r) // keep unsplit
+			default:
+				return nil, err
+			}
+		}
+		if len(next) > maxRegions || len(next) == len(regions) {
+			continue // skip attribute: over budget or fully degenerate
+		}
+		regions = next
+		usedAttrs = append(usedAttrs, attr)
+	}
+	if len(regions) == 1 {
+		return nil, &ErrDegenerate{Attr: fmt.Sprint(attrs), Reason: "no attribute could be cut"}
+	}
+	return BuildMap(t, base, usedAttrs, regions)
+}
+
+// MergeCluster combines the candidate maps of one dendrogram cluster into
+// a single result map using the configured operator, honoring the region
+// budget. For MergeCompose the composition order follows the given
+// candidate order (base map first).
+func MergeCluster(t *storage.Table, base *bitvec.Vector, parent query.Query, cluster []*Map, kind MergeKind, cutOpts CutOptions, maxRegions int) (*Map, error) {
+	if err := kind.validate(); err != nil {
+		return nil, err
+	}
+	if len(cluster) == 0 {
+		return nil, errors.New("core: empty cluster")
+	}
+	if len(cluster) == 1 {
+		return cluster[0], nil
+	}
+	if kind == MergeProduct {
+		return ProductMaps(t, base, parent, cluster, maxRegions)
+	}
+	var attrs []string
+	for _, m := range cluster {
+		attrs = append(attrs, m.Attrs...)
+	}
+	return ComposeMaps(t, base, parent, attrs, cutOpts, maxRegions)
+}

@@ -1,0 +1,23 @@
+package core
+
+import "sort"
+
+// RankMaps orders maps for display per Section 3.4: by decreasing entropy
+// of the region-cover distribution. Maps with many regions score high;
+// among maps with equal region counts, entropy favors the most balanced;
+// maps isolating small outlier subsets sink to the tail. Ties break by
+// region count (more first) and then by attribute key for determinism.
+// The input slice is sorted in place and returned.
+func RankMaps(maps []*Map) []*Map {
+	sort.SliceStable(maps, func(i, j int) bool {
+		a, b := maps[i], maps[j]
+		if a.Entropy != b.Entropy {
+			return a.Entropy > b.Entropy
+		}
+		if len(a.Regions) != len(b.Regions) {
+			return len(a.Regions) > len(b.Regions)
+		}
+		return a.Key() < b.Key()
+	})
+	return maps
+}

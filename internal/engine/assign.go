@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Assignment labels every selected row with the index of the region (one
+// query per region) containing it, or -1 when no region matches.
+// Unselected rows are also -1. Regions of a well-formed map are disjoint;
+// when they are not, the lowest-index matching region wins.
+type Assignment struct {
+	Labels  []int32 // one per table row; -1 = unassigned
+	Regions int     // number of regions (label domain is [0, Regions))
+	Counts  []int   // rows per region
+	Rest    int     // selected rows matched by no region
+}
+
+// Assign evaluates each region query under the base selection and labels
+// rows. Regions must be non-empty.
+func Assign(t *storage.Table, regions []query.Query, base *bitvec.Vector) (*Assignment, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("engine: Assign with zero regions")
+	}
+	if base.Len() != t.NumRows() {
+		return nil, fmt.Errorf("engine: base selection length %d != table rows %d", base.Len(), t.NumRows())
+	}
+	labels := make([]int32, t.NumRows())
+	for i := range labels {
+		labels[i] = -1
+	}
+	counts := make([]int, len(regions))
+	for ri, rq := range regions {
+		rv, err := Eval(t, rq)
+		if err != nil {
+			return nil, err
+		}
+		rv.And(base)
+		rv.ForEach(func(i int) bool {
+			if labels[i] == -1 {
+				labels[i] = int32(ri)
+				counts[ri]++
+			}
+			return true
+		})
+	}
+	assigned := 0
+	for _, c := range counts {
+		assigned += c
+	}
+	return &Assignment{
+		Labels:  labels,
+		Regions: len(regions),
+		Counts:  counts,
+		Rest:    base.Count() - assigned,
+	}, nil
+}
+
+// Entropy returns the Shannon entropy (bits) of the region-cover
+// distribution, the paper's Section 3.4 ranking score. When some selected
+// rows fall outside all regions, that remainder counts as an extra
+// outcome.
+func (a *Assignment) Entropy() float64 {
+	counts := a.Counts
+	if a.Rest > 0 {
+		counts = append(append([]int(nil), a.Counts...), a.Rest)
+	}
+	return stats.EntropyCounts(counts)
+}
+
+// Contingency builds the joint count table between two assignments over
+// the same table: cell (i, j) counts rows labeled i by a and j by b.
+// Rows unassigned in either are attributed to an extra "rest" outcome for
+// that side, so the joint distribution always accounts for every row that
+// at least one side covers.
+func Contingency(a, b *Assignment) (*stats.Contingency, error) {
+	if len(a.Labels) != len(b.Labels) {
+		return nil, fmt.Errorf("engine: assignments over different tables (%d vs %d rows)", len(a.Labels), len(b.Labels))
+	}
+	rows, cols := a.Regions, b.Regions
+	aRest, bRest := -1, -1
+	if a.Rest > 0 {
+		aRest = rows
+		rows++
+	}
+	if b.Rest > 0 {
+		bRest = cols
+		cols++
+	}
+	ct := stats.NewContingency(rows, cols)
+	for i := range a.Labels {
+		la, lb := int(a.Labels[i]), int(b.Labels[i])
+		switch {
+		case la >= 0 && lb >= 0:
+			ct.Add(la, lb, 1)
+		case la >= 0 && lb < 0 && bRest >= 0:
+			ct.Add(la, bRest, 1)
+		case la < 0 && lb >= 0 && aRest >= 0:
+			ct.Add(aRest, lb, 1)
+		}
+	}
+	return ct, nil
+}

@@ -1,0 +1,201 @@
+// Package engine evaluates conjunctive queries against columnar tables and
+// provides the physical operators Atlas pushes to the store: filters to
+// selection bitmaps, counting aggregates, per-map region assignment,
+// contingency (joint group-count) between maps, and FK hash joins.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// EvalPredicate evaluates a single predicate over its column, returning a
+// selection bitmap. NULL rows never match.
+func EvalPredicate(t *storage.Table, p query.Predicate) (*bitvec.Vector, error) {
+	col, err := t.ColumnByName(p.Attr)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NumRows()
+	out := bitvec.New(n)
+	switch c := col.(type) {
+	case *storage.Int64Column:
+		if p.Kind != query.Range {
+			return nil, kindErr(p, col)
+		}
+		vals := c.Values()
+		for i, v := range vals {
+			if p.MatchFloat(float64(v)) && !c.IsNull(i) {
+				out.Set(i)
+			}
+		}
+	case *storage.Float64Column:
+		if p.Kind != query.Range {
+			return nil, kindErr(p, col)
+		}
+		vals := c.Values()
+		for i, v := range vals {
+			if p.MatchFloat(v) && !c.IsNull(i) {
+				out.Set(i)
+			}
+		}
+	case *storage.StringColumn:
+		if p.Kind != query.In {
+			return nil, kindErr(p, col)
+		}
+		// Resolve the admitted values to dictionary codes once, then scan
+		// codes — the dictionary-encoded fast path.
+		admit := make([]bool, c.Cardinality())
+		any := false
+		for _, v := range p.Values {
+			if code, ok := c.CodeOf(v); ok {
+				admit[code] = true
+				any = true
+			}
+		}
+		if !any {
+			return out, nil
+		}
+		codes := c.Codes()
+		for i, code := range codes {
+			if admit[code] && !c.IsNull(i) {
+				out.Set(i)
+			}
+		}
+	case *storage.BoolColumn:
+		if p.Kind != query.BoolEq {
+			return nil, kindErr(p, col)
+		}
+		vals := c.Values()
+		for i, v := range vals {
+			if v == p.BoolVal && !c.IsNull(i) {
+				out.Set(i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("engine: unsupported column type %T", col)
+	}
+	return out, nil
+}
+
+func kindErr(p query.Predicate, col storage.Column) error {
+	return fmt.Errorf("engine: predicate kind %v cannot apply to column %q of type %v",
+		p.Kind, p.Attr, col.Type())
+}
+
+// Eval evaluates a conjunctive query, returning the selection bitmap of
+// matching rows. A query with no predicates selects every row.
+func Eval(t *storage.Table, q query.Query) (*bitvec.Vector, error) {
+	sel := bitvec.NewFull(t.NumRows())
+	for _, p := range q.Preds {
+		pv, err := EvalPredicate(t, p)
+		if err != nil {
+			return nil, err
+		}
+		sel.And(pv)
+		if !sel.Any() {
+			break
+		}
+	}
+	return sel, nil
+}
+
+// Count evaluates q and returns the number of matching rows.
+func Count(t *storage.Table, q query.Query) (int, error) {
+	sel, err := Eval(t, q)
+	if err != nil {
+		return 0, err
+	}
+	return sel.Count(), nil
+}
+
+// Cover returns C(Q): the fraction of the table's rows matched by q
+// (Section 3 of the paper). A table with no rows has cover 0.
+func Cover(t *storage.Table, q query.Query) (float64, error) {
+	if t.NumRows() == 0 {
+		return 0, nil
+	}
+	c, err := Count(t, q)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c) / float64(t.NumRows()), nil
+}
+
+// NumericValuesUnder materializes the non-null float values of a numeric
+// column restricted to the selection. Int64 columns are widened.
+func NumericValuesUnder(t *storage.Table, attr string, sel *bitvec.Vector) ([]float64, error) {
+	col, err := t.ColumnByName(attr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, sel.Count())
+	switch c := col.(type) {
+	case *storage.Int64Column:
+		sel.ForEach(func(i int) bool {
+			if !c.IsNull(i) {
+				out = append(out, float64(c.At(i)))
+			}
+			return true
+		})
+	case *storage.Float64Column:
+		sel.ForEach(func(i int) bool {
+			if !c.IsNull(i) {
+				out = append(out, c.At(i))
+			}
+			return true
+		})
+	default:
+		return nil, fmt.Errorf("engine: column %q is not numeric (type %v)", attr, col.Type())
+	}
+	return out, nil
+}
+
+// CategoryCountsUnder returns per-dictionary-code counts of a string
+// column restricted to the selection, plus the dictionary.
+func CategoryCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (dict []string, counts []int, err error) {
+	col, err := t.ColumnByName(attr)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, ok := col.(*storage.StringColumn)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: column %q is not categorical (type %v)", attr, col.Type())
+	}
+	counts = make([]int, c.Cardinality())
+	codes := c.Codes()
+	sel.ForEach(func(i int) bool {
+		if !c.IsNull(i) {
+			counts[codes[i]]++
+		}
+		return true
+	})
+	return c.Dict(), counts, nil
+}
+
+// BoolCountsUnder returns the (false, true) counts of a bool column under
+// the selection.
+func BoolCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (falses, trues int, err error) {
+	col, err := t.ColumnByName(attr)
+	if err != nil {
+		return 0, 0, err
+	}
+	c, ok := col.(*storage.BoolColumn)
+	if !ok {
+		return 0, 0, fmt.Errorf("engine: column %q is not boolean (type %v)", attr, col.Type())
+	}
+	sel.ForEach(func(i int) bool {
+		if !c.IsNull(i) {
+			if c.At(i) {
+				trues++
+			} else {
+				falses++
+			}
+		}
+		return true
+	})
+	return falses, trues, nil
+}

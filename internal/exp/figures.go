@@ -1,0 +1,351 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E1",
+		Title:    "Two maps of the same data (census exploration)",
+		Artifact: "Figure 2",
+		Run:      runE1,
+	})
+	register(Experiment{
+		ID:       "E2",
+		Title:    "The CUT operation on Age and Sex",
+		Artifact: "Figure 3",
+		Run:      runE2,
+	})
+	register(Experiment{
+		ID:       "E3",
+		Title:    "Agglomerative map clustering",
+		Artifact: "Figure 4",
+		Run:      runE3,
+	})
+	register(Experiment{
+		ID:       "E4",
+		Title:    "Product vs composition of two maps",
+		Artifact: "Figure 5",
+		Run:      runE4,
+	})
+}
+
+func runE1(w io.Writer, quick bool) error {
+	n := pick(quick, 10000, 50000)
+	tbl := datagen.Census(n, 7)
+	cart, err := core.NewCartographer(tbl, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	res, err := cart.Explore(query.New("census"))
+	if err != nil {
+		return err
+	}
+	section(w, "E1 / Figure 2: ranked maps for the census query (n=%d)", n)
+	t := newTable(w, "rank", "attributes", "regions", "entropy")
+	keys := map[string]bool{}
+	for i, m := range res.Maps {
+		t.row(i+1, m.Key(), m.NumRegions(), m.Entropy)
+		keys[m.Key()] = true
+	}
+	t.flush()
+	fmt.Fprintf(w, "pipeline latency: %v\n", res.Elapsed)
+
+	check(w, keys["age,sex"], "a map groups {age, sex} (Figure 2, left)")
+	check(w, keys["education,salary"], "a map groups {education, salary} (Figure 2, right)")
+	eyeAlone := keys["eye_color"]
+	for k := range keys {
+		if strings.Contains(k, "eye_color") && k != "eye_color" {
+			eyeAlone = false
+		}
+	}
+	check(w, eyeAlone, "eye_color (independent) stays a singleton map")
+
+	if len(res.Maps) > 0 {
+		fmt.Fprintf(w, "\ntop map detail:\n%s", res.Maps[0].String())
+	}
+	return nil
+}
+
+func runE2(w io.Writer, quick bool) error {
+	n := pick(quick, 10000, 50000)
+	tbl := datagen.Census(n, 7)
+	base := bitvec.NewFull(tbl.NumRows())
+	opts := core.DefaultCutOptions()
+
+	section(w, "E2 / Figure 3: CUT on Age (median) and Sex (per value), n=%d", n)
+	ageRegions, err := core.CutQuery(tbl, base, query.New("census"), "age", opts)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "region", "count", "cover%")
+	ageCut := 0.0
+	for _, r := range ageRegions {
+		cnt, err := countOf(tbl, r)
+		if err != nil {
+			return err
+		}
+		t.row(renderQ(r), cnt, 100*float64(cnt)/float64(n))
+		if p := r.Preds[r.PredOn("age")]; !p.HiIncl {
+			ageCut = p.Hi
+		}
+	}
+	sexRegions, err := core.CutQuery(tbl, base, query.New("census"), "sex", opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range sexRegions {
+		cnt, err := countOf(tbl, r)
+		if err != nil {
+			return err
+		}
+		t.row(renderQ(r), cnt, 100*float64(cnt)/float64(n))
+	}
+	t.flush()
+
+	check(w, ageCut >= 50 && ageCut <= 60,
+		"age cut at %.1f sits at the planted cohort boundary (~55; the paper's figure cuts at 55)", ageCut)
+	check(w, len(sexRegions) == 2, "sex splits into {'Male'} and {'Female'}")
+
+	// partition property: counts sum to n
+	total := 0
+	for _, r := range ageRegions {
+		cnt, _ := countOf(tbl, r)
+		total += cnt
+	}
+	check(w, total == n, "age regions partition the input (%d rows)", total)
+	return nil
+}
+
+func runE3(w io.Writer, quick bool) error {
+	n := pick(quick, 10000, 50000)
+	tbl, _ := datagen.BodyMetrics(n, 3)
+	base := bitvec.NewFull(tbl.NumRows())
+	opts := core.DefaultOptions()
+
+	// candidate maps for all 5 attributes
+	var cands []*core.Map
+	var names []string
+	for i := 0; i < tbl.NumCols(); i++ {
+		attr := tbl.Schema().Field(i).Name
+		regions, err := core.CutQuery(tbl, base, query.New("body"), attr, opts.Cut)
+		if err != nil {
+			return err
+		}
+		m, err := core.BuildMap(tbl, base, []string{attr}, regions)
+		if err != nil {
+			return err
+		}
+		cands = append(cands, m)
+		names = append(names, attr)
+	}
+	dm, err := core.DistanceMatrix(cands, opts.Distance)
+	if err != nil {
+		return err
+	}
+
+	section(w, "E3 / Figure 4: candidate map distances (normalized VI), n=%d", n)
+	t := newTable(w, append([]string{""}, names...)...)
+	for i, row := range dm {
+		vals := make([]any, 0, len(row)+1)
+		vals = append(vals, names[i])
+		for _, d := range row {
+			vals = append(vals, d)
+		}
+		t.row(vals...)
+	}
+	t.flush()
+
+	dend := core.SLINK(len(cands), func(i, j int) float64 { return dm[i][j] })
+	merges := dend.Merges()
+	fmt.Fprintln(w, "\nSLINK merge sequence:")
+	mergesBelow := 0
+	for _, m := range merges {
+		below := m.Height <= opts.DependencyThreshold
+		if below {
+			mergesBelow++
+		}
+		fmt.Fprintf(w, "  %-18s + %-18s at %.4f (merged: %v)\n", names[m.Item], names[m.Parent], m.Height, below)
+	}
+	clusters := dend.CutWithBudget(opts.DependencyThreshold, opts.MaxPredicates)
+	fmt.Fprintln(w, "clusters:")
+	for _, cl := range clusters {
+		var attrs []string
+		for _, i := range cl {
+			attrs = append(attrs, names[i])
+		}
+		fmt.Fprintf(w, "  {%s}\n", strings.Join(attrs, ", "))
+	}
+
+	check(w, mergesBelow == 3, "exactly 3 merges happen below the threshold (the paper's example performs 3 merges); got %d", mergesBelow)
+	check(w, len(clusters) == 2, "two clusters form: the {age,income,education} trio and {size,weight}; got %d", len(clusters))
+	return nil
+}
+
+func runE4(w io.Writer, quick bool) error {
+	n := pick(quick, 10000, 40000)
+	tbl, labels := datagen.Figure5(n, 11)
+	base := bitvec.NewFull(tbl.NumRows())
+	cutOpts := core.DefaultCutOptions()
+	parent := query.New("fig5")
+
+	sizeRegions, err := core.CutQuery(tbl, base, parent, "size", cutOpts)
+	if err != nil {
+		return err
+	}
+	sizeMap, err := core.BuildMap(tbl, base, []string{"size"}, sizeRegions)
+	if err != nil {
+		return err
+	}
+	weightRegions, err := core.CutQuery(tbl, base, parent, "weight", cutOpts)
+	if err != nil {
+		return err
+	}
+	weightMap, err := core.BuildMap(tbl, base, []string{"weight"}, weightRegions)
+	if err != nil {
+		return err
+	}
+
+	prod, err := core.ProductMaps(tbl, base, parent, []*core.Map{sizeMap, weightMap}, 8)
+	if err != nil {
+		return err
+	}
+	comp, err := core.ComposeMaps(tbl, base, parent, []string{"size", "weight"}, cutOpts, 8)
+	if err != nil {
+		return err
+	}
+
+	section(w, "E4 / Figure 5: Product(M1,M2) vs Compose(M1,M2), n=%d", n)
+	for _, pair := range []struct {
+		name string
+		m    *core.Map
+	}{{"product", prod}, {"compose", comp}} {
+		fmt.Fprintf(w, "\n%s:\n", pair.name)
+		t := newTable(w, "region", "count", "purity")
+		for ri, r := range pair.m.Regions {
+			pur := regionPurity(pair.m, ri, labels)
+			t.row(renderQ(r.Query), r.Count, pur)
+		}
+		t.flush()
+	}
+
+	prodScore := clusterRecovery(prod, labels)
+	compScore := clusterRecovery(comp, labels)
+	prodARI, err := regionARI(prod, labels)
+	if err != nil {
+		return err
+	}
+	compARI, err := regionARI(comp, labels)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ncluster recovery: purity product %.4f vs compose %.4f; ARI product %.4f vs compose %.4f\n",
+		prodScore, compScore, prodARI, compARI)
+	check(w, compARI > prodARI, "composition wins on adjusted Rand index too (%.3f > %.3f)", compARI, prodARI)
+	check(w, compScore >= 0.95, "composition recovers all four planted clusters (purity %.3f ≥ 0.95)", compScore)
+	check(w, prodScore <= 0.7,
+		"the product's global weight cut leaves its cells mixed (purity %.3f ≤ 0.7)", prodScore)
+	check(w, compScore > prodScore,
+		"composition > product on cluster recovery (the paper: composition 'has a higher chance of revealing the clusters')")
+
+	// the local composition cuts sit at the Figure 5 boundaries (~45, ~65)
+	localCuts := map[string]float64{}
+	for _, r := range comp.Regions {
+		if pi := r.Query.PredOn("weight"); pi >= 0 {
+			p := r.Query.Preds[pi]
+			if !p.HiIncl {
+				if si := r.Query.PredOn("size"); si >= 0 {
+					if r.Query.Preds[si].Hi < 155 {
+						localCuts["small"] = p.Hi
+					} else {
+						localCuts["large"] = p.Hi
+					}
+				}
+			}
+		}
+	}
+	check(w, localCuts["small"] > 42 && localCuts["small"] < 48,
+		"local weight cut inside the small-size region lands near 45 (got %.1f)", localCuts["small"])
+	check(w, localCuts["large"] > 62 && localCuts["large"] < 68,
+		"local weight cut inside the large-size region lands near 65 (got %.1f)", localCuts["large"])
+	return nil
+}
+
+// regionARI scores a map's region assignment against planted labels with
+// the adjusted Rand index.
+func regionARI(m *core.Map, labels []int) (float64, error) {
+	var pred, truth []int
+	for row, lab := range m.Assignment().Labels {
+		if lab >= 0 {
+			pred = append(pred, int(lab))
+			truth = append(truth, labels[row])
+		}
+	}
+	return stats.AdjustedRandIndex(pred, truth)
+}
+
+// regionPurity is the dominant-label share within region ri.
+func regionPurity(m *core.Map, ri int, labels []int) float64 {
+	counts := map[int]int{}
+	total := 0
+	for row, lab := range m.Assignment().Labels {
+		if int(lab) == ri {
+			counts[labels[row]]++
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(total)
+}
+
+// clusterRecovery is the row-weighted purity across regions.
+func clusterRecovery(m *core.Map, labels []int) float64 {
+	totalRows := 0
+	weighted := 0.0
+	for ri, r := range m.Regions {
+		if r.Count == 0 {
+			continue
+		}
+		weighted += regionPurity(m, ri, labels) * float64(r.Count)
+		totalRows += r.Count
+	}
+	if totalRows == 0 {
+		return 0
+	}
+	return weighted / float64(totalRows)
+}
+
+func countOf(tbl *storage.Table, q query.Query) (int, error) {
+	sel, err := coreEval(tbl, q)
+	if err != nil {
+		return 0, err
+	}
+	return sel.Count(), nil
+}
+
+// renderQ prints only a query's predicates (the map display form).
+func renderQ(q query.Query) string {
+	parts := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}

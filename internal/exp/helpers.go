@@ -1,0 +1,14 @@
+package exp
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// coreEval evaluates a query against a table (thin alias so experiment
+// files read naturally).
+func coreEval(t *storage.Table, q query.Query) (*bitvec.Vector, error) {
+	return engine.Eval(t, q)
+}

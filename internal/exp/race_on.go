@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled relaxes wall-clock assertions: under the race detector all
+// code runs an order of magnitude slower, so absolute-latency checks
+// would report false failures.
+const raceEnabled = true

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E12",
+		Title:    "Multi-table exploration over an FK join",
+		Artifact: "Section 5.2 (real life databases: multiple tables)",
+		Run:      runE12,
+	})
+	register(Experiment{
+		ID:       "E13",
+		Title:    "High-cardinality / semantics-free column screening",
+		Artifact: "Section 5.2 (real life databases: large cardinality columns)",
+		Run:      runE13,
+	})
+}
+
+func runE12(w io.Writer, quick bool) error {
+	nOrders := pick(quick, 20000, 200000)
+	nCustomers := pick(quick, 500, 5000)
+	orders, customers := datagen.Orders(nOrders, nCustomers, 13)
+
+	start := time.Now()
+	joined, err := engine.JoinFK(orders, "cid", customers, "cid", "orders_x_customers")
+	if err != nil {
+		return err
+	}
+	joinT := time.Since(start)
+
+	section(w, "E12: FK join materialization + exploration (%d orders ⋈ %d customers)", nOrders, nCustomers)
+	fmt.Fprintf(w, "join: %d rows, %d cols in %.1f ms\n", joined.NumRows(), joined.NumCols(), ms(joinT))
+
+	cart, err := core.NewCartographer(joined, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	res, err := cart.Explore(query.New("orders_x_customers"))
+	if err != nil {
+		return err
+	}
+	exploreT := time.Since(start)
+
+	t := newTable(w, "rank", "map", "regions", "entropy")
+	found := false
+	for i, m := range res.Maps {
+		t.row(i+1, m.Key(), m.NumRegions(), m.Entropy)
+		if m.Key() == "amount,segment" {
+			found = true
+		}
+	}
+	t.flush()
+	fmt.Fprintf(w, "exploration latency: %.1f ms (screened: %v)\n", ms(exploreT), len(res.Flagged))
+
+	check(w, found, "the cross-table dependency {amount, segment} surfaces as one map — invisible before the join")
+	budget := 5 * interactiveMs()
+	check(w, ms(joinT)+ms(exploreT) < budget, "join + exploration stay interactive (%.1f ms < %v ms)", ms(joinT)+ms(exploreT), budget)
+
+	// contrast: exploring the bare fact table cannot find the pairing
+	cartF, err := core.NewCartographer(orders, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	resF, err := cartF.Explore(query.New("orders"))
+	if err != nil {
+		return err
+	}
+	foundF := false
+	for _, m := range resF.Maps {
+		if m.Key() == "amount,segment" {
+			foundF = true
+		}
+	}
+	check(w, !foundF, "the fact table alone does not expose the segment dependency")
+	return nil
+}
+
+func runE13(w io.Writer, quick bool) error {
+	n := pick(quick, 20000, 100000)
+	tbl := datagen.WithJunkColumns(datagen.Census(n, 2), 4)
+
+	section(w, "E13: screening keys/codes/comments (n=%d, 5 real + 3 junk columns)", n)
+	t := newTable(w, "screening", "candidates", "flagged", "junk_in_maps", "elapsed_ms")
+
+	run := func(screen bool) (*core.Result, time.Duration, error) {
+		opts := core.DefaultOptions()
+		opts.Screen = screen
+		cart, err := core.NewCartographer(tbl, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		res, err := cart.Explore(query.New("census_junk"))
+		return res, time.Since(start), err
+	}
+
+	junkiness := func(res *core.Result) int {
+		junk := 0
+		for _, m := range res.Maps {
+			for _, a := range m.Attrs {
+				if a == "row_id" || a == "code" || a == "comment" {
+					junk++
+				}
+			}
+		}
+		return junk
+	}
+
+	resOn, tOn, err := run(true)
+	if err != nil {
+		return err
+	}
+	resOff, tOff, err := run(false)
+	if err != nil {
+		return err
+	}
+	t.row("on", len(resOn.Candidates), len(resOn.Flagged), junkiness(resOn), ms(tOn))
+	t.row("off", len(resOff.Candidates), len(resOff.Flagged), junkiness(resOff), ms(tOff))
+	t.flush()
+
+	fmt.Fprintln(w, "\nflagged columns (screening on):")
+	for _, f := range resOn.Flagged {
+		fmt.Fprintf(w, "  %-10s %s (cardinality %d)\n", f.Attr, f.Reason, f.Cardinality)
+	}
+
+	check(w, junkiness(resOn) == 0, "no junk column reaches a map with screening on")
+	check(w, len(resOn.Flagged) >= 3, "all three junk columns are flagged")
+	check(w, junkiness(resOff) > 0 || len(resOff.Candidates) > len(resOn.Candidates),
+		"with screening off, junk columns pollute the candidate set (%d vs %d candidates)",
+		len(resOff.Candidates), len(resOn.Candidates))
+	return nil
+}

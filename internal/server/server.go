@@ -1,0 +1,408 @@
+// Package server exposes the mapping engine over HTTP/JSON — the back
+// end of the paper's third architecture layer (the Web GUI, Figure 6).
+// It serves stateless explorations and stateful drill-down sessions.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cql"
+	"repro/internal/session"
+	"repro/internal/storage"
+)
+
+// Server holds one explorable table and its sessions.
+type Server struct {
+	table *storage.Table
+	opts  core.Options
+
+	mu       sync.Mutex
+	sessions map[int]*session.Session
+	nextID   int
+}
+
+// New creates a server over a table with the given pipeline defaults.
+func New(table *storage.Table, opts core.Options) *Server {
+	return &Server{table: table, opts: opts, sessions: map[int]*session.Session{}}
+}
+
+// Handler returns the HTTP routing for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/schema", s.handleSchema)
+	mux.HandleFunc("POST /api/explore", s.handleExplore)
+	mux.HandleFunc("POST /api/sessions", s.handleNewSession)
+	mux.HandleFunc("GET /api/sessions/{id}", s.handleCurrent)
+	mux.HandleFunc("GET /api/sessions/{id}/history", s.handleHistory)
+	mux.HandleFunc("POST /api/sessions/{id}/explore", s.handleSessionExplore)
+	mux.HandleFunc("POST /api/sessions/{id}/drill", s.handleDrill)
+	mux.HandleFunc("POST /api/sessions/{id}/back", s.handleBack)
+	mux.HandleFunc("POST /api/sessions/{id}/describe", s.handleDescribe)
+	mux.HandleFunc("GET /api/sessions/{id}/personalized", s.handlePersonalized)
+	return mux
+}
+
+// ---- DTOs ----
+
+// FieldDTO describes one schema field.
+type FieldDTO struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// SchemaDTO describes the served table.
+type SchemaDTO struct {
+	Table  string     `json:"table"`
+	Rows   int        `json:"rows"`
+	Fields []FieldDTO `json:"fields"`
+}
+
+// RegionDTO is one region of a map.
+type RegionDTO struct {
+	Query string  `json:"query"`
+	Count int     `json:"count"`
+	Cover float64 `json:"cover"`
+}
+
+// MapDTO is one ranked data map.
+type MapDTO struct {
+	Attrs   []string    `json:"attrs"`
+	Entropy float64     `json:"entropy"`
+	Regions []RegionDTO `json:"regions"`
+}
+
+// ResultDTO is the answer to one exploration.
+type ResultDTO struct {
+	Input     string   `json:"input"`
+	TotalRows int      `json:"totalRows"`
+	BaseCount int      `json:"baseCount"`
+	ElapsedMs float64  `json:"elapsedMs"`
+	Maps      []MapDTO `json:"maps"`
+	Flagged   []string `json:"flagged,omitempty"`
+}
+
+// NodeDTO is one session node.
+type NodeDTO struct {
+	ID       int       `json:"id"`
+	Parent   int       `json:"parent"`
+	Children []int     `json:"children"`
+	Result   ResultDTO `json:"result"`
+}
+
+func toResultDTO(r *core.Result) ResultDTO {
+	out := ResultDTO{
+		Input:     r.Input.String(),
+		TotalRows: r.TotalRows,
+		BaseCount: r.BaseCount,
+		ElapsedMs: float64(r.Elapsed.Microseconds()) / 1000.0,
+	}
+	for _, m := range r.Maps {
+		md := MapDTO{Attrs: m.Attrs, Entropy: m.Entropy}
+		for _, reg := range m.Regions {
+			md.Regions = append(md.Regions, RegionDTO{
+				Query: reg.Query.String(),
+				Count: reg.Count,
+				Cover: reg.Cover,
+			})
+		}
+		out.Maps = append(out.Maps, md)
+	}
+	for _, f := range r.Flagged {
+		out.Flagged = append(out.Flagged, fmt.Sprintf("%s (%s)", f.Attr, f.Reason))
+	}
+	return out
+}
+
+func toNodeDTO(n *session.Node) NodeDTO {
+	return NodeDTO{
+		ID:       n.ID,
+		Parent:   n.Parent,
+		Children: append([]int(nil), n.Children...),
+		Result:   toResultDTO(n.Result),
+	}
+}
+
+// ---- handlers ----
+
+type exploreRequest struct {
+	CQL string `json:"cql"`
+}
+
+type drillRequest struct {
+	Map    int `json:"map"`
+	Region int `json:"region"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	dto := SchemaDTO{Table: s.table.Name(), Rows: s.table.NumRows()}
+	for _, f := range s.table.Schema().Fields() {
+		dto.Fields = append(dto.Fields, FieldDTO{Name: f.Name, Type: f.Type.String()})
+	}
+	writeJSON(w, http.StatusOK, dto)
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req exploreRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	res, err := s.runCQL(req.CQL)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResultDTO(res))
+}
+
+// runCQL parses, binds and executes a stateless CQL exploration,
+// honoring its WITH options.
+func (s *Server) runCQL(input string) (*core.Result, error) {
+	q, opts, err := cql.ParseAndBind(input, s.table)
+	if err != nil {
+		return nil, &badRequest{err}
+	}
+	effective, err := cql.ApplyOptions(s.opts, opts)
+	if err != nil {
+		return nil, &badRequest{err}
+	}
+	cart, err := core.NewCartographer(s.table, effective)
+	if err != nil {
+		return nil, err
+	}
+	return cart.Explore(q)
+}
+
+func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
+	cart, err := core.NewCartographer(s.table, s.opts)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.sessions[id] = session.New(cart)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+}
+
+func (s *Server) sessionFor(r *http.Request) (*session.Session, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return nil, &badRequest{fmt.Errorf("invalid session id %q", r.PathValue("id"))}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, &notFound{fmt.Errorf("no session %d", id)}
+	}
+	return sess, nil
+}
+
+func (s *Server) handleSessionExplore(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionFor(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req exploreRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	q, _, err := cql.ParseAndBind(req.CQL, s.table)
+	if err != nil {
+		writeError(w, &badRequest{err})
+		return
+	}
+	node, err := sess.Explore(q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sess.Prefetch(4) // anticipative computation, Section 5.1
+	writeJSON(w, http.StatusOK, toNodeDTO(node))
+}
+
+func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionFor(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req drillRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	node, err := sess.DrillDown(req.Map, req.Region)
+	if err != nil {
+		writeError(w, &badRequest{err})
+		return
+	}
+	sess.Prefetch(4)
+	writeJSON(w, http.StatusOK, toNodeDTO(node))
+}
+
+func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionFor(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	node, err := sess.Back()
+	if err != nil {
+		writeError(w, &badRequest{err})
+		return
+	}
+	writeJSON(w, http.StatusOK, toNodeDTO(node))
+}
+
+func (s *Server) handleCurrent(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionFor(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	node, err := sess.Current()
+	if err != nil {
+		writeError(w, &notFound{err})
+		return
+	}
+	writeJSON(w, http.StatusOK, toNodeDTO(node))
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionFor(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var out []NodeDTO
+	for _, n := range sess.History() {
+		out = append(out, toNodeDTO(n))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ProfileDTO is one attribute explanation for a region.
+type ProfileDTO struct {
+	Attr     string  `json:"attr"`
+	Interest float64 `json:"interest"`
+	Summary  string  `json:"summary"`
+}
+
+// handleDescribe explains one region of the current node's maps: the
+// Section 5.2 "why is this region interesting" view.
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionFor(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req drillRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	cur, err := sess.Current()
+	if err != nil {
+		writeError(w, &badRequest{err})
+		return
+	}
+	if req.Map < 0 || req.Map >= len(cur.Result.Maps) {
+		writeError(w, &badRequest{fmt.Errorf("map index %d out of range", req.Map)})
+		return
+	}
+	m := cur.Result.Maps[req.Map]
+	if req.Region < 0 || req.Region >= len(m.Regions) {
+		writeError(w, &badRequest{fmt.Errorf("region index %d out of range", req.Region)})
+		return
+	}
+	profiles, err := core.DescribeRegion(s.table, m.Regions[req.Region].Query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := make([]ProfileDTO, 0, len(profiles))
+	for _, p := range profiles {
+		out = append(out, ProfileDTO{Attr: p.Attr, Interest: p.Interest, Summary: p.String()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePersonalized returns the current node's maps re-ranked by the
+// session's learned attribute interests (Section 5.2 personalization).
+func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionFor(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cur, err := sess.Current()
+	if err != nil {
+		writeError(w, &notFound{err})
+		return
+	}
+	maps := sess.PersonalizedMaps(cur.Result)
+	var out []MapDTO
+	for _, m := range maps {
+		md := MapDTO{Attrs: m.Attrs, Entropy: m.Entropy}
+		for _, reg := range m.Regions {
+			md.Regions = append(md.Regions, RegionDTO{
+				Query: reg.Query.String(),
+				Count: reg.Count,
+				Cover: reg.Cover,
+			})
+		}
+		out = append(out, md)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- plumbing ----
+
+type badRequest struct{ error }
+
+func (b *badRequest) Unwrap() error { return b.error }
+
+type notFound struct{ error }
+
+func (n *notFound) Unwrap() error { return n.error }
+
+func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	defer r.Body.Close()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, &badRequest{fmt.Errorf("invalid request body: %w", err)})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var br *badRequest
+	var nf *notFound
+	switch {
+	case errors.As(err, &br):
+		status = http.StatusBadRequest
+	case errors.As(err, &nf):
+		status = http.StatusNotFound
+	case strings.Contains(err.Error(), "cql:"):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

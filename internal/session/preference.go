@@ -1,0 +1,84 @@
+package session
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// This file implements the Section 5.2 "personalized sessions" sketch:
+// "what is proposed depends on the past behavior of the user". The
+// session keeps a decayed interest weight per attribute, incremented
+// whenever the user drills into a region cut on that attribute, and
+// PersonalizedMaps re-orders a result's maps by entropy boosted with the
+// accumulated interest.
+
+// interestDecay is applied to all weights on every drill-down so that
+// old interests fade (a user switching topics is not chained to the
+// past).
+const interestDecay = 0.9
+
+// interestBoost scales how strongly learned interest bends the entropy
+// ranking.
+const interestBoost = 0.5
+
+// recordInterest notes that the user opened a region of a map cut on
+// these attributes. Caller holds s.mu.
+func (s *Session) recordInterest(attrs []string) {
+	if s.interest == nil {
+		s.interest = map[string]float64{}
+	}
+	for a := range s.interest {
+		s.interest[a] *= interestDecay
+	}
+	for _, a := range attrs {
+		s.interest[a] += 1
+	}
+}
+
+// Interest returns the current attribute interest weights (copy).
+func (s *Session) Interest() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.interest))
+	for a, w := range s.interest {
+		out[a] = w
+	}
+	return out
+}
+
+// PersonalizedMaps returns the result's maps re-ranked for this user:
+// each map's entropy score is multiplied by 1 + boost·interest, where
+// interest is the mean learned weight of the map's attributes (squashed
+// to [0,1)). With no history the order is unchanged.
+func (s *Session) PersonalizedMaps(res *core.Result) []*core.Map {
+	s.mu.Lock()
+	weights := make(map[string]float64, len(s.interest))
+	for a, w := range s.interest {
+		weights[a] = w
+	}
+	s.mu.Unlock()
+
+	maps := append([]*core.Map(nil), res.Maps...)
+	if len(weights) == 0 {
+		return maps
+	}
+	score := func(m *core.Map) float64 {
+		sum := 0.0
+		for _, a := range m.Attrs {
+			sum += weights[a]
+		}
+		mean := sum / float64(len(m.Attrs))
+		squash := 1 - math.Exp(-mean) // [0,1)
+		return m.Entropy * (1 + interestBoost*squash)
+	}
+	sort.SliceStable(maps, func(i, j int) bool {
+		si, sj := score(maps[i]), score(maps[j])
+		if si != sj {
+			return si > sj
+		}
+		return maps[i].Key() < maps[j].Key()
+	})
+	return maps
+}

@@ -1,0 +1,93 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestInterestAccumulatesOnDrillDown(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Explore(query.New("census")); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Interest()) != 0 {
+		t.Fatal("no interest before any drill-down")
+	}
+	node, _ := s.Current()
+	// find the {age,sex} map and drill into it twice
+	ageSexIdx := -1
+	for i, m := range node.Result.Maps {
+		if m.Key() == "age,sex" {
+			ageSexIdx = i
+		}
+	}
+	if ageSexIdx < 0 {
+		t.Skip("no {age,sex} map on this seed")
+	}
+	if _, err := s.DrillDown(ageSexIdx, 0); err != nil {
+		t.Fatal(err)
+	}
+	weights := s.Interest()
+	if weights["age"] == 0 || weights["sex"] == 0 {
+		t.Fatalf("weights = %v, want age and sex credited", weights)
+	}
+	if weights["education"] != 0 {
+		t.Fatalf("education should have no weight, got %v", weights)
+	}
+}
+
+func TestInterestDecays(t *testing.T) {
+	s := newSession(t)
+	s.recordInterest([]string{"a"})
+	first := s.Interest()["a"]
+	// repeatedly drilling elsewhere decays "a"
+	for i := 0; i < 10; i++ {
+		s.recordInterest([]string{"b"})
+	}
+	after := s.Interest()["a"]
+	if after >= first {
+		t.Fatalf("interest in a should decay: %v -> %v", first, after)
+	}
+	if s.Interest()["b"] <= s.Interest()["a"] {
+		t.Fatal("recent interest should dominate")
+	}
+}
+
+func TestPersonalizedMapsReorder(t *testing.T) {
+	s := newSession(t)
+	root, err := s.Explore(query.New("census"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := root.Result
+	if len(res.Maps) < 2 {
+		t.Skip("need at least two maps")
+	}
+	// with no history the order is unchanged
+	plain := s.PersonalizedMaps(res)
+	for i := range plain {
+		if plain[i] != res.Maps[i] {
+			t.Fatal("no-history personalization must keep the ranking")
+		}
+	}
+	// strongly prefer the attributes of the last map: it should rise
+	last := res.Maps[len(res.Maps)-1]
+	for i := 0; i < 20; i++ {
+		s.recordInterest(last.Attrs)
+	}
+	personalized := s.PersonalizedMaps(res)
+	newPos := -1
+	for i, m := range personalized {
+		if m == last {
+			newPos = i
+		}
+	}
+	if newPos >= len(res.Maps)-1 {
+		t.Fatalf("preferred map did not rise: still at %d", newPos)
+	}
+	// the original result must not be mutated
+	if res.Maps[len(res.Maps)-1] != last {
+		t.Fatal("personalization mutated the result")
+	}
+}

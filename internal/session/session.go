@@ -1,0 +1,213 @@
+// Package session implements exploration sessions: the drill-down tree a
+// user walks while "answering queries with queries" (Figure 1), a result
+// cache, and the anticipative computation of Section 5.1 (precomputing
+// the maps of regions the user is likely to open next during idle time).
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Node is one step of the exploration: a query and its ranked maps.
+type Node struct {
+	// ID identifies the node within its session.
+	ID int
+	// Parent is the id of the node this one was drilled down from, or
+	// -1 for a root exploration.
+	Parent int
+	// Query is the explored query.
+	Query query.Query
+	// Result holds the ranked maps for Query.
+	Result *core.Result
+	// Children lists nodes drilled down from this one.
+	Children []int
+}
+
+// Session is a stateful exploration over one table. It is safe for
+// concurrent use.
+type Session struct {
+	mu      sync.Mutex
+	cart    *core.Cartographer
+	nodes   []*Node
+	current int
+	cache   map[string]*core.Result
+	// interest holds the decayed per-attribute weights behind
+	// personalized ranking (see preference.go).
+	interest map[string]float64
+	// prefetch bookkeeping
+	prefetching sync.WaitGroup
+}
+
+// New creates an empty session over the cartographer's table.
+func New(cart *core.Cartographer) *Session {
+	return &Session{cart: cart, current: -1, cache: map[string]*core.Result{}}
+}
+
+// exploreLocked runs (or serves from cache) an exploration and appends a
+// node. Caller holds s.mu.
+func (s *Session) exploreLocked(q query.Query, parent int) (*Node, error) {
+	res, err := s.resultFor(q)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{ID: len(s.nodes), Parent: parent, Query: q, Result: res}
+	s.nodes = append(s.nodes, n)
+	if parent >= 0 {
+		s.nodes[parent].Children = append(s.nodes[parent].Children, n.ID)
+	}
+	s.current = n.ID
+	return n, nil
+}
+
+// resultFor serves a result from the cache or computes and caches it.
+// Caller holds s.mu; the pipeline runs without the lock would be nicer,
+// but explorations are short and correctness is simpler this way.
+func (s *Session) resultFor(q query.Query) (*core.Result, error) {
+	key := q.String()
+	if res, ok := s.cache[key]; ok {
+		return res, nil
+	}
+	res, err := s.cart.Explore(q)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = res
+	return res, nil
+}
+
+// Explore starts a new exploration root for q.
+func (s *Session) Explore(q query.Query) (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exploreLocked(q, -1)
+}
+
+// DrillDown explores region regionIdx of map mapIdx of the current
+// node's result — the user "submitting one of the queries for further
+// analysis".
+func (s *Session) DrillDown(mapIdx, regionIdx int) (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, err := s.currentLocked()
+	if err != nil {
+		return nil, err
+	}
+	if mapIdx < 0 || mapIdx >= len(cur.Result.Maps) {
+		return nil, fmt.Errorf("session: map index %d out of range (%d maps)", mapIdx, len(cur.Result.Maps))
+	}
+	m := cur.Result.Maps[mapIdx]
+	if regionIdx < 0 || regionIdx >= len(m.Regions) {
+		return nil, fmt.Errorf("session: region index %d out of range (%d regions)", regionIdx, len(m.Regions))
+	}
+	s.recordInterest(m.Attrs)
+	return s.exploreLocked(m.Regions[regionIdx].Query, cur.ID)
+}
+
+// Back moves the cursor to the parent of the current node and returns it.
+func (s *Session) Back() (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, err := s.currentLocked()
+	if err != nil {
+		return nil, err
+	}
+	if cur.Parent < 0 {
+		return nil, fmt.Errorf("session: already at the root")
+	}
+	s.current = cur.Parent
+	return s.nodes[s.current], nil
+}
+
+// Current returns the node the cursor is on.
+func (s *Session) Current() (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.currentLocked()
+}
+
+func (s *Session) currentLocked() (*Node, error) {
+	if s.current < 0 || s.current >= len(s.nodes) {
+		return nil, fmt.Errorf("session: no exploration yet")
+	}
+	return s.nodes[s.current], nil
+}
+
+// Node returns the node with the given id.
+func (s *Session) Node(id int) (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.nodes) {
+		return nil, fmt.Errorf("session: no node %d", id)
+	}
+	return s.nodes[id], nil
+}
+
+// History returns every node in creation order.
+func (s *Session) History() []*Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Node(nil), s.nodes...)
+}
+
+// CacheSize returns the number of cached exploration results.
+func (s *Session) CacheSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// Prefetch warms the cache with the explorations the user is most likely
+// to ask for next: the regions of the current node's top maps, up to
+// limit queries. It runs in background goroutines ("during the idle time
+// between each query", Section 5.1) and returns immediately; Wait blocks
+// until the warm-up finishes.
+func (s *Session) Prefetch(limit int) {
+	s.mu.Lock()
+	cur, err := s.currentLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return
+	}
+	var todo []query.Query
+	for _, m := range cur.Result.Maps {
+		for _, r := range m.Regions {
+			if len(todo) >= limit {
+				break
+			}
+			if r.Count == 0 {
+				continue
+			}
+			if _, cached := s.cache[r.Query.String()]; !cached {
+				todo = append(todo, r.Query)
+			}
+		}
+		if len(todo) >= limit {
+			break
+		}
+	}
+	s.mu.Unlock()
+
+	for _, q := range todo {
+		q := q
+		s.prefetching.Add(1)
+		go func() {
+			defer s.prefetching.Done()
+			res, err := s.cart.Explore(q)
+			if err != nil {
+				return // prefetch is best-effort
+			}
+			s.mu.Lock()
+			if _, dup := s.cache[q.String()]; !dup {
+				s.cache[q.String()] = res
+			}
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Wait blocks until all in-flight prefetches complete.
+func (s *Session) Wait() { s.prefetching.Wait() }

@@ -1,0 +1,187 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/query"
+)
+
+func newSession(t testing.TB) *Session {
+	t.Helper()
+	tbl := datagen.Census(5000, 1)
+	cart, err := core.NewCartographer(tbl, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cart)
+}
+
+func TestSessionExploreAndCurrent(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Current(); err == nil {
+		t.Fatal("empty session should have no current node")
+	}
+	n, err := s.Explore(query.New("census"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID != 0 || n.Parent != -1 {
+		t.Fatalf("node = %+v", n)
+	}
+	if len(n.Result.Maps) == 0 {
+		t.Fatal("no maps")
+	}
+	cur, err := s.Current()
+	if err != nil || cur.ID != 0 {
+		t.Fatal("current should be the root")
+	}
+}
+
+func TestSessionDrillDownAndBack(t *testing.T) {
+	s := newSession(t)
+	root, err := s.Explore(query.New("census"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := s.DrillDown(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Parent != root.ID {
+		t.Fatal("parent link wrong")
+	}
+	if child.Query.Equal(root.Query) {
+		t.Fatal("drill-down should narrow the query")
+	}
+	// the root now lists the child
+	r2, _ := s.Node(root.ID)
+	if len(r2.Children) != 1 || r2.Children[0] != child.ID {
+		t.Fatalf("children = %v", r2.Children)
+	}
+	back, err := s.Back()
+	if err != nil || back.ID != root.ID {
+		t.Fatal("Back should return to the root")
+	}
+	if _, err := s.Back(); err == nil {
+		t.Fatal("Back at root should error")
+	}
+}
+
+func TestSessionDrillDownValidation(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.DrillDown(0, 0); err == nil {
+		t.Fatal("drill-down before explore should error")
+	}
+	if _, err := s.Explore(query.New("census")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DrillDown(99, 0); err == nil {
+		t.Fatal("bad map index")
+	}
+	if _, err := s.DrillDown(0, 99); err == nil {
+		t.Fatal("bad region index")
+	}
+	if _, err := s.Node(42); err == nil {
+		t.Fatal("bad node id")
+	}
+}
+
+func TestSessionHistory(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Explore(query.New("census")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DrillDown(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DrillDown(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	h := s.History()
+	if len(h) != 3 {
+		t.Fatalf("history = %d nodes", len(h))
+	}
+	for i, n := range h {
+		if n.ID != i {
+			t.Fatal("history order wrong")
+		}
+	}
+}
+
+func TestSessionCacheHit(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Explore(query.New("census")); err != nil {
+		t.Fatal(err)
+	}
+	size := s.CacheSize()
+	// exploring the same query again must hit the cache
+	n2, err := s.Explore(query.New("census"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheSize() != size {
+		t.Fatal("repeat exploration should not grow the cache")
+	}
+	if n2.ID == 0 {
+		t.Fatal("repeat exploration still creates a node")
+	}
+}
+
+func TestSessionPrefetchWarmsCache(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Explore(query.New("census")); err != nil {
+		t.Fatal(err)
+	}
+	before := s.CacheSize()
+	s.Prefetch(3)
+	s.Wait()
+	after := s.CacheSize()
+	if after <= before {
+		t.Fatalf("prefetch did not warm the cache: %d -> %d", before, after)
+	}
+	if after > before+3 {
+		t.Fatalf("prefetch exceeded limit: %d -> %d", before, after)
+	}
+	// drilling into a prefetched region must not grow the cache
+	cur, _ := s.Current()
+	var mapIdx, regionIdx = -1, -1
+	for mi, m := range cur.Result.Maps {
+		for ri, r := range m.Regions {
+			if _, ok := prefetchedRegion(s, r.Query.String()); ok {
+				mapIdx, regionIdx = mi, ri
+				break
+			}
+		}
+		if mapIdx >= 0 {
+			break
+		}
+	}
+	if mapIdx < 0 {
+		t.Skip("no prefetched region found")
+	}
+	sizeBefore := s.CacheSize()
+	if _, err := s.DrillDown(mapIdx, regionIdx); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheSize() != sizeBefore {
+		t.Fatal("drill-down into prefetched region should hit the cache")
+	}
+}
+
+func prefetchedRegion(s *Session, key string) (*core.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.cache[key]
+	return r, ok
+}
+
+func TestSessionPrefetchBeforeExploreIsNoop(t *testing.T) {
+	s := newSession(t)
+	s.Prefetch(5)
+	s.Wait()
+	if s.CacheSize() != 0 {
+		t.Fatal("prefetch on empty session should do nothing")
+	}
+}

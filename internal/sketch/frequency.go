@@ -1,0 +1,145 @@
+package sketch
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// MisraGries tracks up to k heavy hitters of a stream of string keys.
+// After n observations, any key with true frequency > n/k is guaranteed to
+// be present, and each reported count undercounts by at most n/k.
+type MisraGries struct {
+	k        int
+	counters map[string]int
+	n        int
+}
+
+// NewMisraGries creates a summary with capacity k ≥ 1.
+func NewMisraGries(k int) (*MisraGries, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sketch: MisraGries needs k >= 1, got %d", k)
+	}
+	return &MisraGries{k: k, counters: make(map[string]int, k+1)}, nil
+}
+
+// MustMisraGries is NewMisraGries that panics on error.
+func MustMisraGries(k int) *MisraGries {
+	s, err := NewMisraGries(k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add observes one key.
+func (s *MisraGries) Add(key string) {
+	s.n++
+	if _, ok := s.counters[key]; ok {
+		s.counters[key]++
+		return
+	}
+	if len(s.counters) < s.k {
+		s.counters[key] = 1
+		return
+	}
+	// decrement all; evict zeros
+	for k2, c := range s.counters {
+		if c == 1 {
+			delete(s.counters, k2)
+		} else {
+			s.counters[k2] = c - 1
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (s *MisraGries) Count() int { return s.n }
+
+// Estimate returns the (under-)estimated count of key.
+func (s *MisraGries) Estimate(key string) int { return s.counters[key] }
+
+// HeavyHitter is one key with its estimated count.
+type HeavyHitter struct {
+	Key   string
+	Count int
+}
+
+// TopK returns the tracked keys sorted by estimated count (descending),
+// ties broken by key for determinism.
+func (s *MisraGries) TopK() []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(s.counters))
+	for k, c := range s.counters {
+		out = append(out, HeavyHitter{k, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// CountMin is a Count-Min sketch over string keys: a depth×width grid of
+// counters; estimates never undercount and overcount by at most
+// (e/width)·n with probability 1 − (1/e)^depth.
+type CountMin struct {
+	width, depth int
+	grid         [][]uint64
+	n            int
+}
+
+// NewCountMin creates a sketch with the given width and depth.
+func NewCountMin(width, depth int) (*CountMin, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("sketch: CountMin needs positive width/depth, got %dx%d", width, depth)
+	}
+	g := make([][]uint64, depth)
+	for i := range g {
+		g[i] = make([]uint64, width)
+	}
+	return &CountMin{width: width, depth: depth, grid: g}, nil
+}
+
+// MustCountMin is NewCountMin that panics on error.
+func MustCountMin(width, depth int) *CountMin {
+	s, err := NewCountMin(width, depth)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *CountMin) cell(row int, key string) int {
+	h := fnv.New64a()
+	// differentiate rows by a one-byte seed prefix
+	h.Write([]byte{byte(row)})
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(s.width))
+}
+
+// Add observes key n times.
+func (s *CountMin) Add(key string, n int) {
+	if n <= 0 {
+		return
+	}
+	s.n += n
+	for row := 0; row < s.depth; row++ {
+		s.grid[row][s.cell(row, key)] += uint64(n)
+	}
+}
+
+// Estimate returns the (over-)estimated count of key.
+func (s *CountMin) Estimate(key string) int {
+	min := uint64(1<<63 - 1)
+	for row := 0; row < s.depth; row++ {
+		if c := s.grid[row][s.cell(row, key)]; c < min {
+			min = c
+		}
+	}
+	return int(min)
+}
+
+// Count returns the number of observations.
+func (s *CountMin) Count() int { return s.n }

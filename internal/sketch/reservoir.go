@@ -1,0 +1,56 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Reservoir maintains a uniform random sample of fixed capacity over a
+// stream of row indexes (Vitter's Algorithm R). It backs the sampling and
+// anytime machinery of Section 5.1.
+type Reservoir struct {
+	capacity int
+	items    []int
+	n        int
+	rng      *rand.Rand
+}
+
+// NewReservoir creates a reservoir holding up to capacity items, fed by a
+// deterministic RNG seed.
+func NewReservoir(capacity int, seed int64) (*Reservoir, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("sketch: reservoir capacity must be >= 1, got %d", capacity)
+	}
+	return &Reservoir{
+		capacity: capacity,
+		items:    make([]int, 0, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// MustReservoir is NewReservoir that panics on error.
+func MustReservoir(capacity int, seed int64) *Reservoir {
+	r, err := NewReservoir(capacity, seed)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Add observes one item.
+func (r *Reservoir) Add(item int) {
+	r.n++
+	if len(r.items) < r.capacity {
+		r.items = append(r.items, item)
+		return
+	}
+	if j := r.rng.Intn(r.n); j < r.capacity {
+		r.items[j] = item
+	}
+}
+
+// Count returns the number of items observed.
+func (r *Reservoir) Count() int { return r.n }
+
+// Sample returns the current sample (shared slice; do not modify).
+func (r *Reservoir) Sample() []int { return r.items }

@@ -1,0 +1,303 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGKValidation(t *testing.T) {
+	for _, eps := range []float64{0, -0.1, 1, 1.5} {
+		if _, err := NewGK(eps); err == nil {
+			t.Errorf("NewGK(%v) should fail", eps)
+		}
+	}
+	if _, err := NewGK(0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGKEmpty(t *testing.T) {
+	s := MustGK(0.01)
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty sketch should return NaN")
+	}
+	if s.Count() != 0 {
+		t.Fatal("Count should be 0")
+	}
+}
+
+func TestGKSingleValue(t *testing.T) {
+	s := MustGK(0.01)
+	s.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+}
+
+func TestGKExactOnSmallStream(t *testing.T) {
+	s := MustGK(0.05)
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	med := s.Median()
+	if med < 4 || med > 6 {
+		t.Errorf("Median = %v, want within [4,6]", med)
+	}
+}
+
+func TestGKErrorBound(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.01} {
+		for _, dist := range []string{"uniform", "normal", "sorted", "reversed", "duplicates"} {
+			n := 20000
+			r := rand.New(rand.NewSource(99))
+			vals := make([]float64, n)
+			for i := range vals {
+				switch dist {
+				case "uniform":
+					vals[i] = r.Float64()
+				case "normal":
+					vals[i] = r.NormFloat64()
+				case "sorted":
+					vals[i] = float64(i)
+				case "reversed":
+					vals[i] = float64(n - i)
+				case "duplicates":
+					vals[i] = float64(r.Intn(10))
+				}
+			}
+			s := MustGK(eps)
+			s.AddAll(vals)
+			sorted := append([]float64(nil), vals...)
+			sort.Float64s(sorted)
+			for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				got := s.Quantile(q)
+				// rank error must be within eps*n; a duplicated value
+				// occupies a whole rank interval [lo,hi], and the error is
+				// the distance from the target rank to that interval.
+				lo := float64(sort.SearchFloat64s(sorted, got) + 1)
+				hi := float64(sort.Search(len(sorted), func(i int) bool { return sorted[i] > got }))
+				target := q * float64(n)
+				var rankErr float64
+				switch {
+				case target < lo:
+					rankErr = lo - target
+				case target > hi:
+					rankErr = target - hi
+				default:
+					rankErr = 0
+				}
+				if rankErr > eps*float64(n)+1 {
+					t.Errorf("eps=%v dist=%s q=%v: rank error %v > %v", eps, dist, q, rankErr, eps*float64(n))
+				}
+			}
+		}
+	}
+}
+
+func TestGKSpaceIsSublinear(t *testing.T) {
+	s := MustGK(0.01)
+	n := 100000
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		s.Add(r.Float64())
+	}
+	if sz := s.Size(); sz > n/10 {
+		t.Errorf("sketch size %d not sublinear in n=%d", sz, n)
+	}
+	if s.Count() != n {
+		t.Errorf("Count = %d, want %d", s.Count(), n)
+	}
+	if s.Epsilon() != 0.01 {
+		t.Error("Epsilon accessor wrong")
+	}
+}
+
+func TestGKQuantileClamping(t *testing.T) {
+	s := MustGK(0.1)
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Error("q<0 should clamp to 0")
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Error("q>1 should clamp to 1")
+	}
+}
+
+func TestMisraGriesGuarantee(t *testing.T) {
+	// Stream: "a" appears 60%, "b" 30%, rest split among 8 keys.
+	mg := MustMisraGries(4)
+	n := 10000
+	r := rand.New(rand.NewSource(2))
+	trueCounts := map[string]int{}
+	keys := []string{"c", "d", "e", "f", "g", "h", "i", "j"}
+	for i := 0; i < n; i++ {
+		var k string
+		switch x := r.Float64(); {
+		case x < 0.6:
+			k = "a"
+		case x < 0.9:
+			k = "b"
+		default:
+			k = keys[r.Intn(len(keys))]
+		}
+		mg.Add(k)
+		trueCounts[k]++
+	}
+	if mg.Count() != n {
+		t.Fatalf("Count = %d", mg.Count())
+	}
+	// any key with freq > n/k must be present
+	for k, c := range trueCounts {
+		if c > n/4 && mg.Estimate(k) == 0 {
+			t.Errorf("heavy key %q (count %d) missing", k, c)
+		}
+	}
+	// estimates undercount by at most n/k
+	for k, c := range trueCounts {
+		if est := mg.Estimate(k); est > c || est < c-n/4 {
+			t.Errorf("estimate for %q = %d, true %d, bound %d", k, est, c, n/4)
+		}
+	}
+	top := mg.TopK()
+	if len(top) == 0 || top[0].Key != "a" {
+		t.Errorf("TopK[0] = %+v, want a", top)
+	}
+}
+
+func TestMisraGriesValidation(t *testing.T) {
+	if _, err := NewMisraGries(0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMisraGriesSmallStream(t *testing.T) {
+	mg := MustMisraGries(2)
+	for _, k := range []string{"x", "x", "y"} {
+		mg.Add(k)
+	}
+	if mg.Estimate("x") != 2 {
+		t.Errorf("Estimate(x) = %d", mg.Estimate("x"))
+	}
+}
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm := MustCountMin(256, 4)
+	r := rand.New(rand.NewSource(3))
+	trueCounts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		k := string(rune('a' + r.Intn(50)))
+		cm.Add(k, 1)
+		trueCounts[k]++
+	}
+	for k, c := range trueCounts {
+		if est := cm.Estimate(k); est < c {
+			t.Errorf("CountMin undercounts %q: %d < %d", k, est, c)
+		}
+	}
+	if cm.Count() != 5000 {
+		t.Errorf("Count = %d", cm.Count())
+	}
+}
+
+func TestCountMinOverestimateBounded(t *testing.T) {
+	cm := MustCountMin(1024, 5)
+	n := 20000
+	r := rand.New(rand.NewSource(4))
+	trueCounts := map[string]int{}
+	for i := 0; i < n; i++ {
+		k := string(rune('a'+r.Intn(26))) + string(rune('a'+r.Intn(26)))
+		cm.Add(k, 1)
+		trueCounts[k]++
+	}
+	// expected overcount ~ n/width; allow 10x slack
+	bound := 10 * n / 1024
+	for k, c := range trueCounts {
+		if est := cm.Estimate(k); est-c > bound {
+			t.Errorf("overcount for %q: est %d true %d", k, est, c)
+		}
+	}
+}
+
+func TestCountMinValidationAndNoOps(t *testing.T) {
+	if _, err := NewCountMin(0, 1); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := NewCountMin(1, 0); err == nil {
+		t.Fatal("expected error")
+	}
+	cm := MustCountMin(16, 2)
+	cm.Add("x", 0)
+	cm.Add("x", -5)
+	if cm.Count() != 0 || cm.Estimate("x") != 0 {
+		t.Fatal("non-positive adds should be no-ops")
+	}
+}
+
+func TestReservoirFillsThenSamples(t *testing.T) {
+	res := MustReservoir(10, 1)
+	for i := 0; i < 5; i++ {
+		res.Add(i)
+	}
+	if len(res.Sample()) != 5 {
+		t.Fatalf("sample size = %d, want 5", len(res.Sample()))
+	}
+	for i := 5; i < 1000; i++ {
+		res.Add(i)
+	}
+	if len(res.Sample()) != 10 {
+		t.Fatalf("sample size = %d, want 10", len(res.Sample()))
+	}
+	if res.Count() != 1000 {
+		t.Fatalf("Count = %d", res.Count())
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 100 items should appear in a size-10 reservoir with p=0.1.
+	// Across 2000 trials, item 0 and item 99 should both appear ~200 times.
+	hits := map[int]int{}
+	for trial := 0; trial < 2000; trial++ {
+		res := MustReservoir(10, int64(trial))
+		for i := 0; i < 100; i++ {
+			res.Add(i)
+		}
+		for _, it := range res.Sample() {
+			hits[it]++
+		}
+	}
+	for _, item := range []int{0, 50, 99} {
+		got := hits[item]
+		if got < 120 || got > 290 {
+			t.Errorf("item %d appeared %d times, expected ~200", item, got)
+		}
+	}
+}
+
+func TestReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func BenchmarkGKAdd(b *testing.B) {
+	s := MustGK(0.01)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(r.Float64())
+	}
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm := MustCountMin(1024, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Add("some-key", 1)
+	}
+}

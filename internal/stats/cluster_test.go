@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandIndexIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2}
+	ri, err := RandIndex(a, a)
+	if err != nil || ri != 1 {
+		t.Fatalf("ri = %v err %v", ri, err)
+	}
+	ari, err := AdjustedRandIndex(a, a)
+	if err != nil || math.Abs(ari-1) > 1e-12 {
+		t.Fatalf("ari = %v err %v", ari, err)
+	}
+}
+
+func TestRandIndexRelabelInvariant(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{5, 5, 9, 9, 7, 7} // same partition, different labels
+	ri, err := RandIndex(a, b)
+	if err != nil || ri != 1 {
+		t.Fatalf("ri = %v", ri)
+	}
+	ari, err := AdjustedRandIndex(a, b)
+	if err != nil || math.Abs(ari-1) > 1e-12 {
+		t.Fatalf("ari = %v", ari)
+	}
+}
+
+func TestRandIndexDisagreement(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	ri, err := RandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pairs: (01)(23) together in a, apart in b; (02)(13) apart in a,
+	// together in b; (03)(12) apart in both → agree on 2 of 6
+	if math.Abs(ri-2.0/6.0) > 1e-12 {
+		t.Fatalf("ri = %v, want 1/3", ri)
+	}
+}
+
+func TestAdjustedRandIndexChanceLevel(t *testing.T) {
+	// random labelings of many items: ARI should hover near 0 while the
+	// raw Rand index is far above 0.
+	r := rand.New(rand.NewSource(1))
+	n := 2000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Intn(3)
+		b[i] = r.Intn(3)
+	}
+	ari, err := AdjustedRandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari) > 0.05 {
+		t.Fatalf("ari = %v, want ~0 for independent labelings", ari)
+	}
+	ri, err := RandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < 0.5 {
+		t.Fatalf("raw rand index = %v, expected substantial chance agreement", ri)
+	}
+}
+
+func TestAdjustedRandIndexTrivialPartitions(t *testing.T) {
+	all := []int{0, 0, 0, 0}
+	ari, err := AdjustedRandIndex(all, all)
+	if err != nil || ari != 1 {
+		t.Fatalf("ari = %v err %v", ari, err)
+	}
+}
+
+func TestRandIndexErrors(t *testing.T) {
+	if _, err := RandIndex([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := AdjustedRandIndex([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if ri, err := RandIndex([]int{1}, []int{2}); err != nil || ri != 1 {
+		t.Fatal("single item partitions are trivially equal")
+	}
+}
+
+func TestPropertyARIBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(100)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = r.Intn(1 + r.Intn(5))
+			b[i] = r.Intn(1 + r.Intn(5))
+		}
+		ari, err := AdjustedRandIndex(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ari > 1+1e-9 || ari < -1-1e-9 {
+			t.Fatalf("ari out of bounds: %v", ari)
+		}
+		// symmetry
+		ari2, err := AdjustedRandIndex(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ari-ari2) > 1e-9 {
+			t.Fatal("ARI not symmetric")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV loads a table from CSV. The first record must be a header of
+// column names. When schema is nil the column types are inferred from the
+// data: a column is Int64 if every non-empty cell parses as an integer,
+// else Float64 if every non-empty cell parses as a float, else Bool if
+// every non-empty cell is true/false, else String. Empty cells are NULL.
+func ReadCSV(name string, r io.Reader, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading CSV header: %w", err)
+	}
+	var records [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: reading CSV: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("storage: CSV row has %d cells, header has %d", len(rec), len(header))
+		}
+		records = append(records, rec)
+	}
+
+	if schema == nil {
+		fields := make([]Field, len(header))
+		for c, h := range header {
+			fields[c] = Field{Name: h, Type: inferType(records, c)}
+		}
+		schema, err = NewSchema(fields...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if schema.NumFields() != len(header) {
+			return nil, fmt.Errorf("storage: schema has %d fields, CSV header %d", schema.NumFields(), len(header))
+		}
+		for c, h := range header {
+			if schema.Field(c).Name != h {
+				return nil, fmt.Errorf("storage: CSV header %q != schema field %q", h, schema.Field(c).Name)
+			}
+		}
+	}
+
+	b := NewBuilder(name, schema)
+	for rn, rec := range records {
+		vals := make([]any, len(rec))
+		for c, cell := range rec {
+			if cell == "" {
+				vals[c] = nil
+				continue
+			}
+			switch schema.Field(c).Type {
+			case Int64:
+				x, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("storage: row %d col %q: %w", rn+2, schema.Field(c).Name, err)
+				}
+				vals[c] = x
+			case Float64:
+				x, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("storage: row %d col %q: %w", rn+2, schema.Field(c).Name, err)
+				}
+				vals[c] = x
+			case Bool:
+				x, err := strconv.ParseBool(cell)
+				if err != nil {
+					return nil, fmt.Errorf("storage: row %d col %q: %w", rn+2, schema.Field(c).Name, err)
+				}
+				vals[c] = x
+			case String:
+				vals[c] = cell
+			}
+		}
+		if err := b.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+func inferType(records [][]string, col int) DataType {
+	allInt, allFloat, allBool, seen := true, true, true, false
+	for _, rec := range records {
+		cell := rec[col]
+		if cell == "" {
+			continue
+		}
+		seen = true
+		if allInt {
+			if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+				allInt = false
+			}
+		}
+		if allFloat {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				allFloat = false
+			}
+		}
+		if allBool {
+			if cell != "true" && cell != "false" {
+				allBool = false
+			}
+		}
+		if !allInt && !allFloat && !allBool {
+			break
+		}
+	}
+	switch {
+	case !seen:
+		return String
+	case allInt:
+		return Int64
+	case allFloat:
+		return Float64
+	case allBool:
+		return Bool
+	default:
+		return String
+	}
+}
+
+// WriteCSV writes the table as CSV with a header row. NULLs become empty
+// cells.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.NumCols())
+	for i := 0; i < t.NumCols(); i++ {
+		header[i] = t.Schema().Field(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			rec[c] = t.Column(c).Render(r)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

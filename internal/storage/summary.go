@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ColumnSummary holds the descriptive statistics of one column — what a
+// front-end shows next to the schema so the explorer knows what each
+// attribute looks like before cutting it.
+type ColumnSummary struct {
+	Name  string
+	Type  DataType
+	Rows  int
+	Nulls int
+	// numeric columns
+	Min, Max, Mean float64
+	// categorical columns
+	Cardinality int
+	TopValues   []ValueCount // up to 5, by descending count
+	// boolean columns
+	TrueCount int
+}
+
+// ValueCount is one categorical value with its frequency.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// String renders a one-line summary.
+func (s ColumnSummary) String() string {
+	base := fmt.Sprintf("%-20s %-8s rows=%d nulls=%d", s.Name, s.Type, s.Rows, s.Nulls)
+	switch s.Type {
+	case Int64, Float64:
+		return fmt.Sprintf("%s min=%.4g max=%.4g mean=%.4g", base, s.Min, s.Max, s.Mean)
+	case String:
+		var tops []string
+		for _, tv := range s.TopValues {
+			tops = append(tops, fmt.Sprintf("%s(%d)", tv.Value, tv.Count))
+		}
+		return fmt.Sprintf("%s distinct=%d top=[%s]", base, s.Cardinality, strings.Join(tops, " "))
+	case Bool:
+		return fmt.Sprintf("%s true=%d false=%d", base, s.TrueCount, s.Rows-s.Nulls-s.TrueCount)
+	default:
+		return base
+	}
+}
+
+// Summarize computes descriptive statistics for every column.
+func Summarize(t *Table) []ColumnSummary {
+	out := make([]ColumnSummary, 0, t.NumCols())
+	for ci := 0; ci < t.NumCols(); ci++ {
+		f := t.Schema().Field(ci)
+		s := ColumnSummary{Name: f.Name, Type: f.Type, Rows: t.NumRows()}
+		col := t.Column(ci)
+		s.Nulls = col.NullCount()
+		switch c := col.(type) {
+		case *Int64Column:
+			summarizeNumeric(&s, c.Len(), c.IsNull, func(i int) float64 { return float64(c.At(i)) })
+		case *Float64Column:
+			summarizeNumeric(&s, c.Len(), c.IsNull, c.At)
+		case *StringColumn:
+			s.Cardinality = c.Cardinality()
+			counts := make([]int, c.Cardinality())
+			for i, code := range c.Codes() {
+				if !c.IsNull(i) {
+					counts[code]++
+				}
+			}
+			// top 5 by count, ties by value for determinism
+			type vc struct {
+				v string
+				n int
+			}
+			all := make([]vc, 0, len(counts))
+			for code, n := range counts {
+				if n > 0 {
+					all = append(all, vc{c.Dict()[code], n})
+				}
+			}
+			for i := 0; i < len(all); i++ {
+				for j := i + 1; j < len(all); j++ {
+					if all[j].n > all[i].n || (all[j].n == all[i].n && all[j].v < all[i].v) {
+						all[i], all[j] = all[j], all[i]
+					}
+				}
+			}
+			for i := 0; i < len(all) && i < 5; i++ {
+				s.TopValues = append(s.TopValues, ValueCount{all[i].v, all[i].n})
+			}
+		case *BoolColumn:
+			for i := 0; i < c.Len(); i++ {
+				if !c.IsNull(i) && c.At(i) {
+					s.TrueCount++
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func summarizeNumeric(s *ColumnSummary, n int, isNull func(int) bool, at func(int) float64) {
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	sum, count := 0.0, 0
+	for i := 0; i < n; i++ {
+		if isNull(i) {
+			continue
+		}
+		v := at(i)
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+		count++
+	}
+	if count == 0 {
+		s.Min, s.Max, s.Mean = 0, 0, 0
+		return
+	}
+	s.Mean = sum / float64(count)
+}

@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	schema := MustSchema(
+		Field{"n", Int64},
+		Field{"f", Float64},
+		Field{"c", String},
+		Field{"b", Bool},
+	)
+	b := NewBuilder("t", schema)
+	b.MustAppendRow(1, 1.5, "x", true)
+	b.MustAppendRow(5, 2.5, "y", false)
+	b.MustAppendRow(3, nil, "x", true)
+	b.MustAppendRow(nil, 4.0, "z", nil)
+	tbl := b.MustBuild()
+
+	sums := Summarize(tbl)
+	if len(sums) != 4 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	n := sums[0]
+	if n.Min != 1 || n.Max != 5 || n.Mean != 3 || n.Nulls != 1 {
+		t.Fatalf("int summary = %+v", n)
+	}
+	f := sums[1]
+	if f.Min != 1.5 || f.Max != 4.0 || f.Nulls != 1 {
+		t.Fatalf("float summary = %+v", f)
+	}
+	c := sums[2]
+	if c.Cardinality != 3 {
+		t.Fatalf("cardinality = %d", c.Cardinality)
+	}
+	if len(c.TopValues) != 3 || c.TopValues[0].Value != "x" || c.TopValues[0].Count != 2 {
+		t.Fatalf("top values = %+v", c.TopValues)
+	}
+	bl := sums[3]
+	if bl.TrueCount != 2 || bl.Nulls != 1 {
+		t.Fatalf("bool summary = %+v", bl)
+	}
+}
+
+func TestSummarizeTopValuesCapped(t *testing.T) {
+	b := NewBuilder("t", MustSchema(Field{"c", String}))
+	for i := 0; i < 100; i++ {
+		b.MustAppendRow(string(rune('a' + i%10)))
+	}
+	sums := Summarize(b.MustBuild())
+	if len(sums[0].TopValues) != 5 {
+		t.Fatalf("top values = %d, want capped at 5", len(sums[0].TopValues))
+	}
+}
+
+func TestSummarizeAllNullNumeric(t *testing.T) {
+	b := NewBuilder("t", MustSchema(Field{"x", Float64}))
+	b.MustAppendRow(nil)
+	sums := Summarize(b.MustBuild())
+	if sums[0].Min != 0 || sums[0].Max != 0 || sums[0].Mean != 0 {
+		t.Fatalf("all-null summary = %+v", sums[0])
+	}
+}
+
+func TestColumnSummaryString(t *testing.T) {
+	schema := MustSchema(Field{"age", Int64}, Field{"city", String}, Field{"ok", Bool})
+	b := NewBuilder("t", schema)
+	b.MustAppendRow(30, "ams", true)
+	sums := Summarize(b.MustBuild())
+	if !strings.Contains(sums[0].String(), "mean=30") {
+		t.Errorf("int String = %q", sums[0].String())
+	}
+	if !strings.Contains(sums[1].String(), "distinct=1") {
+		t.Errorf("string String = %q", sums[1].String())
+	}
+	if !strings.Contains(sums[2].String(), "true=1") {
+		t.Errorf("bool String = %q", sums[2].String())
+	}
+}

@@ -1,0 +1,110 @@
+// Package storage implements the in-memory columnar store that Atlas sits
+// on. It plays the role MonetDB plays in the paper: typed columns with
+// dictionary-encoded strings, null validity bitmaps, schemas, tables, and
+// CSV import/export. The engine package evaluates predicates against it.
+package storage
+
+import "fmt"
+
+// DataType enumerates the column types the store supports.
+type DataType int
+
+const (
+	// Int64 is a 64-bit signed integer column.
+	Int64 DataType = iota
+	// Float64 is a 64-bit IEEE float column.
+	Float64
+	// String is a dictionary-encoded text column.
+	String
+	// Bool is a boolean column.
+	Bool
+)
+
+// String returns the SQL-ish name of the type.
+func (t DataType) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "VARCHAR"
+	case Bool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("DataType(%d)", int(t))
+	}
+}
+
+// IsNumeric reports whether the type is ordered and numeric (the paper's
+// "ordinal" attributes: dates, integers, floats).
+func (t DataType) IsNumeric() bool { return t == Int64 || t == Float64 }
+
+// Field describes one column of a schema.
+type Field struct {
+	Name string
+	Type DataType
+}
+
+// Schema is an ordered list of named, typed fields.
+type Schema struct {
+	fields []Field
+	byName map[string]int
+}
+
+// NewSchema builds a schema from fields. Duplicate names are an error.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{fields: append([]Field(nil), fields...), byName: make(map[string]int, len(fields))}
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("storage: field %d has empty name", i)
+		}
+		if _, dup := s.byName[f.Name]; dup {
+			return nil, fmt.Errorf("storage: duplicate field name %q", f.Name)
+		}
+		s.byName[f.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and generators.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumFields returns the number of fields.
+func (s *Schema) NumFields() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field { return append([]Field(nil), s.fields...) }
+
+// Index returns the position of the named field, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasField reports whether the schema contains the named field.
+func (s *Schema) HasField(name string) bool { return s.Index(name) >= 0 }
+
+// Equal reports whether two schemas have identical fields in order.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.fields) != len(o.fields) {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i] != o.fields[i] {
+			return false
+		}
+	}
+	return true
+}
