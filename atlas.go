@@ -25,6 +25,21 @@
 // Section 5 extensions: sketch-accelerated cuts, sampling with an anytime
 // loop, anticipative session caching, FK-join exploration and
 // high-cardinality column screening.
+//
+// # Performance
+//
+// The pipeline's embarrassingly parallel stages — candidate cuts per
+// attribute, pairwise map distances and per-cluster merges — fan out
+// over a bounded worker pool sized by Options.Parallelism (0, the
+// default, uses runtime.GOMAXPROCS(0); 1 forces a serial run). Results
+// are collected by index, so the ranked answer is byte-for-byte
+// identical at any parallelism.
+//
+// Each Explorer also keeps a per-table column-stat cache: sorted numeric
+// values, quantile sketches and category counts under the full
+// selection, computed once and shared read-only across goroutines,
+// repeated Explore calls, sessions and anytime rounds. Explorers (and
+// the underlying Cartographer) are safe for concurrent use.
 package atlas
 
 import (
@@ -135,7 +150,10 @@ func (e *Explorer) Table() *Table { return e.table }
 // Explore parses a CQL statement ("EXPLORE t WHERE … [WITH …]"),
 // validates it against the table, and returns the ranked data maps. WITH
 // options override the explorer's defaults for this call only; WITH
-// SAMPLE f runs the pipeline on a uniform f-fraction sample.
+// SAMPLE f runs the pipeline on a uniform f-fraction sample. Calls
+// without overrides run on the explorer's shared Cartographer, so
+// repeated explorations reuse its column-stat cache instead of
+// re-sorting the same columns.
 func (e *Explorer) Explore(cqlText string) (*Result, error) {
 	q, o, err := cql.ParseAndBind(cqlText, e.table)
 	if err != nil {
@@ -145,8 +163,12 @@ func (e *Explorer) Explore(cqlText string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sampled := o.Sample > 0 && o.Sample < 1
+	if !sampled && effective == e.opts {
+		return e.cart.Explore(q)
+	}
 	tbl := e.table
-	if o.Sample > 0 && o.Sample < 1 {
+	if sampled {
 		k := int(o.Sample * float64(tbl.NumRows()))
 		if k < 1 {
 			k = 1

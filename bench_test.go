@@ -57,26 +57,43 @@ func BenchmarkE15_ReadabilityBudgets(b *testing.B)      { benchExperiment(b, "E1
 // ---- pipeline micro-benchmarks ----
 
 // BenchmarkExplore measures the end-to-end Explore latency (the paper's
-// quasi-real-time requirement) as the table grows.
+// quasi-real-time requirement) as the table grows, with the default
+// (all-core) parallelism.
 func BenchmarkExplore(b *testing.B) {
 	for _, n := range []int{1000, 10000, 100000, 1000000} {
 		b.Run(fmt.Sprintf("census_n=%d", n), func(b *testing.B) {
-			tbl := datagen.Census(n, 1)
-			cart, err := core.NewCartographer(tbl, core.DefaultOptions())
-			if err != nil {
-				b.Fatal(err)
-			}
-			q := query.New("census")
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := cart.Explore(q); err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(float64(n)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e9, "rows/s")
+			benchExplore(b, n, 0)
 		})
 	}
+}
+
+// BenchmarkExploreSerial is BenchmarkExplore pinned to one worker — the
+// baseline for the parallel speedup (results are byte-identical).
+func BenchmarkExploreSerial(b *testing.B) {
+	for _, n := range []int{100000, 1000000} {
+		b.Run(fmt.Sprintf("census_n=%d", n), func(b *testing.B) {
+			benchExplore(b, n, 1)
+		})
+	}
+}
+
+func benchExplore(b *testing.B, n, parallelism int) {
+	tbl := datagen.Census(n, 1)
+	opts := core.DefaultOptions()
+	opts.Parallelism = parallelism
+	cart, err := core.NewCartographer(tbl, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.New("census")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cart.Explore(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e9, "rows/s")
 }
 
 // BenchmarkExploreAnytime measures a full progressive run on a large

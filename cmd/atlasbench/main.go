@@ -1,30 +1,39 @@
 // Command atlasbench regenerates the paper's figures and claims as
 // printed experiments (see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for recorded results).
+// EXPERIMENTS.md for recorded results), and can emit machine-readable
+// micro-benchmark results for tracking the performance trajectory
+// across PRs.
 //
 // Usage:
 //
 //	atlasbench -list
 //	atlasbench -exp E1,E4
 //	atlasbench -all [-quick]
+//	atlasbench -benchjson BENCH_1.json [-quick]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/exp"
+	"repro/internal/query"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		ids   = flag.String("exp", "", "comma-separated experiment ids to run (e.g. E1,E4)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced input sizes")
+		list      = flag.Bool("list", false, "list available experiments")
+		ids       = flag.String("exp", "", "comma-separated experiment ids to run (e.g. E1,E4)")
+		all       = flag.Bool("all", false, "run every experiment")
+		quick     = flag.Bool("quick", false, "reduced input sizes")
+		benchJSON = flag.String("benchjson", "", "write pipeline micro-benchmark results to this JSON file (name → ns/op, allocs/op)")
 	)
 	flag.Parse()
 
@@ -32,6 +41,14 @@ func main() {
 		fmt.Printf("%-5s %-55s %s\n", "id", "title", "paper artifact")
 		for _, e := range exp.All() {
 			fmt.Printf("%-5s %-55s %s\n", e.ID, e.Title, e.Artifact)
+		}
+		return
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "atlasbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -69,4 +86,72 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchRecord is one benchmark's machine-readable result.
+type benchRecord struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// writeBenchJSON runs the pipeline micro-benchmarks via testing.Benchmark
+// and writes {name: {ns_per_op, allocs_per_op, bytes_per_op}} to path, so
+// the perf trajectory can be tracked mechanically across PRs.
+func writeBenchJSON(path string, quick bool) error {
+	n := 1_000_000
+	if quick {
+		n = 100_000
+	}
+	tbl := datagen.Census(n, 1)
+	q := query.New("census")
+
+	exploreBench := func(parallelism int) func(b *testing.B) {
+		return func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Parallelism = parallelism
+			cart, err := core.NewCartographer(tbl, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cart.Explore(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	results := map[string]benchRecord{}
+	run := func(name string, fn func(b *testing.B)) {
+		fmt.Printf("benchmarking %s ...\n", name)
+		r := testing.Benchmark(fn)
+		results[name] = benchRecord{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+	run(fmt.Sprintf("Explore/census_n=%d/parallel", n), exploreBench(0))
+	run(fmt.Sprintf("Explore/census_n=%d/serial", n), exploreBench(1))
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark records to %s\n", len(results), path)
+	return nil
 }

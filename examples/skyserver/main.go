@@ -54,7 +54,7 @@ func main() {
 	}
 
 	fmt.Println("checking the magnitude map against the hidden class column:")
-	labels := magMap.Assignment().Labels
+	labels := magMap.Assignment().Labels()
 	for ri := range magMap.Regions {
 		counts := map[string]int{}
 		for row, lab := range labels {

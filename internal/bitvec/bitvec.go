@@ -55,6 +55,74 @@ func (v *Vector) trim() {
 // Len returns the number of bits in the vector.
 func (v *Vector) Len() int { return v.n }
 
+// Words exposes the packed backing words, low bits first. The tail bits
+// beyond Len are always zero. Callers may mutate words in place for
+// word-level kernels, but must never set tail bits.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Fill sets every bit and returns v, reusing the backing storage — the
+// in-place equivalent of NewFull for scratch vectors.
+func (v *Vector) Fill() *Vector {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.trim()
+	return v
+}
+
+// Zero clears every bit and returns v.
+func (v *Vector) Zero() *Vector {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	return v
+}
+
+// CopyFrom overwrites v with o's bits. Lengths must match.
+func (v *Vector) CopyFrom(o *Vector) *Vector {
+	v.sameLen(o)
+	copy(v.words, o.words)
+	return v
+}
+
+// AndCount returns Count(a AND b) without materializing the
+// intersection — the fused word-level kernel behind contingency tables.
+func AndCount(a, b *Vector) int {
+	a.sameLen(b)
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w & b.words[i])
+	}
+	return c
+}
+
+// AndNotCount returns Count(a AND NOT b) without materializing.
+func AndNotCount(a, b *Vector) int {
+	a.sameLen(b)
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w &^ b.words[i])
+	}
+	return c
+}
+
+// ClaimInto sets dst = src AND NOT taken, marks the claimed bits in
+// taken, and returns the number of bits claimed — one fused pass for the
+// first-match-wins region assignment. All three vectors must share one
+// length; dst must not alias src or taken.
+func ClaimInto(dst, src, taken *Vector) int {
+	dst.sameLen(src)
+	dst.sameLen(taken)
+	c := 0
+	for i, sw := range src.words {
+		w := sw &^ taken.words[i]
+		dst.words[i] = w
+		taken.words[i] |= w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
 // Set sets bit i.
 func (v *Vector) Set(i int) {
 	v.check(i)

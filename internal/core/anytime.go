@@ -99,10 +99,18 @@ func (c *Cartographer) ExploreAnytime(ctx context.Context, q query.Query, opts A
 			break
 		}
 		start := time.Now()
-		sub := c.table.Gather(c.table.Name(), rows)
-		cart, err := NewCartographer(sub, c.opts)
-		if err != nil {
-			return nil, err
+		// A sample covering every row is the ascending identity (samples
+		// are sorted row indexes), so the final round can run on the
+		// cartographer itself — reusing its warm column-stat cache
+		// instead of re-materializing the table and re-sorting columns.
+		cart := c
+		if len(rows) < c.table.NumRows() {
+			sub := c.table.Gather(c.table.Name(), rows)
+			var err error
+			cart, err = NewCartographer(sub, c.opts)
+			if err != nil {
+				return nil, err
+			}
 		}
 		res, err := cart.Explore(q)
 		if err != nil {

@@ -44,6 +44,12 @@ type Options struct {
 	// dropped from the result unless nothing else survives. The paper
 	// returns some single-attribute maps, so the default keeps them.
 	KeepSingletons bool
+	// Parallelism bounds the worker goroutines used for the pipeline's
+	// embarrassingly parallel stages (per-attribute cuts, pairwise
+	// distances, per-cluster merges). 0 (the default) uses
+	// runtime.GOMAXPROCS(0); 1 forces a serial run. Results are
+	// byte-for-byte identical at any setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's configuration: 8 regions, 3 cut
@@ -83,14 +89,24 @@ func (o Options) validate() error {
 	if err := o.Distance.validate(); err != nil {
 		return err
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be >= 0, got %d", o.Parallelism)
+	}
 	return o.Merge.validate()
 }
 
 // Cartographer generates ranked data maps over one table — the mapping
-// engine of the paper's architecture (Section 4, layer 2).
+// engine of the paper's architecture (Section 4, layer 2). A
+// Cartographer is safe for concurrent use: the table and options are
+// immutable and the column-stat cache is internally synchronized, so one
+// instance can serve many sessions or HTTP requests at once.
 type Cartographer struct {
 	table *storage.Table
 	opts  Options
+	// stats caches per-column statistics under the full selection
+	// (sorted values, sketches, category counts), computed once and
+	// shared read-only across goroutines and Explore calls.
+	stats *statCache
 }
 
 // NewCartographer validates the options and builds a Cartographer.
@@ -101,7 +117,7 @@ func NewCartographer(t *storage.Table, opts Options) (*Cartographer, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return &Cartographer{table: t, opts: opts}, nil
+	return &Cartographer{table: t, opts: opts, stats: newStatCache()}, nil
 }
 
 // Table returns the table being explored.
@@ -135,12 +151,17 @@ type Result struct {
 
 // Explore runs the four-step framework of Section 3 on a user query:
 // candidate generation (CUT per attribute), dependency clustering of the
-// candidates, per-cluster merging, and entropy ranking.
+// candidates, per-cluster merging, and entropy ranking. The three
+// embarrassingly parallel stages — per-attribute cuts, pairwise
+// distances and per-cluster merges — fan out over Options.Parallelism
+// workers; all results are collected by index, so the answer is
+// identical at any parallelism.
 func (c *Cartographer) Explore(q query.Query) (*Result, error) {
 	start := time.Now()
 	if q.Table != "" && q.Table != c.table.Name() {
 		return nil, fmt.Errorf("core: query targets table %q, cartographer holds %q", q.Table, c.table.Name())
 	}
+	workers := resolveParallelism(c.opts.Parallelism)
 	base, err := engine.Eval(c.table, q)
 	if err != nil {
 		return nil, err
@@ -156,25 +177,55 @@ func (c *Cartographer) Explore(q query.Query) (*Result, error) {
 	}
 
 	// Step 0 (Section 5.2): screen out keys, codes, comments, constants.
-	attrs := c.candidateAttrs(q, base, res)
+	attrs := c.candidateAttrs(q, base, res, workers)
 
-	// Step 1 (Section 3.1): one candidate map per attribute.
-	candidates := make([]*Map, 0, len(attrs))
-	for _, attr := range attrs {
-		regions, err := CutQuery(c.table, base, q, attr, c.opts.Cut)
+	// Step 1 (Section 3.1): one candidate map per attribute, fanned out
+	// per attribute. Explore's base selection is exactly Eval(q), so the
+	// per-candidate re-evaluation of the parent query is skipped: the cut
+	// runs directly on base, and the partition kernel materializes every
+	// region's selection in a single column pass.
+	baseFull := res.BaseCount == res.TotalRows
+	type candOut struct {
+		m       *Map
+		flagged bool
+	}
+	outs := make([]candOut, len(attrs))
+	err = parallelFor(workers, len(attrs), func(i int) error {
+		x := cutter{t: c.table, cache: c.stats}
+		preds, err := x.cutPredicates(base, baseFull, attrs[i], c.opts.Cut)
 		var deg *ErrDegenerate
 		if errors.As(err, &deg) {
-			res.Flagged = append(res.Flagged, ScreenFinding{Attr: attr, Reason: ScreenConstant})
+			outs[i].flagged = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		bits, err := engine.PartitionBits(c.table, attrs[i], preds, base)
+		if err != nil {
+			return err
+		}
+		regions := make([]query.Query, len(preds))
+		for ri, p := range preds {
+			regions[ri] = applyPredicate(q, p)
+		}
+		m, err := buildMapFromBits(c.table, base, []string{attrs[i]}, regions, bits)
+		if err != nil {
+			return err
+		}
+		outs[i].m = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	candidates := make([]*Map, 0, len(attrs))
+	for i, out := range outs {
+		if out.flagged {
+			res.Flagged = append(res.Flagged, ScreenFinding{Attr: attrs[i], Reason: ScreenConstant})
 			continue
 		}
-		if err != nil {
-			return nil, err
-		}
-		m, err := BuildMap(c.table, base, []string{attr}, regions)
-		if err != nil {
-			return nil, err
-		}
-		candidates = append(candidates, m)
+		candidates = append(candidates, out.m)
 	}
 	res.Candidates = candidates
 	if len(candidates) == 0 {
@@ -183,28 +234,44 @@ func (c *Cartographer) Explore(q query.Query) (*Result, error) {
 	}
 
 	// Step 2 (Section 3.2): cluster candidates by statistical dependency.
-	clusters, err := c.clusterCandidates(candidates)
+	clusters, err := c.clusterCandidates(candidates, workers)
 	if err != nil {
 		return nil, err
 	}
 
-	// Step 3 (Section 3.3): merge each cluster into one map.
-	var maps []*Map
-	for _, idxs := range clusters {
+	// Step 3 (Section 3.3): merge each cluster into one map, one worker
+	// per cluster; a nil slot marks a skipped or degenerate cluster.
+	merged := make([]*Map, len(clusters))
+	err = parallelFor(workers, len(clusters), func(i int) error {
+		idxs := clusters[i]
 		group := make([]*Map, len(idxs))
-		for i, ci := range idxs {
-			group[i] = candidates[ci]
+		for gi, ci := range idxs {
+			group[gi] = candidates[ci]
 		}
 		if len(group) == 1 && !c.opts.KeepSingletons && len(clusters) > 1 {
-			continue
+			return nil
 		}
-		m, err := MergeCluster(c.table, base, q, group, c.opts.Merge, c.opts.Cut, c.opts.MaxRegions)
+		// base IS the parent query's selection, so composition starts from
+		// it directly instead of re-evaluating q against the table
+		x := cutter{t: c.table, cache: c.stats}
+		m, err := x.mergeCluster(base, base, q, group, c.opts.Merge, c.opts.Cut, c.opts.MaxRegions)
 		var deg *ErrDegenerate
 		if errors.As(err, &deg) {
-			continue
+			return nil
 		}
 		if err != nil {
-			return nil, err
+			return err
+		}
+		merged[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var maps []*Map
+	for _, m := range merged {
+		if m == nil {
+			continue
 		}
 		maps = append(maps, m)
 		res.AttrClusters = append(res.AttrClusters, m.Attrs)
@@ -222,7 +289,7 @@ func (c *Cartographer) Explore(q query.Query) (*Result, error) {
 
 // candidateAttrs selects the attributes to cut, applying screening and
 // the AttrsFromQuery restriction.
-func (c *Cartographer) candidateAttrs(q query.Query, base *bitvec.Vector, res *Result) []string {
+func (c *Cartographer) candidateAttrs(q query.Query, base *bitvec.Vector, res *Result, workers int) []string {
 	var pool []string
 	if c.opts.AttrsFromQuery {
 		pool = q.Attrs()
@@ -234,7 +301,7 @@ func (c *Cartographer) candidateAttrs(q query.Query, base *bitvec.Vector, res *R
 	if !c.opts.Screen {
 		return pool
 	}
-	keep, flagged := ScreenColumns(c.table, base, c.opts.ScreenOpts)
+	keep, flagged := screenColumnsN(c.table, base, c.opts.ScreenOpts, workers)
 	res.Flagged = append(res.Flagged, flagged...)
 	keepSet := make(map[string]bool, len(keep))
 	for _, k := range keep {
@@ -251,16 +318,17 @@ func (c *Cartographer) candidateAttrs(q query.Query, base *bitvec.Vector, res *R
 
 // clusterCandidates runs SLINK over the candidate distance matrix and
 // cuts the dendrogram at the dependency threshold, holding cluster sizes
-// to the predicate budget.
-func (c *Cartographer) clusterCandidates(candidates []*Map) ([][]int, error) {
+// to the predicate budget. The pairwise distances are computed in
+// parallel; SLINK itself is serial but O(n²) over tiny n.
+func (c *Cartographer) clusterCandidates(candidates []*Map, workers int) ([][]int, error) {
 	n := len(candidates)
 	if n == 1 {
 		return [][]int{{0}}, nil
 	}
-	dm, err := DistanceMatrix(candidates, c.opts.Distance)
+	dm, err := DistanceMatrix(candidates, c.opts.Distance, workers)
 	if err != nil {
 		return nil, err
 	}
-	dend := SLINK(n, func(i, j int) float64 { return dm[i][j] })
+	dend := SLINK(n, dm.At)
 	return dend.CutWithBudget(c.opts.DependencyThreshold, c.opts.MaxPredicates), nil
 }

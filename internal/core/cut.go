@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/engine"
@@ -102,40 +103,89 @@ func (e *ErrDegenerate) Error() string {
 	return fmt.Sprintf("core: cannot cut %q: %s", e.Attr, e.Reason)
 }
 
+// cutter bundles the inputs of the CUT primitive: the table and an
+// optional per-Cartographer stat cache (hit when the selection covers
+// every row). A cutter is cheap to create and confined to one
+// goroutine; the cache it points to is shared.
+type cutter struct {
+	t     *storage.Table
+	cache *statCache // nil = uncached
+}
+
+// valsPool recycles the float64 scratch slices CUT materializes column
+// values into on the uncached (sub-selection) path.
+var valsPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // CutPredicates implements the CUT_k primitive of Definition 1: it splits
 // the range of attr, restricted to the rows selected by sel, into at most
 // opts.Splits disjoint predicates that together cover the selected values.
 // The returned predicates partition the attribute's observed range:
 // every selected non-NULL row satisfies exactly one of them.
 func CutPredicates(t *storage.Table, sel *bitvec.Vector, attr string, opts CutOptions) ([]query.Predicate, error) {
+	x := cutter{t: t}
+	return x.cutPredicates(sel, false, attr, opts)
+}
+
+func (x *cutter) cutPredicates(sel *bitvec.Vector, full bool, attr string, opts CutOptions) ([]query.Predicate, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	col, err := t.ColumnByName(attr)
+	col, err := x.t.ColumnByName(attr)
 	if err != nil {
 		return nil, err
 	}
 	switch col.Type() {
 	case storage.Int64, storage.Float64:
-		return cutNumeric(t, sel, attr, opts)
+		return x.cutNumeric(sel, full, attr, opts)
 	case storage.String:
-		return cutCategorical(t, sel, attr, opts)
+		return x.cutCategorical(sel, full, attr, opts)
 	case storage.Bool:
-		return cutBool(t, sel, attr)
+		return x.cutBool(sel, full, attr)
 	default:
 		return nil, fmt.Errorf("core: unsupported column type %v", col.Type())
 	}
 }
 
-func cutNumeric(t *storage.Table, sel *bitvec.Vector, attr string, opts CutOptions) ([]query.Predicate, error) {
-	vals, err := engine.NumericValuesUnder(t, attr, sel)
-	if err != nil {
-		return nil, err
+func (x *cutter) cutNumeric(sel *bitvec.Vector, full bool, attr string, opts CutOptions) ([]query.Predicate, error) {
+	var (
+		sorted []float64
+		gk     *sketch.GK
+	)
+	if x.cache != nil && full {
+		var err error
+		sorted, gk, err = x.cache.numericStats(x.t, attr, sel, opts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		bufp := valsPool.Get().(*[]float64)
+		defer valsPool.Put(bufp)
+		vals, err := engine.AppendNumericValuesUnder((*bufp)[:0], x.t, attr, sel)
+		if err != nil {
+			return nil, err
+		}
+		*bufp = vals
+		if opts.Numeric == CutSketch && len(vals) > 0 {
+			// build from the selection-order stream before sorting, so the
+			// sketch state matches the cached (table-order) construction
+			gk = newCutSketch(vals, opts.SketchEpsilon)
+		}
+		sort.Float64s(vals)
+		sorted = vals
 	}
-	if len(vals) == 0 {
+	if len(sorted) == 0 {
 		return nil, &ErrDegenerate{attr, "no non-NULL values under selection"}
 	}
-	lo, hi, _ := stats.MinMax(vals)
+	// sort.Float64s orders NaN before every number, so the real range
+	// starts after any NaN prefix (a CSV "NaN" cell is non-NULL)
+	nn := sorted
+	for len(nn) > 0 && math.IsNaN(nn[0]) {
+		nn = nn[1:]
+	}
+	if len(nn) == 0 {
+		return nil, &ErrDegenerate{attr, "no finite values under selection"}
+	}
+	lo, hi := nn[0], nn[len(nn)-1]
 	if lo == hi {
 		return nil, &ErrDegenerate{attr, "constant under selection"}
 	}
@@ -144,11 +194,11 @@ func cutNumeric(t *storage.Table, sel *bitvec.Vector, attr string, opts CutOptio
 	case CutEquiWidth:
 		edges = equiWidthEdges(lo, hi, opts.Splits)
 	case CutMedian:
-		edges = quantileEdges(vals, lo, hi, opts.Splits)
+		edges = quantileEdgesSorted(sorted, lo, hi, opts.Splits)
 	case CutVariance:
-		edges = varianceEdges(vals, lo, hi, opts.Splits)
+		edges = varianceEdges(sorted, lo, hi, opts.Splits)
 	case CutSketch:
-		edges = sketchEdges(vals, lo, hi, opts.Splits, opts.SketchEpsilon)
+		edges = sketchEdgesFrom(gk, lo, hi, opts.Splits)
 	}
 	edges = dedupEdges(edges)
 	if len(edges) < 3 {
@@ -175,9 +225,10 @@ func equiWidthEdges(lo, hi float64, k int) []float64 {
 	return edges
 }
 
-func quantileEdges(vals []float64, lo, hi float64, k int) []float64 {
-	sorted := append([]float64(nil), vals...)
-	sort.Float64s(sorted)
+// quantileEdgesSorted computes quantile cut points over already-sorted
+// values — callers sort once (or read the sorted stat cache) instead of
+// copying and re-sorting per call.
+func quantileEdgesSorted(sorted []float64, lo, hi float64, k int) []float64 {
 	edges := make([]float64, 0, k+1)
 	edges = append(edges, lo)
 	for i := 1; i < k; i++ {
@@ -186,12 +237,19 @@ func quantileEdges(vals []float64, lo, hi float64, k int) []float64 {
 	return append(edges, hi)
 }
 
-func sketchEdges(vals []float64, lo, hi float64, k int, eps float64) []float64 {
+// newCutSketch builds a finalized GK sketch over the value stream.
+func newCutSketch(vals []float64, eps float64) *sketch.GK {
 	if eps <= 0 || eps >= 1 {
 		eps = 0.005
 	}
 	gk := sketch.MustGK(eps)
 	gk.AddAll(vals) // one pass; no sort, sublinear state
+	gk.Finalize()
+	return gk
+}
+
+// sketchEdgesFrom reads quantile cut points off a finalized sketch.
+func sketchEdgesFrom(gk *sketch.GK, lo, hi float64, k int) []float64 {
 	edges := make([]float64, 0, k+1)
 	edges = append(edges, lo)
 	for i := 1; i < k; i++ {
@@ -203,12 +261,12 @@ func sketchEdges(vals []float64, lo, hi float64, k int, eps float64) []float64 {
 // varianceEdges finds interval boundaries minimizing total within-interval
 // variance (weighted SSE), i.e. optimal 1-D k-means. To keep the cost
 // independent of n it runs an exact dynamic program over a compressed
-// equi-width histogram of the data.
+// equi-width histogram of the data. vals must be sorted ascending.
 func varianceEdges(vals []float64, lo, hi float64, k int) []float64 {
 	const maxBins = 256
 	h, err := stats.EquiWidthHist(vals, maxBins)
 	if err != nil || h.NumBins() < 2 {
-		return quantileEdges(vals, lo, hi, k)
+		return quantileEdgesSorted(vals, lo, hi, k)
 	}
 	b := h.NumBins()
 	if k > b {
@@ -286,8 +344,17 @@ func dedupEdges(edges []float64) []float64 {
 	return out
 }
 
-func cutCategorical(t *storage.Table, sel *bitvec.Vector, attr string, opts CutOptions) ([]query.Predicate, error) {
-	dict, counts, err := engine.CategoryCountsUnder(t, attr, sel)
+func (x *cutter) cutCategorical(sel *bitvec.Vector, full bool, attr string, opts CutOptions) ([]query.Predicate, error) {
+	var (
+		dict   []string
+		counts []int
+		err    error
+	)
+	if x.cache != nil && full {
+		dict, counts, err = x.cache.categoryStats(x.t, attr, sel)
+	} else {
+		dict, counts, err = engine.CategoryCountsUnder(x.t, attr, sel)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -374,8 +441,16 @@ func cutCategorical(t *storage.Table, sel *bitvec.Vector, attr string, opts CutO
 	return preds, nil
 }
 
-func cutBool(t *storage.Table, sel *bitvec.Vector, attr string) ([]query.Predicate, error) {
-	falses, trues, err := engine.BoolCountsUnder(t, attr, sel)
+func (x *cutter) cutBool(sel *bitvec.Vector, full bool, attr string) ([]query.Predicate, error) {
+	var (
+		falses, trues int
+		err           error
+	)
+	if x.cache != nil && full {
+		falses, trues, err = x.cache.boolStats(x.t, attr, sel)
+	} else {
+		falses, trues, err = engine.BoolCountsUnder(x.t, attr, sel)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -401,12 +476,24 @@ func applyPredicate(parent query.Query, p query.Predicate) query.Query {
 // base) on attr and returns one region query per sub-range, each a copy of
 // parent with the attr predicate refined.
 func CutQuery(t *storage.Table, base *bitvec.Vector, parent query.Query, attr string, opts CutOptions) ([]query.Query, error) {
-	sel, err := engine.Eval(t, parent)
+	x := cutter{t: t}
+	return x.cutQuery(base, parent, attr, opts)
+}
+
+// cutQuery evaluates parent under base and cuts the resulting selection.
+func (x *cutter) cutQuery(base *bitvec.Vector, parent query.Query, attr string, opts CutOptions) ([]query.Query, error) {
+	sel, err := engine.Eval(x.t, parent)
 	if err != nil {
 		return nil, err
 	}
 	sel.And(base)
-	preds, err := CutPredicates(t, sel, attr, opts)
+	return x.cutQuerySel(sel, parent, attr, opts)
+}
+
+// cutQuerySel is cutQuery with the region's selection already evaluated.
+func (x *cutter) cutQuerySel(sel *bitvec.Vector, parent query.Query, attr string, opts CutOptions) ([]query.Query, error) {
+	full := sel.Count() == x.t.NumRows()
+	preds, err := x.cutPredicates(sel, full, attr, opts)
 	if err != nil {
 		return nil, err
 	}

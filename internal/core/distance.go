@@ -56,23 +56,53 @@ func MapDistance(a, b *Map, kind Distance) (float64, error) {
 	}
 }
 
-// DistanceMatrix computes the symmetric pairwise distance matrix of a
-// candidate set. The diagonal is 0.
-func DistanceMatrix(maps []*Map, kind Distance) ([][]float64, error) {
-	n := len(maps)
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
+// DistMatrix is a symmetric pairwise distance matrix with a zero
+// diagonal, stored as a flat upper triangle — one allocation instead of
+// n+1, and half the floats of a dense [][]float64.
+type DistMatrix struct {
+	n int
+	d []float64 // row-major upper triangle, excluding the diagonal
+}
+
+// Len returns the number of items the matrix covers.
+func (m *DistMatrix) Len() int { return m.n }
+
+// At returns the distance between items i and j.
+func (m *DistMatrix) At(i, j int) float64 {
+	if i == j {
+		return 0
 	}
+	if i > j {
+		i, j = j, i
+	}
+	return m.d[i*(2*m.n-i-1)/2+(j-i-1)]
+}
+
+// DistanceMatrix computes the symmetric pairwise distance matrix of a
+// candidate set, fanning the independent upper-triangle entries out over
+// up to `parallelism` goroutines (<= 1 computes serially). Entries are
+// written by pair index, so the result is identical at any parallelism.
+func DistanceMatrix(maps []*Map, kind Distance, parallelism int) (*DistMatrix, error) {
+	n := len(maps)
+	m := &DistMatrix{n: n, d: make([]float64, n*(n-1)/2)}
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, len(m.d))
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			v, err := MapDistance(maps[i], maps[j], kind)
-			if err != nil {
-				return nil, err
-			}
-			d[i][j] = v
-			d[j][i] = v
+			pairs = append(pairs, pair{i, j})
 		}
 	}
-	return d, nil
+	err := parallelFor(parallelism, len(pairs), func(k int) error {
+		p := pairs[k]
+		v, err := MapDistance(maps[p.i], maps[p.j], kind)
+		if err != nil {
+			return err
+		}
+		m.d[k] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
 }

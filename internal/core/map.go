@@ -78,6 +78,23 @@ func BuildMap(t *storage.Table, base *bitvec.Vector, attrs []string, regions []q
 	if err != nil {
 		return nil, err
 	}
+	return mapFromAssignment(t, attrs, regions, assign), nil
+}
+
+// buildMapFromBits is BuildMap for callers that already materialized the
+// disjoint per-region selections (the CUT partition kernel): no region
+// query is re-evaluated.
+func buildMapFromBits(t *storage.Table, base *bitvec.Vector, attrs []string, regions []query.Query, regionBits []*bitvec.Vector) (*Map, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("core: map with zero regions")
+	}
+	if len(regions) != len(regionBits) {
+		return nil, fmt.Errorf("core: %d regions with %d bitmaps", len(regions), len(regionBits))
+	}
+	return mapFromAssignment(t, attrs, regions, engine.AssignFromPartition(regionBits, base)), nil
+}
+
+func mapFromAssignment(t *storage.Table, attrs []string, regions []query.Query, assign *engine.Assignment) *Map {
 	total := t.NumRows()
 	out := make([]Region, len(regions))
 	for i, rq := range regions {
@@ -94,7 +111,7 @@ func BuildMap(t *storage.Table, base *bitvec.Vector, attrs []string, regions []q
 		Regions: out,
 		Entropy: assign.Entropy(),
 		assign:  assign,
-	}, nil
+	}
 }
 
 // DropEmptyRegions returns a copy of m without zero-count regions,

@@ -248,14 +248,14 @@ func TestDistanceMatrixSymmetric(t *testing.T) {
 		}
 		maps = append(maps, m)
 	}
-	dm, err := DistanceMatrix(maps, DistNVI)
+	dm, err := DistanceMatrix(maps, DistNVI, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dm[0][0] != 0 || dm[1][1] != 0 {
+	if dm.At(0, 0) != 0 || dm.At(1, 1) != 0 {
 		t.Fatal("diagonal should be 0")
 	}
-	if dm[0][1] != dm[1][0] {
+	if dm.At(0, 1) != dm.At(1, 0) {
 		t.Fatal("matrix should be symmetric")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitvec"
+	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -84,27 +85,59 @@ func ProductMaps(t *storage.Table, base *bitvec.Vector, parent query.Query, maps
 // attribute whose cuts would push the region count beyond maxRegions is
 // skipped entirely.
 func ComposeMaps(t *storage.Table, base *bitvec.Vector, parent query.Query, attrs []string, opts CutOptions, maxRegions int) (*Map, error) {
+	x := cutter{t: t}
+	return x.composeMaps(base, nil, parent, attrs, opts, maxRegions)
+}
+
+// composeMaps takes parentSel — parent's selection under base — when the
+// caller already evaluated it (Explore holds it as base); nil computes
+// it here. The vector is only read.
+func (x *cutter) composeMaps(base, parentSel *bitvec.Vector, parent query.Query, attrs []string, opts CutOptions, maxRegions int) (*Map, error) {
 	if len(attrs) == 0 {
 		return nil, errors.New("core: composition over zero attributes")
 	}
 	if maxRegions < 2 {
 		maxRegions = 2
 	}
+	// The selection of every region is threaded through the composition
+	// as a bitmap: each level cuts a region's bitmap with the partition
+	// kernel (one column pass per region) instead of re-evaluating the
+	// region's whole conjunctive query against the table — and the final
+	// map is assembled from the bitmaps directly.
+	n := x.t.NumRows()
+	if parentSel == nil {
+		sel, err := engine.Eval(x.t, parent)
+		if err != nil {
+			return nil, err
+		}
+		parentSel = sel.And(base)
+	}
 	regions := []query.Query{parent}
+	bits := []*bitvec.Vector{parentSel}
 	var usedAttrs []string
 	for _, attr := range attrs {
 		if len(regions)*2 > maxRegions {
 			break // even binary cuts would blow the budget
 		}
 		next := make([]query.Query, 0, len(regions)*opts.Splits)
-		for _, r := range regions {
-			subs, err := CutQuery(t, base, r, attr, opts)
+		nextBits := make([]*bitvec.Vector, 0, len(regions)*opts.Splits)
+		for ri, r := range regions {
+			b := bits[ri]
+			preds, err := x.cutPredicates(b, b.Count() == n, attr, opts)
 			var deg *ErrDegenerate
 			switch {
 			case err == nil:
-				next = append(next, subs...)
+				pb, err := engine.PartitionBits(x.t, attr, preds, b)
+				if err != nil {
+					return nil, err
+				}
+				for pi, p := range preds {
+					next = append(next, applyPredicate(r, p))
+					nextBits = append(nextBits, pb[pi])
+				}
 			case errors.As(err, &deg):
 				next = append(next, r) // keep unsplit
+				nextBits = append(nextBits, b)
 			default:
 				return nil, err
 			}
@@ -112,13 +145,13 @@ func ComposeMaps(t *storage.Table, base *bitvec.Vector, parent query.Query, attr
 		if len(next) > maxRegions || len(next) == len(regions) {
 			continue // skip attribute: over budget or fully degenerate
 		}
-		regions = next
+		regions, bits = next, nextBits
 		usedAttrs = append(usedAttrs, attr)
 	}
 	if len(regions) == 1 {
 		return nil, &ErrDegenerate{Attr: fmt.Sprint(attrs), Reason: "no attribute could be cut"}
 	}
-	return BuildMap(t, base, usedAttrs, regions)
+	return buildMapFromBits(x.t, base, usedAttrs, regions, bits)
 }
 
 // MergeCluster combines the candidate maps of one dendrogram cluster into
@@ -126,6 +159,11 @@ func ComposeMaps(t *storage.Table, base *bitvec.Vector, parent query.Query, attr
 // budget. For MergeCompose the composition order follows the given
 // candidate order (base map first).
 func MergeCluster(t *storage.Table, base *bitvec.Vector, parent query.Query, cluster []*Map, kind MergeKind, cutOpts CutOptions, maxRegions int) (*Map, error) {
+	x := cutter{t: t}
+	return x.mergeCluster(base, nil, parent, cluster, kind, cutOpts, maxRegions)
+}
+
+func (x *cutter) mergeCluster(base, parentSel *bitvec.Vector, parent query.Query, cluster []*Map, kind MergeKind, cutOpts CutOptions, maxRegions int) (*Map, error) {
 	if err := kind.validate(); err != nil {
 		return nil, err
 	}
@@ -136,11 +174,11 @@ func MergeCluster(t *storage.Table, base *bitvec.Vector, parent query.Query, clu
 		return cluster[0], nil
 	}
 	if kind == MergeProduct {
-		return ProductMaps(t, base, parent, cluster, maxRegions)
+		return ProductMaps(x.t, base, parent, cluster, maxRegions)
 	}
 	var attrs []string
 	for _, m := range cluster {
 		attrs = append(attrs, m.Attrs...)
 	}
-	return ComposeMaps(t, base, parent, attrs, cutOpts, maxRegions)
+	return x.composeMaps(base, parentSel, parent, attrs, cutOpts, maxRegions)
 }

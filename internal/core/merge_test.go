@@ -123,7 +123,7 @@ func TestComposeRevealsClusters(t *testing.T) {
 	for i := range regionLabelCounts {
 		regionLabelCounts[i] = map[int]int{}
 	}
-	for row, lab := range assign.Labels {
+	for row, lab := range assign.Labels() {
 		if lab >= 0 {
 			regionLabelCounts[lab][labels[row]]++
 		}

@@ -57,17 +57,26 @@ func DefaultScreenOptions() ScreenOptions {
 // cardinality and/or no semantics … a failure to detect this could lead
 // to very long and useless computations".
 func ScreenColumns(t *storage.Table, sel *bitvec.Vector, opts ScreenOptions) (keep []string, flagged []ScreenFinding) {
+	return screenColumnsN(t, sel, opts, 1)
+}
+
+// screenColumnsN is ScreenColumns over a bounded worker pool: columns
+// are screened independently and findings collected in schema order.
+func screenColumnsN(t *storage.Table, sel *bitvec.Vector, opts ScreenOptions, workers int) (keep []string, flagged []ScreenFinding) {
 	if opts.MaxCardinality <= 0 {
 		opts.MaxCardinality = DefaultScreenOptions().MaxCardinality
 	}
 	if opts.UniqueRatio <= 0 || opts.UniqueRatio > 1 {
 		opts.UniqueRatio = DefaultScreenOptions().UniqueRatio
 	}
-	for ci := 0; ci < t.NumCols(); ci++ {
-		f := t.Schema().Field(ci)
-		finding := screenColumn(t.Column(ci), f, sel, opts)
+	findings := make([]*ScreenFinding, t.NumCols())
+	_ = parallelFor(workers, t.NumCols(), func(ci int) error {
+		findings[ci] = screenColumn(t.Column(ci), t.Schema().Field(ci), sel, opts)
+		return nil
+	})
+	for ci, finding := range findings {
 		if finding == nil {
-			keep = append(keep, f.Name)
+			keep = append(keep, t.Schema().Field(ci).Name)
 		} else {
 			flagged = append(flagged, *finding)
 		}

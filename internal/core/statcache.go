@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/engine"
+	"repro/internal/sketch"
+	"repro/internal/storage"
+)
+
+// statCache memoizes per-column statistics under the full selection
+// (every row of the table): sorted numeric values, the GK quantile
+// sketch for sketch cuts, category counts and boolean tallies. Tables
+// are immutable, so entries never invalidate; each column is computed at
+// most once per Cartographer and then shared read-only across
+// goroutines, repeated Explore calls and anytime rounds. Selections that
+// do not cover the whole table bypass the cache (their statistics depend
+// on the selection).
+type statCache struct {
+	mu   sync.Mutex
+	cols map[string]*colStats
+}
+
+// colStats holds one column's cached full-selection statistics. The
+// sync.Once makes concurrent first touches populate exactly once; after
+// that every field is read-only.
+type colStats struct {
+	once sync.Once
+	err  error
+
+	// numeric columns
+	sorted []float64  // non-NULL values, ascending
+	gk     *sketch.GK // finalized; built only when the strategy is CutSketch
+
+	// categorical columns
+	dict   []string
+	counts []int
+
+	// boolean columns
+	falses, trues int
+}
+
+func newStatCache() *statCache {
+	return &statCache{cols: map[string]*colStats{}}
+}
+
+// col returns the (possibly empty) stats entry for attr, creating it
+// under the cache lock. Population happens outside the lock via the
+// entry's own sync.Once.
+func (s *statCache) col(attr string) *colStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.cols[attr]
+	if !ok {
+		cs = &colStats{}
+		s.cols[attr] = cs
+	}
+	return cs
+}
+
+// numericStats returns the cached sorted values (and, for sketch cuts,
+// the finalized GK sketch) of a numeric column under the full selection.
+// The sketch is built from the table-order value stream before sorting,
+// so cached and uncached sketch cuts agree bit for bit.
+func (s *statCache) numericStats(t *storage.Table, attr string, sel *bitvec.Vector, opts CutOptions) ([]float64, *sketch.GK, error) {
+	cs := s.col(attr)
+	cs.once.Do(func() {
+		vals, err := engine.NumericValuesUnder(t, attr, sel)
+		if err != nil {
+			cs.err = err
+			return
+		}
+		if opts.Numeric == CutSketch {
+			cs.gk = newCutSketch(vals, opts.SketchEpsilon)
+		}
+		sort.Float64s(vals)
+		cs.sorted = vals
+	})
+	return cs.sorted, cs.gk, cs.err
+}
+
+// categoryStats returns the cached dictionary and per-code counts of a
+// categorical column under the full selection.
+func (s *statCache) categoryStats(t *storage.Table, attr string, sel *bitvec.Vector) ([]string, []int, error) {
+	cs := s.col(attr)
+	cs.once.Do(func() {
+		cs.dict, cs.counts, cs.err = engine.CategoryCountsUnder(t, attr, sel)
+	})
+	return cs.dict, cs.counts, cs.err
+}
+
+// boolStats returns the cached (false, true) tallies of a boolean column
+// under the full selection.
+func (s *statCache) boolStats(t *storage.Table, attr string, sel *bitvec.Vector) (falses, trues int, err error) {
+	cs := s.col(attr)
+	cs.once.Do(func() {
+		cs.falses, cs.trues, cs.err = engine.BoolCountsUnder(t, attr, sel)
+	})
+	return cs.falses, cs.trues, cs.err
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/query"
@@ -10,18 +11,25 @@ import (
 )
 
 // Assignment labels every selected row with the index of the region (one
-// query per region) containing it, or -1 when no region matches.
-// Unselected rows are also -1. Regions of a well-formed map are disjoint;
-// when they are not, the lowest-index matching region wins.
+// query per region) containing it. Regions of a well-formed map are
+// disjoint; when they are not, the lowest-index matching region wins.
+// Internally the assignment is a set of disjoint per-region bitmaps,
+// which makes contingency tables a word-level popcount kernel; the dense
+// per-row label array is materialized only on demand via Labels.
 type Assignment struct {
-	Labels  []int32 // one per table row; -1 = unassigned
-	Regions int     // number of regions (label domain is [0, Regions))
-	Counts  []int   // rows per region
-	Rest    int     // selected rows matched by no region
+	Regions int   // number of regions (label domain is [0, Regions))
+	Counts  []int // rows per region
+	Rest    int   // selected rows matched by no region
+
+	n          int // table length
+	regionBits []*bitvec.Vector
+
+	labelsOnce sync.Once
+	labels     []int32
 }
 
-// Assign evaluates each region query under the base selection and labels
-// rows. Regions must be non-empty.
+// Assign evaluates each region query under the base selection and claims
+// rows first-match-wins. Regions must be non-empty.
 func Assign(t *storage.Table, regions []query.Query, base *bitvec.Vector) (*Assignment, error) {
 	if len(regions) == 0 {
 		return nil, fmt.Errorf("engine: Assign with zero regions")
@@ -29,35 +37,54 @@ func Assign(t *storage.Table, regions []query.Query, base *bitvec.Vector) (*Assi
 	if base.Len() != t.NumRows() {
 		return nil, fmt.Errorf("engine: base selection length %d != table rows %d", base.Len(), t.NumRows())
 	}
-	labels := make([]int32, t.NumRows())
-	for i := range labels {
-		labels[i] = -1
-	}
+	n := t.NumRows()
+	taken := bitvec.New(n)
+	scratch := bitvec.New(n)
 	counts := make([]int, len(regions))
+	regionBits := make([]*bitvec.Vector, len(regions))
 	for ri, rq := range regions {
-		rv, err := Eval(t, rq)
-		if err != nil {
+		// start from base, not all-ones: the fused predicate kernels then
+		// test only rows the base selection admits
+		scratch.CopyFrom(base)
+		if err := evalAndInto(t, rq, scratch); err != nil {
 			return nil, err
 		}
-		rv.And(base)
-		rv.ForEach(func(i int) bool {
-			if labels[i] == -1 {
-				labels[i] = int32(ri)
-				counts[ri]++
-			}
-			return true
-		})
-	}
-	assigned := 0
-	for _, c := range counts {
-		assigned += c
+		rv := bitvec.New(n)
+		counts[ri] = bitvec.ClaimInto(rv, scratch, taken)
+		regionBits[ri] = rv
 	}
 	return &Assignment{
-		Labels:  labels,
-		Regions: len(regions),
-		Counts:  counts,
-		Rest:    base.Count() - assigned,
+		Regions:    len(regions),
+		Counts:     counts,
+		Rest:       bitvec.AndNotCount(base, taken),
+		n:          n,
+		regionBits: regionBits,
 	}, nil
+}
+
+// RegionBits returns the bitmap of rows assigned to region ri. The
+// returned vector is shared and must be treated as read-only.
+func (a *Assignment) RegionBits(ri int) *bitvec.Vector { return a.regionBits[ri] }
+
+// Labels materializes the per-row region labels: one entry per table
+// row, -1 for unassigned rows. The array is computed once and cached;
+// the assignment itself stays read-only, so concurrent calls are safe.
+func (a *Assignment) Labels() []int32 {
+	a.labelsOnce.Do(func() {
+		labels := make([]int32, a.n)
+		for i := range labels {
+			labels[i] = -1
+		}
+		for ri, rv := range a.regionBits {
+			ri32 := int32(ri)
+			rv.ForEach(func(i int) bool {
+				labels[i] = ri32
+				return true
+			})
+		}
+		a.labels = labels
+	})
+	return a.labels
 }
 
 // Entropy returns the Shannon entropy (bits) of the region-cover
@@ -76,10 +103,11 @@ func (a *Assignment) Entropy() float64 {
 // the same table: cell (i, j) counts rows labeled i by a and j by b.
 // Rows unassigned in either are attributed to an extra "rest" outcome for
 // that side, so the joint distribution always accounts for every row that
-// at least one side covers.
+// at least one side covers. Each cell is a fused AND+popcount over the
+// two region bitmaps — no per-row pass and no intermediate bitmaps.
 func Contingency(a, b *Assignment) (*stats.Contingency, error) {
-	if len(a.Labels) != len(b.Labels) {
-		return nil, fmt.Errorf("engine: assignments over different tables (%d vs %d rows)", len(a.Labels), len(b.Labels))
+	if a.n != b.n {
+		return nil, fmt.Errorf("engine: assignments over different tables (%d vs %d rows)", a.n, b.n)
 	}
 	rows, cols := a.Regions, b.Regions
 	aRest, bRest := -1, -1
@@ -92,15 +120,30 @@ func Contingency(a, b *Assignment) (*stats.Contingency, error) {
 		cols++
 	}
 	ct := stats.NewContingency(rows, cols)
-	for i := range a.Labels {
-		la, lb := int(a.Labels[i]), int(b.Labels[i])
-		switch {
-		case la >= 0 && lb >= 0:
-			ct.Add(la, lb, 1)
-		case la >= 0 && lb < 0 && bRest >= 0:
-			ct.Add(la, bRest, 1)
-		case la < 0 && lb >= 0 && aRest >= 0:
-			ct.Add(aRest, lb, 1)
+	// colRem tracks, per b-region, the rows not matched by any a-region:
+	// they belong to a's rest row (when it exists).
+	colRem := append([]int(nil), b.Counts...)
+	for i, av := range a.regionBits {
+		rowSum := 0
+		for j, bv := range b.regionBits {
+			c := bitvec.AndCount(av, bv)
+			if c > 0 {
+				ct.Add(i, j, c)
+			}
+			rowSum += c
+			colRem[j] -= c
+		}
+		if bRest >= 0 {
+			if rem := a.Counts[i] - rowSum; rem > 0 {
+				ct.Add(i, bRest, rem)
+			}
+		}
+	}
+	if aRest >= 0 {
+		for j, rem := range colRem {
+			if rem > 0 {
+				ct.Add(aRest, j, rem)
+			}
 		}
 	}
 	return ct, nil

@@ -253,8 +253,8 @@ func TestAssign(t *testing.T) {
 	if a.Rest != 1 {
 		t.Fatalf("Rest = %d", a.Rest)
 	}
-	if a.Labels[0] != 0 || a.Labels[2] != 1 || a.Labels[5] != -1 {
-		t.Fatalf("Labels = %v", a.Labels)
+	if l := a.Labels(); l[0] != 0 || l[2] != 1 || l[5] != -1 {
+		t.Fatalf("Labels = %v", l)
 	}
 }
 
@@ -269,7 +269,7 @@ func TestAssignUnderBase(t *testing.T) {
 	if a.Counts[0] != 2 || a.Rest != 0 {
 		t.Fatalf("Counts=%v Rest=%d", a.Counts, a.Rest)
 	}
-	if a.Labels[2] != -1 {
+	if a.Labels()[2] != -1 {
 		t.Fatal("row outside base must be unassigned")
 	}
 }
@@ -335,8 +335,8 @@ func TestContingencyFromAssignments(t *testing.T) {
 }
 
 func TestContingencyLengthMismatch(t *testing.T) {
-	a := &Assignment{Labels: make([]int32, 3), Regions: 1}
-	b := &Assignment{Labels: make([]int32, 4), Regions: 1}
+	a := &Assignment{n: 3, Regions: 1}
+	b := &Assignment{n: 4, Regions: 1}
 	if _, err := Contingency(a, b); err == nil {
 		t.Fatal("expected error")
 	}

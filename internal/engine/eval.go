@@ -6,6 +6,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/query"
@@ -15,68 +16,9 @@ import (
 // EvalPredicate evaluates a single predicate over its column, returning a
 // selection bitmap. NULL rows never match.
 func EvalPredicate(t *storage.Table, p query.Predicate) (*bitvec.Vector, error) {
-	col, err := t.ColumnByName(p.Attr)
-	if err != nil {
+	out := bitvec.NewFull(t.NumRows())
+	if err := evalPredicateAnd(t, p, out); err != nil {
 		return nil, err
-	}
-	n := t.NumRows()
-	out := bitvec.New(n)
-	switch c := col.(type) {
-	case *storage.Int64Column:
-		if p.Kind != query.Range {
-			return nil, kindErr(p, col)
-		}
-		vals := c.Values()
-		for i, v := range vals {
-			if p.MatchFloat(float64(v)) && !c.IsNull(i) {
-				out.Set(i)
-			}
-		}
-	case *storage.Float64Column:
-		if p.Kind != query.Range {
-			return nil, kindErr(p, col)
-		}
-		vals := c.Values()
-		for i, v := range vals {
-			if p.MatchFloat(v) && !c.IsNull(i) {
-				out.Set(i)
-			}
-		}
-	case *storage.StringColumn:
-		if p.Kind != query.In {
-			return nil, kindErr(p, col)
-		}
-		// Resolve the admitted values to dictionary codes once, then scan
-		// codes — the dictionary-encoded fast path.
-		admit := make([]bool, c.Cardinality())
-		any := false
-		for _, v := range p.Values {
-			if code, ok := c.CodeOf(v); ok {
-				admit[code] = true
-				any = true
-			}
-		}
-		if !any {
-			return out, nil
-		}
-		codes := c.Codes()
-		for i, code := range codes {
-			if admit[code] && !c.IsNull(i) {
-				out.Set(i)
-			}
-		}
-	case *storage.BoolColumn:
-		if p.Kind != query.BoolEq {
-			return nil, kindErr(p, col)
-		}
-		vals := c.Values()
-		for i, v := range vals {
-			if v == p.BoolVal && !c.IsNull(i) {
-				out.Set(i)
-			}
-		}
-	default:
-		return nil, fmt.Errorf("engine: unsupported column type %T", col)
 	}
 	return out, nil
 }
@@ -90,17 +32,125 @@ func kindErr(p query.Predicate, col storage.Column) error {
 // matching rows. A query with no predicates selects every row.
 func Eval(t *storage.Table, q query.Query) (*bitvec.Vector, error) {
 	sel := bitvec.NewFull(t.NumRows())
+	if err := evalAndInto(t, q, sel); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+// EvalInto evaluates q into sel, overwriting its contents — the
+// allocation-free variant of Eval for callers that reuse a scratch
+// vector. sel must have the table's length.
+func EvalInto(t *storage.Table, q query.Query, sel *bitvec.Vector) error {
+	if sel.Len() != t.NumRows() {
+		return fmt.Errorf("engine: selection length %d != table rows %d", sel.Len(), t.NumRows())
+	}
+	sel.Fill()
+	return evalAndInto(t, q, sel)
+}
+
+// EvalAndInto narrows sel to the rows that also satisfy q — the fused
+// equivalent of sel.And(Eval(t, q)). Callers that already hold a base
+// selection skip the full-table predicate scans: only still-selected
+// rows are tested.
+func EvalAndInto(t *storage.Table, q query.Query, sel *bitvec.Vector) error {
+	if sel.Len() != t.NumRows() {
+		return fmt.Errorf("engine: selection length %d != table rows %d", sel.Len(), t.NumRows())
+	}
+	return evalAndInto(t, q, sel)
+}
+
+// evalAndInto ANDs every predicate of q into sel using the fused
+// word-level kernel: each predicate is checked only on still-selected
+// rows and cleared bits never allocate an intermediate bitmap.
+func evalAndInto(t *storage.Table, q query.Query, sel *bitvec.Vector) error {
 	for _, p := range q.Preds {
-		pv, err := EvalPredicate(t, p)
-		if err != nil {
-			return nil, err
+		if err := evalPredicateAnd(t, p, sel); err != nil {
+			return err
 		}
-		sel.And(pv)
 		if !sel.Any() {
 			break
 		}
 	}
-	return sel, nil
+	return nil
+}
+
+// evalPredicateAnd narrows sel to the rows that also satisfy p, visiting
+// only the currently selected rows word by word.
+func evalPredicateAnd(t *storage.Table, p query.Predicate, sel *bitvec.Vector) error {
+	col, err := t.ColumnByName(p.Attr)
+	if err != nil {
+		return err
+	}
+	words := sel.Words()
+	switch c := col.(type) {
+	case *storage.Int64Column:
+		if p.Kind != query.Range {
+			return kindErr(p, col)
+		}
+		vals := c.Values()
+		andWords(words, func(i int) bool {
+			return p.MatchFloat(float64(vals[i])) && !c.IsNull(i)
+		})
+	case *storage.Float64Column:
+		if p.Kind != query.Range {
+			return kindErr(p, col)
+		}
+		vals := c.Values()
+		andWords(words, func(i int) bool {
+			return p.MatchFloat(vals[i]) && !c.IsNull(i)
+		})
+	case *storage.StringColumn:
+		if p.Kind != query.In {
+			return kindErr(p, col)
+		}
+		admit := make([]bool, c.Cardinality())
+		any := false
+		for _, v := range p.Values {
+			if code, ok := c.CodeOf(v); ok {
+				admit[code] = true
+				any = true
+			}
+		}
+		if !any {
+			sel.Zero()
+			return nil
+		}
+		codes := c.Codes()
+		andWords(words, func(i int) bool {
+			return admit[codes[i]] && !c.IsNull(i)
+		})
+	case *storage.BoolColumn:
+		if p.Kind != query.BoolEq {
+			return kindErr(p, col)
+		}
+		vals := c.Values()
+		andWords(words, func(i int) bool {
+			return vals[i] == p.BoolVal && !c.IsNull(i)
+		})
+	default:
+		return fmt.Errorf("engine: unsupported column type %T", col)
+	}
+	return nil
+}
+
+// andWords clears, in every non-zero word, the bits whose rows fail
+// match. Zero words are skipped entirely, so the cost of a conjunction
+// shrinks with its selectivity.
+func andWords(words []uint64, match func(i int) bool) {
+	for wi, w := range words {
+		if w == 0 {
+			continue
+		}
+		keep := w
+		for m := w; m != 0; m &= m - 1 {
+			bi := bits.TrailingZeros64(m)
+			if !match(wi*64 + bi) {
+				keep &^= uint64(1) << uint(bi)
+			}
+		}
+		words[wi] = keep
+	}
 }
 
 // Count evaluates q and returns the number of matching rows.
@@ -128,11 +178,23 @@ func Cover(t *storage.Table, q query.Query) (float64, error) {
 // NumericValuesUnder materializes the non-null float values of a numeric
 // column restricted to the selection. Int64 columns are widened.
 func NumericValuesUnder(t *storage.Table, attr string, sel *bitvec.Vector) ([]float64, error) {
+	return AppendNumericValuesUnder(nil, t, attr, sel)
+}
+
+// AppendNumericValuesUnder is NumericValuesUnder appending into dst — the
+// scratch-buffer variant for callers that recycle value slices across
+// cuts.
+func AppendNumericValuesUnder(dst []float64, t *storage.Table, attr string, sel *bitvec.Vector) ([]float64, error) {
 	col, err := t.ColumnByName(attr)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, 0, sel.Count())
+	out := dst
+	if cap(out)-len(out) < sel.Count() {
+		grown := make([]float64, len(out), len(out)+sel.Count())
+		copy(grown, out)
+		out = grown
+	}
 	switch c := col.(type) {
 	case *storage.Int64Column:
 		sel.ForEach(func(i int) bool {

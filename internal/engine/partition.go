@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// PartitionBits assigns every selected row to the first of the given
+// single-attribute predicates it satisfies, in one pass over the column:
+// the fused kernel behind CUT-produced region partitions. It returns one
+// disjoint bitmap per predicate; NULL rows and rows matching no
+// predicate are left out. For categorical columns the predicates are
+// compiled to a code→region table, making the per-row cost O(1)
+// regardless of the number of regions.
+//
+// All predicates must target attr with the kind matching the column
+// type. Compared with evaluating each region query independently, this
+// replaces k full scans with one.
+func PartitionBits(t *storage.Table, attr string, preds []query.Predicate, sel *bitvec.Vector) ([]*bitvec.Vector, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("engine: partition with zero predicates")
+	}
+	if sel.Len() != t.NumRows() {
+		return nil, fmt.Errorf("engine: selection length %d != table rows %d", sel.Len(), t.NumRows())
+	}
+	col, err := t.ColumnByName(attr)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range preds {
+		if p.Attr != attr {
+			return nil, fmt.Errorf("engine: partition predicate on %q, want %q", p.Attr, attr)
+		}
+	}
+	n := t.NumRows()
+	out := make([]*bitvec.Vector, len(preds))
+	outWords := make([][]uint64, len(preds))
+	for i := range out {
+		out[i] = bitvec.New(n)
+		outWords[i] = out[i].Words()
+	}
+	place := func(i, ri int) {
+		outWords[ri][i>>6] |= uint64(1) << uint(i&63)
+	}
+
+	switch c := col.(type) {
+	case *storage.Int64Column:
+		if err := predsAreKind(preds, query.Range, col); err != nil {
+			return nil, err
+		}
+		vals := c.Values()
+		forEachSelected(sel, func(i int) {
+			if c.IsNull(i) {
+				return
+			}
+			v := float64(vals[i])
+			for ri := range preds {
+				if preds[ri].MatchFloat(v) {
+					place(i, ri)
+					return
+				}
+			}
+		})
+	case *storage.Float64Column:
+		if err := predsAreKind(preds, query.Range, col); err != nil {
+			return nil, err
+		}
+		vals := c.Values()
+		forEachSelected(sel, func(i int) {
+			if c.IsNull(i) {
+				return
+			}
+			for ri := range preds {
+				if preds[ri].MatchFloat(vals[i]) {
+					place(i, ri)
+					return
+				}
+			}
+		})
+	case *storage.StringColumn:
+		if err := predsAreKind(preds, query.In, col); err != nil {
+			return nil, err
+		}
+		// compile once: dictionary code → first admitting region
+		region := make([]int32, c.Cardinality())
+		for i := range region {
+			region[i] = -1
+		}
+		for ri, p := range preds {
+			for _, v := range p.Values {
+				if code, ok := c.CodeOf(v); ok && region[code] < 0 {
+					region[code] = int32(ri)
+				}
+			}
+		}
+		codes := c.Codes()
+		forEachSelected(sel, func(i int) {
+			if ri := region[codes[i]]; ri >= 0 && !c.IsNull(i) {
+				place(i, int(ri))
+			}
+		})
+	case *storage.BoolColumn:
+		if err := predsAreKind(preds, query.BoolEq, col); err != nil {
+			return nil, err
+		}
+		vals := c.Values()
+		forEachSelected(sel, func(i int) {
+			if c.IsNull(i) {
+				return
+			}
+			for ri := range preds {
+				if preds[ri].MatchBool(vals[i]) {
+					place(i, ri)
+					return
+				}
+			}
+		})
+	default:
+		return nil, fmt.Errorf("engine: unsupported column type %T", col)
+	}
+	return out, nil
+}
+
+func predsAreKind(preds []query.Predicate, kind query.PredKind, col storage.Column) error {
+	for _, p := range preds {
+		if p.Kind != kind {
+			return kindErr(p, col)
+		}
+	}
+	return nil
+}
+
+// forEachSelected visits the set bits of sel in ascending order without
+// the early-exit bookkeeping of Vector.ForEach.
+func forEachSelected(sel *bitvec.Vector, fn func(i int)) {
+	for wi, w := range sel.Words() {
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			fn(base + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+// AssignFromPartition builds an Assignment directly from the disjoint
+// per-region bitmaps of PartitionBits — no re-evaluation of the region
+// queries. The caller guarantees disjointness.
+func AssignFromPartition(regionBits []*bitvec.Vector, base *bitvec.Vector) *Assignment {
+	counts := make([]int, len(regionBits))
+	assigned := 0
+	for i, rv := range regionBits {
+		counts[i] = rv.Count()
+		assigned += counts[i]
+	}
+	return &Assignment{
+		Regions:    len(regionBits),
+		Counts:     counts,
+		Rest:       base.Count() - assigned,
+		n:          base.Len(),
+		regionBits: regionBits,
+	}
+}

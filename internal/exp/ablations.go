@@ -116,7 +116,7 @@ func cutPurity(m *core.Map, labels []int) float64 {
 		counts[i] = map[int]int{}
 	}
 	total := 0
-	for row, lab := range m.Assignment().Labels {
+	for row, lab := range m.Assignment().Labels() {
 		if lab >= 0 {
 			counts[lab][labels[row]]++
 			total++

@@ -149,24 +149,24 @@ func runE3(w io.Writer, quick bool) error {
 		cands = append(cands, m)
 		names = append(names, attr)
 	}
-	dm, err := core.DistanceMatrix(cands, opts.Distance)
+	dm, err := core.DistanceMatrix(cands, opts.Distance, 1)
 	if err != nil {
 		return err
 	}
 
 	section(w, "E3 / Figure 4: candidate map distances (normalized VI), n=%d", n)
 	t := newTable(w, append([]string{""}, names...)...)
-	for i, row := range dm {
-		vals := make([]any, 0, len(row)+1)
+	for i := range cands {
+		vals := make([]any, 0, len(cands)+1)
 		vals = append(vals, names[i])
-		for _, d := range row {
-			vals = append(vals, d)
+		for j := range cands {
+			vals = append(vals, dm.At(i, j))
 		}
 		t.row(vals...)
 	}
 	t.flush()
 
-	dend := core.SLINK(len(cands), func(i, j int) float64 { return dm[i][j] })
+	dend := core.SLINK(len(cands), dm.At)
 	merges := dend.Merges()
 	fmt.Fprintln(w, "\nSLINK merge sequence:")
 	mergesBelow := 0
@@ -285,7 +285,7 @@ func runE4(w io.Writer, quick bool) error {
 // the adjusted Rand index.
 func regionARI(m *core.Map, labels []int) (float64, error) {
 	var pred, truth []int
-	for row, lab := range m.Assignment().Labels {
+	for row, lab := range m.Assignment().Labels() {
 		if lab >= 0 {
 			pred = append(pred, int(lab))
 			truth = append(truth, labels[row])
@@ -298,7 +298,7 @@ func regionARI(m *core.Map, labels []int) (float64, error) {
 func regionPurity(m *core.Map, ri int, labels []int) float64 {
 	counts := map[int]int{}
 	total := 0
-	for row, lab := range m.Assignment().Labels {
+	for row, lab := range m.Assignment().Labels() {
 		if int(lab) == ri {
 			counts[labels[row]]++
 			total++

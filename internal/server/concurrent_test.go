@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExploreSharedCartographer drives the stateless explore
+// endpoint from many goroutines at once — every request runs on the
+// server's one shared Cartographer. Run with -race; responses must all
+// agree with a reference answer.
+func TestConcurrentExploreSharedCartographer(t *testing.T) {
+	ts := newTestServer(t)
+	explore := func(cqlText string) (ResultDTO, error) {
+		var dto ResultDTO
+		buf, err := json.Marshal(exploreRequest{CQL: cqlText})
+		if err != nil {
+			return dto, err
+		}
+		resp, err := http.Post(ts.URL+"/api/explore", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return dto, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return dto, fmt.Errorf("status = %d", resp.StatusCode)
+		}
+		return dto, json.NewDecoder(resp.Body).Decode(&dto)
+	}
+
+	statements := []string{
+		"EXPLORE census",
+		"EXPLORE census WHERE age BETWEEN 20 AND 60",
+		"EXPLORE census WHERE sex IN ('Male')",
+	}
+	refs := make([]ResultDTO, len(statements))
+	for i, s := range statements {
+		ref, err := explore(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		refs[i] = ref
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, s := range statements {
+				got, err := explore(s)
+				if err != nil {
+					t.Errorf("%q: %v", s, err)
+					return
+				}
+				if got.BaseCount != refs[i].BaseCount || len(got.Maps) != len(refs[i].Maps) {
+					t.Errorf("%q: got %d maps over %d rows, want %d maps over %d rows",
+						s, len(got.Maps), got.BaseCount, len(refs[i].Maps), refs[i].BaseCount)
+					return
+				}
+				for mi := range got.Maps {
+					aj, _ := json.Marshal(got.Maps[mi])
+					bj, _ := json.Marshal(refs[i].Maps[mi])
+					if !bytes.Equal(aj, bj) {
+						t.Errorf("%q map %d differs: %s vs %s", s, mi, aj, bj)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -18,10 +18,14 @@ import (
 	"repro/internal/storage"
 )
 
-// Server holds one explorable table and its sessions.
+// Server holds one explorable table and its sessions. All requests that
+// run with the server's default options share a single Cartographer —
+// safe for concurrent use — so its column-stat cache warms once and
+// serves every session and stateless exploration.
 type Server struct {
 	table *storage.Table
 	opts  core.Options
+	cart  *core.Cartographer // shared; nil only when opts fail validation
 
 	mu       sync.Mutex
 	sessions map[int]*session.Session
@@ -30,7 +34,21 @@ type Server struct {
 
 // New creates a server over a table with the given pipeline defaults.
 func New(table *storage.Table, opts core.Options) *Server {
-	return &Server{table: table, opts: opts, sessions: map[int]*session.Session{}}
+	s := &Server{table: table, opts: opts, sessions: map[int]*session.Session{}}
+	if cart, err := core.NewCartographer(table, opts); err == nil {
+		s.cart = cart
+	}
+	return s
+}
+
+// cartFor returns the shared Cartographer when the effective options
+// match the server defaults, and builds a throwaway one otherwise (WITH
+// overrides change the pipeline configuration).
+func (s *Server) cartFor(opts core.Options) (*core.Cartographer, error) {
+	if s.cart != nil && opts == s.opts {
+		return s.cart, nil
+	}
+	return core.NewCartographer(s.table, opts)
 }
 
 // Handler returns the HTTP routing for the API.
@@ -172,7 +190,7 @@ func (s *Server) runCQL(input string) (*core.Result, error) {
 	if err != nil {
 		return nil, &badRequest{err}
 	}
-	cart, err := core.NewCartographer(s.table, effective)
+	cart, err := s.cartFor(effective)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +198,7 @@ func (s *Server) runCQL(input string) (*core.Result, error) {
 }
 
 func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
-	cart, err := core.NewCartographer(s.table, s.opts)
+	cart, err := s.cartFor(s.opts)
 	if err != nil {
 		writeError(w, err)
 		return

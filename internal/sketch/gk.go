@@ -132,6 +132,11 @@ func (s *GK) compress() {
 	s.entries = out
 }
 
+// Finalize flushes the insertion buffer so that subsequent Quantile
+// calls mutate nothing, making the sketch safe to share read-only across
+// goroutines.
+func (s *GK) Finalize() { s.flush() }
+
 // Quantile returns an ε-approximate q-quantile (q clamped to [0,1]).
 // Returns NaN if no values were observed.
 func (s *GK) Quantile(q float64) float64 {
