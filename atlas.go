@@ -48,6 +48,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/cql"
 	"repro/internal/datagen"
@@ -253,6 +254,27 @@ func LoadCSVFile(name, path string) (*Table, error) {
 
 // WriteCSV writes a table as CSV.
 func WriteCSV(t *Table, w io.Writer) error { return storage.WriteCSV(t, w) }
+
+// SaveStore ingests a table into an on-disk columnar store file (the
+// ".atl" format: per-column chunked segments with dictionary-encoded
+// strings, null bitmaps and per-chunk zone maps — see internal/colstore).
+// A store reopens orders of magnitude faster than re-parsing CSV and
+// enables zone-map pruned, chunk-parallel scans.
+func SaveStore(t *Table, path string) error {
+	return colstore.WriteFile(path, t, 0)
+}
+
+// OpenStore opens a table previously saved with SaveStore. The returned
+// table carries the store's chunk metadata: explorations over it prune
+// chunks via zone maps and shard scans across Options.Parallelism
+// workers, with results byte-identical to a CSV-loaded table.
+func OpenStore(path string) (*Table, error) {
+	s, err := colstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.Table(), nil
+}
 
 // ColumnSummary holds the descriptive statistics of one column.
 type ColumnSummary = storage.ColumnSummary

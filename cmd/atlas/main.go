@@ -5,6 +5,13 @@
 //
 //	atlas -dataset census            # explore a bundled synthetic dataset
 //	atlas -csv data.csv -table name  # explore a CSV file
+//	atlas -store data.atl            # explore a columnar store file
+//	atlas ingest -csv data.csv -out data.atl [-table name] [-chunk 65536]
+//
+// The ingest subcommand converts a CSV file into the on-disk columnar
+// store format (".atl"): per-column chunked segments with zone maps,
+// which reopen without re-parsing and let scans skip chunks that cannot
+// match a predicate. -store explores such a file directly.
 //
 // REPL commands:
 //
@@ -22,24 +29,36 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
+	"repro/internal/colstore"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "ingest" {
+		if err := runIngest(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "atlas ingest:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		dataset = flag.String("dataset", "census", "bundled dataset: census, body, sky, orders")
 		rows    = flag.Int("rows", 50000, "rows to generate for bundled datasets")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		csvPath = flag.String("csv", "", "explore a CSV file instead of a bundled dataset")
 		tblName = flag.String("table", "", "table name for -csv (defaults to the file path)")
+		store   = flag.String("store", "", "explore a columnar store file (.atl) created with 'atlas ingest'")
 	)
 	flag.Parse()
 
-	table, err := loadTable(*dataset, *rows, *seed, *csvPath, *tblName)
+	table, err := loadTable(*dataset, *rows, *seed, *csvPath, *tblName, *store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atlas:", err)
 		os.Exit(1)
@@ -222,7 +241,55 @@ func main() {
 	}
 }
 
-func loadTable(dataset string, rows int, seed int64, csvPath, tblName string) (*atlas.Table, error) {
+// runIngest implements the "atlas ingest" subcommand: CSV in, columnar
+// store file out.
+func runIngest(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	var (
+		csvPath = fs.String("csv", "", "CSV file to ingest (required)")
+		outPath = fs.String("out", "", "output store path (default: CSV path with .atl extension)")
+		tblName = fs.String("table", "", "table name stored in the file (default: CSV path)")
+		chunk   = fs.Int("chunk", 0, "rows per chunk; positive multiple of 64 (default 65536)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csvPath == "" {
+		return fmt.Errorf("-csv is required")
+	}
+	dst := *outPath
+	if dst == "" {
+		dst = strings.TrimSuffix(*csvPath, filepath.Ext(*csvPath)) + ".atl"
+	}
+	start := time.Now()
+	table, err := atlas.LoadCSVFile(*tblName, *csvPath)
+	if err != nil {
+		return err
+	}
+	parsed := time.Now()
+	if err := colstore.WriteFile(dst, table, *chunk); err != nil {
+		return err
+	}
+	info, err := os.Stat(dst)
+	if err != nil {
+		return err
+	}
+	size := *chunk
+	if size == 0 {
+		size = colstore.DefaultChunkSize
+	}
+	chunks := (table.NumRows() + size - 1) / size
+	fmt.Fprintf(out, "ingested %q: %d rows, %d columns, %d chunk(s) -> %s (%d bytes)\n",
+		table.Name(), table.NumRows(), table.NumCols(), chunks, dst, info.Size())
+	fmt.Fprintf(out, "parse %v, write %v\n",
+		parsed.Sub(start).Round(time.Millisecond), time.Since(parsed).Round(time.Millisecond))
+	return nil
+}
+
+func loadTable(dataset string, rows int, seed int64, csvPath, tblName, store string) (*atlas.Table, error) {
+	if store != "" {
+		return atlas.OpenStore(store)
+	}
 	if csvPath != "" {
 		return atlas.LoadCSVFile(tblName, csvPath)
 	}

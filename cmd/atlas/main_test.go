@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -17,7 +18,7 @@ func TestLoadTableBundledDatasets(t *testing.T) {
 		{"orders", 100},
 	}
 	for _, c := range cases {
-		tbl, err := loadTable(c.dataset, c.rows, 1, "", "")
+		tbl, err := loadTable(c.dataset, c.rows, 1, "", "", "")
 		if err != nil {
 			t.Errorf("%s: %v", c.dataset, err)
 			continue
@@ -26,7 +27,7 @@ func TestLoadTableBundledDatasets(t *testing.T) {
 			t.Errorf("%s: empty table", c.dataset)
 		}
 	}
-	if _, err := loadTable("nope", 10, 1, "", ""); err == nil {
+	if _, err := loadTable("nope", 10, 1, "", "", ""); err == nil {
 		t.Error("unknown dataset should fail")
 	}
 }
@@ -37,14 +38,51 @@ func TestLoadTableCSV(t *testing.T) {
 	if err := os.WriteFile(path, []byte("x,y\n1,a\n2,b\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := loadTable("", 0, 0, path, "mytable")
+	tbl, err := loadTable("", 0, 0, path, "mytable", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tbl.Name() != "mytable" || tbl.NumRows() != 2 {
 		t.Fatalf("table = %s rows %d", tbl.Name(), tbl.NumRows())
 	}
-	if _, err := loadTable("", 0, 0, filepath.Join(dir, "missing.csv"), ""); err == nil {
+	if _, err := loadTable("", 0, 0, filepath.Join(dir, "missing.csv"), "", ""); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+func TestIngestAndLoadStore(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(csvPath, []byte("x,y\n1,a\n2,b\n,c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := runIngest([]string{"-csv", csvPath, "-table", "mytable", "-chunk", "64"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(dir, "data.atl")
+	if _, err := os.Stat(storePath); err != nil {
+		t.Fatalf("default output path not written: %v", err)
+	}
+	if !strings.Contains(out.String(), "3 rows") {
+		t.Errorf("ingest summary = %q", out.String())
+	}
+	tbl, err := loadTable("", 0, 0, "", "", storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name() != "mytable" || tbl.NumRows() != 3 {
+		t.Fatalf("store table = %s rows %d", tbl.Name(), tbl.NumRows())
+	}
+	if !tbl.Column(0).IsNull(2) {
+		t.Error("NULL cell lost through ingest round trip")
+	}
+	// Required flag and bad chunk sizes error out.
+	if err := runIngest(nil, &out); err == nil {
+		t.Error("missing -csv must fail")
+	}
+	if err := runIngest([]string{"-csv", csvPath, "-chunk", "100"}, &out); err == nil {
+		t.Error("chunk size not a multiple of 64 must fail")
 	}
 }

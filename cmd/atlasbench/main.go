@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,10 +22,14 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bitvec"
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/query"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -138,6 +143,63 @@ func writeBenchJSON(path string, quick bool) error {
 	}
 	run(fmt.Sprintf("Explore/census_n=%d/parallel", n), exploreBench(0))
 	run(fmt.Sprintf("Explore/census_n=%d/serial", n), exploreBench(1))
+
+	// Cold start: opening the columnar store vs re-parsing CSV, on the
+	// same scenarios as the repo-root micro-benchmarks.
+	tmp, err := os.MkdirTemp("", "atlasbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	storePath, csvData, err := exp.ColdStartInputs(n, 1, tmp)
+	if err != nil {
+		return err
+	}
+	run(fmt.Sprintf("StoreOpen/census_n=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := colstore.Open(storePath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Table().NumRows() != n {
+				b.Fatal("short read")
+			}
+		}
+	})
+	run(fmt.Sprintf("CSVParse/census_n=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t, err := storage.ReadCSV("census", bytes.NewReader(csvData), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if t.NumRows() != n {
+				b.Fatal("short read")
+			}
+		}
+	})
+
+	// Zone-map pruned selective scan vs the same scan without chunk
+	// metadata.
+	chunkedEvents, plainEvents, pq, err := exp.PrunedScanScenario(n)
+	if err != nil {
+		return err
+	}
+	scanBench := func(t *storage.Table) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			sel := bitvec.NewFull(n)
+			for i := 0; i < b.N; i++ {
+				sel.Fill()
+				if err := engine.EvalAndIntoOpts(t, pq, sel, engine.ScanOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	run(fmt.Sprintf("EvalRange/events_n=%d/pruned", n), scanBench(chunkedEvents))
+	run(fmt.Sprintf("EvalRange/events_n=%d/full", n), scanBench(plainEvents))
 
 	f, err := os.Create(path)
 	if err != nil {

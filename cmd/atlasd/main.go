@@ -5,6 +5,11 @@
 //
 //	atlasd -addr :8080 -dataset census -rows 100000
 //	atlasd -addr :8080 -csv data.csv -table mydata
+//	atlasd -addr :8080 -store data.atl
+//
+// -store serves directly from a columnar store file created with
+// "atlas ingest" (or atlas.SaveStore): cold start skips CSV parsing
+// entirely and scans prune chunks via the store's zone maps.
 //
 // Endpoints:
 //
@@ -37,22 +42,37 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		csvPath = flag.String("csv", "", "serve a CSV file instead of a bundled dataset")
 		tblName = flag.String("table", "", "table name for -csv")
+		store   = flag.String("store", "", "serve a columnar store file (.atl) created with 'atlas ingest'")
 	)
 	flag.Parse()
 
-	table, err := loadTable(*dataset, *rows, *seed, *csvPath, *tblName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlasd:", err)
-		os.Exit(1)
+	var srv *server.Server
+	if *store != "" {
+		s, err := server.NewFromStore(*store, atlas.DefaultOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atlasd:", err)
+			os.Exit(1)
+		}
+		srv = s
+	} else {
+		table, err := loadTable(*dataset, *rows, *seed, *csvPath, *tblName, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atlasd:", err)
+			os.Exit(1)
+		}
+		srv = server.New(table, atlas.DefaultOptions())
 	}
-	srv := server.New(table, atlas.DefaultOptions())
+	table := srv.Table()
 	log.Printf("atlasd: serving table %q (%d rows) on %s", table.Name(), table.NumRows(), *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func loadTable(dataset string, rows int, seed int64, csvPath, tblName string) (*atlas.Table, error) {
+func loadTable(dataset string, rows int, seed int64, csvPath, tblName, store string) (*atlas.Table, error) {
+	if store != "" {
+		return atlas.OpenStore(store)
+	}
 	if csvPath != "" {
 		return atlas.LoadCSVFile(tblName, csvPath)
 	}

@@ -1,0 +1,593 @@
+// Package colstore implements the on-disk columnar segment store behind
+// Atlas: a persistent, versioned binary format (".atl") that a table is
+// ingested into once and reopened from in milliseconds, instead of
+// re-parsing CSV on every process start.
+//
+// # Format (version 1)
+//
+// All integers are little-endian; "uv" is an unsigned varint
+// (encoding/binary Uvarint).
+//
+//	magic   "ATLS" (4 bytes)
+//	version u8 (= 1)
+//	uv nameLen | table name (UTF-8)
+//	uv rows
+//	uv chunkSize          // rows per chunk; positive multiple of 64
+//	uv cols
+//	per column: uv nameLen | field name | u8 type (storage.DataType)
+//	per column segment:
+//	  (String columns) dictionary: uv entries; per entry uv len | bytes
+//	  per chunk (ceil(rows/chunkSize) chunks):
+//	    u8 flags            // 1 = has null words, 2 = has min/max
+//	    (flag 2) f64 min | f64 max     // IEEE-754 bits
+//	    uv nullCount
+//	    uv distinct         // distinct non-null values in the chunk
+//	    (flag 1) null bitmap: ceil(chunkRows/64) × u64 packed words
+//	    values:
+//	      Int64/Float64  chunkRows × u64 (two's-complement / IEEE bits)
+//	      Bool           ceil(chunkRows/64) × u64 packed bits
+//	      String         chunkRows × u32 dictionary codes
+//	trailer u32 CRC-32 (IEEE) of every preceding byte
+//
+// The per-chunk min/max, null count and distinct estimate form the zone
+// maps: Open hands them to storage.NewChunkedTable, and the engine's
+// scan path prunes chunks whose zone maps prove they cannot match a
+// predicate — and shards one scan chunk-by-chunk across workers.
+//
+// Chunk sizes are multiples of 64 so chunk boundaries align with
+// selection-bitmap words: null words and packed bool words of a chunk
+// are verbatim slices of the whole-column bitmaps, making both ingest
+// and reload copy-only.
+package colstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitvec"
+	"repro/internal/storage"
+)
+
+const (
+	magic = "ATLS"
+	// Version is the current format version byte.
+	Version = 1
+	// DefaultChunkSize is the default rows-per-chunk at ingest.
+	DefaultChunkSize = storage.ChunkRows
+	// maxDictEntries bounds a string column's dictionary, enforced
+	// symmetrically at Write and Read: a file the writer produces is
+	// always reopenable, and a crafted file cannot demand implausible
+	// allocations.
+	maxDictEntries = 1 << 24
+)
+
+// Store is an opened .atl file: the decoded table plus file-level
+// metadata. The table carries the store's chunk metadata, so scans over
+// it prune via zone maps automatically.
+type Store struct {
+	// Path is the file the store was opened from ("" for Read).
+	Path string
+	// ChunkSize is the ingest chunk size in rows.
+	ChunkSize int
+	table     *storage.Table
+}
+
+// Table returns the store's table (chunk-aware).
+func (s *Store) Table() *storage.Table { return s.table }
+
+// WriteFile ingests a table into path. chunkSize 0 uses
+// DefaultChunkSize; otherwise it must be a positive multiple of 64.
+// The file is written to a temporary sibling and renamed into place, so
+// a failed or interrupted ingest never destroys an existing store.
+func WriteFile(path string, t *storage.Table, chunkSize int) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := Write(f, t, chunkSize); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Write serializes a table in .atl format. Zone maps are computed here,
+// at ingest, so Open never rescans values.
+func Write(w io.Writer, t *storage.Table, chunkSize int) error {
+	if chunkSize == 0 {
+		chunkSize = DefaultChunkSize
+	}
+	ck, err := storage.ComputeChunking(t, chunkSize)
+	if err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+	e := &encoder{w: bw}
+
+	e.raw([]byte(magic))
+	e.u8(Version)
+	e.bytes([]byte(t.Name()))
+	e.uv(uint64(t.NumRows()))
+	e.uv(uint64(chunkSize))
+	e.uv(uint64(t.NumCols()))
+	for i := 0; i < t.NumCols(); i++ {
+		f := t.Schema().Field(i)
+		e.bytes([]byte(f.Name))
+		e.u8(byte(f.Type))
+	}
+	numChunks := ck.NumChunks(t.NumRows())
+	for c := 0; c < t.NumCols(); c++ {
+		col := t.Column(c)
+		if sc, ok := col.(*storage.StringColumn); ok {
+			dict := sc.Dict()
+			if len(dict) > maxDictEntries {
+				return fmt.Errorf("colstore: column %q has %d distinct values, format limit is %d",
+					t.Schema().Field(c).Name, len(dict), maxDictEntries)
+			}
+			e.uv(uint64(len(dict)))
+			for _, s := range dict {
+				e.bytes([]byte(s))
+			}
+		}
+		nullWords := storage.NullWords(col)
+		for k := 0; k < numChunks; k++ {
+			lo := k * chunkSize
+			hi := lo + chunkSize
+			if hi > t.NumRows() {
+				hi = t.NumRows()
+			}
+			e.chunk(col, ck.Zones[c][k], nullWords, lo, hi)
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err = w.Write(tail[:])
+	return err
+}
+
+// encoder wraps a writer with little-endian primitives and sticky
+// errors.
+type encoder struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) raw(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) u8(v byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(v)
+	}
+}
+
+func (e *encoder) uv(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.raw(e.buf[:n])
+}
+
+func (e *encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.raw(e.buf[:4])
+}
+
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.raw(e.buf[:8])
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.uv(uint64(len(b)))
+	e.raw(b)
+}
+
+const (
+	flagNulls  = 1
+	flagMinMax = 2
+)
+
+// chunk writes one column chunk: zone map, null words, values.
+func (e *encoder) chunk(col storage.Column, zm storage.ZoneMap, nullWords []uint64, lo, hi int) {
+	w0, w1 := lo/64, (hi+63)/64
+	var flags byte
+	if zm.NullCount > 0 {
+		flags |= flagNulls
+	}
+	if zm.HasMinMax {
+		flags |= flagMinMax
+	}
+	e.u8(flags)
+	if zm.HasMinMax {
+		e.u64(math.Float64bits(zm.Min))
+		e.u64(math.Float64bits(zm.Max))
+	}
+	e.uv(uint64(zm.NullCount))
+	e.uv(uint64(zm.Distinct))
+	if zm.NullCount > 0 {
+		// Chunk boundaries are word-aligned, so the chunk's null words
+		// are a verbatim slice of the column bitmap.
+		for wi := w0; wi < w1; wi++ {
+			e.u64(nullWords[wi])
+		}
+	}
+	switch c := col.(type) {
+	case *storage.Int64Column:
+		vals := c.Values()
+		for i := lo; i < hi; i++ {
+			e.u64(uint64(vals[i]))
+		}
+	case *storage.Float64Column:
+		vals := c.Values()
+		for i := lo; i < hi; i++ {
+			e.u64(math.Float64bits(vals[i]))
+		}
+	case *storage.BoolColumn:
+		vals := c.Values()
+		var w uint64
+		for i := lo; i < hi; i++ {
+			if vals[i] {
+				w |= 1 << uint((i-lo)%64)
+			}
+			if (i-lo)%64 == 63 {
+				e.u64(w)
+				w = 0
+			}
+		}
+		if (hi-lo)%64 != 0 {
+			e.u64(w)
+		}
+	case *storage.StringColumn:
+		codes := c.Codes()
+		for i := lo; i < hi; i++ {
+			e.u32(codes[i])
+		}
+	default:
+		if e.err == nil {
+			e.err = fmt.Errorf("colstore: unsupported column type %T", col)
+		}
+	}
+}
+
+// Open reads an .atl file into an in-memory, chunk-aware table.
+func Open(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Read(data)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %s: %w", path, err)
+	}
+	s.Path = path
+	return s, nil
+}
+
+// Read decodes an .atl image. The CRC trailer is verified before any
+// decoding, so a truncated or corrupted file fails fast.
+func Read(data []byte) (*Store, error) {
+	if len(data) < len(magic)+1+4 {
+		return nil, fmt.Errorf("file too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("bad magic %q", data[:4])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	d := &decoder{data: body, off: 4}
+	if v := d.u8(); v != Version {
+		return nil, fmt.Errorf("unsupported version %d (want %d)", v, Version)
+	}
+	name := string(d.bytes())
+	rowsU := d.uv()
+	chunkSize := int(d.uv())
+	numCols := int(d.uv())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if rowsU > 1<<40 {
+		return nil, fmt.Errorf("implausible row count %d", rowsU)
+	}
+	rows := int(rowsU)
+	// The upper bound keeps chunk arithmetic (rows+chunkSize-1) far from
+	// int overflow on crafted headers.
+	if chunkSize <= 0 || chunkSize%64 != 0 || chunkSize > 1<<30 {
+		return nil, fmt.Errorf("invalid chunk size %d", chunkSize)
+	}
+	if numCols < 0 || numCols > 1<<20 {
+		return nil, fmt.Errorf("implausible column count %d", numCols)
+	}
+	fields := make([]storage.Field, numCols)
+	minBitsPerRow := 0
+	for i := range fields {
+		fields[i].Name = string(d.bytes())
+		typ := storage.DataType(d.u8())
+		switch typ {
+		case storage.Int64, storage.Float64:
+			minBitsPerRow += 64
+		case storage.String:
+			minBitsPerRow += 32
+		case storage.Bool:
+			minBitsPerRow++
+		default:
+			return nil, fmt.Errorf("column %q: unknown type %d", fields[i].Name, typ)
+		}
+		fields[i].Type = typ
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Before allocating row-sized slices, check the claimed row count
+	// against the bytes actually present: every row needs at least
+	// minBitsPerRow of value payload, so a corrupted or crafted header
+	// fails here instead of panicking in makeslice (or OOMing).
+	remaining := uint64(len(d.data) - d.off)
+	if numCols == 0 && rows != 0 {
+		return nil, fmt.Errorf("%d rows but no columns", rows)
+	}
+	if minBitsPerRow > 0 && rowsU > remaining*8/uint64(minBitsPerRow) {
+		return nil, fmt.Errorf("implausible row count %d for %d remaining bytes", rowsU, remaining)
+	}
+	schema, err := storage.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	ck := &storage.Chunking{Size: chunkSize, Zones: make([][]storage.ZoneMap, numCols)}
+	numChunks := ck.NumChunks(rows)
+	cols := make([]storage.Column, numCols)
+	for c := range cols {
+		col, zones, err := d.column(fields[c], rows, chunkSize, numChunks)
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", fields[c].Name, err)
+		}
+		cols[c] = col
+		ck.Zones[c] = zones
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.data) {
+		return nil, fmt.Errorf("%d trailing bytes after last segment", len(d.data)-d.off)
+	}
+	tbl, err := storage.NewChunkedTable(name, schema, cols, ck)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{ChunkSize: chunkSize, table: tbl}, nil
+}
+
+// decoder walks a byte image with sticky errors and bounds checks.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	// n > remaining (not off+n > len) so a crafted length near MaxInt
+	// cannot overflow past the check.
+	if n < 0 || n > len(d.data)-d.off {
+		d.fail("truncated: need %d bytes at offset %d, have %d", n, d.off, len(d.data)-d.off)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.data[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.uv())
+	if n < 0 || !d.need(n) {
+		d.fail("bad byte-string length %d at offset %d", n, d.off)
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// column decodes one column segment: optional dictionary, then
+// numChunks chunks of zone map + nulls + values.
+func (d *decoder) column(f storage.Field, rows, chunkSize, numChunks int) (storage.Column, []storage.ZoneMap, error) {
+	var dict []string
+	if f.Type == storage.String {
+		// Shared dictionaries (gathers, samples) may exceed the row
+		// count, so only guard against the format bound Write enforces.
+		n := int(d.uv())
+		if n < 0 || n > maxDictEntries {
+			return nil, nil, fmt.Errorf("implausible dictionary size %d", n)
+		}
+		dict = make([]string, n)
+		for i := range dict {
+			dict[i] = string(d.bytes())
+		}
+	}
+	var (
+		ints   []int64
+		floats []float64
+		bools  []bool
+		codes  []uint32
+	)
+	switch f.Type {
+	case storage.Int64:
+		ints = make([]int64, rows)
+	case storage.Float64:
+		floats = make([]float64, rows)
+	case storage.Bool:
+		bools = make([]bool, rows)
+	case storage.String:
+		codes = make([]uint32, rows)
+	}
+	nulls := bitvec.New(rows)
+	nullWords := nulls.Words()
+	totalNulls := 0
+	zones := make([]storage.ZoneMap, numChunks)
+	for k := 0; k < numChunks; k++ {
+		lo := k * chunkSize
+		hi := lo + chunkSize
+		if hi > rows {
+			hi = rows
+		}
+		chunkRows := hi - lo
+		chunkWords := (chunkRows + 63) / 64
+		flags := d.u8()
+		zm := storage.ZoneMap{}
+		if flags&flagMinMax != 0 {
+			zm.Min = math.Float64frombits(d.u64())
+			zm.Max = math.Float64frombits(d.u64())
+			zm.HasMinMax = true
+		}
+		zm.NullCount = int(d.uv())
+		zm.Distinct = int(d.uv())
+		if zm.NullCount < 0 || zm.NullCount > chunkRows {
+			return nil, nil, fmt.Errorf("chunk %d: null count %d out of range", k, zm.NullCount)
+		}
+		zones[k] = zm
+		if flags&flagNulls != 0 {
+			for wi := 0; wi < chunkWords; wi++ {
+				nullWords[lo/64+wi] = d.u64()
+			}
+			totalNulls += zm.NullCount
+		}
+		// Values decode with one bounds check per chunk, not per element.
+		switch f.Type {
+		case storage.Int64:
+			if !d.need(8 * chunkRows) {
+				return nil, nil, d.err
+			}
+			buf := d.data[d.off:]
+			for i := 0; i < chunkRows; i++ {
+				ints[lo+i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+			d.off += 8 * chunkRows
+		case storage.Float64:
+			if !d.need(8 * chunkRows) {
+				return nil, nil, d.err
+			}
+			buf := d.data[d.off:]
+			for i := 0; i < chunkRows; i++ {
+				floats[lo+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+			d.off += 8 * chunkRows
+		case storage.Bool:
+			for wi := 0; wi < chunkWords; wi++ {
+				w := d.u64()
+				for b := 0; b < 64 && lo+wi*64+b < hi; b++ {
+					bools[lo+wi*64+b] = w&(1<<uint(b)) != 0
+				}
+			}
+		case storage.String:
+			if !d.need(4 * chunkRows) {
+				return nil, nil, d.err
+			}
+			buf := d.data[d.off:]
+			for i := 0; i < chunkRows; i++ {
+				codes[lo+i] = binary.LittleEndian.Uint32(buf[i*4:])
+			}
+			d.off += 4 * chunkRows
+		}
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+	}
+	var nv *bitvec.Vector
+	if totalNulls > 0 {
+		nv = nulls
+	}
+	switch f.Type {
+	case storage.Int64:
+		return storage.NewInt64Column(ints, nv), zones, nil
+	case storage.Float64:
+		return storage.NewFloat64Column(floats, nv), zones, nil
+	case storage.Bool:
+		return storage.NewBoolColumn(bools, nv), zones, nil
+	default:
+		for i, code := range codes {
+			if int(code) >= len(dict) {
+				if nv == nil || !nv.Get(i) {
+					return nil, nil, fmt.Errorf("row %d: code %d out of dictionary range %d", i, code, len(dict))
+				}
+				// NULL rows never have their code read, but clamp them
+				// in-range so every downstream kernel can index the
+				// dictionary before checking the null bitmap.
+				codes[i] = 0
+			}
+		}
+		return storage.NewStringColumnFromDict(dict, codes, nv), zones, nil
+	}
+}

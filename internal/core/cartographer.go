@@ -126,6 +126,11 @@ func (c *Cartographer) Table() *storage.Table { return c.table }
 // Options returns the pipeline configuration.
 func (c *Cartographer) Options() Options { return c.opts }
 
+// Workers returns the resolved worker count Options.Parallelism maps to
+// — the single source of truth for callers (sessions) that run scans on
+// the Cartographer's behalf.
+func (c *Cartographer) Workers() int { return resolveParallelism(c.opts.Parallelism) }
+
 // Result is the answer to one exploration step: the ranked data maps for
 // a user query, plus diagnostics.
 type Result struct {
@@ -155,17 +160,48 @@ type Result struct {
 // embarrassingly parallel stages — per-attribute cuts, pairwise
 // distances and per-cluster merges — fan out over Options.Parallelism
 // workers; all results are collected by index, so the answer is
-// identical at any parallelism.
+// identical at any parallelism. On chunk-aware tables (column-store
+// backed) the base scan itself is sharded chunk-by-chunk over the same
+// worker pool and prunes chunks via zone maps.
 func (c *Cartographer) Explore(q query.Query) (*Result, error) {
 	start := time.Now()
-	if q.Table != "" && q.Table != c.table.Name() {
-		return nil, fmt.Errorf("core: query targets table %q, cartographer holds %q", q.Table, c.table.Name())
-	}
-	workers := resolveParallelism(c.opts.Parallelism)
-	base, err := engine.Eval(c.table, q)
-	if err != nil {
+	if err := c.checkTable(q); err != nil {
 		return nil, err
 	}
+	workers := resolveParallelism(c.opts.Parallelism)
+	base := bitvec.NewFull(c.table.NumRows())
+	if err := engine.EvalAndIntoOpts(c.table, q, base, engine.ScanOptions{Workers: workers}); err != nil {
+		return nil, err
+	}
+	return c.exploreBase(q, base, start)
+}
+
+// ExploreSel runs the pipeline on a precomputed base selection — the
+// entry point for callers that already hold Eval(table, q) (for
+// example, a session assembling the selection from cached per-predicate
+// bitmaps). base must have exactly the table's length and must select
+// exactly the rows matching q; the Cartographer takes ownership of it.
+func (c *Cartographer) ExploreSel(q query.Query, base *bitvec.Vector) (*Result, error) {
+	start := time.Now()
+	if err := c.checkTable(q); err != nil {
+		return nil, err
+	}
+	if base.Len() != c.table.NumRows() {
+		return nil, fmt.Errorf("core: base selection length %d != table rows %d", base.Len(), c.table.NumRows())
+	}
+	return c.exploreBase(q, base, start)
+}
+
+func (c *Cartographer) checkTable(q query.Query) error {
+	if q.Table != "" && q.Table != c.table.Name() {
+		return fmt.Errorf("core: query targets table %q, cartographer holds %q", q.Table, c.table.Name())
+	}
+	return nil
+}
+
+// exploreBase is the shared pipeline body behind Explore and ExploreSel.
+func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start time.Time) (*Result, error) {
+	workers := resolveParallelism(c.opts.Parallelism)
 	res := &Result{
 		Input:     q,
 		TotalRows: c.table.NumRows(),
@@ -190,7 +226,7 @@ func (c *Cartographer) Explore(q query.Query) (*Result, error) {
 		flagged bool
 	}
 	outs := make([]candOut, len(attrs))
-	err = parallelFor(workers, len(attrs), func(i int) error {
+	err := parallelFor(workers, len(attrs), func(i int) error {
 		x := cutter{t: c.table, cache: c.stats}
 		preds, err := x.cutPredicates(base, baseFull, attrs[i], c.opts.Cut)
 		var deg *ErrDegenerate

@@ -6,7 +6,6 @@ package engine
 
 import (
 	"fmt"
-	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/query"
@@ -16,10 +15,18 @@ import (
 // EvalPredicate evaluates a single predicate over its column, returning a
 // selection bitmap. NULL rows never match.
 func EvalPredicate(t *storage.Table, p query.Predicate) (*bitvec.Vector, error) {
+	return EvalPredicateOpts(t, p, ScanOptions{})
+}
+
+// EvalPredicateOpts is EvalPredicate with scan options (chunk-parallel
+// workers, stats).
+func EvalPredicateOpts(t *storage.Table, p query.Predicate, opts ScanOptions) (*bitvec.Vector, error) {
 	out := bitvec.NewFull(t.NumRows())
-	if err := evalPredicateAnd(t, p, out); err != nil {
+	cp, err := compilePred(t, p)
+	if err != nil {
 		return nil, err
 	}
+	evalCompiled(t, []compiledPred{cp}, out, opts)
 	return out, nil
 }
 
@@ -62,95 +69,15 @@ func EvalAndInto(t *storage.Table, q query.Query, sel *bitvec.Vector) error {
 
 // evalAndInto ANDs every predicate of q into sel using the fused
 // word-level kernel: each predicate is checked only on still-selected
-// rows and cleared bits never allocate an intermediate bitmap.
+// rows and cleared bits never allocate an intermediate bitmap. Tables
+// with chunk metadata additionally consult zone maps (see scan.go).
 func evalAndInto(t *storage.Table, q query.Query, sel *bitvec.Vector) error {
-	for _, p := range q.Preds {
-		if err := evalPredicateAnd(t, p, sel); err != nil {
-			return err
-		}
-		if !sel.Any() {
-			break
-		}
-	}
-	return nil
-}
-
-// evalPredicateAnd narrows sel to the rows that also satisfy p, visiting
-// only the currently selected rows word by word.
-func evalPredicateAnd(t *storage.Table, p query.Predicate, sel *bitvec.Vector) error {
-	col, err := t.ColumnByName(p.Attr)
+	cps, err := compileQuery(t, q)
 	if err != nil {
 		return err
 	}
-	words := sel.Words()
-	switch c := col.(type) {
-	case *storage.Int64Column:
-		if p.Kind != query.Range {
-			return kindErr(p, col)
-		}
-		vals := c.Values()
-		andWords(words, func(i int) bool {
-			return p.MatchFloat(float64(vals[i])) && !c.IsNull(i)
-		})
-	case *storage.Float64Column:
-		if p.Kind != query.Range {
-			return kindErr(p, col)
-		}
-		vals := c.Values()
-		andWords(words, func(i int) bool {
-			return p.MatchFloat(vals[i]) && !c.IsNull(i)
-		})
-	case *storage.StringColumn:
-		if p.Kind != query.In {
-			return kindErr(p, col)
-		}
-		admit := make([]bool, c.Cardinality())
-		any := false
-		for _, v := range p.Values {
-			if code, ok := c.CodeOf(v); ok {
-				admit[code] = true
-				any = true
-			}
-		}
-		if !any {
-			sel.Zero()
-			return nil
-		}
-		codes := c.Codes()
-		andWords(words, func(i int) bool {
-			return admit[codes[i]] && !c.IsNull(i)
-		})
-	case *storage.BoolColumn:
-		if p.Kind != query.BoolEq {
-			return kindErr(p, col)
-		}
-		vals := c.Values()
-		andWords(words, func(i int) bool {
-			return vals[i] == p.BoolVal && !c.IsNull(i)
-		})
-	default:
-		return fmt.Errorf("engine: unsupported column type %T", col)
-	}
+	evalCompiled(t, cps, sel, ScanOptions{})
 	return nil
-}
-
-// andWords clears, in every non-zero word, the bits whose rows fail
-// match. Zero words are skipped entirely, so the cost of a conjunction
-// shrinks with its selectivity.
-func andWords(words []uint64, match func(i int) bool) {
-	for wi, w := range words {
-		if w == 0 {
-			continue
-		}
-		keep := w
-		for m := w; m != 0; m &= m - 1 {
-			bi := bits.TrailingZeros64(m)
-			if !match(wi*64 + bi) {
-				keep &^= uint64(1) << uint(bi)
-			}
-		}
-		words[wi] = keep
-	}
 }
 
 // Count evaluates q and returns the number of matching rows.

@@ -99,7 +99,11 @@ func PartitionBits(t *storage.Table, attr string, preds []query.Predicate, sel *
 		}
 		codes := c.Codes()
 		forEachSelected(sel, func(i int) {
-			if ri := region[codes[i]]; ri >= 0 && !c.IsNull(i) {
+			// Null check first: null rows may carry placeholder codes.
+			if c.IsNull(i) {
+				return
+			}
+			if ri := region[codes[i]]; ri >= 0 {
 				place(i, int(ri))
 			}
 		})

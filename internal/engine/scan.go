@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// ScanStats counts chunk-level scan decisions for one evaluation. One
+// entry is recorded per (predicate, chunk) pair; tables without chunk
+// metadata record nothing. The counters are atomics so chunk-parallel
+// scans can share one ScanStats.
+type ScanStats struct {
+	// ChunksScanned counts chunks whose rows were actually tested.
+	ChunksScanned atomic.Int64
+	// ChunksPruned counts chunks skipped because the zone map proves no
+	// row can match (disjoint min/max range or an all-NULL chunk).
+	ChunksPruned atomic.Int64
+	// ChunksFull counts chunks skipped because the zone map proves every
+	// non-pruned row matches (predicate covers [min,max], no NULLs).
+	ChunksFull atomic.Int64
+}
+
+// ScanOptions tunes one scan.
+type ScanOptions struct {
+	// Workers shards the scan across chunks when the table carries chunk
+	// metadata; <=1 scans serially. Chunks map to disjoint word ranges
+	// of the selection bitmap, so results are byte-identical at any
+	// worker count.
+	Workers int
+	// Stats, when non-nil, accumulates chunk decisions.
+	Stats *ScanStats
+}
+
+// EvalAndIntoOpts is EvalAndInto with scan options: zone-map pruning is
+// always on for chunked tables; Workers additionally shards the scan.
+func EvalAndIntoOpts(t *storage.Table, q query.Query, sel *bitvec.Vector, opts ScanOptions) error {
+	if sel.Len() != t.NumRows() {
+		return fmt.Errorf("engine: selection length %d != table rows %d", sel.Len(), t.NumRows())
+	}
+	cps, err := compileQuery(t, q)
+	if err != nil {
+		return err
+	}
+	evalCompiled(t, cps, sel, opts)
+	return nil
+}
+
+// zoneVerdict is a zone map's answer for one (predicate, chunk) pair.
+type zoneVerdict int
+
+const (
+	// zoneScan: the chunk may contain both matching and non-matching
+	// rows; scan it.
+	zoneScan zoneVerdict = iota
+	// zonePrune: no row in the chunk can match; clear its bits.
+	zonePrune
+	// zoneFull: every row in the chunk matches; leave its bits alone.
+	zoneFull
+)
+
+// compiledPred is one predicate resolved against its column: a per-row
+// matcher plus a zone-map decision function.
+type compiledPred struct {
+	colIdx int
+	match  func(i int) bool
+	zone   func(zm storage.ZoneMap, chunkRows int) zoneVerdict
+	// never marks predicates proven unsatisfiable at compile time (an In
+	// set with no dictionary hits): the scan clears the selection without
+	// visiting rows.
+	never bool
+}
+
+// zoneNullOnly prunes only all-NULL chunks — the fallback for predicate
+// shapes without min/max pruning.
+func zoneNullOnly(zm storage.ZoneMap, chunkRows int) zoneVerdict {
+	if zm.NullCount == chunkRows {
+		return zonePrune
+	}
+	return zoneScan
+}
+
+// zonePruneAlways marks predicates that can never match (e.g. an In set
+// with no dictionary hits).
+func zonePruneAlways(storage.ZoneMap, int) zoneVerdict { return zonePrune }
+
+// compileQuery resolves every predicate of q against t. All resolution
+// errors surface here, before any selection bits are touched.
+func compileQuery(t *storage.Table, q query.Query) ([]compiledPred, error) {
+	cps := make([]compiledPred, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		cp, err := compilePred(t, p)
+		if err != nil {
+			return nil, err
+		}
+		cps = append(cps, cp)
+	}
+	return cps, nil
+}
+
+func compilePred(t *storage.Table, p query.Predicate) (compiledPred, error) {
+	col, err := t.ColumnByName(p.Attr)
+	if err != nil {
+		return compiledPred{}, err
+	}
+	cp := compiledPred{colIdx: t.Schema().Index(p.Attr)}
+	switch c := col.(type) {
+	case *storage.Int64Column:
+		if p.Kind != query.Range {
+			return compiledPred{}, kindErr(p, col)
+		}
+		vals := c.Values()
+		cp.match = func(i int) bool {
+			return p.MatchFloat(float64(vals[i])) && !c.IsNull(i)
+		}
+		cp.zone = rangeZone(p)
+	case *storage.Float64Column:
+		if p.Kind != query.Range {
+			return compiledPred{}, kindErr(p, col)
+		}
+		vals := c.Values()
+		cp.match = func(i int) bool {
+			return p.MatchFloat(vals[i]) && !c.IsNull(i)
+		}
+		cp.zone = rangeZone(p)
+	case *storage.StringColumn:
+		if p.Kind != query.In {
+			return compiledPred{}, kindErr(p, col)
+		}
+		admit := make([]bool, c.Cardinality())
+		any := false
+		for _, v := range p.Values {
+			if code, ok := c.CodeOf(v); ok {
+				admit[code] = true
+				any = true
+			}
+		}
+		if !any {
+			cp.match = func(int) bool { return false }
+			cp.zone = zonePruneAlways
+			cp.never = true
+			break
+		}
+		codes := c.Codes()
+		// Null check first: null rows may carry placeholder codes.
+		cp.match = func(i int) bool {
+			return !c.IsNull(i) && admit[codes[i]]
+		}
+		cp.zone = zoneNullOnly
+	case *storage.BoolColumn:
+		if p.Kind != query.BoolEq {
+			return compiledPred{}, kindErr(p, col)
+		}
+		vals := c.Values()
+		cp.match = func(i int) bool {
+			return vals[i] == p.BoolVal && !c.IsNull(i)
+		}
+		cp.zone = zoneNullOnly
+	default:
+		return compiledPred{}, fmt.Errorf("engine: unsupported column type %T", col)
+	}
+	return cp, nil
+}
+
+// rangeZone builds the min/max pruning rule for a numeric Range
+// predicate. Min/Max live in the same comparison space as the row
+// matcher (float64, with Int64 values widened), so the three verdicts
+// are exactly consistent with scanning.
+func rangeZone(p query.Predicate) func(zm storage.ZoneMap, chunkRows int) zoneVerdict {
+	return func(zm storage.ZoneMap, chunkRows int) zoneVerdict {
+		if zm.NullCount == chunkRows {
+			return zonePrune
+		}
+		if !zm.HasMinMax {
+			return zoneScan
+		}
+		if p.Hi < zm.Min || p.Lo > zm.Max ||
+			(p.Hi == zm.Min && !p.HiIncl) || (p.Lo == zm.Max && !p.LoIncl) {
+			return zonePrune
+		}
+		if zm.NullCount == 0 && p.MatchFloat(zm.Min) && p.MatchFloat(zm.Max) {
+			return zoneFull
+		}
+		return zoneScan
+	}
+}
+
+// evalCompiled narrows sel by every compiled predicate. Chunked tables
+// go chunk by chunk, consulting zone maps and optionally sharding chunks
+// across workers; unchunked tables use the whole-range fused kernel.
+func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts ScanOptions) {
+	if len(cps) == 0 {
+		return
+	}
+	words := sel.Words()
+	ck := t.Chunking()
+	if ck == nil {
+		for i := range cps {
+			if cps[i].never {
+				sel.Zero()
+				return
+			}
+			andWordsRange(words, 0, len(words), cps[i].match)
+			if !sel.Any() {
+				return
+			}
+		}
+		return
+	}
+	numChunks := ck.NumChunks(t.NumRows())
+	wordsPerChunk := ck.Size / 64
+	lastRows := t.NumRows() - (numChunks-1)*ck.Size
+	scanChunk := func(k int) {
+		w0 := k * wordsPerChunk
+		w1 := w0 + wordsPerChunk
+		if w1 > len(words) {
+			w1 = len(words)
+		}
+		chunkRows := ck.Size
+		if k == numChunks-1 {
+			chunkRows = lastRows
+		}
+		for i := range cps {
+			if !anyWordsRange(words, w0, w1) {
+				return
+			}
+			cp := &cps[i]
+			switch cp.zone(ck.Zones[cp.colIdx][k], chunkRows) {
+			case zonePrune:
+				zeroWordsRange(words, w0, w1)
+				if opts.Stats != nil {
+					opts.Stats.ChunksPruned.Add(1)
+				}
+				return
+			case zoneFull:
+				if opts.Stats != nil {
+					opts.Stats.ChunksFull.Add(1)
+				}
+			default:
+				andWordsRange(words, w0, w1, cp.match)
+				if opts.Stats != nil {
+					opts.Stats.ChunksScanned.Add(1)
+				}
+			}
+		}
+	}
+	workers := opts.Workers
+	if workers > numChunks {
+		workers = numChunks
+	}
+	if workers <= 1 {
+		for k := 0; k < numChunks; k++ {
+			scanChunk(k)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= numChunks {
+					return
+				}
+				scanChunk(k)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// andWordsRange clears, in every non-zero word of words[w0:w1], the bits
+// whose rows fail match. Zero words are skipped entirely, so the cost of
+// a conjunction shrinks with its selectivity.
+func andWordsRange(words []uint64, w0, w1 int, match func(i int) bool) {
+	for wi := w0; wi < w1; wi++ {
+		w := words[wi]
+		if w == 0 {
+			continue
+		}
+		keep := w
+		for m := w; m != 0; m &= m - 1 {
+			bi := bits.TrailingZeros64(m)
+			if !match(wi*64 + bi) {
+				keep &^= uint64(1) << uint(bi)
+			}
+		}
+		words[wi] = keep
+	}
+}
+
+func zeroWordsRange(words []uint64, w0, w1 int) {
+	for wi := w0; wi < w1; wi++ {
+		words[wi] = 0
+	}
+}
+
+func anyWordsRange(words []uint64, w0, w1 int) bool {
+	for wi := w0; wi < w1; wi++ {
+		if words[wi] != 0 {
+			return true
+		}
+	}
+	return false
+}

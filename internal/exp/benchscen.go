@@ -1,0 +1,56 @@
+package exp
+
+// Benchmark scenarios shared by the repo-root micro-benchmarks
+// (bench_test.go) and atlasbench -benchjson: both perf trackers must
+// measure the same workloads, so the setup lives in one place.
+
+import (
+	"bytes"
+	"path/filepath"
+
+	"repro/internal/colstore"
+	"repro/internal/datagen"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// ColdStartInputs materializes the census cold-start pair in dir: an
+// ingested .atl store file and the equivalent CSV bytes, for measuring
+// StoreOpen against CSVParse on identical data.
+func ColdStartInputs(n int, seed int64, dir string) (storePath string, csvData []byte, err error) {
+	tbl := datagen.Census(n, seed)
+	storePath = filepath.Join(dir, "census.atl")
+	if err := colstore.WriteFile(storePath, tbl, 0); err != nil {
+		return "", nil, err
+	}
+	var buf bytes.Buffer
+	if err := storage.WriteCSV(tbl, &buf); err != nil {
+		return "", nil, err
+	}
+	return storePath, buf.Bytes(), nil
+}
+
+// PrunedScanScenario builds the zone-map pruning workload: one monotone
+// Int64 column (the clustered/time-ordered ingest case) as both a
+// chunked and an unchunked table, plus a selective range query covering
+// ~1/20 of the rows — at 1M rows the chunked scan touches 2 of 16
+// chunks and prunes the rest.
+func PrunedScanScenario(n int) (chunked, plain *storage.Table, q query.Query, err error) {
+	schema := storage.MustSchema(storage.Field{Name: "ts", Type: storage.Int64})
+	ts := make([]int64, n)
+	for i := range ts {
+		ts[i] = int64(i)
+	}
+	cols := []storage.Column{storage.NewInt64Column(ts, nil)}
+	plain = storage.MustTable("events", schema, cols)
+	ck, err := storage.ComputeChunking(plain, 0)
+	if err != nil {
+		return nil, nil, query.Query{}, err
+	}
+	chunked, err = storage.NewChunkedTable("events", schema, cols, ck)
+	if err != nil {
+		return nil, nil, query.Query{}, err
+	}
+	q = query.New("events", query.NewRange("ts", float64(n/2), float64(n/2+n/20)))
+	return chunked, plain, q, nil
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/cql"
 	"repro/internal/session"
@@ -40,6 +41,21 @@ func New(table *storage.Table, opts core.Options) *Server {
 	}
 	return s
 }
+
+// NewFromStore opens an on-disk columnar store file (".atl", see
+// internal/colstore) and serves its table directly: no CSV re-parse on
+// start, and every exploration scans with zone-map pruning and
+// chunk-parallel sharding.
+func NewFromStore(path string, opts core.Options) (*Server, error) {
+	st, err := colstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(st.Table(), opts), nil
+}
+
+// Table returns the served table.
+func (s *Server) Table() *storage.Table { return s.table }
 
 // cartFor returns the shared Cartographer when the effective options
 // match the server defaults, and builds a throwaway one otherwise (WITH

@@ -1,0 +1,114 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/query"
+)
+
+func TestPredCacheLRUEviction(t *testing.T) {
+	tbl := datagen.Census(500, 1)
+	c := newPredCache(2)
+	p1 := query.NewRange("age", 20, 30)
+	p2 := query.NewRange("age", 30, 40)
+	p3 := query.NewRange("age", 40, 50)
+	for _, p := range []query.Predicate{p1, p2, p3} {
+		if _, err := c.getOrCompute(tbl, p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// p1 is the least recently used: it must have been evicted.
+	if _, ok := c.byKey[p1.String()]; ok {
+		t.Error("p1 should have been evicted")
+	}
+	if _, ok := c.byKey[p3.String()]; !ok {
+		t.Error("p3 should be cached")
+	}
+	// Touch p2, insert p1 again: p3 now evicts.
+	if _, err := c.getOrCompute(tbl, p2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.getOrCompute(tbl, p1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.byKey[p3.String()]; ok {
+		t.Error("p3 should have been evicted after p2 was touched")
+	}
+	hits, misses := c.stats()
+	if hits != 1 || misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 1/4", hits, misses)
+	}
+}
+
+func TestPredCacheReturnsCorrectBitmaps(t *testing.T) {
+	tbl := datagen.Census(1000, 1)
+	c := newPredCache(8)
+	p := query.NewRange("age", 25, 45)
+	first, err := c.getOrCompute(tbl, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.getOrCompute(tbl, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("cache hit should return the identical vector")
+	}
+	if _, err := c.getOrCompute(tbl, query.NewRange("no_such", 0, 1), 1); err == nil {
+		t.Error("unknown attribute must error and not be cached")
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1 (errors are not cached)", c.len())
+	}
+}
+
+// TestSessionDrillDownUsesPredCache: a drill-down re-uses the parent's
+// predicate bitmaps and its results match an uncached cartographer run.
+func TestSessionDrillDownUsesPredCache(t *testing.T) {
+	tbl := datagen.Census(5000, 1)
+	cart, err := core.NewCartographer(tbl, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cart)
+	root, err := s.Explore(query.New("census", query.NewRange("age", 20, 60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Result.Maps) == 0 {
+		t.Fatal("no maps at root")
+	}
+	if s.PredCacheSize() == 0 {
+		t.Fatal("root exploration cached no predicate bitmaps")
+	}
+	node, err := s.DrillDown(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := s.PredCacheStats()
+	if hits == 0 {
+		t.Error("drill-down shares the parent predicate: expected cache hits")
+	}
+	// The drilled result must be identical to a fresh, uncached run.
+	want, err := cart.Explore(node.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderMaps(node.Result.Maps), renderMaps(want.Maps); got != want {
+		t.Errorf("cached-base result differs from direct exploration:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func renderMaps(maps []*core.Map) string {
+	out := ""
+	for _, m := range maps {
+		out += m.String()
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/query"
 )
@@ -35,6 +36,10 @@ type Session struct {
 	nodes   []*Node
 	current int
 	cache   map[string]*core.Result
+	// preds is the bounded LRU of per-predicate selection bitmaps: a
+	// drill-down shares every predicate with its parent query, so its
+	// base selection is assembled from cached bitmaps plus one new scan.
+	preds *predCache
 	// interest holds the decayed per-attribute weights behind
 	// personalized ranking (see preference.go).
 	interest map[string]float64
@@ -44,7 +49,38 @@ type Session struct {
 
 // New creates an empty session over the cartographer's table.
 func New(cart *core.Cartographer) *Session {
-	return &Session{cart: cart, current: -1, cache: map[string]*core.Result{}}
+	return &Session{
+		cart:    cart,
+		current: -1,
+		cache:   map[string]*core.Result{},
+		preds:   newPredCache(predCacheCapForRows(cart.Table().NumRows())),
+	}
+}
+
+// explore runs one exploration, assembling the base selection from the
+// per-predicate bitmap cache. Safe without s.mu: the predicate cache
+// has its own lock and the Cartographer is concurrency-safe.
+func (s *Session) explore(q query.Query) (*core.Result, error) {
+	t := s.cart.Table()
+	if q.Table != "" && q.Table != t.Name() {
+		// Let the Cartographer surface its canonical mismatch error.
+		return s.cart.Explore(q)
+	}
+	// Cache misses scan with the cartographer's parallelism so the
+	// session path keeps the chunk-parallel sharding of Explore.
+	workers := s.cart.Workers()
+	base := bitvec.NewFull(t.NumRows())
+	for _, p := range q.Preds {
+		bm, err := s.preds.getOrCompute(t, p, workers)
+		if err != nil {
+			return nil, err
+		}
+		base.And(bm)
+		if !base.Any() {
+			break
+		}
+	}
+	return s.cart.ExploreSel(q, base)
 }
 
 // exploreLocked runs (or serves from cache) an exploration and appends a
@@ -71,7 +107,7 @@ func (s *Session) resultFor(q query.Query) (*core.Result, error) {
 	if res, ok := s.cache[key]; ok {
 		return res, nil
 	}
-	res, err := s.cart.Explore(q)
+	res, err := s.explore(q)
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +196,12 @@ func (s *Session) CacheSize() int {
 	return len(s.cache)
 }
 
+// PredCacheSize returns the number of cached per-predicate bitmaps.
+func (s *Session) PredCacheSize() int { return s.preds.len() }
+
+// PredCacheStats returns the predicate-bitmap cache's (hits, misses).
+func (s *Session) PredCacheStats() (hits, misses int) { return s.preds.stats() }
+
 // Prefetch warms the cache with the explorations the user is most likely
 // to ask for next: the regions of the current node's top maps, up to
 // limit queries. It runs in background goroutines ("during the idle time
@@ -196,7 +238,7 @@ func (s *Session) Prefetch(limit int) {
 		s.prefetching.Add(1)
 		go func() {
 			defer s.prefetching.Done()
-			res, err := s.cart.Explore(q)
+			res, err := s.explore(q)
 			if err != nil {
 				return // prefetch is best-effort
 			}

@@ -1,0 +1,254 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+)
+
+// ChunkRows is the default number of rows per chunk: 64k rows keeps a
+// chunk's bitmap words (1 KiB) and typical value payload (512 KiB for
+// 8-byte types) cache-friendly while leaving enough chunks to shard a
+// scan across workers. Chunk sizes must be a multiple of 64 so that
+// chunk boundaries always fall on selection-bitmap word boundaries:
+// that is what lets the engine prune or scan a chunk by touching a
+// disjoint word range, and lets chunk-parallel scans stay byte-identical
+// to serial ones.
+const ChunkRows = 1 << 16
+
+// ZoneMap summarizes one chunk of one column — the per-chunk statistics
+// a store writes at ingest so scans can skip chunks without reading
+// them. Min/Max are in the engine's comparison space: for Int64 columns
+// they hold float64(v), matching the float conversion the scan kernel
+// applies per row, so pruning decisions are exactly consistent with a
+// full scan.
+type ZoneMap struct {
+	// Min and Max bound the chunk's non-null values. Valid only when
+	// HasMinMax; non-numeric columns and all-null or NaN-containing
+	// chunks leave it unset, which disables value pruning for the chunk.
+	Min, Max float64
+	// HasMinMax reports whether Min/Max are meaningful.
+	HasMinMax bool
+	// NullCount is the number of NULL rows in the chunk.
+	NullCount int
+	// Distinct estimates the number of distinct non-null values in the
+	// chunk: exact for dictionary and bool columns; for numeric columns
+	// a run-count estimate (consecutive unequal values), which is exact
+	// on sorted chunks and costs no per-value hashing at ingest.
+	Distinct int
+}
+
+// Chunking is the chunk-level metadata of a table whose columns were
+// ingested in fixed-size row chunks: the chunk size and one zone map per
+// (column, chunk). Tables without chunking metadata scan normally.
+type Chunking struct {
+	// Size is the number of rows per chunk (the last chunk may be
+	// shorter). Always a positive multiple of 64.
+	Size int
+	// Zones holds one zone-map slice per column, each with NumChunks
+	// entries.
+	Zones [][]ZoneMap
+}
+
+// NumChunks returns the number of chunks covering n rows.
+func (c *Chunking) NumChunks(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return (n + c.Size - 1) / c.Size
+}
+
+// validate checks the chunking invariants against a table shape.
+func (c *Chunking) validate(cols, rows int) error {
+	if c.Size <= 0 || c.Size%64 != 0 {
+		return fmt.Errorf("storage: chunk size %d must be a positive multiple of 64", c.Size)
+	}
+	if len(c.Zones) != cols {
+		return fmt.Errorf("storage: chunking has zones for %d columns, table has %d", len(c.Zones), cols)
+	}
+	want := c.NumChunks(rows)
+	for i, z := range c.Zones {
+		if len(z) != want {
+			return fmt.Errorf("storage: column %d has %d zone maps, want %d", i, len(z), want)
+		}
+	}
+	return nil
+}
+
+// NewChunkedTable is NewTable for chunk-aware tables: the columns came
+// from fixed-size chunked segments (a column store) and chunking carries
+// their per-chunk zone maps. The engine's scan path uses the zone maps
+// to skip chunks that cannot match and to shard one scan across workers.
+func NewChunkedTable(name string, schema *Schema, cols []Column, chunking *Chunking) (*Table, error) {
+	t, err := NewTable(name, schema, cols)
+	if err != nil {
+		return nil, err
+	}
+	if chunking == nil {
+		return nil, fmt.Errorf("storage: NewChunkedTable with nil chunking")
+	}
+	if err := chunking.validate(len(cols), t.rows); err != nil {
+		return nil, err
+	}
+	t.chunking = chunking
+	return t, nil
+}
+
+// Chunking returns the table's chunk metadata, or nil when the table is
+// not chunk-aware (in-memory builds, gathers, joins).
+func (t *Table) Chunking() *Chunking { return t.chunking }
+
+// ComputeChunking scans a table's columns once and builds zone maps for
+// fixed chunks of size rows each (0 means ChunkRows). It is what a
+// column store runs at ingest; it can also retrofit chunk metadata onto
+// an in-memory table so scans over it prune and parallelize.
+func ComputeChunking(t *Table, size int) (*Chunking, error) {
+	if size == 0 {
+		size = ChunkRows
+	}
+	if size <= 0 || size%64 != 0 {
+		return nil, fmt.Errorf("storage: chunk size %d must be a positive multiple of 64", size)
+	}
+	ck := &Chunking{Size: size, Zones: make([][]ZoneMap, t.NumCols())}
+	n := t.NumRows()
+	numChunks := ck.NumChunks(n)
+	for ci := 0; ci < t.NumCols(); ci++ {
+		zones := make([]ZoneMap, numChunks)
+		col := t.Column(ci)
+		for k := 0; k < numChunks; k++ {
+			lo := k * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			zones[k] = computeZone(col, lo, hi)
+		}
+		ck.Zones[ci] = zones
+	}
+	return ck, nil
+}
+
+// computeZone builds the zone map of col rows [lo, hi).
+func computeZone(col Column, lo, hi int) ZoneMap {
+	var zm ZoneMap
+	switch c := col.(type) {
+	case *Int64Column:
+		vals := c.Values()
+		var prev int64
+		first := true
+		for i := lo; i < hi; i++ {
+			if c.IsNull(i) {
+				zm.NullCount++
+				continue
+			}
+			v := vals[i]
+			if first || v != prev {
+				zm.Distinct++
+			}
+			prev = v
+			f := float64(v)
+			if first {
+				zm.Min, zm.Max, first = f, f, false
+			} else if f < zm.Min {
+				zm.Min = f
+			} else if f > zm.Max {
+				zm.Max = f
+			}
+		}
+		zm.HasMinMax = !first
+	case *Float64Column:
+		vals := c.Values()
+		var prev float64
+		first, sawNaN, haveMM := true, false, false
+		for i := lo; i < hi; i++ {
+			if c.IsNull(i) {
+				zm.NullCount++
+				continue
+			}
+			v := vals[i]
+			if first || v != prev {
+				zm.Distinct++
+			}
+			prev = v
+			first = false
+			if math.IsNaN(v) {
+				// NaN satisfies every range predicate under the scan
+				// kernel's comparison logic, so min/max pruning would drop
+				// rows a scan keeps. Disable value pruning for the chunk.
+				sawNaN = true
+				continue
+			}
+			if !haveMM {
+				zm.Min, zm.Max, haveMM = v, v, true
+			} else if v < zm.Min {
+				zm.Min = v
+			} else if v > zm.Max {
+				zm.Max = v
+			}
+		}
+		zm.HasMinMax = haveMM && !sawNaN
+	case *StringColumn:
+		codes := c.Codes()
+		seen := make([]bool, c.Cardinality())
+		for i := lo; i < hi; i++ {
+			if c.IsNull(i) {
+				zm.NullCount++
+				continue
+			}
+			if !seen[codes[i]] {
+				seen[codes[i]] = true
+				zm.Distinct++
+			}
+		}
+	case *BoolColumn:
+		vals := c.Values()
+		var sawT, sawF bool
+		for i := lo; i < hi; i++ {
+			if c.IsNull(i) {
+				zm.NullCount++
+				continue
+			}
+			if vals[i] {
+				sawT = true
+			} else {
+				sawF = true
+			}
+		}
+		if sawT {
+			zm.Distinct++
+		}
+		if sawF {
+			zm.Distinct++
+		}
+	default:
+		// Unknown column types get an empty zone map: never pruned.
+		for i := lo; i < hi; i++ {
+			if col.IsNull(i) {
+				zm.NullCount++
+			}
+		}
+	}
+	return zm
+}
+
+// NullWords exposes the packed words of a column's null bitmap for the
+// store serializer, or nil when the column has no nulls. The returned
+// slice must not be modified.
+func NullWords(c Column) []uint64 {
+	var v *bitvec.Vector
+	switch col := c.(type) {
+	case *Int64Column:
+		v = col.nulls
+	case *Float64Column:
+		v = col.nulls
+	case *StringColumn:
+		v = col.nulls
+	case *BoolColumn:
+		v = col.nulls
+	}
+	if v == nil {
+		return nil
+	}
+	return v.Words()
+}

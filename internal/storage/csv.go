@@ -5,39 +5,62 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/bitvec"
 )
 
+// csvInferSample bounds how many leading data rows type inference reads
+// before streaming begins. Columns whose sampled cells all parse as a
+// narrower type start there and widen on the fly if a later cell
+// disagrees, so inference never requires materializing the whole file.
+const csvInferSample = 1024
+
 // ReadCSV loads a table from CSV. The first record must be a header of
-// column names. When schema is nil the column types are inferred from the
-// data: a column is Int64 if every non-empty cell parses as an integer,
-// else Float64 if every non-empty cell parses as a float, else Bool if
-// every non-empty cell is true/false, else String. Empty cells are NULL.
+// column names. When schema is nil the column types are inferred from a
+// bounded sample of leading rows (csvInferSample): a column is Int64 if
+// every sampled non-empty cell parses as an integer, else Float64, else
+// Bool, else String. Empty cells are NULL.
+//
+// Rows are streamed directly into typed columnar buffers — the file is
+// never materialized as records, so peak memory is one copy of the data
+// plus the inference sample. If a cell after the sample contradicts an
+// inferred type the column widens in place: Int64 → Float64 when the
+// cell parses as a float, otherwise any inferred type → String. A
+// numeric column widened to String renders every value — already-read
+// and still-to-come alike — through one canonical formatter, so
+// identical numbers stay one category even when their source spellings
+// differ ("1.50" and "1.5" merge; original numeric spelling is not
+// preserved). Columns whose sampled cells are all empty take their type
+// from the first non-empty cell. With an explicit schema there is no
+// widening: cells that fail to parse are errors.
 func ReadCSV(name string, r io.Reader, schema *Schema) (*Table, error) {
 	cr := csv.NewReader(r)
-	cr.ReuseRecord = false
+	// Field strings stay valid across reads; only the record slice is
+	// reused, and appendRow consumes it before the next Read.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading CSV header: %w", err)
 	}
-	var records [][]string
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("storage: reading CSV: %w", err)
-		}
-		if len(rec) != len(header) {
-			return nil, fmt.Errorf("storage: CSV row has %d cells, header has %d", len(rec), len(header))
-		}
-		records = append(records, rec)
-	}
+	header = append([]string(nil), header...)
 
-	if schema == nil {
+	var sample [][]string
+	inferred := schema == nil
+	if inferred {
+		for len(sample) < csvInferSample {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("storage: reading CSV: %w", err)
+			}
+			sample = append(sample, append([]string(nil), rec...))
+		}
 		fields := make([]Field, len(header))
 		for c, h := range header {
-			fields[c] = Field{Name: h, Type: inferType(records, c)}
+			typ, _ := inferType(sample, c)
+			fields[c] = Field{Name: h, Type: typ}
 		}
 		schema, err = NewSchema(fields...)
 		if err != nil {
@@ -54,45 +77,260 @@ func ReadCSV(name string, r io.Reader, schema *Schema) (*Table, error) {
 		}
 	}
 
-	b := NewBuilder(name, schema)
-	for rn, rec := range records {
-		vals := make([]any, len(rec))
-		for c, cell := range rec {
-			if cell == "" {
-				vals[c] = nil
-				continue
-			}
-			switch schema.Field(c).Type {
-			case Int64:
-				x, err := strconv.ParseInt(cell, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("storage: row %d col %q: %w", rn+2, schema.Field(c).Name, err)
-				}
-				vals[c] = x
-			case Float64:
-				x, err := strconv.ParseFloat(cell, 64)
-				if err != nil {
-					return nil, fmt.Errorf("storage: row %d col %q: %w", rn+2, schema.Field(c).Name, err)
-				}
-				vals[c] = x
-			case Bool:
-				x, err := strconv.ParseBool(cell)
-				if err != nil {
-					return nil, fmt.Errorf("storage: row %d col %q: %w", rn+2, schema.Field(c).Name, err)
-				}
-				vals[c] = x
-			case String:
-				vals[c] = cell
+	cols := make([]csvCol, schema.NumFields())
+	for c := range cols {
+		cols[c].typ = schema.Field(c).Type
+		cols[c].widen = inferred
+		cols[c].from = -1
+		if inferred {
+			// Columns that were entirely empty in the sample stay
+			// undecided: the first non-empty cell picks their type, and
+			// the widening ladder corrects from there. (Whole-file
+			// inference would have seen that cell too.)
+			if _, seen := inferType(sample, c); !seen {
+				cols[c].undecided = true
 			}
 		}
-		if err := b.AppendRow(vals...); err != nil {
+	}
+
+	rows := 0
+	appendRow := func(rec []string) error {
+		if len(rec) != len(header) {
+			return fmt.Errorf("storage: CSV row has %d cells, header has %d", len(rec), len(header))
+		}
+		for c := range cols {
+			if err := cols[c].append(rec[c], rows); err != nil {
+				return fmt.Errorf("storage: row %d col %q: %w", rows+2, header[c], err)
+			}
+		}
+		rows++
+		return nil
+	}
+	for _, rec := range sample {
+		if err := appendRow(rec); err != nil {
 			return nil, err
 		}
 	}
-	return b.Build()
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: reading CSV: %w", err)
+		}
+		if err := appendRow(rec); err != nil {
+			return nil, err
+		}
+	}
+
+	outCols := make([]Column, len(cols))
+	outFields := make([]Field, len(cols))
+	for c := range cols {
+		outFields[c] = Field{Name: header[c], Type: cols[c].typ}
+		outCols[c] = cols[c].build(rows)
+	}
+	// Widening may have changed column types relative to the inferred
+	// schema, so the final schema is rebuilt from the column states.
+	finalSchema, err := NewSchema(outFields...)
+	if err != nil {
+		return nil, err
+	}
+	return NewTable(name, finalSchema, outCols)
 }
 
-func inferType(records [][]string, col int) DataType {
+// csvCol accumulates one streamed CSV column in its current type,
+// widening (Int64 → Float64 → String, Bool → String) when a cell
+// contradicts the type inferred from the sample.
+type csvCol struct {
+	typ   DataType
+	widen bool // false with an explicit schema: mismatches are errors
+	// from records the numeric type a String column was widened from
+	// (-1 when not widened). Widening re-renders already-parsed values
+	// canonically, so later cells that parse as that type are rendered
+	// through the same formatter — identical source values stay one
+	// category regardless of which side of the widening they fell on.
+	from DataType
+	// undecided marks inferred columns whose sample was entirely empty:
+	// the first non-empty cell decides the type.
+	undecided bool
+	ints      []int64
+	flts      []float64
+	bools     []bool
+	strs      []string
+	nulls     []int
+}
+
+func (c *csvCol) append(cell string, row int) error {
+	if cell != "" && c.undecided {
+		c.decide(cell)
+	}
+	if cell == "" {
+		c.nulls = append(c.nulls, row)
+		switch c.typ {
+		case Int64:
+			c.ints = append(c.ints, 0)
+		case Float64:
+			c.flts = append(c.flts, 0)
+		case Bool:
+			c.bools = append(c.bools, false)
+		case String:
+			c.strs = append(c.strs, "")
+		}
+		return nil
+	}
+	switch c.typ {
+	case Int64:
+		if x, err := strconv.ParseInt(cell, 10, 64); err == nil {
+			c.ints = append(c.ints, x)
+			return nil
+		} else if !c.widen {
+			return err
+		}
+		if f, err := strconv.ParseFloat(cell, 64); err == nil {
+			c.toFloat64()
+			c.flts = append(c.flts, f)
+			return nil
+		}
+		c.toString()
+		c.strs = append(c.strs, cell)
+		return nil
+	case Float64:
+		if x, err := strconv.ParseFloat(cell, 64); err == nil {
+			c.flts = append(c.flts, x)
+			return nil
+		} else if !c.widen {
+			return err
+		}
+		c.toString()
+		c.strs = append(c.strs, cell)
+		return nil
+	case Bool:
+		if cell == "true" || cell == "false" {
+			c.bools = append(c.bools, cell == "true")
+			return nil
+		}
+		if !c.widen {
+			x, err := strconv.ParseBool(cell)
+			if err != nil {
+				return err
+			}
+			c.bools = append(c.bools, x)
+			return nil
+		}
+		c.toString()
+		c.strs = append(c.strs, cell)
+		return nil
+	default: // String
+		// Keep categories consistent across a widening boundary: cells
+		// that parse as the pre-widen type are rendered through the same
+		// formatter the widening used ("1.50" and "1.5" are one value).
+		switch c.from {
+		case Int64:
+			if v, err := strconv.ParseInt(cell, 10, 64); err == nil {
+				cell = strconv.FormatInt(v, 10)
+			} else if f, err := strconv.ParseFloat(cell, 64); err == nil {
+				cell = strconv.FormatFloat(f, 'g', -1, 64)
+			}
+		case Float64:
+			if f, err := strconv.ParseFloat(cell, 64); err == nil {
+				cell = strconv.FormatFloat(f, 'g', -1, 64)
+			}
+		}
+		c.strs = append(c.strs, cell)
+		return nil
+	}
+}
+
+// decide fixes the type of an all-empty-so-far column from its first
+// non-empty cell. Every prior row is NULL, so only the placeholder
+// slice needs re-typing.
+func (c *csvCol) decide(cell string) {
+	c.undecided = false
+	n := len(c.strs)
+	var typ DataType
+	if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		typ = Int64
+	} else if _, err := strconv.ParseFloat(cell, 64); err == nil {
+		typ = Float64
+	} else if cell == "true" || cell == "false" {
+		typ = Bool
+	} else {
+		return // already String
+	}
+	c.typ = typ
+	c.strs = nil
+	switch typ {
+	case Int64:
+		c.ints = make([]int64, n)
+	case Float64:
+		c.flts = make([]float64, n)
+	case Bool:
+		c.bools = make([]bool, n)
+	}
+}
+
+// toFloat64 widens an Int64 column in place.
+func (c *csvCol) toFloat64() {
+	c.flts = make([]float64, len(c.ints))
+	for i, v := range c.ints {
+		c.flts[i] = float64(v)
+	}
+	c.ints = nil
+	c.typ = Float64
+}
+
+// toString widens any column to String, re-rendering accumulated values
+// canonically. NULL placeholders render too, but their cells are masked
+// by the null bitmap.
+func (c *csvCol) toString() {
+	switch c.typ {
+	case Int64, Float64:
+		c.from = c.typ
+	}
+	switch c.typ {
+	case Int64:
+		c.strs = make([]string, len(c.ints))
+		for i, v := range c.ints {
+			c.strs[i] = strconv.FormatInt(v, 10)
+		}
+		c.ints = nil
+	case Float64:
+		c.strs = make([]string, len(c.flts))
+		for i, v := range c.flts {
+			c.strs[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		c.flts = nil
+	case Bool:
+		c.strs = make([]string, len(c.bools))
+		for i, v := range c.bools {
+			c.strs[i] = strconv.FormatBool(v)
+		}
+		c.bools = nil
+	}
+	c.typ = String
+}
+
+func (c *csvCol) build(rows int) Column {
+	var nulls *bitvec.Vector
+	if len(c.nulls) > 0 {
+		nulls = bitvec.FromIndexes(rows, c.nulls)
+	}
+	switch c.typ {
+	case Int64:
+		return NewInt64Column(c.ints, nulls)
+	case Float64:
+		return NewFloat64Column(c.flts, nulls)
+	case Bool:
+		return NewBoolColumn(c.bools, nulls)
+	default:
+		return NewStringColumn(c.strs, nulls)
+	}
+}
+
+// inferType picks a column's type from the sampled records and reports
+// whether any non-empty cell was seen.
+func inferType(records [][]string, col int) (DataType, bool) {
 	allInt, allFloat, allBool, seen := true, true, true, false
 	for _, rec := range records {
 		cell := rec[col]
@@ -121,15 +359,15 @@ func inferType(records [][]string, col int) DataType {
 	}
 	switch {
 	case !seen:
-		return String
+		return String, false
 	case allInt:
-		return Int64
+		return Int64, true
 	case allFloat:
-		return Float64
+		return Float64, true
 	case allBool:
-		return Bool
+		return Bool, true
 	default:
-		return String
+		return String, true
 	}
 }
 

@@ -1,0 +1,199 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestCSVStreamWidening covers type widening when a cell beyond the
+// inference sample contradicts the sampled type.
+func TestCSVStreamWidening(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("i2f,i2s,f2s,b2s\n")
+	for r := 0; r < csvInferSample; r++ {
+		fmt.Fprintf(&b, "%d,%d,%d.5,true\n", r, r, r)
+	}
+	b.WriteString("0.5,oops,not-a-number,maybe\n")
+	tbl, err := ReadCSV("t", strings.NewReader(b.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != csvInferSample+1 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	wantTypes := []DataType{Float64, String, String, String}
+	for c, want := range wantTypes {
+		if got := tbl.Schema().Field(c).Type; got != want {
+			t.Errorf("col %d type = %v, want %v", c, got, want)
+		}
+	}
+	// Widened int values survive as floats.
+	if got := tbl.Column(0).(*Float64Column).At(3); got != 3 {
+		t.Errorf("i2f[3] = %g", got)
+	}
+	if got := tbl.Column(0).(*Float64Column).At(csvInferSample); got != 0.5 {
+		t.Errorf("i2f[last] = %g", got)
+	}
+	// Int → String re-renders canonically.
+	if got := tbl.Column(1).(*StringColumn).At(7); got != "7" {
+		t.Errorf("i2s[7] = %q", got)
+	}
+	if got := tbl.Column(1).(*StringColumn).At(csvInferSample); got != "oops" {
+		t.Errorf("i2s[last] = %q", got)
+	}
+	// Float → String renders 'g' format.
+	if got := tbl.Column(2).(*StringColumn).At(2); got != "2.5" {
+		t.Errorf("f2s[2] = %q", got)
+	}
+	// Bool → String.
+	if got := tbl.Column(3).(*StringColumn).At(0); got != "true" {
+		t.Errorf("b2s[0] = %q", got)
+	}
+	if got := tbl.Column(3).(*StringColumn).At(csvInferSample); got != "maybe" {
+		t.Errorf("b2s[last] = %q", got)
+	}
+}
+
+// TestCSVStreamWideningPreservesNulls checks NULL cells stay NULL across
+// a widening conversion.
+func TestCSVStreamWideningPreservesNulls(t *testing.T) {
+	// The second column keeps rows non-blank: encoding/csv skips fully
+	// blank lines, so single-column NULLs cannot be expressed.
+	var b strings.Builder
+	b.WriteString("x,k\n")
+	for r := 0; r < csvInferSample; r++ {
+		if r%3 == 0 {
+			fmt.Fprintf(&b, ",k%d\n", r)
+		} else {
+			fmt.Fprintf(&b, "%d,k%d\n", r, r)
+		}
+	}
+	b.WriteString("word,tail\n")
+	tbl, err := ReadCSV("t", strings.NewReader(b.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := tbl.Column(0)
+	if col.Type() != String {
+		t.Fatalf("type = %v, want String", col.Type())
+	}
+	for r := 0; r < csvInferSample; r++ {
+		if got, want := col.IsNull(r), r%3 == 0; got != want {
+			t.Fatalf("row %d: IsNull = %v, want %v", r, got, want)
+		}
+	}
+	if col.Value(1) != "1" {
+		t.Errorf("row 1 = %v", col.Value(1))
+	}
+}
+
+// TestCSVExplicitSchemaStillStrict: with a caller schema, widening is
+// off and bad cells error as before.
+func TestCSVExplicitSchemaStillStrict(t *testing.T) {
+	s := MustSchema(Field{Name: "x", Type: Int64}, Field{Name: "y", Type: String})
+	if _, err := ReadCSV("t", strings.NewReader("x,y\n1,a\nhello,b\n"), s); err == nil {
+		t.Error("non-integer cell under explicit Int64 schema must error")
+	}
+	tbl, err := ReadCSV("t", strings.NewReader("x,y\n1,a\n,b\n2,c\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 || !tbl.Column(0).IsNull(1) {
+		t.Errorf("rows=%d null(1)=%v", tbl.NumRows(), tbl.Column(0).IsNull(1))
+	}
+}
+
+// TestCSVWideningCanonicalCategories: identical source values must land
+// in one category even when they straddle the widening boundary.
+func TestCSVWideningCanonicalCategories(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("v,k\n")
+	for r := 0; r < csvInferSample; r++ {
+		b.WriteString("1.50,k\n")
+	}
+	b.WriteString("n/a,k\n")
+	b.WriteString("1.50,k\n") // post-widen: must equal the pre-widen cells
+	b.WriteString("2,k\n")    // integral float renders as "2" on both sides
+	tbl, err := ReadCSV("t", strings.NewReader(b.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := tbl.Column(0).(*StringColumn)
+	if got := col.At(0); got != "1.5" {
+		t.Errorf("pre-widen cell = %q, want %q", got, "1.5")
+	}
+	if got := col.At(csvInferSample + 1); got != "1.5" {
+		t.Errorf("post-widen cell = %q, want %q (must merge with pre-widen)", got, "1.5")
+	}
+	// "1.5" (canonical), "n/a", "2": exactly three categories.
+	if got := col.Cardinality(); got != 3 {
+		t.Errorf("cardinality = %d, want 3 (dict %q)", got, col.Dict())
+	}
+}
+
+// TestCSVAllEmptySampleDecidesLater: a column empty through the whole
+// inference sample takes its type from the first real cell.
+func TestCSVAllEmptySampleDecidesLater(t *testing.T) {
+	for _, tc := range []struct {
+		cell string
+		want DataType
+	}{
+		{"42", Int64},
+		{"4.5", Float64},
+		{"true", Bool},
+		{"word", String},
+	} {
+		var b strings.Builder
+		b.WriteString("x,k\n")
+		for r := 0; r < csvInferSample; r++ {
+			b.WriteString(",k\n")
+		}
+		b.WriteString(tc.cell + ",k\n")
+		tbl, err := ReadCSV("t", strings.NewReader(b.String()), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tbl.Schema().Field(0).Type; got != tc.want {
+			t.Errorf("first cell %q: type = %v, want %v", tc.cell, got, tc.want)
+		}
+		col := tbl.Column(0)
+		if !col.IsNull(0) || col.IsNull(csvInferSample) {
+			t.Errorf("first cell %q: null layout wrong", tc.cell)
+		}
+	}
+	// Entirely empty column stays String (the pre-streaming behavior).
+	var b strings.Builder
+	b.WriteString("x,k\n,k\n,k\n")
+	tbl, err := ReadCSV("t", strings.NewReader(b.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Schema().Field(0).Type; got != String {
+		t.Errorf("all-empty column type = %v, want String", got)
+	}
+}
+
+// TestCSVStreamLargeMatchesRowCount sanity-checks a file bigger than the
+// sample parses completely with types from the sample.
+func TestCSVStreamLargeMatchesRowCount(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("id,name\n")
+	n := csvInferSample*2 + 17
+	for r := 0; r < n; r++ {
+		fmt.Fprintf(&b, "%d,n%d\n", r, r)
+	}
+	tbl, err := ReadCSV("t", strings.NewReader(b.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != n {
+		t.Fatalf("rows = %d, want %d", tbl.NumRows(), n)
+	}
+	if tbl.Schema().Field(0).Type != Int64 || tbl.Schema().Field(1).Type != String {
+		t.Errorf("types = %v, %v", tbl.Schema().Field(0).Type, tbl.Schema().Field(1).Type)
+	}
+	if got := tbl.Column(0).(*Int64Column).At(n - 1); got != int64(n-1) {
+		t.Errorf("last id = %d", got)
+	}
+}

@@ -12,6 +12,9 @@ type Table struct {
 	schema *Schema
 	cols   []Column
 	rows   int
+	// chunking carries per-chunk zone maps when the table came from a
+	// chunked store (see chunk.go); nil for plain in-memory tables.
+	chunking *Chunking
 }
 
 // NewTable assembles a table. All columns must match the schema's types
@@ -100,12 +103,25 @@ func (t *Table) Project(name string, colNames ...string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewTable(name, s, cols)
+	out, err := NewTable(name, s, cols)
+	if err != nil {
+		return nil, err
+	}
+	// A projection keeps row order, so per-column chunk metadata stays
+	// valid for the surviving columns.
+	if t.chunking != nil {
+		zones := make([][]ZoneMap, 0, len(colNames))
+		for _, cn := range colNames {
+			zones = append(zones, t.chunking.Zones[t.schema.Index(cn)])
+		}
+		out.chunking = &Chunking{Size: t.chunking.Size, Zones: zones}
+	}
+	return out, nil
 }
 
 // Rename returns the same table under a new name (columns shared).
 func (t *Table) Rename(name string) *Table {
-	return &Table{name: name, schema: t.schema, cols: t.cols, rows: t.rows}
+	return &Table{name: name, schema: t.schema, cols: t.cols, rows: t.rows, chunking: t.chunking}
 }
 
 // Builder accumulates rows and produces a Table. It is the row-oriented
