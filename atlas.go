@@ -40,6 +40,12 @@
 // selection, computed once and shared read-only across goroutines,
 // repeated Explore calls, sessions and anytime rounds. Explorers (and
 // the underlying Cartographer) are safe for concurrent use.
+//
+// Tables too big (or too hot) for one file can be sharded: SaveSharded
+// splits a table across several store files plus a manifest, and
+// NewSharded(OpenSharded(path), opts) explores the set with per-shard
+// fan-out — results byte-identical to the unsharded table at any shard
+// count and parallelism.
 package atlas
 
 import (
@@ -56,6 +62,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/sample"
 	"repro/internal/session"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -134,6 +141,9 @@ type Explorer struct {
 	table *Table
 	opts  Options
 	cart  *core.Cartographer
+	// set is non-nil for sharded explorers (NewSharded): column stats
+	// reduce from per-shard partials and sessions scan per shard.
+	set *shard.Set
 }
 
 // New builds an Explorer over a table.
@@ -143,6 +153,22 @@ func New(table *Table, opts Options) (*Explorer, error) {
 		return nil, err
 	}
 	return &Explorer{table: table, opts: opts, cart: cart}, nil
+}
+
+// NewSharded builds an Explorer over an opened sharded table. The
+// pipeline runs on the reassembled combined table — scans, partition
+// bitmaps and contingency counts fan out chunk-by-chunk across shard
+// boundaries — while column statistics (sorted values, sketches,
+// category counts) are computed as per-shard partials on the worker
+// pool and merged, and sessions keep per-shard predicate bitmaps.
+// Results are byte-identical to exploring the equivalent unsharded
+// table, at any shard count and parallelism.
+func NewSharded(st *ShardedTable, opts Options) (*Explorer, error) {
+	cart, err := core.NewCartographerWith(st.set.Table(), opts, st.set.Provider(opts.Parallelism))
+	if err != nil {
+		return nil, err
+	}
+	return &Explorer{table: st.set.Table(), opts: opts, cart: cart, set: st.set}, nil
 }
 
 // Table returns the explored table.
@@ -176,7 +202,14 @@ func (e *Explorer) Explore(cqlText string) (*Result, error) {
 		}
 		tbl = sample.Table(tbl, k, 1)
 	}
-	cart, err := core.NewCartographer(tbl, effective)
+	var cart *core.Cartographer
+	if !sampled && e.set != nil {
+		// WITH overrides on a sharded explorer keep the per-shard stat
+		// fan-out; sampling materializes a new table, which does not.
+		cart, err = core.NewCartographerWith(tbl, effective, e.set.Provider(effective.Parallelism))
+	} else {
+		cart, err = core.NewCartographer(tbl, effective)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -200,8 +233,15 @@ func (e *Explorer) ExploreAnytime(ctx context.Context, cqlText string, opts Anyt
 }
 
 // NewSession starts a stateful drill-down session with result caching
-// and anticipative prefetching.
-func (e *Explorer) NewSession() *Session { return session.New(e.cart) }
+// and anticipative prefetching. On sharded explorers the session's
+// predicate-bitmap LRU is keyed per shard and selections assemble
+// shard by shard.
+func (e *Explorer) NewSession() *Session {
+	if e.set != nil {
+		return session.NewSharded(e.cart, e.set)
+	}
+	return session.New(e.cart)
+}
 
 // ParseQuery parses and binds a CQL statement without executing it.
 func (e *Explorer) ParseQuery(cqlText string) (Query, error) {
@@ -275,6 +315,64 @@ func OpenStore(path string) (*Table, error) {
 	}
 	return s.Table(), nil
 }
+
+// ShardedTable is an opened sharded table: N ".atl" shard files plus
+// their manifest (see internal/shard for the manifest format),
+// reassembled into one combined chunk-aware table with per-shard views.
+type ShardedTable struct {
+	set *shard.Set
+}
+
+// Table returns the combined table (all shards, in manifest order).
+func (s *ShardedTable) Table() *Table { return s.set.Table() }
+
+// NumShards returns the number of shards.
+func (s *ShardedTable) NumShards() int { return s.set.NumShards() }
+
+// ShardTable returns shard i's view over the combined table.
+func (s *ShardedTable) ShardTable(i int) *Table { return s.set.ShardTable(i) }
+
+// ShardIngestOptions configures SaveSharded.
+type ShardIngestOptions struct {
+	// Shards is the requested shard count (>= 1).
+	Shards int
+	// HashKey selects hash partitioning by the named column; empty uses
+	// range partitioning in row order (the default — shards concatenate
+	// back into the original table bit for bit).
+	HashKey string
+	// ChunkSize is rows per chunk in every shard file (0 = 65536; must
+	// be a positive multiple of 64).
+	ChunkSize int
+}
+
+// SaveSharded splits a table into shard store files next to
+// manifestPath (conventionally "name.atlm") and writes the manifest
+// describing them. Open the result with OpenSharded, atlas -store, or
+// atlasd -store.
+func SaveSharded(t *Table, manifestPath string, o ShardIngestOptions) error {
+	_, err := shard.WriteSharded(manifestPath, t, shard.IngestOptions{
+		Shards:    o.Shards,
+		HashKey:   o.HashKey,
+		ChunkSize: o.ChunkSize,
+	})
+	return err
+}
+
+// OpenSharded opens a shard manifest and every shard file it references,
+// validating shard schemas, row counts and chunk sizes against each
+// other. Explore the result with NewSharded.
+func OpenSharded(manifestPath string) (*ShardedTable, error) {
+	set, err := shard.Open(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedTable{set: set}, nil
+}
+
+// IsShardManifest reports whether path holds a shard manifest (JSON)
+// rather than a single ".atl" store, so store-accepting entry points can
+// take either.
+func IsShardManifest(path string) bool { return shard.IsManifest(path) }
 
 // ColumnSummary holds the descriptive statistics of one column.
 type ColumnSummary = storage.ColumnSummary

@@ -6,12 +6,18 @@
 //	atlas -dataset census            # explore a bundled synthetic dataset
 //	atlas -csv data.csv -table name  # explore a CSV file
 //	atlas -store data.atl            # explore a columnar store file
+//	atlas -store data.atlm           # explore a sharded store (manifest)
 //	atlas ingest -csv data.csv -out data.atl [-table name] [-chunk 65536]
+//	atlas ingest -csv data.csv -shards 4 [-by keycol] [-out data.atlm]
 //
 // The ingest subcommand converts a CSV file into the on-disk columnar
 // store format (".atl"): per-column chunked segments with zone maps,
 // which reopen without re-parsing and let scans skip chunks that cannot
-// match a predicate. -store explores such a file directly.
+// match a predicate. With -shards N it splits the table into N shard
+// files plus a JSON manifest (range partitioning by row order, or hash
+// partitioning by the -by column), which explorations fan out across.
+// -store explores either kind of file directly — manifests are detected
+// by content, not extension.
 //
 // REPL commands:
 //
@@ -58,16 +64,12 @@ func main() {
 	)
 	flag.Parse()
 
-	table, err := loadTable(*dataset, *rows, *seed, *csvPath, *tblName, *store)
+	ex, err := makeExplorer(*dataset, *rows, *seed, *csvPath, *tblName, *store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atlas:", err)
 		os.Exit(1)
 	}
-	ex, err := atlas.New(table, atlas.DefaultOptions())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "atlas:", err)
-		os.Exit(1)
-	}
+	table := ex.Table()
 	sess := ex.NewSession()
 
 	fmt.Printf("Atlas explorer — table %q (%d rows, %d columns). Type 'help' for commands.\n",
@@ -242,14 +244,16 @@ func main() {
 }
 
 // runIngest implements the "atlas ingest" subcommand: CSV in, columnar
-// store file out.
+// store file (or sharded store: manifest plus shard files) out.
 func runIngest(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
 	var (
 		csvPath = fs.String("csv", "", "CSV file to ingest (required)")
-		outPath = fs.String("out", "", "output store path (default: CSV path with .atl extension)")
+		outPath = fs.String("out", "", "output store path (default: CSV path with .atl extension, .atlm when sharded)")
 		tblName = fs.String("table", "", "table name stored in the file (default: CSV path)")
 		chunk   = fs.Int("chunk", 0, "rows per chunk; positive multiple of 64 (default 65536)")
+		shards  = fs.Int("shards", 1, "split the table across this many shard files plus a manifest")
+		hashBy  = fs.String("by", "", "hash-partition shards by this key column (default: range partitioning by row order)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -257,9 +261,20 @@ func runIngest(args []string, out io.Writer) error {
 	if *csvPath == "" {
 		return fmt.Errorf("-csv is required")
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1")
+	}
+	if *hashBy != "" && *shards == 1 {
+		return fmt.Errorf("-by needs -shards > 1")
+	}
+	sharded := *shards > 1
 	dst := *outPath
 	if dst == "" {
-		dst = strings.TrimSuffix(*csvPath, filepath.Ext(*csvPath)) + ".atl"
+		ext := ".atl"
+		if sharded {
+			ext = ".atlm"
+		}
+		dst = strings.TrimSuffix(*csvPath, filepath.Ext(*csvPath)) + ext
 	}
 	start := time.Now()
 	table, err := atlas.LoadCSVFile(*tblName, *csvPath)
@@ -267,7 +282,16 @@ func runIngest(args []string, out io.Writer) error {
 		return err
 	}
 	parsed := time.Now()
-	if err := colstore.WriteFile(dst, table, *chunk); err != nil {
+	if sharded {
+		err = atlas.SaveSharded(table, dst, atlas.ShardIngestOptions{
+			Shards:    *shards,
+			HashKey:   *hashBy,
+			ChunkSize: *chunk,
+		})
+	} else {
+		err = colstore.WriteFile(dst, table, *chunk)
+	}
+	if err != nil {
 		return err
 	}
 	info, err := os.Stat(dst)
@@ -279,11 +303,37 @@ func runIngest(args []string, out io.Writer) error {
 		size = colstore.DefaultChunkSize
 	}
 	chunks := (table.NumRows() + size - 1) / size
-	fmt.Fprintf(out, "ingested %q: %d rows, %d columns, %d chunk(s) -> %s (%d bytes)\n",
-		table.Name(), table.NumRows(), table.NumCols(), chunks, dst, info.Size())
+	if sharded {
+		mode := "range"
+		if *hashBy != "" {
+			mode = "hash(" + *hashBy + ")"
+		}
+		fmt.Fprintf(out, "ingested %q: %d rows, %d columns, %d chunk(s), %d %s shard(s) -> %s\n",
+			table.Name(), table.NumRows(), table.NumCols(), chunks, *shards, mode, dst)
+	} else {
+		fmt.Fprintf(out, "ingested %q: %d rows, %d columns, %d chunk(s) -> %s (%d bytes)\n",
+			table.Name(), table.NumRows(), table.NumCols(), chunks, dst, info.Size())
+	}
 	fmt.Fprintf(out, "parse %v, write %v\n",
 		parsed.Sub(start).Round(time.Millisecond), time.Since(parsed).Round(time.Millisecond))
 	return nil
+}
+
+// makeExplorer builds the Explorer for the selected source; -store paths
+// may name a single .atl file or a shard manifest.
+func makeExplorer(dataset string, rows int, seed int64, csvPath, tblName, store string) (*atlas.Explorer, error) {
+	if store != "" && atlas.IsShardManifest(store) {
+		st, err := atlas.OpenSharded(store)
+		if err != nil {
+			return nil, err
+		}
+		return atlas.NewSharded(st, atlas.DefaultOptions())
+	}
+	table, err := loadTable(dataset, rows, seed, csvPath, tblName, store)
+	if err != nil {
+		return nil, err
+	}
+	return atlas.New(table, atlas.DefaultOptions())
 }
 
 func loadTable(dataset string, rows int, seed int64, csvPath, tblName, store string) (*atlas.Table, error) {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/query"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -176,6 +177,69 @@ func writeBenchJSON(path string, quick bool) error {
 			}
 			if t.NumRows() != n {
 				b.Fatal("short read")
+			}
+		}
+	})
+
+	// Sharded Explore: the same census table as a sharded store at
+	// several shard counts. Cold explorations (fresh stat cache per
+	// iteration) exercise the per-shard partial-statistics fan-out;
+	// shards=1 runs the identical code path on a single file, so the
+	// single-file baseline and the sharded scenario are directly
+	// comparable. Scaling with shard count needs multiple cores.
+	shardCounts := []int{1, 2, 4}
+	if quick {
+		shardCounts = []int{1, 2}
+	}
+	for _, shards := range shardCounts {
+		manifest, err := exp.ShardedInputs(tbl, shards, tmp)
+		if err != nil {
+			return err
+		}
+		set, err := shard.Open(manifest)
+		if err != nil {
+			return err
+		}
+		run(fmt.Sprintf("ShardedOpen/census_n=%d/shards=%d", n, shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := shard.Open(manifest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Table().NumRows() != n {
+					b.Fatal("short open")
+				}
+			}
+		})
+		run(fmt.Sprintf("ShardedExploreCold/census_n=%d/shards=%d", n, shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cart, err := core.NewCartographerWith(set.Table(), core.DefaultOptions(), set.Provider(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cart.Explore(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Unsharded cold baseline: the same census data opened from a single
+	// .atl store — identical storage and chunking, no shard layer.
+	single, err := colstore.Open(storePath)
+	if err != nil {
+		return err
+	}
+	run(fmt.Sprintf("ExploreCold/census_n=%d/singlefile", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cart, err := core.NewCartographer(single.Table(), core.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cart.Explore(q); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

@@ -6,10 +6,15 @@
 //	atlasd -addr :8080 -dataset census -rows 100000
 //	atlasd -addr :8080 -csv data.csv -table mydata
 //	atlasd -addr :8080 -store data.atl
+//	atlasd -addr :8080 -store data.atlm
 //
 // -store serves directly from a columnar store file created with
 // "atlas ingest" (or atlas.SaveStore): cold start skips CSV parsing
-// entirely and scans prune chunks via the store's zone maps.
+// entirely and scans prune chunks via the store's zone maps. A shard
+// manifest (created with "atlas ingest -shards N") serves the sharded
+// table: explorations fan out across shards, sessions keep per-shard
+// predicate bitmaps, and GET /api/shards reports the layout with merged
+// per-shard statistics.
 //
 // Endpoints:
 //
@@ -21,6 +26,7 @@
 //	POST /api/sessions/{id}/explore   {"cql": "..."}
 //	POST /api/sessions/{id}/drill     {"map": 0, "region": 1}
 //	POST /api/sessions/{id}/back
+//	GET  /api/shards
 package main
 
 import (

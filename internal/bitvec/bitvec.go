@@ -264,6 +264,65 @@ func (v *Vector) ForEach(fn func(i int) bool) {
 	}
 }
 
+// Slice returns a new vector holding bits [lo, hi) of v — the bit-range
+// counterpart of slicing a value array, used to carve per-shard views out
+// of a whole-table bitmap. Word-aligned lo copies words; unaligned slices
+// stitch each output word from two input words.
+func (v *Vector) Slice(lo, hi int) *Vector {
+	if lo < 0 || hi < lo || hi > v.n {
+		panic(fmt.Sprintf("bitvec: slice [%d,%d) out of range [0,%d]", lo, hi, v.n))
+	}
+	out := New(hi - lo)
+	if out.n == 0 {
+		return out
+	}
+	w0 := lo / wordBits
+	if shift := uint(lo % wordBits); shift == 0 {
+		copy(out.words, v.words[w0:])
+	} else {
+		for i := range out.words {
+			w := v.words[w0+i] >> shift
+			if w0+i+1 < len(v.words) {
+				w |= v.words[w0+i+1] << (wordBits - shift)
+			}
+			out.words[i] = w
+		}
+	}
+	out.trim()
+	return out
+}
+
+// OrBlit ORs src's bits into v starting at bit offset off:
+// v[off+i] |= src[i] for every i. It is how shard-local selection bitmaps
+// land in their row range of a global bitmap; blitting disjoint ranges of
+// a zeroed vector reassembles the exact concatenation. off need not be
+// word-aligned.
+func (v *Vector) OrBlit(off int, src *Vector) {
+	if off < 0 || off+src.n > v.n {
+		panic(fmt.Sprintf("bitvec: blit [%d,%d) out of range [0,%d]", off, off+src.n, v.n))
+	}
+	if src.n == 0 {
+		return
+	}
+	d := off / wordBits
+	shift := uint(off % wordBits)
+	if shift == 0 {
+		for i, w := range src.words {
+			v.words[d+i] |= w
+		}
+		return
+	}
+	for i, w := range src.words {
+		v.words[d+i] |= w << shift
+		// src's tail bits beyond its length are zero by invariant, so the
+		// carried high part never writes past off+src.n; when it is zero
+		// the next word may not even exist.
+		if hi := w >> (wordBits - shift); hi != 0 {
+			v.words[d+i+1] |= hi
+		}
+	}
+}
+
 // Rank returns the number of set bits in [0, i). Rank(Len()) == Count().
 func (v *Vector) Rank(i int) int {
 	if i < 0 || i > v.n {

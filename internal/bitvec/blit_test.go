@@ -1,0 +1,110 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSliceAlignedAndShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := New(500)
+	for i := 0; i < 500; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	cases := [][2]int{{0, 500}, {0, 64}, {64, 192}, {63, 321}, {1, 2}, {100, 100}, {499, 500}, {7, 493}}
+	for _, c := range cases {
+		lo, hi := c[0], c[1]
+		got := v.Slice(lo, hi)
+		if got.Len() != hi-lo {
+			t.Fatalf("slice [%d,%d) length %d", lo, hi, got.Len())
+		}
+		for i := lo; i < hi; i++ {
+			if got.Get(i-lo) != v.Get(i) {
+				t.Fatalf("slice [%d,%d) bit %d = %v, want %v", lo, hi, i-lo, got.Get(i-lo), v.Get(i))
+			}
+		}
+		// Tail bits beyond Len must stay zero (Count exactness).
+		if got.Count() != v.Rank(hi)-v.Rank(lo) {
+			t.Fatalf("slice [%d,%d) count %d, want %d", lo, hi, got.Count(), v.Rank(hi)-v.Rank(lo))
+		}
+	}
+}
+
+func TestOrBlitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := New(977)
+	for i := 0; i < src.Len(); i++ {
+		if rng.Intn(3) == 0 {
+			src.Set(i)
+		}
+	}
+	for _, off := range []int{0, 1, 63, 64, 65, 500} {
+		dst := New(off + src.Len() + 17)
+		dst.OrBlit(off, src)
+		for i := 0; i < dst.Len(); i++ {
+			want := i >= off && i < off+src.Len() && src.Get(i-off)
+			if dst.Get(i) != want {
+				t.Fatalf("off %d: bit %d = %v, want %v", off, i, dst.Get(i), want)
+			}
+		}
+	}
+}
+
+func TestOrBlitReassemblesSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := New(1234)
+	for i := 0; i < v.Len(); i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	// Split at arbitrary (unaligned) boundaries and reassemble.
+	bounds := []int{0, 130, 131, 700, 1234}
+	out := New(v.Len())
+	for i := 0; i+1 < len(bounds); i++ {
+		out.OrBlit(bounds[i], v.Slice(bounds[i], bounds[i+1]))
+	}
+	if !out.Equal(v) {
+		t.Fatal("slice + blit did not reassemble the original vector")
+	}
+}
+
+func TestOrBlitPreservesExistingBits(t *testing.T) {
+	dst := New(128)
+	dst.Set(0)
+	dst.Set(127)
+	src := New(64)
+	src.Set(1)
+	dst.OrBlit(32, src)
+	for _, want := range []int{0, 33, 127} {
+		if !dst.Get(want) {
+			t.Errorf("bit %d lost", want)
+		}
+	}
+	if dst.Count() != 3 {
+		t.Errorf("count = %d, want 3", dst.Count())
+	}
+}
+
+func TestSliceEmptyAndBounds(t *testing.T) {
+	v := New(10)
+	if v.Slice(5, 5).Len() != 0 {
+		t.Error("empty slice has bits")
+	}
+	v.OrBlit(10, New(0)) // zero-length blit at the end is legal
+	mustPanic(t, func() { v.Slice(-1, 5) })
+	mustPanic(t, func() { v.Slice(0, 11) })
+	mustPanic(t, func() { v.OrBlit(5, New(6)) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}

@@ -3,13 +3,13 @@
 // ingested into once and reopened from in milliseconds, instead of
 // re-parsing CSV on every process start.
 //
-// # Format (version 1)
+// # Format (version 2)
 //
 // All integers are little-endian; "uv" is an unsigned varint
 // (encoding/binary Uvarint).
 //
 //	magic   "ATLS" (4 bytes)
-//	version u8 (= 1)
+//	version u8 (= 2)
 //	uv nameLen | table name (UTF-8)
 //	uv rows
 //	uv chunkSize          // rows per chunk; positive multiple of 64
@@ -18,10 +18,14 @@
 //	per column segment:
 //	  (String columns) dictionary: uv entries; per entry uv len | bytes
 //	  per chunk (ceil(rows/chunkSize) chunks):
-//	    u8 flags            // 1 = has null words, 2 = has min/max
+//	    u8 flags            // 1 = has null words, 2 = has min/max,
+//	                        // 4 = has code set (v2+)
 //	    (flag 2) f64 min | f64 max     // IEEE-754 bits
 //	    uv nullCount
 //	    uv distinct         // distinct non-null values in the chunk
+//	    (flag 4) code set: uv words | words × u64  // bit i = dictionary
+//	                        // code i occurs in the chunk (String columns
+//	                        // with at most storage.MaxZoneCodes codes)
 //	    (flag 1) null bitmap: ceil(chunkRows/64) × u64 packed words
 //	    values:
 //	      Int64/Float64  chunkRows × u64 (two's-complement / IEEE bits)
@@ -29,10 +33,15 @@
 //	      String         chunkRows × u32 dictionary codes
 //	trailer u32 CRC-32 (IEEE) of every preceding byte
 //
-// The per-chunk min/max, null count and distinct estimate form the zone
-// maps: Open hands them to storage.NewChunkedTable, and the engine's
-// scan path prunes chunks whose zone maps prove they cannot match a
-// predicate — and shards one scan chunk-by-chunk across workers.
+// Version 1 files are identical minus the code-set flag and payload;
+// Read accepts both, so stores ingested before v2 keep opening.
+//
+// The per-chunk min/max, null count, distinct estimate and categorical
+// code set form the zone maps: Open hands them to
+// storage.NewChunkedTable, and the engine's scan path prunes chunks
+// whose zone maps prove they cannot match a predicate — numeric ranges
+// via min/max, equality/IN predicates via the code sets — and shards
+// one scan chunk-by-chunk across workers.
 //
 // Chunk sizes are multiples of 64 so chunk boundaries align with
 // selection-bitmap words: null words and packed bool words of a chunk
@@ -56,8 +65,9 @@ import (
 
 const (
 	magic = "ATLS"
-	// Version is the current format version byte.
-	Version = 1
+	// Version is the current format version byte. Version 2 added
+	// per-chunk categorical code sets; version 1 files still open.
+	Version = 2
 	// DefaultChunkSize is the default rows-per-chunk at ingest.
 	DefaultChunkSize = storage.ChunkRows
 	// maxDictEntries bounds a string column's dictionary, enforced
@@ -110,6 +120,13 @@ func WriteFile(path string, t *storage.Table, chunkSize int) error {
 // Write serializes a table in .atl format. Zone maps are computed here,
 // at ingest, so Open never rescans values.
 func Write(w io.Writer, t *storage.Table, chunkSize int) error {
+	return writeVersioned(w, t, chunkSize, Version)
+}
+
+// writeVersioned is Write at an explicit format version; version 1 omits
+// code sets. It exists so compatibility tests can produce genuine v1
+// images with the current writer.
+func writeVersioned(w io.Writer, t *storage.Table, chunkSize int, version byte) error {
 	if chunkSize == 0 {
 		chunkSize = DefaultChunkSize
 	}
@@ -119,10 +136,10 @@ func Write(w io.Writer, t *storage.Table, chunkSize int) error {
 	}
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
-	e := &encoder{w: bw}
+	e := &encoder{w: bw, version: version}
 
 	e.raw([]byte(magic))
-	e.u8(Version)
+	e.u8(version)
 	e.bytes([]byte(t.Name()))
 	e.uv(uint64(t.NumRows()))
 	e.uv(uint64(chunkSize))
@@ -171,9 +188,10 @@ func Write(w io.Writer, t *storage.Table, chunkSize int) error {
 // encoder wraps a writer with little-endian primitives and sticky
 // errors.
 type encoder struct {
-	w   *bufio.Writer
-	err error
-	buf [binary.MaxVarintLen64]byte
+	w       *bufio.Writer
+	version byte
+	err     error
+	buf     [binary.MaxVarintLen64]byte
 }
 
 func (e *encoder) raw(b []byte) {
@@ -209,8 +227,9 @@ func (e *encoder) bytes(b []byte) {
 }
 
 const (
-	flagNulls  = 1
-	flagMinMax = 2
+	flagNulls   = 1
+	flagMinMax  = 2
+	flagCodeSet = 4
 )
 
 // chunk writes one column chunk: zone map, null words, values.
@@ -223,6 +242,10 @@ func (e *encoder) chunk(col storage.Column, zm storage.ZoneMap, nullWords []uint
 	if zm.HasMinMax {
 		flags |= flagMinMax
 	}
+	writeCodes := e.version >= 2 && zm.CodeSet != nil
+	if writeCodes {
+		flags |= flagCodeSet
+	}
 	e.u8(flags)
 	if zm.HasMinMax {
 		e.u64(math.Float64bits(zm.Min))
@@ -230,6 +253,12 @@ func (e *encoder) chunk(col storage.Column, zm storage.ZoneMap, nullWords []uint
 	}
 	e.uv(uint64(zm.NullCount))
 	e.uv(uint64(zm.Distinct))
+	if writeCodes {
+		e.uv(uint64(len(zm.CodeSet)))
+		for _, w := range zm.CodeSet {
+			e.u64(w)
+		}
+	}
 	if zm.NullCount > 0 {
 		// Chunk boundaries are word-aligned, so the chunk's null words
 		// are a verbatim slice of the column bitmap.
@@ -303,8 +332,9 @@ func Read(data []byte) (*Store, error) {
 		return nil, fmt.Errorf("checksum mismatch (file %08x, computed %08x)", want, got)
 	}
 	d := &decoder{data: body, off: 4}
-	if v := d.u8(); v != Version {
-		return nil, fmt.Errorf("unsupported version %d (want %d)", v, Version)
+	d.version = d.u8()
+	if d.version < 1 || d.version > Version {
+		return nil, fmt.Errorf("unsupported version %d (this reader handles 1..%d)", d.version, Version)
 	}
 	name := string(d.bytes())
 	rowsU := d.uv()
@@ -386,9 +416,10 @@ func Read(data []byte) (*Store, error) {
 
 // decoder walks a byte image with sticky errors and bounds checks.
 type decoder struct {
-	data []byte
-	off  int
-	err  error
+	data    []byte
+	off     int
+	version byte
+	err     error
 }
 
 func (d *decoder) fail(format string, args ...any) {
@@ -506,6 +537,13 @@ func (d *decoder) column(f storage.Field, rows, chunkSize, numChunks int) (stora
 		chunkRows := hi - lo
 		chunkWords := (chunkRows + 63) / 64
 		flags := d.u8()
+		known := byte(flagNulls | flagMinMax)
+		if d.version >= 2 {
+			known |= flagCodeSet
+		}
+		if flags&^known != 0 {
+			return nil, nil, fmt.Errorf("chunk %d: unknown flags %#x for version %d", k, flags, d.version)
+		}
 		zm := storage.ZoneMap{}
 		if flags&flagMinMax != 0 {
 			zm.Min = math.Float64frombits(d.u64())
@@ -516,6 +554,24 @@ func (d *decoder) column(f storage.Field, rows, chunkSize, numChunks int) (stora
 		zm.Distinct = int(d.uv())
 		if zm.NullCount < 0 || zm.NullCount > chunkRows {
 			return nil, nil, fmt.Errorf("chunk %d: null count %d out of range", k, zm.NullCount)
+		}
+		if flags&flagCodeSet != 0 {
+			// The writer only emits code sets for dictionary columns whose
+			// cardinality fits the zone-code bound, always sized to the
+			// dictionary. Anything else is a malformed file — reject it
+			// rather than let a short bitset mis-prune scans.
+			nw := int(d.uv())
+			if f.Type != storage.String {
+				return nil, nil, fmt.Errorf("chunk %d: code set on %v column", k, f.Type)
+			}
+			if len(dict) == 0 || len(dict) > storage.MaxZoneCodes || nw != (len(dict)+63)/64 {
+				return nil, nil, fmt.Errorf("chunk %d: code set of %d words for %d dictionary entries", k, nw, len(dict))
+			}
+			set := make([]uint64, nw)
+			for wi := range set {
+				set[wi] = d.u64()
+			}
+			zm.CodeSet = set
 		}
 		zones[k] = zm
 		if flags&flagNulls != 0 {

@@ -1,0 +1,100 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func v1TestTable(t *testing.T) *storage.Table {
+	t.Helper()
+	schema := storage.MustSchema(
+		storage.Field{Name: "n", Type: storage.Int64},
+		storage.Field{Name: "s", Type: storage.String},
+	)
+	b := storage.NewBuilder("old", schema)
+	for i := 0; i < 500; i++ {
+		b.MustAppendRow(int64(i), []string{"x", "y", "z"}[i%3])
+	}
+	return b.MustBuild()
+}
+
+// TestV1FileStillOpens: images produced at format version 1 (no code
+// sets) keep opening under the v2 reader, with identical cells; only
+// the categorical zone-map pruning is absent.
+func TestV1FileStillOpens(t *testing.T) {
+	tbl := v1TestTable(t)
+	var buf bytes.Buffer
+	if err := writeVersioned(&buf, tbl, 128, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Read(buf.Bytes())
+	if err != nil {
+		t.Fatalf("v1 image does not open: %v", err)
+	}
+	got := st.Table()
+	for c := 0; c < tbl.NumCols(); c++ {
+		for r := 0; r < tbl.NumRows(); r++ {
+			if !reflect.DeepEqual(got.Column(c).Value(r), tbl.Column(c).Value(r)) {
+				t.Fatalf("col %d row %d differs", c, r)
+			}
+		}
+	}
+	si := got.Schema().Index("s")
+	for _, zm := range got.Chunking().Zones[si] {
+		if zm.CodeSet != nil {
+			t.Fatal("v1 image produced code sets")
+		}
+	}
+}
+
+// TestV2CodeSetsRoundTrip: the current writer persists code sets and the
+// reader hands them back exactly as ingest computed them.
+func TestV2CodeSetsRoundTrip(t *testing.T) {
+	tbl := v1TestTable(t)
+	want, err := storage.ComputeChunking(tbl, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tbl, 128); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Read(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.Table().Chunking()
+	si := tbl.Schema().Index("s")
+	for k, zm := range got.Zones[si] {
+		if !reflect.DeepEqual(zm.CodeSet, want.Zones[si][k].CodeSet) {
+			t.Fatalf("chunk %d: code set %v, want %v", k, zm.CodeSet, want.Zones[si][k].CodeSet)
+		}
+		if zm.CodeSet == nil {
+			t.Fatalf("chunk %d: no code set", k)
+		}
+	}
+}
+
+// TestV1RejectsV2Flags: a v1 image carrying the v2 code-set flag is
+// corrupt by definition and must be refused, not misparsed.
+func TestV1RejectsV2Flags(t *testing.T) {
+	tbl := v1TestTable(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tbl, 128); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	data[4] = 1 // demote version byte; code-set flags remain
+	body := data[:len(data)-4]
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
+	_, err := Read(data)
+	if err == nil || !strings.Contains(err.Error(), "unknown flags") {
+		t.Errorf("err = %v, want unknown-flags rejection", err)
+	}
+}

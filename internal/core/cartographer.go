@@ -111,13 +111,23 @@ type Cartographer struct {
 
 // NewCartographer validates the options and builds a Cartographer.
 func NewCartographer(t *storage.Table, opts Options) (*Cartographer, error) {
+	return NewCartographerWith(t, opts, nil)
+}
+
+// NewCartographerWith is NewCartographer with an external stat provider:
+// full-selection column statistics are served by sp (e.g. a sharded
+// store's mergeable per-shard partials) instead of whole-column passes
+// over t. sp may be nil.
+func NewCartographerWith(t *storage.Table, opts Options, sp StatProvider) (*Cartographer, error) {
 	if t == nil {
 		return nil, errors.New("core: nil table")
 	}
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return &Cartographer{table: t, opts: opts, stats: newStatCache()}, nil
+	stats := newStatCache()
+	stats.provider = sp
+	return &Cartographer{table: t, opts: opts, stats: stats}, nil
 }
 
 // Table returns the table being explored.
@@ -237,7 +247,7 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 		if err != nil {
 			return err
 		}
-		bits, err := engine.PartitionBits(c.table, attrs[i], preds, base)
+		bits, err := engine.PartitionBitsOpts(c.table, attrs[i], preds, base, engine.ScanOptions{Workers: workers})
 		if err != nil {
 			return err
 		}

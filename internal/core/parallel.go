@@ -2,60 +2,15 @@ package core
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/par"
 )
 
-// parallelFor runs fn(i) for every i in [0, n) on up to `workers`
-// goroutines pulling indices from a shared counter. Results must be
-// collected by index by the caller, which keeps output ordering — and
-// therefore the whole pipeline — independent of the schedule. With
-// workers <= 1 (or n <= 1) it degenerates to a plain serial loop.
-//
-// On failure the error with the smallest index among the executed calls
-// is returned and remaining indices are abandoned.
+// parallelFor is par.For under the pipeline's historical name: fn(i)
+// for every i in [0, n) on up to `workers` goroutines, results
+// collected by index so the pipeline stays schedule-independent.
 func parallelFor(workers, n int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		errIdx   = n
-		firstErr error
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if i < errIdx {
-						errIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return par.For(workers, n, fn)
 }
 
 // resolveParallelism maps an Options.Parallelism value to a worker

@@ -10,6 +10,25 @@ import (
 	"repro/internal/storage"
 )
 
+// StatProvider supplies full-selection column statistics from a
+// substrate that can compute them better than a whole-column pass — a
+// sharded store merging per-shard partials, or a future remote backend.
+// A provider's answers must be exactly what the table-order computation
+// would produce: sorted ascending values (merged per-shard runs equal a
+// global sort), a GK sketch fed the table-order stream, and exact count
+// vectors. The Cartographer consults it inside its stat cache, so each
+// column is still computed at most once.
+type StatProvider interface {
+	// NumericStats returns attr's non-NULL values sorted ascending and,
+	// when opts.Numeric is CutSketch, the finalized GK sketch over the
+	// table-order value stream.
+	NumericStats(attr string, opts CutOptions) (sorted []float64, gk *sketch.GK, err error)
+	// CategoryStats returns attr's dictionary and per-code counts.
+	CategoryStats(attr string) (dict []string, counts []int, err error)
+	// BoolStats returns attr's (false, true) tallies.
+	BoolStats(attr string) (falses, trues int, err error)
+}
+
 // statCache memoizes per-column statistics under the full selection
 // (every row of the table): sorted numeric values, the GK quantile
 // sketch for sketch cuts, category counts and boolean tallies. Tables
@@ -18,9 +37,13 @@ import (
 // goroutines, repeated Explore calls and anytime rounds. Selections that
 // do not cover the whole table bypass the cache (their statistics depend
 // on the selection).
+//
+// When a StatProvider is attached, first touches delegate to it instead
+// of scanning the table; everything downstream is unchanged.
 type statCache struct {
-	mu   sync.Mutex
-	cols map[string]*colStats
+	mu       sync.Mutex
+	provider StatProvider
+	cols     map[string]*colStats
 }
 
 // colStats holds one column's cached full-selection statistics. The
@@ -67,6 +90,10 @@ func (s *statCache) col(attr string) *colStats {
 func (s *statCache) numericStats(t *storage.Table, attr string, sel *bitvec.Vector, opts CutOptions) ([]float64, *sketch.GK, error) {
 	cs := s.col(attr)
 	cs.once.Do(func() {
+		if s.provider != nil {
+			cs.sorted, cs.gk, cs.err = s.provider.NumericStats(attr, opts)
+			return
+		}
 		vals, err := engine.NumericValuesUnder(t, attr, sel)
 		if err != nil {
 			cs.err = err
@@ -86,6 +113,10 @@ func (s *statCache) numericStats(t *storage.Table, attr string, sel *bitvec.Vect
 func (s *statCache) categoryStats(t *storage.Table, attr string, sel *bitvec.Vector) ([]string, []int, error) {
 	cs := s.col(attr)
 	cs.once.Do(func() {
+		if s.provider != nil {
+			cs.dict, cs.counts, cs.err = s.provider.CategoryStats(attr)
+			return
+		}
 		cs.dict, cs.counts, cs.err = engine.CategoryCountsUnder(t, attr, sel)
 	})
 	return cs.dict, cs.counts, cs.err
@@ -96,6 +127,10 @@ func (s *statCache) categoryStats(t *storage.Table, attr string, sel *bitvec.Vec
 func (s *statCache) boolStats(t *storage.Table, attr string, sel *bitvec.Vector) (falses, trues int, err error) {
 	cs := s.col(attr)
 	cs.once.Do(func() {
+		if s.provider != nil {
+			cs.falses, cs.trues, cs.err = s.provider.BoolStats(attr)
+			return
+		}
 		cs.falses, cs.trues, cs.err = engine.BoolCountsUnder(t, attr, sel)
 	})
 	return cs.falses, cs.trues, cs.err

@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/query"
@@ -21,6 +23,15 @@ import (
 // type. Compared with evaluating each region query independently, this
 // replaces k full scans with one.
 func PartitionBits(t *storage.Table, attr string, preds []query.Predicate, sel *bitvec.Vector) ([]*bitvec.Vector, error) {
+	return PartitionBitsOpts(t, attr, preds, sel, ScanOptions{})
+}
+
+// PartitionBitsOpts is PartitionBits with scan options: on tables with
+// chunk metadata, opts.Workers shards the partitioning pass chunk by
+// chunk across workers, exactly like a predicate scan. Chunks map to
+// disjoint word ranges of every output bitmap, so the partition is
+// byte-identical at any worker count.
+func PartitionBitsOpts(t *storage.Table, attr string, preds []query.Predicate, sel *bitvec.Vector, opts ScanOptions) ([]*bitvec.Vector, error) {
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("engine: partition with zero predicates")
 	}
@@ -47,13 +58,18 @@ func PartitionBits(t *storage.Table, attr string, preds []query.Predicate, sel *
 		outWords[ri][i>>6] |= uint64(1) << uint(i&63)
 	}
 
+	// visit resolves one selected row: tests it against the predicates in
+	// order and records the first match. Rows are only ever touched once
+	// and chunk boundaries are word-aligned, so driving visit over
+	// disjoint word ranges from several workers races on nothing.
+	var visit func(i int)
 	switch c := col.(type) {
 	case *storage.Int64Column:
 		if err := predsAreKind(preds, query.Range, col); err != nil {
 			return nil, err
 		}
 		vals := c.Values()
-		forEachSelected(sel, func(i int) {
+		visit = func(i int) {
 			if c.IsNull(i) {
 				return
 			}
@@ -64,13 +80,13 @@ func PartitionBits(t *storage.Table, attr string, preds []query.Predicate, sel *
 					return
 				}
 			}
-		})
+		}
 	case *storage.Float64Column:
 		if err := predsAreKind(preds, query.Range, col); err != nil {
 			return nil, err
 		}
 		vals := c.Values()
-		forEachSelected(sel, func(i int) {
+		visit = func(i int) {
 			if c.IsNull(i) {
 				return
 			}
@@ -80,7 +96,7 @@ func PartitionBits(t *storage.Table, attr string, preds []query.Predicate, sel *
 					return
 				}
 			}
-		})
+		}
 	case *storage.StringColumn:
 		if err := predsAreKind(preds, query.In, col); err != nil {
 			return nil, err
@@ -98,7 +114,7 @@ func PartitionBits(t *storage.Table, attr string, preds []query.Predicate, sel *
 			}
 		}
 		codes := c.Codes()
-		forEachSelected(sel, func(i int) {
+		visit = func(i int) {
 			// Null check first: null rows may carry placeholder codes.
 			if c.IsNull(i) {
 				return
@@ -106,13 +122,13 @@ func PartitionBits(t *storage.Table, attr string, preds []query.Predicate, sel *
 			if ri := region[codes[i]]; ri >= 0 {
 				place(i, int(ri))
 			}
-		})
+		}
 	case *storage.BoolColumn:
 		if err := predsAreKind(preds, query.BoolEq, col); err != nil {
 			return nil, err
 		}
 		vals := c.Values()
-		forEachSelected(sel, func(i int) {
+		visit = func(i int) {
 			if c.IsNull(i) {
 				return
 			}
@@ -122,10 +138,48 @@ func PartitionBits(t *storage.Table, attr string, preds []query.Predicate, sel *
 					return
 				}
 			}
-		})
+		}
 	default:
 		return nil, fmt.Errorf("engine: unsupported column type %T", col)
 	}
+
+	selWords := sel.Words()
+	ck := t.Chunking()
+	workers := opts.Workers
+	if ck == nil || workers <= 1 {
+		visitSelectedRange(selWords, 0, len(selWords), visit)
+		return out, nil
+	}
+	numChunks := ck.NumChunks(n)
+	if workers > numChunks {
+		workers = numChunks
+	}
+	if workers <= 1 {
+		visitSelectedRange(selWords, 0, len(selWords), visit)
+		return out, nil
+	}
+	wordsPerChunk := ck.Size / 64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= numChunks {
+					return
+				}
+				w0 := k * wordsPerChunk
+				w1 := w0 + wordsPerChunk
+				if w1 > len(selWords) {
+					w1 = len(selWords)
+				}
+				visitSelectedRange(selWords, w0, w1, visit)
+			}
+		}()
+	}
+	wg.Wait()
 	return out, nil
 }
 
@@ -138,12 +192,12 @@ func predsAreKind(preds []query.Predicate, kind query.PredKind, col storage.Colu
 	return nil
 }
 
-// forEachSelected visits the set bits of sel in ascending order without
-// the early-exit bookkeeping of Vector.ForEach.
-func forEachSelected(sel *bitvec.Vector, fn func(i int)) {
-	for wi, w := range sel.Words() {
+// visitSelectedRange visits the set bits of words[w0:w1] in ascending
+// order; zero words cost one load each.
+func visitSelectedRange(words []uint64, w0, w1 int, fn func(i int)) {
+	for wi := w0; wi < w1; wi++ {
 		base := wi * 64
-		for ; w != 0; w &= w - 1 {
+		for w := words[wi]; w != 0; w &= w - 1 {
 			fn(base + bits.TrailingZeros64(w))
 		}
 	}

@@ -133,10 +133,12 @@ func compilePred(t *storage.Table, p query.Predicate) (compiledPred, error) {
 			return compiledPred{}, kindErr(p, col)
 		}
 		admit := make([]bool, c.Cardinality())
+		admitWords := make([]uint64, (c.Cardinality()+63)/64)
 		any := false
 		for _, v := range p.Values {
 			if code, ok := c.CodeOf(v); ok {
 				admit[code] = true
+				admitWords[code/64] |= uint64(1) << uint(code%64)
 				any = true
 			}
 		}
@@ -151,7 +153,7 @@ func compilePred(t *storage.Table, p query.Predicate) (compiledPred, error) {
 		cp.match = func(i int) bool {
 			return !c.IsNull(i) && admit[codes[i]]
 		}
-		cp.zone = zoneNullOnly
+		cp.zone = codeSetZone(admitWords)
 	case *storage.BoolColumn:
 		if p.Kind != query.BoolEq {
 			return compiledPred{}, kindErr(p, col)
@@ -165,6 +167,44 @@ func compilePred(t *storage.Table, p query.Predicate) (compiledPred, error) {
 		return compiledPred{}, fmt.Errorf("engine: unsupported column type %T", col)
 	}
 	return cp, nil
+}
+
+// codeSetZone builds the categorical pruning rule for an In predicate
+// from the bitset of admitted dictionary codes. Chunks whose per-chunk
+// code set (when present) is disjoint from the admitted codes are
+// pruned; chunks whose codes are a subset of them — and that hold no
+// NULLs — match fully without row tests. Both decisions are exactly
+// consistent with the row matcher: the code set lists precisely the
+// codes occurring in the chunk's non-NULL rows.
+func codeSetZone(admitWords []uint64) func(zm storage.ZoneMap, chunkRows int) zoneVerdict {
+	return func(zm storage.ZoneMap, chunkRows int) zoneVerdict {
+		if zm.NullCount == chunkRows {
+			return zonePrune
+		}
+		if zm.CodeSet == nil {
+			return zoneScan
+		}
+		intersects, subset := false, true
+		for wi, w := range zm.CodeSet {
+			var aw uint64
+			if wi < len(admitWords) {
+				aw = admitWords[wi]
+			}
+			if w&aw != 0 {
+				intersects = true
+			}
+			if w&^aw != 0 {
+				subset = false
+			}
+		}
+		if !intersects {
+			return zonePrune
+		}
+		if subset && zm.NullCount == 0 {
+			return zoneFull
+		}
+		return zoneScan
+	}
 }
 
 // rangeZone builds the min/max pruning rule for a numeric Range

@@ -6,11 +6,13 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 
 	"repro/internal/colstore"
 	"repro/internal/datagen"
 	"repro/internal/query"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -28,6 +30,19 @@ func ColdStartInputs(n int, seed int64, dir string) (storePath string, csvData [
 		return "", nil, err
 	}
 	return storePath, buf.Bytes(), nil
+}
+
+// ShardedInputs ingests the census table as a sharded store (range
+// partitioning) under dir and returns the manifest path — the input of
+// the sharded Explore scenario. The same table at shards=1 measures the
+// single-file baseline through the identical code path.
+func ShardedInputs(tbl *storage.Table, shards int, dir string) (manifestPath string, err error) {
+	manifestPath = filepath.Join(dir, fmt.Sprintf("census_%d.atlm", shards))
+	_, err = shard.WriteSharded(manifestPath, tbl, shard.IngestOptions{Shards: shards})
+	if err != nil {
+		return "", err
+	}
+	return manifestPath, nil
 }
 
 // PrunedScanScenario builds the zone-map pruning workload: one monotone

@@ -1,0 +1,62 @@
+// Package par provides the one worker-pool shape the whole system
+// schedules on: N independent index-addressed tasks pulled from a
+// shared counter by a bounded set of goroutines, with results collected
+// by index so every caller stays deterministic under any schedule.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines
+// pulling indices from a shared counter. Callers collect results by
+// index, which keeps output ordering — and therefore answers —
+// independent of the schedule. With workers <= 1 (or n <= 1) it
+// degenerates to a plain serial loop.
+//
+// On failure the error with the smallest index among the executed calls
+// is returned and remaining indices are abandoned.
+func For(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cql"
 	"repro/internal/session"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -27,6 +28,16 @@ type Server struct {
 	table *storage.Table
 	opts  core.Options
 	cart  *core.Cartographer // shared; nil only when opts fail validation
+	// set is non-nil when serving a sharded table: sessions assemble
+	// selections per shard, the stat cache fills from merged per-shard
+	// partials, and /api/shards reports the layout.
+	set *shard.Set
+	// partialsOnce guards the merged per-column partials behind
+	// /api/shards: tables are immutable, so the per-shard scans run once
+	// and every later request serves the cached reduction.
+	partialsOnce sync.Once
+	partials     []*shard.ColumnPartial
+	partialsErr  error
 
 	mu       sync.Mutex
 	sessions map[int]*session.Session
@@ -42,11 +53,32 @@ func New(table *storage.Table, opts core.Options) *Server {
 	return s
 }
 
-// NewFromStore opens an on-disk columnar store file (".atl", see
-// internal/colstore) and serves its table directly: no CSV re-parse on
-// start, and every exploration scans with zone-map pruning and
-// chunk-parallel sharding.
+// NewSharded creates a server over an opened shard set: explorations run
+// on the combined table with column statistics reduced from per-shard
+// partials, and sessions keep their predicate-bitmap LRU keyed per
+// shard.
+func NewSharded(set *shard.Set, opts core.Options) *Server {
+	s := &Server{table: set.Table(), opts: opts, set: set, sessions: map[int]*session.Session{}}
+	if cart, err := core.NewCartographerWith(s.table, opts, set.Provider(opts.Parallelism)); err == nil {
+		s.cart = cart
+	}
+	return s
+}
+
+// NewFromStore opens an on-disk store and serves its table directly: no
+// CSV re-parse on start, and every exploration scans with zone-map
+// pruning and chunk-parallel sharding. path may be a single ".atl"
+// segment store (see internal/colstore) or a shard manifest (see
+// internal/shard) — manifests open every shard and serve the sharded
+// table with fan-out explorations.
 func NewFromStore(path string, opts core.Options) (*Server, error) {
+	if shard.IsManifest(path) {
+		set, err := shard.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return NewSharded(set, opts), nil
+	}
 	st, err := colstore.Open(path)
 	if err != nil {
 		return nil, err
@@ -64,7 +96,19 @@ func (s *Server) cartFor(opts core.Options) (*core.Cartographer, error) {
 	if s.cart != nil && opts == s.opts {
 		return s.cart, nil
 	}
+	if s.set != nil {
+		return core.NewCartographerWith(s.table, opts, s.set.Provider(opts.Parallelism))
+	}
 	return core.NewCartographer(s.table, opts)
+}
+
+// newSession builds a session on the shared Cartographer, sharded when
+// the server serves a shard set.
+func (s *Server) newSession(cart *core.Cartographer) *session.Session {
+	if s.set != nil {
+		return session.NewSharded(cart, s.set)
+	}
+	return session.New(cart)
 }
 
 // Handler returns the HTTP routing for the API.
@@ -80,6 +124,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/sessions/{id}/back", s.handleBack)
 	mux.HandleFunc("POST /api/sessions/{id}/describe", s.handleDescribe)
 	mux.HandleFunc("GET /api/sessions/{id}/personalized", s.handlePersonalized)
+	mux.HandleFunc("GET /api/shards", s.handleShards)
 	return mux
 }
 
@@ -222,7 +267,7 @@ func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	id := s.nextID
 	s.nextID++
-	s.sessions[id] = session.New(cart)
+	s.sessions[id] = s.newSession(cart)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
 }
@@ -397,6 +442,85 @@ func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 		out = append(out, md)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// ShardDTO describes one shard of a sharded table.
+type ShardDTO struct {
+	File   string `json:"file"`
+	Rows   int    `json:"rows"`
+	Offset int    `json:"offset"`
+}
+
+// ShardsDTO describes the sharded layout behind the served table, plus
+// merged per-column aggregates reduced from per-shard partials.
+type ShardsDTO struct {
+	Sharded      bool           `json:"sharded"`
+	Partitioning string         `json:"partitioning,omitempty"`
+	Key          string         `json:"key,omitempty"`
+	ChunkSize    int            `json:"chunkSize,omitempty"`
+	Rows         int            `json:"rows"`
+	Shards       []ShardDTO     `json:"shards,omitempty"`
+	Columns      []ShardColsDTO `json:"columns,omitempty"`
+}
+
+// ShardColsDTO is one column's merged aggregate: exact counts plus
+// approximate quantiles from the merged per-shard sketches.
+type ShardColsDTO struct {
+	Name   string    `json:"name"`
+	Rows   int       `json:"rows"`
+	Nulls  int       `json:"nulls"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+	Mean   float64   `json:"mean,omitempty"`
+	Median float64   `json:"median,omitempty"`
+	Hist   []int     `json:"hist,omitempty"`
+	Edges  []float64 `json:"histEdges,omitempty"`
+}
+
+// handleShards reports the shard layout and the merged partial
+// statistics of the served table; unsharded servers report
+// {"sharded": false}.
+func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
+	if s.set == nil {
+		writeJSON(w, http.StatusOK, ShardsDTO{Sharded: false, Rows: s.table.NumRows()})
+		return
+	}
+	m := s.set.Manifest()
+	dto := ShardsDTO{
+		Sharded:      true,
+		Partitioning: string(m.Partitioning),
+		Key:          m.Key,
+		ChunkSize:    m.ChunkSize,
+		Rows:         m.Rows,
+	}
+	for i, sf := range m.Shards {
+		dto.Shards = append(dto.Shards, ShardDTO{File: sf.File, Rows: sf.Rows, Offset: s.set.ShardOffset(i)})
+	}
+	s.partialsOnce.Do(func() {
+		s.partials, s.partialsErr = s.set.Partials(s.opts.Parallelism)
+	})
+	if s.partialsErr != nil {
+		writeError(w, s.partialsErr)
+		return
+	}
+	for ci, p := range s.partials {
+		col := ShardColsDTO{Name: s.table.Schema().Field(ci).Name, Rows: p.Rows, Nulls: p.Nulls}
+		if p.HasMinMax {
+			col.Min, col.Max = p.Min, p.Max
+			if p.Count > 0 {
+				col.Mean = p.Sum / float64(p.Count)
+			}
+			if p.Quantiles != nil && p.Quantiles.Count() > 0 {
+				col.Median = p.Quantiles.Median()
+			}
+			if p.Hist != nil {
+				col.Hist = p.Hist.Counts
+				col.Edges = p.Hist.Edges
+			}
+		}
+		dto.Columns = append(dto.Columns, col)
+	}
+	writeJSON(w, http.StatusOK, dto)
 }
 
 // ---- plumbing ----

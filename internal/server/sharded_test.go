@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/shard"
+)
+
+// TestNewFromStoreManifest: -store accepts a shard manifest, serves the
+// combined table, runs sharded sessions and reports the layout.
+func TestNewFromStoreManifest(t *testing.T) {
+	tbl := datagen.Census(6000, 2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "census.atlm")
+	if _, err := shard.WriteSharded(path, tbl, shard.IngestOptions{Shards: 3, ChunkSize: 256}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewFromStore(path, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Table().NumRows() != 6000 || srv.Table().Chunking() == nil {
+		t.Fatal("sharded table not served chunk-aware")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Stateless exploration over the sharded table.
+	resp, err := http.Post(ts.URL+"/api/explore", "application/json",
+		strings.NewReader(`{"cql": "EXPLORE census WHERE age BETWEEN 20 AND 60"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res ResultDTO
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.BaseCount == 0 || len(res.Maps) == 0 {
+		t.Fatalf("explore over sharded store gave %d rows, %d maps", res.BaseCount, len(res.Maps))
+	}
+
+	// Session over the sharded table: explore then drill.
+	resp, err = http.Post(ts.URL+"/api/sessions", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sid := ts.URL + "/api/sessions/0"
+	resp, err = http.Post(sid+"/explore", "application/json",
+		strings.NewReader(`{"cql": "EXPLORE census"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var node NodeDTO
+	if err := json.NewDecoder(resp.Body).Decode(&node); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(node.Result.Maps) == 0 {
+		t.Fatal("sharded session explore returned no maps")
+	}
+	resp, err = http.Post(sid+"/drill", "application/json", bytes.NewReader([]byte(`{"map":0,"region":0}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drill status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Shard layout endpoint with merged partials.
+	resp, err = http.Get(ts.URL + "/api/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards ShardsDTO
+	if err := json.NewDecoder(resp.Body).Decode(&shards); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !shards.Sharded || len(shards.Shards) != 3 || shards.Rows != 6000 {
+		t.Fatalf("shards DTO = %+v", shards)
+	}
+	if len(shards.Columns) != srv.Table().NumCols() {
+		t.Fatalf("merged columns = %d, want %d", len(shards.Columns), srv.Table().NumCols())
+	}
+	for _, c := range shards.Columns {
+		if c.Rows != 6000 {
+			t.Errorf("column %s merged rows = %d", c.Name, c.Rows)
+		}
+	}
+}
+
+// TestShardsEndpointUnsharded: a plain server answers sharded=false.
+func TestShardsEndpointUnsharded(t *testing.T) {
+	srv := New(datagen.Census(500, 1), core.DefaultOptions())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dto ShardsDTO
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	if dto.Sharded || dto.Rows != 500 {
+		t.Fatalf("dto = %+v", dto)
+	}
+}

@@ -2,6 +2,7 @@ package session
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"repro/internal/bitvec"
@@ -32,6 +33,29 @@ func predCacheCapForRows(rows int) int {
 	}
 	if c > predCacheMaxEntries {
 		return predCacheMaxEntries
+	}
+	return c
+}
+
+// predCacheCapForShards derives the entry capacity for a sharded table:
+// entries are per (predicate, shard) — one shard's bitmap each — so the
+// byte budget divides by the largest shard's bitmap, and the floor of
+// one entry per shard keeps a whole predicate's bitmaps resident.
+func predCacheCapForShards(layout ShardLayout) int {
+	n := layout.NumShards()
+	maxRows := 0
+	for i := 0; i < n; i++ {
+		if r := layout.ShardTable(i).NumRows(); r > maxRows {
+			maxRows = r
+		}
+	}
+	bitmapBytes := maxRows/8 + 1
+	c := predCacheBudgetBytes / bitmapBytes
+	if c < n {
+		c = n
+	}
+	if c > predCacheMaxEntries*n {
+		c = predCacheMaxEntries * n
 	}
 	return c
 }
@@ -67,11 +91,24 @@ func newPredCache(capacity int) *predCache {
 	return &predCache{cap: capacity, order: list.New(), byKey: map[string]*list.Element{}}
 }
 
-// getOrCompute returns the cached bitmap for p, evaluating and caching
-// it on a miss. Misses scan with the given worker count (chunk-parallel
-// on chunked tables). The returned vector must be treated as read-only.
+// getOrCompute returns the cached bitmap for p over the whole table,
+// evaluating and caching it on a miss. Misses scan with the given worker
+// count (chunk-parallel on chunked tables). The returned vector must be
+// treated as read-only.
 func (c *predCache) getOrCompute(t *storage.Table, p query.Predicate, workers int) (*bitvec.Vector, error) {
-	key := p.String()
+	return c.getOrComputeKeyed(t, p, workers, p.String())
+}
+
+// getOrComputeShard is getOrCompute for one shard of a sharded table:
+// the entry is keyed by (predicate, shard), so each shard's bitmap is
+// computed against its own view, cached and evicted independently — the
+// granularity a multi-backend deployment needs, where a shard's bitmap
+// is only valid on the backend holding that shard.
+func (c *predCache) getOrComputeShard(view *storage.Table, p query.Predicate, shard, workers int) (*bitvec.Vector, error) {
+	return c.getOrComputeKeyed(view, p, workers, fmt.Sprintf("%d|%s", shard, p.String()))
+}
+
+func (c *predCache) getOrComputeKeyed(t *storage.Table, p query.Predicate, workers int, key string) (*bitvec.Vector, error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)

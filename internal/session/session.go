@@ -10,7 +10,9 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/query"
+	"repro/internal/storage"
 )
 
 // Node is one step of the exploration: a query and its ranked maps.
@@ -28,6 +30,19 @@ type Node struct {
 	Children []int
 }
 
+// ShardLayout describes a sharded table to a session: the per-shard
+// chunk-aware views and their row offsets in the combined table (see
+// internal/shard.Set, which implements it). Sessions over a layout scan
+// and cache predicate bitmaps per shard.
+type ShardLayout interface {
+	// NumShards returns the number of shards.
+	NumShards() int
+	// ShardTable returns shard i's view over the combined table's rows.
+	ShardTable(i int) *storage.Table
+	// ShardOffset returns shard i's first row in the combined table.
+	ShardOffset(i int) int
+}
+
 // Session is a stateful exploration over one table. It is safe for
 // concurrent use.
 type Session struct {
@@ -39,7 +54,10 @@ type Session struct {
 	// preds is the bounded LRU of per-predicate selection bitmaps: a
 	// drill-down shares every predicate with its parent query, so its
 	// base selection is assembled from cached bitmaps plus one new scan.
+	// On sharded tables entries are keyed per (predicate, shard).
 	preds *predCache
+	// shards, when non-nil, fans base-selection assembly out per shard.
+	shards ShardLayout
 	// interest holds the decayed per-attribute weights behind
 	// personalized ranking (see preference.go).
 	interest map[string]float64
@@ -57,6 +75,18 @@ func New(cart *core.Cartographer) *Session {
 	}
 }
 
+// NewSharded creates a session over a sharded table: cart must explore
+// the layout's combined table. Base selections are assembled shard by
+// shard — predicate scans run concurrently across shards and their
+// bitmaps are cached in a per-shard keyed LRU, so a drill-down
+// re-scans only the new predicate, and only shard-locally.
+func NewSharded(cart *core.Cartographer, layout ShardLayout) *Session {
+	s := New(cart)
+	s.shards = layout
+	s.preds = newPredCache(predCacheCapForShards(layout))
+	return s
+}
+
 // explore runs one exploration, assembling the base selection from the
 // per-predicate bitmap cache. Safe without s.mu: the predicate cache
 // has its own lock and the Cartographer is concurrency-safe.
@@ -69,6 +99,13 @@ func (s *Session) explore(q query.Query) (*core.Result, error) {
 	// Cache misses scan with the cartographer's parallelism so the
 	// session path keeps the chunk-parallel sharding of Explore.
 	workers := s.cart.Workers()
+	if s.shards != nil {
+		base, err := s.shardedBase(q, workers)
+		if err != nil {
+			return nil, err
+		}
+		return s.cart.ExploreSel(q, base)
+	}
 	base := bitvec.NewFull(t.NumRows())
 	for _, p := range q.Preds {
 		bm, err := s.preds.getOrCompute(t, p, workers)
@@ -81,6 +118,47 @@ func (s *Session) explore(q query.Query) (*core.Result, error) {
 		}
 	}
 	return s.cart.ExploreSel(q, base)
+}
+
+// shardedBase assembles Eval(q) shard by shard: per shard, the cached
+// (or freshly scanned) per-predicate bitmaps AND together into the
+// shard's selection, and the shard selections blit into their row
+// ranges of the combined bitmap. Shards fan out over up to workers
+// goroutines; the assembled result is the exact concatenation, so it is
+// identical at any shard count and parallelism.
+func (s *Session) shardedBase(q query.Query, workers int) (*bitvec.Vector, error) {
+	n := s.shards.NumShards()
+	// Divide the worker budget: shards are the outer parallel axis; any
+	// leftover workers shard each predicate scan chunk-wise.
+	inner := workers / n
+	if inner < 1 {
+		inner = 1
+	}
+	sels := make([]*bitvec.Vector, n)
+	err := par.For(workers, n, func(i int) error {
+		view := s.shards.ShardTable(i)
+		sel := bitvec.NewFull(view.NumRows())
+		for _, p := range q.Preds {
+			bm, err := s.preds.getOrComputeShard(view, p, i, inner)
+			if err != nil {
+				return err
+			}
+			sel.And(bm)
+			if !sel.Any() {
+				break
+			}
+		}
+		sels[i] = sel
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := bitvec.New(s.cart.Table().NumRows())
+	for i, sel := range sels {
+		base.OrBlit(s.shards.ShardOffset(i), sel)
+	}
+	return base, nil
 }
 
 // exploreLocked runs (or serves from cache) an exploration and appends a

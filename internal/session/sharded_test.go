@@ -1,0 +1,99 @@
+package session
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/query"
+	"repro/internal/shard"
+)
+
+func shardedFixture(t *testing.T, shards, workers int) (*Session, *Session) {
+	t.Helper()
+	tbl := datagen.Census(12_000, 9)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "census.atlm")
+	if _, err := shard.WriteSharded(path, tbl, shard.IngestOptions{Shards: shards, ChunkSize: 256}); err != nil {
+		t.Fatal(err)
+	}
+	set, err := shard.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Parallelism = workers
+	plainCart, err := core.NewCartographer(tbl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardCart, err := core.NewCartographerWith(set.Table(), opts, set.Provider(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(plainCart), NewSharded(shardCart, set)
+}
+
+// TestShardedSessionMatchesPlain: a sharded session walks the same
+// drill-down tree to the same results as an unsharded one, while
+// caching predicate bitmaps per shard.
+func TestShardedSessionMatchesPlain(t *testing.T) {
+	for _, cfg := range []struct{ shards, workers int }{{2, 1}, {4, 2}, {8, 8}} {
+		plain, sharded := shardedFixture(t, cfg.shards, cfg.workers)
+		q := query.New("census", query.NewRange("age", 20, 70))
+		np, err := plain.Explore(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns, err := sharded.Explore(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if np.Result.BaseCount != ns.Result.BaseCount {
+			t.Fatalf("shards=%d workers=%d: base %d vs %d", cfg.shards, cfg.workers, np.Result.BaseCount, ns.Result.BaseCount)
+		}
+		if len(np.Result.Maps) == 0 {
+			t.Fatal("no maps")
+		}
+		for mi, m := range np.Result.Maps {
+			if got := ns.Result.Maps[mi].String(); got != m.String() {
+				t.Fatalf("shards=%d workers=%d map %d:\n got: %s\nwant: %s", cfg.shards, cfg.workers, mi, got, m.String())
+			}
+		}
+		// Drill into the same region on both sessions.
+		dp, err := plain.DrillDown(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := sharded.DrillDown(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Result.BaseCount != ds.Result.BaseCount {
+			t.Fatalf("drill base %d vs %d", dp.Result.BaseCount, ds.Result.BaseCount)
+		}
+		// The sharded predicate cache is keyed per (predicate, shard):
+		// the root query's predicate appears once per shard.
+		if got := sharded.PredCacheSize(); got < cfg.shards {
+			t.Errorf("sharded pred cache holds %d entries, want >= %d", got, cfg.shards)
+		}
+		// Drilling re-used the parent's cached shard bitmaps.
+		if hits, _ := sharded.PredCacheStats(); hits < cfg.shards {
+			t.Errorf("drill-down hit %d cached shard bitmaps, want >= %d", hits, cfg.shards)
+		}
+	}
+}
+
+// TestShardedSessionNoPredicates: an unfiltered exploration selects
+// every row through the per-shard assembly.
+func TestShardedSessionNoPredicates(t *testing.T) {
+	_, sharded := shardedFixture(t, 4, 2)
+	n, err := sharded.Explore(query.New("census"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Result.BaseCount != n.Result.TotalRows {
+		t.Fatalf("base %d, want all %d rows", n.Result.BaseCount, n.Result.TotalRows)
+	}
+}

@@ -1,0 +1,196 @@
+// Package shard implements the sharded atlas: one logical table split
+// across several .atl segment stores (see internal/colstore), described
+// by a small versioned JSON manifest, and reassembled at open into a
+// combined chunk-aware table plus per-shard views that share its
+// storage.
+//
+// Sharding is the system's scaling unit. The cartography pipeline
+// decomposes cleanly per row range — scans, partition bitmaps and
+// contingency counts are all row-local — so a table split into shards
+// fans those passes out across a worker pool and reduces the results
+// through mergeable partial statistics (counts, category-count vectors,
+// sorted-run merges, histograms and GK sketches; see partial.go).
+// Explorations over a shard set return maps byte-identical to the
+// unsharded table at any shard count and any parallelism.
+//
+// # Manifest format (version 1)
+//
+// A manifest is a JSON object, conventionally stored next to its shard
+// files with an ".atlm" extension:
+//
+//	{
+//	  "version": 1,
+//	  "table": "census",            // logical table name
+//	  "partitioning": "range",      // "range" or "hash"
+//	  "key": "cid",                 // hash partitioning key (hash only)
+//	  "chunk_size": 65536,          // rows per chunk in every shard
+//	  "rows": 1000000,              // total rows across shards
+//	  "shards": [
+//	    {"file": "census.00000.atl", "rows": 131072},
+//	    {"file": "census.00001.atl", "rows": 131072}
+//	  ]
+//	}
+//
+// Shard file paths are relative to the manifest's directory. Range
+// partitioning preserves row order — the concatenation of the shards in
+// manifest order is exactly the original table — and aligns every shard
+// boundary to a chunk boundary, so the reassembled table stitches the
+// shards' zone maps without rescanning. Hash partitioning routes rows by
+// a key column, which keeps all rows of one key in one shard (the layout
+// FK-join and per-key workloads want) at the cost of reordering rows.
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Partitioning names a row-routing strategy.
+type Partitioning string
+
+const (
+	// PartitionRange splits rows by position: shard i holds a contiguous,
+	// chunk-aligned row range, in table order.
+	PartitionRange Partitioning = "range"
+	// PartitionHash routes each row by a hash of its key column, keeping
+	// equal keys co-resident.
+	PartitionHash Partitioning = "hash"
+)
+
+// ManifestVersion is the current manifest format version.
+const ManifestVersion = 1
+
+// ShardFile describes one shard segment of a manifest.
+type ShardFile struct {
+	// File is the shard's .atl path, relative to the manifest directory.
+	File string `json:"file"`
+	// Rows is the shard's row count, checked against the opened file.
+	Rows int `json:"rows"`
+}
+
+// Manifest describes a sharded table: the partitioning that produced it
+// and the shard files composing it.
+type Manifest struct {
+	Version      int          `json:"version"`
+	Table        string       `json:"table"`
+	Partitioning Partitioning `json:"partitioning"`
+	// Key is the hash partitioning column; empty for range partitioning.
+	Key       string      `json:"key,omitempty"`
+	ChunkSize int         `json:"chunk_size"`
+	Rows      int         `json:"rows"`
+	Shards    []ShardFile `json:"shards"`
+}
+
+func (m *Manifest) validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("shard: unsupported manifest version %d (want %d)", m.Version, ManifestVersion)
+	}
+	switch m.Partitioning {
+	case PartitionRange:
+		if m.Key != "" {
+			return fmt.Errorf("shard: range manifest must not name a key column")
+		}
+	case PartitionHash:
+		if m.Key == "" {
+			return fmt.Errorf("shard: hash manifest must name a key column")
+		}
+	default:
+		return fmt.Errorf("shard: unknown partitioning %q", m.Partitioning)
+	}
+	if m.ChunkSize <= 0 || m.ChunkSize%64 != 0 {
+		return fmt.Errorf("shard: invalid chunk size %d", m.ChunkSize)
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard: manifest lists no shards")
+	}
+	sum := 0
+	for i, sf := range m.Shards {
+		if sf.File == "" {
+			return fmt.Errorf("shard: shard %d has no file", i)
+		}
+		if filepath.IsAbs(sf.File) {
+			return fmt.Errorf("shard: shard file %q must be relative to the manifest", sf.File)
+		}
+		if sf.Rows < 0 {
+			return fmt.Errorf("shard: shard %d has negative row count %d", i, sf.Rows)
+		}
+		sum += sf.Rows
+	}
+	if sum != m.Rows {
+		return fmt.Errorf("shard: shard rows sum to %d, manifest claims %d", sum, m.Rows)
+	}
+	return nil
+}
+
+// ReadManifest parses and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// writeManifest serializes m to path via a temporary sibling, so a
+// failed write never leaves a truncated manifest behind.
+func writeManifest(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// IsManifest sniffs whether path holds a shard manifest rather than a
+// single .atl store: manifests are JSON objects, stores start with the
+// "ATLS" magic. It lets every -store flag accept either.
+func IsManifest(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var buf [16]byte
+	n, _ := f.Read(buf[:])
+	for _, b := range buf[:n] {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,444 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/par"
+	"repro/internal/sketch"
+	"repro/internal/storage"
+)
+
+// Set is an opened sharded table: the manifest, the reassembled combined
+// table, and one chunk-aware view per shard sharing the combined
+// storage.
+//
+// The combined table is what the pipeline explores. Its chunk metadata
+// is stitched from the shards' zone maps (range partitioning aligns
+// every shard boundary to a chunk boundary, so the shard files' zone
+// maps concatenate verbatim), which is what lets the engine's existing
+// chunk drivers — predicate scans, partition bitmaps, contingency
+// counts — fan one pass out across shard boundaries on the shared
+// worker pool. The per-shard views carry the same zone maps restricted
+// to their row range; they are what per-shard work (partial statistics,
+// the session's per-shard predicate bitmaps) runs against.
+type Set struct {
+	manifest *Manifest
+	combined *storage.Table
+	views    []*storage.Table
+	offsets  []int
+}
+
+// Open opens a manifest and its shard files, validates them against
+// each other — every shard must exist, decode, match the manifest's row
+// counts and chunk size, and agree on one schema — and reassembles the
+// combined table. Shard files are opened concurrently.
+func Open(manifestPath string) (*Set, error) {
+	m, err := ReadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(manifestPath)
+	n := len(m.Shards)
+	parts := make([]*storage.Table, n)
+	err = par.For(runtime.GOMAXPROCS(0), n, func(i int) error {
+		st, err := colstore.Open(filepath.Join(dir, m.Shards[i].File))
+		if err != nil {
+			return fmt.Errorf("shard: opening shard %d: %w", i, err)
+		}
+		if st.Table().NumRows() != m.Shards[i].Rows {
+			return fmt.Errorf("shard: shard %d (%s) holds %d rows, manifest says %d",
+				i, m.Shards[i].File, st.Table().NumRows(), m.Shards[i].Rows)
+		}
+		if st.ChunkSize != m.ChunkSize {
+			return fmt.Errorf("shard: shard %d (%s) has chunk size %d, manifest says %d",
+				i, m.Shards[i].File, st.ChunkSize, m.ChunkSize)
+		}
+		parts[i] = st.Table()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if !parts[0].Schema().Equal(parts[i].Schema()) {
+			return nil, fmt.Errorf("shard: schema mismatch: shard 0 (%s) and shard %d (%s) disagree",
+				m.Shards[0].File, i, m.Shards[i].File)
+		}
+	}
+	return assemble(m, parts)
+}
+
+// assemble builds the combined table and per-shard views from opened,
+// validated shard tables.
+func assemble(m *Manifest, parts []*storage.Table) (*Set, error) {
+	combined, err := storage.ConcatTables(m.Table, parts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{manifest: m, offsets: make([]int, len(parts))}
+	off := 0
+	for i, p := range parts {
+		s.offsets[i] = off
+		off += p.NumRows()
+	}
+	if len(parts) == 1 {
+		// Single shard: the combined table IS the shard file's table
+		// (chunk metadata included); no re-encoding happened.
+		s.combined = combined
+		s.views = []*storage.Table{combined}
+		return s, nil
+	}
+
+	// Multi-shard: string columns were re-encoded against a union
+	// dictionary, so the shards' categorical zone maps are remapped into
+	// union-code space before they are reused. The union index of each
+	// string column is built once and shared across parts.
+	unionIndex := make([]map[string]uint32, combined.NumCols())
+	for ci := 0; ci < combined.NumCols(); ci++ {
+		if cc, ok := combined.Column(ci).(*storage.StringColumn); ok {
+			idx := make(map[string]uint32, cc.Cardinality())
+			for code, v := range cc.Dict() {
+				idx[v] = uint32(code)
+			}
+			unionIndex[ci] = idx
+		}
+	}
+	viewZones := make([][][]storage.ZoneMap, len(parts)) // [part][col][chunk]
+	for i, p := range parts {
+		viewZones[i] = remapZones(p, combined, unionIndex)
+	}
+
+	// Stitch the combined chunking when every shard boundary falls on a
+	// chunk boundary (range partitioning guarantees it); otherwise one
+	// pass recomputes it.
+	aligned := true
+	for i := 0; i < len(parts)-1; i++ {
+		if parts[i].NumRows()%m.ChunkSize != 0 {
+			aligned = false
+			break
+		}
+	}
+	var ck *storage.Chunking
+	if aligned {
+		ck = &storage.Chunking{Size: m.ChunkSize, Zones: make([][]storage.ZoneMap, combined.NumCols())}
+		for ci := 0; ci < combined.NumCols(); ci++ {
+			var zones []storage.ZoneMap
+			for i := range parts {
+				zones = append(zones, viewZones[i][ci]...)
+			}
+			ck.Zones[ci] = zones
+		}
+	} else {
+		ck, err = storage.ComputeChunking(combined, m.ChunkSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.combined, err = combined.WithChunking(ck)
+	if err != nil {
+		return nil, err
+	}
+
+	s.views = make([]*storage.Table, len(parts))
+	for i, p := range parts {
+		view, err := s.combined.SliceRows(m.Table, s.offsets[i], s.offsets[i]+p.NumRows())
+		if err != nil {
+			return nil, err
+		}
+		vck := &storage.Chunking{Size: m.ChunkSize, Zones: viewZones[i]}
+		s.views[i], err = view.WithChunking(vck)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// exactMinMax scans a numeric column for its finite (non-NaN, non-NULL)
+// value range — the fallback when zone maps dropped a chunk's bounds.
+func exactMinMax(col storage.Column) (lo, hi float64, ok bool) {
+	observe := func(v float64) {
+		if v != v { // NaN
+			return
+		}
+		if !ok {
+			lo, hi, ok = v, v, true
+		} else if v < lo {
+			lo = v
+		} else if v > hi {
+			hi = v
+		}
+	}
+	switch c := col.(type) {
+	case *storage.Int64Column:
+		for i, v := range c.Values() {
+			if !c.IsNull(i) {
+				observe(float64(v))
+			}
+		}
+	case *storage.Float64Column:
+		for i, v := range c.Values() {
+			if !c.IsNull(i) {
+				observe(v)
+			}
+		}
+	}
+	return lo, hi, ok
+}
+
+// remapZones copies part's zone maps, translating categorical code sets
+// from the part's dictionary into the combined table's union dictionary
+// via the precomputed per-column union indexes.
+func remapZones(part, combined *storage.Table, unionIndex []map[string]uint32) [][]storage.ZoneMap {
+	ck := part.Chunking()
+	out := make([][]storage.ZoneMap, part.NumCols())
+	for ci := range out {
+		zones := append([]storage.ZoneMap(nil), ck.Zones[ci]...)
+		pc, ok := part.Column(ci).(*storage.StringColumn)
+		if ok {
+			cc := combined.Column(ci).(*storage.StringColumn)
+			partDict := pc.Dict()
+			remap := make([]uint32, len(partDict))
+			for code, v := range partDict {
+				remap[code] = unionIndex[ci][v]
+			}
+			for k := range zones {
+				zones[k].CodeSet = remapCodeSet(zones[k].CodeSet, remap, cc.Cardinality())
+			}
+		}
+		out[ci] = zones
+	}
+	return out
+}
+
+// remapCodeSet translates a code bitset through remap into a bitset over
+// unionCard codes, or nil when the union dictionary outgrew zone-map
+// code tracking.
+func remapCodeSet(set []uint64, remap []uint32, unionCard int) []uint64 {
+	if set == nil || unionCard > storage.MaxZoneCodes {
+		return nil
+	}
+	out := make([]uint64, (unionCard+63)/64)
+	for oldCode, newCode := range remap {
+		if oldCode/64 < len(set) && set[oldCode/64]&(1<<uint(oldCode%64)) != 0 {
+			out[newCode/64] |= 1 << uint(newCode%64)
+		}
+	}
+	return out
+}
+
+// Table returns the combined, chunk-aware table the pipeline explores.
+func (s *Set) Table() *storage.Table { return s.combined }
+
+// Manifest returns the manifest the set was opened from.
+func (s *Set) Manifest() *Manifest { return s.manifest }
+
+// NumShards returns the number of shards.
+func (s *Set) NumShards() int { return len(s.views) }
+
+// ShardTable returns shard i's view: a chunk-aware table over the
+// shard's rows, sharing the combined table's storage.
+func (s *Set) ShardTable(i int) *storage.Table { return s.views[i] }
+
+// ShardOffset returns the combined-table row offset of shard i.
+func (s *Set) ShardOffset(i int) int { return s.offsets[i] }
+
+// Provider returns the set's core.StatProvider: full-selection column
+// statistics computed as per-shard partials on up to parallelism
+// workers (0 means GOMAXPROCS) and reduced by the exact merges of
+// partial.go. Sorted values are per-shard sorted runs merge-sorted into
+// the global order; category and boolean counts are summed vectors; cut
+// sketches replay the shard value streams in shard order, so every
+// answer matches the unsharded computation.
+func (s *Set) Provider(parallelism int) *Provider {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Provider{s: s, workers: parallelism}
+}
+
+// Provider implements core.StatProvider over a Set. See Set.Provider.
+type Provider struct {
+	s       *Set
+	workers int
+}
+
+// NumericStats implements core.StatProvider.
+func (p *Provider) NumericStats(attr string, opts core.CutOptions) ([]float64, *sketch.GK, error) {
+	runs := make([][]float64, p.s.NumShards())
+	err := par.For(p.workers, len(runs), func(i int) error {
+		view := p.s.views[i]
+		vals, err := engine.NumericValuesUnder(view, attr, bitvec.NewFull(view.NumRows()))
+		if err != nil {
+			return err
+		}
+		runs[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var gk *sketch.GK
+	if opts.Numeric == core.CutSketch {
+		// The sketch must equal the one a single pass over the combined
+		// table would build, so the shard streams are replayed in shard
+		// (= combined row) order rather than merged.
+		eps := opts.SketchEpsilon
+		if eps <= 0 || eps >= 1 {
+			eps = 0.005
+		}
+		gk = sketch.MustGK(eps)
+		for _, r := range runs {
+			gk.AddAll(r)
+		}
+		gk.Finalize()
+	}
+	err = par.For(p.workers, len(runs), func(i int) error {
+		sort.Float64s(runs[i])
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return MergeSortedRuns(runs), gk, nil
+}
+
+// CategoryStats implements core.StatProvider.
+func (p *Provider) CategoryStats(attr string) ([]string, []int, error) {
+	n := p.s.NumShards()
+	partCounts := make([][]int, n)
+	var dict []string
+	err := par.For(p.workers, n, func(i int) error {
+		view := p.s.views[i]
+		d, counts, err := engine.CategoryCountsUnder(view, attr, bitvec.NewFull(view.NumRows()))
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			dict = d
+		}
+		partCounts[i] = counts
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := partCounts[0]
+	for _, pc := range partCounts[1:] {
+		if err := AddCounts(counts, pc); err != nil {
+			return nil, nil, err
+		}
+	}
+	return dict, counts, nil
+}
+
+// BoolStats implements core.StatProvider.
+func (p *Provider) BoolStats(attr string) (int, int, error) {
+	n := p.s.NumShards()
+	falses := make([]int, n)
+	trues := make([]int, n)
+	err := par.For(p.workers, n, func(i int) error {
+		view := p.s.views[i]
+		f, t, err := engine.BoolCountsUnder(view, attr, bitvec.NewFull(view.NumRows()))
+		if err != nil {
+			return err
+		}
+		falses[i], trues[i] = f, t
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	f, t := 0, 0
+	for i := range falses {
+		f += falses[i]
+		t += trues[i]
+	}
+	return f, t, nil
+}
+
+// Partials computes one merged ColumnPartial per column: each shard
+// builds its bundle independently (counts, fixed-edge histogram, GK
+// sketch, category counts) and the bundles reduce in shard order. It is
+// the aggregate-statistics path front-ends use — no shard's raw values
+// are ever centralized — and the consistency check behind "do the
+// shards still sum to the table the manifest promises".
+func (s *Set) Partials(parallelism int) ([]*ColumnPartial, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	nCols := s.combined.NumCols()
+	rows := s.combined.NumRows()
+	// Histogram edges must be agreed before the fan-out: the combined
+	// table's zone maps give the global value range without a scan —
+	// except for chunks that dropped their min/max (NaN-containing), in
+	// which case one exact pass over the column recovers the finite
+	// range so no value silently falls outside the edges.
+	los := make([]float64, nCols)
+	his := make([]float64, nCols)
+	useHist := make([]bool, nCols)
+	ck := s.combined.Chunking()
+	for ci := 0; ci < nCols; ci++ {
+		if !s.combined.Schema().Field(ci).Type.IsNumeric() {
+			continue
+		}
+		unbounded := false
+		for k, zm := range ck.Zones[ci] {
+			if zm.HasMinMax {
+				if !useHist[ci] {
+					los[ci], his[ci], useHist[ci] = zm.Min, zm.Max, true
+				} else {
+					if zm.Min < los[ci] {
+						los[ci] = zm.Min
+					}
+					if zm.Max > his[ci] {
+						his[ci] = zm.Max
+					}
+				}
+				continue
+			}
+			chunkRows := ck.Size
+			if hi := (k + 1) * ck.Size; hi > rows {
+				chunkRows = rows - k*ck.Size
+			}
+			if zm.NullCount < chunkRows {
+				unbounded = true
+			}
+		}
+		if unbounded {
+			los[ci], his[ci], useHist[ci] = exactMinMax(s.combined.Column(ci))
+		}
+	}
+	perShard := make([][]*ColumnPartial, s.NumShards())
+	err := par.For(parallelism, s.NumShards(), func(i int) error {
+		out := make([]*ColumnPartial, nCols)
+		for ci := 0; ci < nCols; ci++ {
+			p, err := columnPartial(s.views[i], ci, los[ci], his[ci], useHist[ci])
+			if err != nil {
+				return err
+			}
+			out[ci] = p
+		}
+		perShard[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := perShard[0]
+	for _, sp := range perShard[1:] {
+		for ci := range merged {
+			if err := merged[ci].Merge(sp[ci]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return merged, nil
+}

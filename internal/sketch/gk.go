@@ -169,3 +169,48 @@ func (s *GK) Quantile(q float64) float64 {
 
 // Median returns an ε-approximate median.
 func (s *GK) Median() float64 { return s.Quantile(0.5) }
+
+// Merge folds another sketch into s — the reduction step of distributed
+// quantile summaries: each shard sketches its own value stream and the
+// coordinator merges the partials. Entry lists are merge-sorted by value
+// with gap counts preserved; each entry's rank uncertainty widens by the
+// other sketch's error budget, so the merged sketch answers quantiles
+// within ε_s·n_s + ε_o·n_o of the exact rank. It does not reproduce the
+// sketch a single pass over the concatenated stream would build — callers
+// that need bit-identical single-stream sketches must replay the streams
+// in order instead.
+func (s *GK) Merge(o *GK) {
+	s.flush()
+	o.flush()
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n = o.n
+		s.entries = append(s.entries[:0], o.entries...)
+		return
+	}
+	sPad := int(math.Floor(2 * s.eps * float64(s.n)))
+	oPad := int(math.Floor(2 * o.eps * float64(o.n)))
+	merged := make([]gkEntry, 0, len(s.entries)+len(o.entries))
+	i, j := 0, 0
+	for i < len(s.entries) || j < len(o.entries) {
+		var e gkEntry
+		if j >= len(o.entries) || (i < len(s.entries) && s.entries[i].v <= o.entries[j].v) {
+			e = s.entries[i]
+			e.delta += oPad
+			i++
+		} else {
+			e = o.entries[j]
+			e.delta += sPad
+			j++
+		}
+		merged = append(merged, e)
+	}
+	// Endpoints must stay exact (delta 0) so min/max queries are precise.
+	merged[0].delta = 0
+	merged[len(merged)-1].delta = 0
+	s.entries = merged
+	s.n += o.n
+	s.compress()
+}

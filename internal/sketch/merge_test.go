@@ -1,0 +1,57 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestGKMergeAccuracy: k merged shard sketches answer quantiles within
+// the summed error budget of the exact rank.
+func TestGKMergeAccuracy(t *testing.T) {
+	const n, shards, eps = 40_000, 4, 0.01
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*10 + 50
+	}
+	merged := MustGK(eps)
+	for s := 0; s < shards; s++ {
+		part := MustGK(eps)
+		part.AddAll(vals[s*n/shards : (s+1)*n/shards])
+		part.Finalize()
+		merged.Merge(part)
+	}
+	if merged.Count() != n {
+		t.Fatalf("merged count %d, want %d", merged.Count(), n)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	budget := float64(shards) * eps * float64(n)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		got := merged.Quantile(q)
+		rank := sort.SearchFloat64s(sorted, got)
+		if diff := math.Abs(float64(rank) - q*float64(n)); diff > budget+1 {
+			t.Errorf("q=%.2f: rank error %.0f exceeds budget %.0f", q, diff, budget)
+		}
+	}
+}
+
+// TestGKMergeEmptyAndSelf: merging empty sketches is the identity (the
+// answers stay whatever the sketch answered before, within ε).
+func TestGKMergeEmptyAndSelf(t *testing.T) {
+	a := MustGK(0.01)
+	a.AddAll([]float64{1, 2, 3, 4, 5})
+	a.Finalize()
+	lo, hi := a.Quantile(0), a.Quantile(1)
+	a.Merge(MustGK(0.01)) // empty other
+	if a.Count() != 5 || a.Quantile(0) != lo || a.Quantile(1) != hi {
+		t.Errorf("merge with empty changed the sketch: count=%d q0=%v q1=%v", a.Count(), a.Quantile(0), a.Quantile(1))
+	}
+	b := MustGK(0.01)
+	b.Merge(a) // empty receiver
+	if b.Count() != 5 || b.Quantile(0) != lo || b.Quantile(1) != hi {
+		t.Errorf("merge into empty lost data: count=%d", b.Count())
+	}
+}

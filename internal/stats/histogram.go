@@ -26,9 +26,10 @@ func (h *Histogram) Total() int {
 	return t
 }
 
-// BinOf returns the bin index holding v, or -1 if v is out of range.
+// BinOf returns the bin index holding v, or -1 if v is out of range
+// (NaN is outside every bin).
 func (h *Histogram) BinOf(v float64) int {
-	if len(h.Edges) < 2 || v < h.Edges[0] || v > h.Edges[len(h.Edges)-1] {
+	if len(h.Edges) < 2 || math.IsNaN(v) || v < h.Edges[0] || v > h.Edges[len(h.Edges)-1] {
 		return -1
 	}
 	// binary search for the upper edge
@@ -71,6 +72,53 @@ func EquiWidthHist(vals []float64, k int) (*Histogram, error) {
 		counts[b]++
 	}
 	return &Histogram{Edges: edges, Counts: counts}, nil
+}
+
+// FixedHist returns an empty k-bin equal-width histogram over [lo, hi] —
+// the shape distributed counting needs: every shard observes its values
+// into a histogram with identical, pre-agreed edges, and the partials
+// Merge into exactly the histogram a single pass would build.
+func FixedHist(lo, hi float64, k int) (*Histogram, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs k > 0, got %d", k)
+	}
+	if !(lo <= hi) {
+		return nil, fmt.Errorf("stats: histogram range [%g, %g] is invalid", lo, hi)
+	}
+	if lo == hi {
+		return &Histogram{Edges: []float64{lo, hi}, Counts: []int{0}}, nil
+	}
+	edges := make([]float64, k+1)
+	width := (hi - lo) / float64(k)
+	for i := 0; i <= k; i++ {
+		edges[i] = lo + width*float64(i)
+	}
+	edges[k] = hi
+	return &Histogram{Edges: edges, Counts: make([]int, k)}, nil
+}
+
+// Observe adds one value; values outside the edge range are dropped.
+func (h *Histogram) Observe(v float64) {
+	if b := h.BinOf(v); b >= 0 {
+		h.Counts[b]++
+	}
+}
+
+// Merge adds o's counts into h. Both histograms must share identical
+// edges (built by FixedHist over the same range).
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.Edges) != len(o.Edges) {
+		return fmt.Errorf("stats: merge of histograms with %d vs %d edges", len(h.Edges), len(o.Edges))
+	}
+	for i := range h.Edges {
+		if h.Edges[i] != o.Edges[i] {
+			return fmt.Errorf("stats: merge of histograms with different edges at %d (%g vs %g)", i, h.Edges[i], o.Edges[i])
+		}
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	return nil
 }
 
 // EquiDepthHist builds a k-bin equal-frequency histogram over vals. Bins

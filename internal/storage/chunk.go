@@ -37,7 +37,20 @@ type ZoneMap struct {
 	// a run-count estimate (consecutive unequal values), which is exact
 	// on sorted chunks and costs no per-value hashing at ingest.
 	Distinct int
+	// CodeSet is the categorical counterpart of Min/Max: for
+	// dictionary-encoded columns of cardinality at most MaxZoneCodes, a
+	// packed bitset (code i → bit i) of the codes present in the chunk.
+	// Equality/IN predicates prune chunks whose code sets are disjoint
+	// from the admitted values — and skip row tests entirely when the
+	// chunk's codes are a subset of them. nil disables code pruning.
+	CodeSet []uint64
 }
+
+// MaxZoneCodes bounds the dictionary cardinality for which per-chunk code
+// sets are kept: 4096 codes cost at most 512 bytes per chunk. Above it,
+// chunks rarely concentrate few codes and the bitsets would outgrow their
+// benefit.
+const MaxZoneCodes = 4096
 
 // Chunking is the chunk-level metadata of a table whose columns were
 // ingested in fixed-size row chunks: the chunk size and one zone map per
@@ -190,17 +203,27 @@ func computeZone(col Column, lo, hi int) ZoneMap {
 		zm.HasMinMax = haveMM && !sawNaN
 	case *StringColumn:
 		codes := c.Codes()
-		seen := make([]bool, c.Cardinality())
+		card := c.Cardinality()
+		var set []uint64
+		if card > 0 && card <= MaxZoneCodes {
+			set = make([]uint64, (card+63)/64)
+		}
+		seen := make([]bool, card)
 		for i := lo; i < hi; i++ {
 			if c.IsNull(i) {
 				zm.NullCount++
 				continue
 			}
-			if !seen[codes[i]] {
-				seen[codes[i]] = true
+			code := codes[i]
+			if !seen[code] {
+				seen[code] = true
 				zm.Distinct++
+				if set != nil {
+					set[code/64] |= uint64(1) << uint(code%64)
+				}
 			}
 		}
+		zm.CodeSet = set
 	case *BoolColumn:
 		vals := c.Values()
 		var sawT, sawF bool

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -167,7 +168,7 @@ func TestChunkingSurvivesProjectAndRename(t *testing.T) {
 	if len(pck.Zones) != 2 {
 		t.Fatalf("projected zones = %d columns, want 2", len(pck.Zones))
 	}
-	if pck.Zones[1][0] != ck.Zones[0][0] {
+	if !reflect.DeepEqual(pck.Zones[1][0], ck.Zones[0][0]) {
 		t.Error("projected zone maps not remapped to surviving columns")
 	}
 	if ct.Rename("x").Chunking() == nil {

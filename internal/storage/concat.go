@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// ConcatTables materializes the row-wise concatenation of parts, in
+// order, under one name — the physical operator that reassembles a
+// sharded table from its shard segments. All parts must share one schema
+// (same field names and types, in order). String columns are re-encoded
+// against a union dictionary built in first-seen order across parts, so
+// the result is a well-formed dictionary column regardless of how the
+// shards were split.
+//
+// A single part is returned as a rename (columns and chunk metadata
+// shared, no copy), so a one-shard store costs the same as an unsharded
+// one. Multi-part concatenations carry no chunk metadata; callers that
+// know the parts' chunk layouts can reattach stitched metadata with
+// WithChunking.
+func ConcatTables(name string, parts []*Table) (*Table, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("storage: concat of zero tables")
+	}
+	if len(parts) == 1 {
+		return parts[0].Rename(name), nil
+	}
+	schema := parts[0].schema
+	rows := parts[0].rows
+	for _, p := range parts[1:] {
+		if !schema.Equal(p.schema) {
+			return nil, fmt.Errorf("storage: concat schema mismatch: table %q has %s, table %q has %s",
+				parts[0].name, describeSchema(schema), p.name, describeSchema(p.schema))
+		}
+		rows += p.rows
+	}
+	cols := make([]Column, schema.NumFields())
+	for ci := range cols {
+		col, err := concatColumn(schema.Field(ci), parts, ci, rows)
+		if err != nil {
+			return nil, fmt.Errorf("storage: concat column %q: %w", schema.Field(ci).Name, err)
+		}
+		cols[ci] = col
+	}
+	return &Table{name: name, schema: schema, cols: cols, rows: rows}, nil
+}
+
+func describeSchema(s *Schema) string {
+	out := "("
+	for i, f := range s.fields {
+		if i > 0 {
+			out += ", "
+		}
+		out += f.Name + " " + f.Type.String()
+	}
+	return out + ")"
+}
+
+// concatNulls assembles the concatenated null bitmap of column ci across
+// parts, or nil when no part has nulls.
+func concatNulls(parts []*Table, ci, rows int) *bitvec.Vector {
+	any := false
+	for _, p := range parts {
+		if p.cols[ci].NullCount() > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := bitvec.New(rows)
+	off := 0
+	for _, p := range parts {
+		if words := NullWords(p.cols[ci]); words != nil {
+			pv := bitvec.New(p.rows)
+			copy(pv.Words(), words)
+			out.OrBlit(off, pv)
+		}
+		off += p.rows
+	}
+	return out
+}
+
+func concatColumn(f Field, parts []*Table, ci, rows int) (Column, error) {
+	nulls := concatNulls(parts, ci, rows)
+	switch f.Type {
+	case Int64:
+		vals := make([]int64, 0, rows)
+		for _, p := range parts {
+			vals = append(vals, p.cols[ci].(*Int64Column).Values()...)
+		}
+		return NewInt64Column(vals, nulls), nil
+	case Float64:
+		vals := make([]float64, 0, rows)
+		for _, p := range parts {
+			vals = append(vals, p.cols[ci].(*Float64Column).Values()...)
+		}
+		return NewFloat64Column(vals, nulls), nil
+	case Bool:
+		vals := make([]bool, 0, rows)
+		for _, p := range parts {
+			vals = append(vals, p.cols[ci].(*BoolColumn).Values()...)
+		}
+		return NewBoolColumn(vals, nulls), nil
+	case String:
+		// Union dictionary in first-seen order across parts; per-part code
+		// remap tables re-encode each segment.
+		var dict []string
+		index := map[string]uint32{}
+		codes := make([]uint32, 0, rows)
+		for _, p := range parts {
+			sc := p.cols[ci].(*StringColumn)
+			pd := sc.Dict()
+			if len(pd) == 0 {
+				// all-NULL segment: placeholder codes stay 0 (never read)
+				codes = append(codes, sc.Codes()...)
+				continue
+			}
+			remap := make([]uint32, len(pd))
+			for code, v := range pd {
+				uc, ok := index[v]
+				if !ok {
+					uc = uint32(len(dict))
+					index[v] = uc
+					dict = append(dict, v)
+				}
+				remap[code] = uc
+			}
+			for _, c := range sc.Codes() {
+				codes = append(codes, remap[c])
+			}
+		}
+		return &StringColumn{nullSet{nulls}, dict, codes}, nil
+	default:
+		return nil, fmt.Errorf("unsupported type %v", f.Type)
+	}
+}
+
+// SliceRows returns a view of rows [lo, hi) of t under a new name. Value
+// storage (and string dictionaries) is shared with t; only null bitmaps
+// are re-packed when present. The view carries no chunk metadata —
+// callers holding per-range zone maps reattach them with WithChunking.
+// It is the physical operator behind per-shard views of a reassembled
+// sharded table.
+func (t *Table) SliceRows(name string, lo, hi int) (*Table, error) {
+	if lo < 0 || hi < lo || hi > t.rows {
+		return nil, fmt.Errorf("storage: slice rows [%d,%d) out of range [0,%d]", lo, hi, t.rows)
+	}
+	cols := make([]Column, len(t.cols))
+	for ci, c := range t.cols {
+		var nulls *bitvec.Vector
+		if words := NullWords(c); words != nil {
+			full := bitvec.New(t.rows)
+			copy(full.Words(), words)
+			nulls = full.Slice(lo, hi)
+			if !nulls.Any() {
+				nulls = nil
+			}
+		}
+		switch col := c.(type) {
+		case *Int64Column:
+			cols[ci] = NewInt64Column(col.Values()[lo:hi], nulls)
+		case *Float64Column:
+			cols[ci] = NewFloat64Column(col.Values()[lo:hi], nulls)
+		case *BoolColumn:
+			cols[ci] = NewBoolColumn(col.Values()[lo:hi], nulls)
+		case *StringColumn:
+			cols[ci] = &StringColumn{nullSet{nulls}, col.Dict(), col.Codes()[lo:hi]}
+		default:
+			return nil, fmt.Errorf("storage: slice of unsupported column type %T", c)
+		}
+	}
+	return &Table{name: name, schema: t.schema, cols: cols, rows: hi - lo}, nil
+}
+
+// WithChunking returns t with the given chunk metadata attached (columns
+// shared). The chunking is validated against the table's shape.
+func (t *Table) WithChunking(ck *Chunking) (*Table, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("storage: WithChunking with nil chunking")
+	}
+	if err := ck.validate(len(t.cols), t.rows); err != nil {
+		return nil, err
+	}
+	return &Table{name: t.name, schema: t.schema, cols: t.cols, rows: t.rows, chunking: ck}, nil
+}

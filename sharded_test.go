@@ -1,0 +1,155 @@
+package atlas
+
+// Acceptance tests for the sharded atlas: a table split across N shard
+// files must be indistinguishable from the unsharded table — Explore
+// output byte-identical at every (shard count, parallelism) pair — while
+// ingest, open and sessions all run through the public facade.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func writeShardedCensus(t *testing.T, tbl *Table, o ShardIngestOptions) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "census.atlm")
+	if err := SaveSharded(tbl, path, o); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestShardedExploreByteIdentical is the acceptance bar: Explore over a
+// shard set equals Explore over the unsharded table, for 1/2/4/8 shards
+// at parallelism 1/2/8.
+func TestShardedExploreByteIdentical(t *testing.T) {
+	tbl := CensusDataset(20_000, 3)
+	cql := "EXPLORE census WHERE age BETWEEN 20 AND 70"
+	for _, shards := range []int{1, 2, 4, 8} {
+		path := writeShardedCensus(t, tbl, ShardIngestOptions{Shards: shards, ChunkSize: 512})
+		st, err := OpenSharded(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards > 1 && st.NumShards() != shards {
+			t.Fatalf("opened %d shards, want %d", st.NumShards(), shards)
+		}
+		for _, parallelism := range []int{1, 2, 8} {
+			opts := DefaultOptions()
+			opts.Parallelism = parallelism
+			exPlain, err := New(tbl, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exShard, err := NewSharded(st, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := exPlain.Explore(cql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := exShard.Explore(cql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.BaseCount != want.BaseCount || got.TotalRows != want.TotalRows {
+				t.Fatalf("shards=%d parallelism=%d: counts differ", shards, parallelism)
+			}
+			if g, w := stripTiming(FormatResult(got)), stripTiming(FormatResult(want)); g != w {
+				t.Errorf("shards=%d parallelism=%d: sharded result differs:\n got: %s\nwant: %s",
+					shards, parallelism, g, w)
+			}
+		}
+	}
+}
+
+// TestShardedSessionFacade: sessions over a sharded explorer drill to
+// the same results as over the plain table.
+func TestShardedSessionFacade(t *testing.T) {
+	tbl := CensusDataset(10_000, 5)
+	path := writeShardedCensus(t, tbl, ShardIngestOptions{Shards: 4, ChunkSize: 256})
+	st, err := OpenSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exPlain, err := New(tbl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exShard, err := NewSharded(st, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := exShard.ParseQuery("EXPLORE census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := exPlain.NewSession()
+	ss := exShard.NewSession()
+	np, err := sp.Explore(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := ss.Explore(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(np.Result.Maps) == 0 {
+		t.Fatal("no maps")
+	}
+	if g, w := stripTiming(FormatResult(ns.Result)), stripTiming(FormatResult(np.Result)); g != w {
+		t.Errorf("sharded session explore differs:\n got: %s\nwant: %s", g, w)
+	}
+	dp, err := sp.DrillDown(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ss.DrillDown(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := stripTiming(FormatResult(ds.Result)), stripTiming(FormatResult(dp.Result)); g != w {
+		t.Errorf("sharded drill-down differs:\n got: %s\nwant: %s", g, w)
+	}
+}
+
+// TestShardedHashIngestFacade: hash partitioning through the facade
+// keeps all rows and explores cleanly.
+func TestShardedHashIngestFacade(t *testing.T) {
+	tbl := CensusDataset(8_000, 7)
+	path := writeShardedCensus(t, tbl, ShardIngestOptions{Shards: 4, HashKey: "education", ChunkSize: 256})
+	if !IsShardManifest(path) {
+		t.Fatal("manifest not detected")
+	}
+	st, err := OpenSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Table().NumRows() != tbl.NumRows() {
+		t.Fatalf("rows %d, want %d", st.Table().NumRows(), tbl.NumRows())
+	}
+	ex, err := NewSharded(st, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Explore("EXPLORE census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Maps) == 0 || res.BaseCount != tbl.NumRows() {
+		t.Fatalf("hash-sharded explore: %d maps, base %d", len(res.Maps), res.BaseCount)
+	}
+}
+
+// TestIsShardManifestOnStore: a single-file store is not a manifest.
+func TestIsShardManifestOnStore(t *testing.T) {
+	tbl := CensusDataset(1_000, 1)
+	path := filepath.Join(t.TempDir(), "census.atl")
+	if err := SaveStore(tbl, path); err != nil {
+		t.Fatal(err)
+	}
+	if IsShardManifest(path) {
+		t.Error("single-file store detected as manifest")
+	}
+}
