@@ -181,7 +181,20 @@ func (e *Explorer) Table() *Table { return e.table }
 // without overrides run on the explorer's shared Cartographer, so
 // repeated explorations reuse its column-stat cache instead of
 // re-sorting the same columns.
-func (e *Explorer) Explore(cqlText string) (*Result, error) {
+func (e *Explorer) Explore(cqlText string) (res *Result, err error) {
+	// Sampling gathers rows through lazy columns before a Cartographer
+	// exists; surface chunk-fetch failures there as errors too.
+	defer func() {
+		if r := recover(); r != nil {
+			ce := storage.AsChunkPanic(r)
+			if ce == nil {
+				panic(r)
+			}
+			if err == nil {
+				res, err = nil, ce
+			}
+		}
+	}()
 	q, o, err := cql.ParseAndBind(cqlText, e.table)
 	if err != nil {
 		return nil, err
@@ -220,6 +233,12 @@ func (e *Explorer) Explore(cqlText string) (*Result, error) {
 func (e *Explorer) ExploreQuery(q Query) (*Result, error) {
 	return e.cart.Explore(q)
 }
+
+// ScanStats snapshots the explorer's cumulative chunk-level scan
+// decisions: chunks pruned / matched in full / scanned, and — on
+// memory-tiered stores — chunks decoded and decoded-cache hits. It is
+// the observable measure of how well zone maps are filtering I/O.
+func (e *Explorer) ScanStats() ScanSnapshot { return e.cart.ScanStats() }
 
 // ExploreAnytime runs the progressive Section 5.1 loop: results refine
 // over growing samples until they stabilize, the data is exhausted, or
@@ -297,9 +316,10 @@ func WriteCSV(t *Table, w io.Writer) error { return storage.WriteCSV(t, w) }
 
 // SaveStore ingests a table into an on-disk columnar store file (the
 // ".atl" format: per-column chunked segments with dictionary-encoded
-// strings, null bitmaps and per-chunk zone maps — see internal/colstore).
-// A store reopens orders of magnitude faster than re-parsing CSV and
-// enables zone-map pruned, chunk-parallel scans.
+// strings, null bitmaps, per-chunk zone maps and a lazy-open directory
+// — see internal/colstore). A store reopens orders of magnitude faster
+// than re-parsing CSV and enables zone-map pruned, chunk-parallel
+// scans.
 func SaveStore(t *Table, path string) error {
 	return colstore.WriteFile(path, t, 0)
 }
@@ -308,12 +328,132 @@ func SaveStore(t *Table, path string) error {
 // table carries the store's chunk metadata: explorations over it prune
 // chunks via zone maps and shard scans across Options.Parallelism
 // workers, with results byte-identical to a CSV-loaded table.
+//
+// The residency mode is automatic: small files decode eagerly, files
+// past the colstore auto-threshold (64 MiB) open lazily — mmapped, with
+// chunks decoding on first touch — so tables larger than RAM serve from
+// the same format. Use OpenStoreWith for explicit control (and a Close
+// handle).
 func OpenStore(path string) (*Table, error) {
 	s, err := colstore.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	return s.Table(), nil
+}
+
+// StoreOpenOptions are the facade's memory-tier knobs for opening
+// stores (single-file or sharded).
+type StoreOpenOptions struct {
+	// Lazy forces on-demand chunk decoding; Eager forces a full decode
+	// at open. Neither set = automatic by file size (and the
+	// ATLAS_STORE_MODE environment variable).
+	Lazy, Eager bool
+	// CacheBytes bounds the decoded-chunk cache of lazy opens: > 0 is a
+	// byte budget (shared across the files of a sharded set), < 0
+	// forces unbounded, 0 consults ATLAS_CHUNK_CACHE_BUDGET then
+	// defaults to unbounded.
+	CacheBytes int64
+	// Defer (sharded opens only) postpones opening shard files until a
+	// chunk or statistic of that shard is first touched; the manifest's
+	// per-shard statistics stand in for zone maps until then, so
+	// selective explorations skip whole shard files.
+	Defer bool
+	// VerifyCRC forces the whole-file trailer checksum even on lazy
+	// opens (v3 lazy opens otherwise rely on per-chunk CRCs).
+	VerifyCRC bool
+}
+
+func (o StoreOpenOptions) colstoreOptions() colstore.Options {
+	co := colstore.Options{CacheBytes: o.CacheBytes, VerifyCRC: o.VerifyCRC}
+	switch {
+	case o.Lazy:
+		co.Mode = colstore.ModeLazy
+	case o.Eager:
+		co.Mode = colstore.ModeEager
+	}
+	return co
+}
+
+// StoreIOStats is a snapshot of a lazy store's I/O counters.
+type StoreIOStats = colstore.IOStats
+
+// ScanSnapshot is a snapshot of an Explorer's cumulative chunk-level
+// scan decisions (pruned / full / scanned, decodes, cache hits).
+type ScanSnapshot = engine.Snapshot
+
+// StoreHandle is an opened on-disk store — a single ".atl" file or a
+// shard manifest, sniffed by content — with lifecycle control the plain
+// OpenStore path does not give: Close releases file mappings, IOStats
+// reports lazy I/O counters, NewExplorer builds the right Explorer
+// kind.
+type StoreHandle struct {
+	store *colstore.Store
+	set   *ShardedTable
+}
+
+// OpenStoreWith opens path (an ".atl" store or an ".atlm" manifest)
+// with explicit memory-tier options.
+func OpenStoreWith(path string, o StoreOpenOptions) (*StoreHandle, error) {
+	if shard.IsManifest(path) {
+		st, err := OpenShardedWith(path, o)
+		if err != nil {
+			return nil, err
+		}
+		return &StoreHandle{set: st}, nil
+	}
+	s, err := colstore.OpenWith(path, o.colstoreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &StoreHandle{store: s}, nil
+}
+
+// Table returns the opened table (combined across shards for sharded
+// stores).
+func (h *StoreHandle) Table() *Table {
+	if h.set != nil {
+		return h.set.Table()
+	}
+	return h.store.Table()
+}
+
+// Sharded returns the sharded view of the handle, or nil for a
+// single-file store.
+func (h *StoreHandle) Sharded() *ShardedTable { return h.set }
+
+// Lazy reports whether the store serves chunks on demand.
+func (h *StoreHandle) Lazy() bool {
+	if h.set != nil {
+		return h.set.Lazy()
+	}
+	return h.store.Lazy()
+}
+
+// Close releases every file mapping and descriptor the handle holds.
+func (h *StoreHandle) Close() error {
+	if h.set != nil {
+		return h.set.Close()
+	}
+	return h.store.Close()
+}
+
+// IOStats snapshots the handle's cumulative lazy-I/O counters (zeros
+// for eager stores).
+func (h *StoreHandle) IOStats() StoreIOStats {
+	if h.set != nil {
+		return h.set.IOStats()
+	}
+	return h.store.IOStats()
+}
+
+// NewExplorer builds an Explorer over the handle — sharded fan-out when
+// the handle is a shard set, plain otherwise.
+func (h *StoreHandle) NewExplorer(opts Options) (*Explorer, error) {
+	if h.set != nil {
+		return NewSharded(h.set, opts)
+	}
+	return New(h.store.Table(), opts)
 }
 
 // ShardedTable is an opened sharded table: N ".atl" shard files plus
@@ -358,11 +498,34 @@ func SaveSharded(t *Table, manifestPath string, o ShardIngestOptions) error {
 	return err
 }
 
+// Lazy reports whether the set assembled as lazy views over its shard
+// files rather than a materialized concatenation.
+func (s *ShardedTable) Lazy() bool { return s.set.LazyViews() }
+
+// Close closes every opened shard file.
+func (s *ShardedTable) Close() error { return s.set.Close() }
+
+// IOStats sums the lazy-I/O counters across the set's shard files.
+func (s *ShardedTable) IOStats() StoreIOStats { return s.set.IOStats() }
+
+// OpenedShards counts shard files opened so far — under deferred opens,
+// the observable measure of shard-file pruning.
+func (s *ShardedTable) OpenedShards() int { return s.set.OpenedShards() }
+
 // OpenSharded opens a shard manifest and every shard file it references,
 // validating shard schemas, row counts and chunk sizes against each
-// other. Explore the result with NewSharded.
+// other. Explore the result with NewSharded. Chunk-aligned sets
+// assemble as lazy views sharing one decoded-chunk cache — open holds
+// no concatenated copy of the columns.
 func OpenSharded(manifestPath string) (*ShardedTable, error) {
-	set, err := shard.Open(manifestPath)
+	return OpenShardedWith(manifestPath, StoreOpenOptions{})
+}
+
+// OpenShardedWith is OpenSharded with explicit memory-tier options;
+// with Defer set, shard files open only when first touched and the
+// manifest's per-shard statistics prune whole files beforehand.
+func OpenShardedWith(manifestPath string, o StoreOpenOptions) (*ShardedTable, error) {
+	set, err := shard.OpenWith(manifestPath, shard.Options{Store: o.colstoreOptions(), Defer: o.Defer})
 	if err != nil {
 		return nil, err
 	}

@@ -61,16 +61,42 @@ func main() {
 		csvPath = flag.String("csv", "", "explore a CSV file instead of a bundled dataset")
 		tblName = flag.String("table", "", "table name for -csv (defaults to the file path)")
 		store   = flag.String("store", "", "explore a columnar store file (.atl) created with 'atlas ingest'")
+		lazy    = flag.Bool("lazy", false, "force lazy (memory-tiered) store opens: chunks decode on first touch")
+		eager   = flag.Bool("eager", false, "force eager store opens (full decode up front)")
+		cacheB  = flag.Int64("cachebudget", 0, "decoded-chunk cache budget in bytes for lazy opens (0 = env/unbounded)")
+		deferS  = flag.Bool("defer", false, "defer opening shard files until first touch (sharded stores)")
+		verbose = flag.Bool("v", false, "print scan statistics (chunks pruned/scanned/decoded) after each exploration")
 	)
 	flag.Parse()
 
-	ex, err := makeExplorer(*dataset, *rows, *seed, *csvPath, *tblName, *store)
+	ex, handle, err := makeExplorer(*dataset, *rows, *seed, *csvPath, *tblName, *store, atlas.StoreOpenOptions{
+		Lazy: *lazy, Eager: *eager, CacheBytes: *cacheB, Defer: *deferS,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atlas:", err)
 		os.Exit(1)
 	}
+	if handle != nil {
+		defer handle.Close()
+	}
 	table := ex.Table()
 	sess := ex.NewSession()
+	printStats := func() {
+		if !*verbose {
+			return
+		}
+		sn := ex.ScanStats()
+		fmt.Printf("[scan] pruned=%d full=%d scanned=%d", sn.ChunksPruned, sn.ChunksFull, sn.ChunksScanned)
+		if handle != nil && handle.Lazy() {
+			io := handle.IOStats()
+			fmt.Printf(" decoded=%d cache-hits=%d bytes-read=%d cache-bytes=%d",
+				io.ChunksDecoded, io.CacheHits, io.BytesRead, io.CacheBytes)
+			if st := handle.Sharded(); st != nil {
+				fmt.Printf(" shards-open=%d/%d", st.OpenedShards(), st.NumShards())
+			}
+		}
+		fmt.Println()
+	}
 
 	fmt.Printf("Atlas explorer — table %q (%d rows, %d columns). Type 'help' for commands.\n",
 		table.Name(), table.NumRows(), table.NumCols())
@@ -109,6 +135,7 @@ func main() {
 				continue
 			}
 			printNode(node)
+			printStats()
 			sess.Prefetch(4)
 		case "maps":
 			node, err := sess.Current()
@@ -135,6 +162,7 @@ func main() {
 				continue
 			}
 			printNode(node)
+			printStats()
 			sess.Prefetch(4)
 		case "why":
 			parts := strings.Fields(rest)
@@ -320,26 +348,31 @@ func runIngest(args []string, out io.Writer) error {
 }
 
 // makeExplorer builds the Explorer for the selected source; -store paths
-// may name a single .atl file or a shard manifest.
-func makeExplorer(dataset string, rows int, seed int64, csvPath, tblName, store string) (*atlas.Explorer, error) {
-	if store != "" && atlas.IsShardManifest(store) {
-		st, err := atlas.OpenSharded(store)
+// may name a single .atl file or a shard manifest, opened with the
+// given memory-tier options (the returned handle is non-nil for stores
+// and owns the file mappings).
+func makeExplorer(dataset string, rows int, seed int64, csvPath, tblName, store string, so atlas.StoreOpenOptions) (*atlas.Explorer, *atlas.StoreHandle, error) {
+	if store != "" {
+		handle, err := atlas.OpenStoreWith(store, so)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return atlas.NewSharded(st, atlas.DefaultOptions())
+		ex, err := handle.NewExplorer(atlas.DefaultOptions())
+		if err != nil {
+			handle.Close()
+			return nil, nil, err
+		}
+		return ex, handle, nil
 	}
-	table, err := loadTable(dataset, rows, seed, csvPath, tblName, store)
+	table, err := loadTable(dataset, rows, seed, csvPath, tblName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return atlas.New(table, atlas.DefaultOptions())
+	ex, err := atlas.New(table, atlas.DefaultOptions())
+	return ex, nil, err
 }
 
-func loadTable(dataset string, rows int, seed int64, csvPath, tblName, store string) (*atlas.Table, error) {
-	if store != "" {
-		return atlas.OpenStore(store)
-	}
+func loadTable(dataset string, rows int, seed int64, csvPath, tblName string) (*atlas.Table, error) {
 	if csvPath != "" {
 		return atlas.LoadCSVFile(tblName, csvPath)
 	}

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 func TestLoadTableBundledDatasets(t *testing.T) {
@@ -18,7 +20,7 @@ func TestLoadTableBundledDatasets(t *testing.T) {
 		{"orders", 100},
 	}
 	for _, c := range cases {
-		tbl, err := loadTable(c.dataset, c.rows, 1, "", "", "")
+		tbl, err := loadTable(c.dataset, c.rows, 1, "", "")
 		if err != nil {
 			t.Errorf("%s: %v", c.dataset, err)
 			continue
@@ -27,7 +29,7 @@ func TestLoadTableBundledDatasets(t *testing.T) {
 			t.Errorf("%s: empty table", c.dataset)
 		}
 	}
-	if _, err := loadTable("nope", 10, 1, "", "", ""); err == nil {
+	if _, err := loadTable("nope", 10, 1, "", ""); err == nil {
 		t.Error("unknown dataset should fail")
 	}
 }
@@ -38,14 +40,14 @@ func TestLoadTableCSV(t *testing.T) {
 	if err := os.WriteFile(path, []byte("x,y\n1,a\n2,b\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := loadTable("", 0, 0, path, "mytable", "")
+	tbl, err := loadTable("", 0, 0, path, "mytable")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tbl.Name() != "mytable" || tbl.NumRows() != 2 {
 		t.Fatalf("table = %s rows %d", tbl.Name(), tbl.NumRows())
 	}
-	if _, err := loadTable("", 0, 0, filepath.Join(dir, "missing.csv"), "", ""); err == nil {
+	if _, err := loadTable("", 0, 0, filepath.Join(dir, "missing.csv"), ""); err == nil {
 		t.Error("missing file should fail")
 	}
 }
@@ -68,10 +70,12 @@ func TestIngestAndLoadStore(t *testing.T) {
 	if !strings.Contains(out.String(), "3 rows") {
 		t.Errorf("ingest summary = %q", out.String())
 	}
-	tbl, err := loadTable("", 0, 0, "", "", storePath)
+	handle, err := atlas.OpenStoreWith(storePath, atlas.StoreOpenOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer handle.Close()
+	tbl := handle.Table()
 	if tbl.Name() != "mytable" || tbl.NumRows() != 3 {
 		t.Fatalf("store table = %s rows %d", tbl.Name(), tbl.NumRows())
 	}

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -94,12 +95,32 @@ func main() {
 	}
 }
 
-// benchRecord is one benchmark's machine-readable result.
+// benchRecord is one benchmark's machine-readable result. Metrics
+// carries scenario-specific counters (bytes read, chunks decoded,
+// retained heap) alongside the timing.
 type benchRecord struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Iterations  int     `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Iterations  int                `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// retainedHeap runs fn, then reports the live-heap growth it retained
+// (post-GC), plus whatever fn returns to keep alive.
+func retainedHeap(fn func() any) (any, float64) {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	v := fn()
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	d := float64(m1.HeapAlloc) - float64(m0.HeapAlloc)
+	if d < 0 {
+		d = 0
+	}
+	return v, d
 }
 
 // writeBenchJSON runs the pipeline micro-benchmarks via testing.Benchmark
@@ -142,6 +163,11 @@ func writeBenchJSON(path string, quick bool) error {
 			Iterations:  r.N,
 		}
 	}
+	addMetrics := func(name string, metrics map[string]float64) {
+		rec := results[name]
+		rec.Metrics = metrics
+		results[name] = rec
+	}
 	run(fmt.Sprintf("Explore/census_n=%d/parallel", n), exploreBench(0))
 	run(fmt.Sprintf("Explore/census_n=%d/serial", n), exploreBench(1))
 
@@ -180,6 +206,49 @@ func writeBenchJSON(path string, quick bool) error {
 			}
 		}
 	})
+
+	// Lazy cold open: header + directory only, no chunk decodes. The
+	// retained-heap metrics make the memory-tier contrast visible next
+	// to the eager open.
+	run(fmt.Sprintf("ColdOpenLazy/census_n=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := colstore.OpenWith(storePath, colstore.Options{Mode: colstore.ModeLazy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Table().NumRows() != n {
+				b.Fatal("short open")
+			}
+			s.Close()
+		}
+	})
+	{
+		sAny, lazyRetained := retainedHeap(func() any {
+			s, err := colstore.OpenWith(storePath, colstore.Options{Mode: colstore.ModeLazy})
+			if err != nil {
+				return err
+			}
+			return s
+		})
+		lazyIO := map[string]float64{"retained_bytes": lazyRetained}
+		if s, ok := sAny.(*colstore.Store); ok {
+			io := s.IOStats()
+			lazyIO["chunks_decoded_at_open"] = float64(io.ChunksDecoded)
+			lazyIO["bytes_read_at_open"] = float64(io.BytesRead)
+			s.Close()
+		}
+		addMetrics(fmt.Sprintf("ColdOpenLazy/census_n=%d", n), lazyIO)
+		eAny, eagerRetained := retainedHeap(func() any {
+			s, err := colstore.OpenWith(storePath, colstore.Options{Mode: colstore.ModeEager})
+			if err != nil {
+				return err
+			}
+			return s
+		})
+		_ = eAny
+		addMetrics(fmt.Sprintf("StoreOpen/census_n=%d", n), map[string]float64{"retained_bytes": eagerRetained})
+	}
 
 	// Sharded Explore: the same census table as a sharded store at
 	// several shard counts. Cold explorations (fresh stat cache per
@@ -225,6 +294,90 @@ func writeBenchJSON(path string, quick bool) error {
 			}
 		})
 	}
+	// Sharded open memory contrast: the lazy-view assembly holds no
+	// concatenated copy (the old 2× transient is gone); with lazy shard
+	// files even the column decode is deferred.
+	{
+		shards := shardCounts[len(shardCounts)-1]
+		manifest, err := exp.ShardedInputs(tbl, shards, tmp)
+		if err != nil {
+			return err
+		}
+		for _, mode := range []struct {
+			name string
+			o    shard.Options
+		}{
+			{"eagerfiles", shard.Options{Store: colstore.Options{Mode: colstore.ModeEager}}},
+			{"lazyfiles", shard.Options{Store: colstore.Options{Mode: colstore.ModeLazy}}},
+		} {
+			sAny, retained := retainedHeap(func() any {
+				s, err := shard.OpenWith(manifest, mode.o)
+				if err != nil {
+					return err
+				}
+				return s
+			})
+			name := fmt.Sprintf("ShardedOpen/census_n=%d/shards=%d/%s", n, shards, mode.name)
+			run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s, err := shard.OpenWith(manifest, mode.o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if s.Table().NumRows() != n {
+						b.Fatal("short open")
+					}
+					s.Close()
+				}
+			})
+			addMetrics(name, map[string]float64{"retained_bytes": retained})
+			if s, ok := sAny.(*shard.Set); ok {
+				s.Close()
+			}
+		}
+	}
+
+	// Selective exploration over a deferred sharded store: manifest
+	// statistics skip whole shard files, zone maps skip chunks inside
+	// the touched one, and the chunk counters record how much of the
+	// data was ever decoded.
+	{
+		manifest, sq, totalChunks, err := exp.LazySelectiveInputs(n, 4, tmp)
+		if err != nil {
+			return err
+		}
+		set, err := shard.OpenWith(manifest, shard.Options{
+			Store: colstore.Options{Mode: colstore.ModeLazy},
+			Defer: true,
+		})
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("LazyExploreSelective/events_n=%d/shards=4/deferred", n)
+		run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cart, err := core.NewCartographer(set.Table(), core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cart.Explore(sq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		io := set.IOStats()
+		addMetrics(name, map[string]float64{
+			"chunks_decoded": float64(io.ChunksDecoded),
+			"total_chunks":   float64(totalChunks),
+			"bytes_read":     float64(io.BytesRead),
+			"opened_shards":  float64(set.OpenedShards()),
+			"shards":         4,
+		})
+		set.Close()
+	}
+
 	// Unsharded cold baseline: the same census data opened from a single
 	// .atl store — identical storage and chunking, no shard layer.
 	single, err := colstore.Open(storePath)

@@ -27,6 +27,7 @@
 //	POST /api/sessions/{id}/drill     {"map": 0, "region": 1}
 //	POST /api/sessions/{id}/back
 //	GET  /api/shards
+//	GET  /api/stats
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/colstore"
 	"repro/internal/server"
 )
 
@@ -49,19 +51,31 @@ func main() {
 		csvPath = flag.String("csv", "", "serve a CSV file instead of a bundled dataset")
 		tblName = flag.String("table", "", "table name for -csv")
 		store   = flag.String("store", "", "serve a columnar store file (.atl) created with 'atlas ingest'")
+		lazy    = flag.Bool("lazy", false, "force lazy (memory-tiered) store opens: chunks decode on first touch")
+		eager   = flag.Bool("eager", false, "force eager store opens (full decode up front)")
+		cacheB  = flag.Int64("cachebudget", 0, "decoded-chunk cache budget in bytes for lazy opens (0 = env/unbounded)")
+		deferS  = flag.Bool("defer", false, "defer opening shard files until first touch (sharded stores)")
 	)
 	flag.Parse()
 
 	var srv *server.Server
 	if *store != "" {
-		s, err := server.NewFromStore(*store, atlas.DefaultOptions())
+		sc := server.StoreConfig{Defer: *deferS}
+		sc.Store.CacheBytes = *cacheB
+		switch {
+		case *lazy:
+			sc.Store.Mode = colstore.ModeLazy
+		case *eager:
+			sc.Store.Mode = colstore.ModeEager
+		}
+		s, err := server.NewFromStoreWith(*store, atlas.DefaultOptions(), sc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "atlasd:", err)
 			os.Exit(1)
 		}
 		srv = s
 	} else {
-		table, err := loadTable(*dataset, *rows, *seed, *csvPath, *tblName, "")
+		table, err := loadTable(*dataset, *rows, *seed, *csvPath, *tblName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "atlasd:", err)
 			os.Exit(1)
@@ -75,10 +89,7 @@ func main() {
 	}
 }
 
-func loadTable(dataset string, rows int, seed int64, csvPath, tblName, store string) (*atlas.Table, error) {
-	if store != "" {
-		return atlas.OpenStore(store)
-	}
+func loadTable(dataset string, rows int, seed int64, csvPath, tblName string) (*atlas.Table, error) {
 	if csvPath != "" {
 		return atlas.LoadCSVFile(tblName, csvPath)
 	}

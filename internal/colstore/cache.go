@@ -1,0 +1,197 @@
+package colstore
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// ChunkCache is the bounded, concurrency-safe decoded-chunk cache
+// behind lazy stores: an LRU over (source, column, chunk) with a byte
+// budget. One cache can be shared by several stores (a shard set shares
+// one so its budget is global across shard files). Loads are
+// single-flight per key — concurrent first touches of one chunk decode
+// it exactly once — and eviction only drops the cache's reference:
+// callers already holding a payload keep it until they let go, which is
+// what makes a 1-chunk budget thrash-safe rather than incorrect.
+type ChunkCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	order  *list.List // front = most recently used
+	byKey  map[chunkKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type chunkKey struct {
+	src any // the owning source, compared by identity
+	ci  int
+	k   int
+}
+
+type cacheEntry struct {
+	key   chunkKey
+	p     *storage.ChunkPayload
+	bytes int64
+	ready chan struct{} // closed when p/err are set
+	err   error
+	// dropped marks a loading entry whose source closed mid-flight: the
+	// finished payload is handed to waiters but never cached.
+	dropped bool
+}
+
+// NewChunkCache creates a cache with the given byte budget; budget <= 0
+// means unbounded. The budget bounds cached decoded bytes, not bytes in
+// flight: at least the most recently loaded chunk is always retained so
+// a budget smaller than one chunk degenerates to "decode on every
+// touch" rather than failing.
+func NewChunkCache(budget int64) *ChunkCache {
+	return &ChunkCache{budget: budget, order: list.New(), byKey: map[chunkKey]*list.Element{}}
+}
+
+// Budget returns the cache's byte budget (<= 0 = unbounded).
+func (c *ChunkCache) Budget() int64 { return c.budget }
+
+// Get returns the payload cached under (owner, ci, k), loading it via
+// load on a miss — the hook composite sources (shard sets caching
+// remapped payloads) use to share one budget with the stores beneath
+// them. owner is compared by identity.
+func (c *ChunkCache) Get(owner any, ci, k int, load func() (*storage.ChunkPayload, error)) (*storage.ChunkPayload, bool, error) {
+	return c.get(chunkKey{src: owner, ci: ci, k: k}, load)
+}
+
+// Drop removes every ready entry owned by owner and marks its in-flight
+// loads for discard — what a composite source (shard set) calls on
+// Close so a caller-shared cache does not pin payloads of a closed set.
+func (c *ChunkCache) Drop(owner any) { c.drop(owner) }
+
+// get returns the payload for key, loading it via load on a miss. The
+// returned bool reports a cache hit (the payload existed or another
+// goroutine was already loading it).
+func (c *ChunkCache) get(key chunkKey, load func() (*storage.ChunkPayload, error)) (*storage.ChunkPayload, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.order.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		return e.p, true, nil
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.order.PushFront(e)
+	c.byKey[key] = el
+	c.misses++
+	c.mu.Unlock()
+
+	// Decode outside the lock: loads are the expensive part and must not
+	// serialize fetches of different chunks.
+	p, err := load()
+
+	c.mu.Lock()
+	if err != nil {
+		// Failed loads are not cached: drop the entry so a later touch
+		// retries, and fail every waiter of this flight.
+		e.err = err
+		if el2, ok := c.byKey[key]; ok && el2 == el {
+			c.order.Remove(el)
+			delete(c.byKey, key)
+		}
+		c.mu.Unlock()
+		close(e.ready)
+		return nil, false, err
+	}
+	e.p = p
+	e.bytes = p.MemBytes()
+	if e.dropped {
+		// The source closed while this load was in flight: serve the
+		// waiters but leave nothing cached under the dead source.
+		if el2, ok := c.byKey[key]; ok && el2 == el {
+			c.order.Remove(el)
+			delete(c.byKey, key)
+		}
+	} else {
+		c.used += e.bytes
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return p, false, nil
+}
+
+// evictLocked drops least-recently-used ready entries until the budget
+// holds, always keeping at least one entry so a sub-chunk budget still
+// makes forward progress. Caller holds c.mu.
+func (c *ChunkCache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.used > c.budget && c.order.Len() > 1 {
+		el := c.order.Back()
+		// Never evict an entry still loading: its waiters hold the ready
+		// channel. Walk forward past loading entries.
+		for el != nil {
+			if e := el.Value.(*cacheEntry); e.p != nil || e.err != nil {
+				break
+			}
+			el = el.Prev()
+		}
+		if el == nil || el == c.order.Front() {
+			return
+		}
+		e := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.byKey, e.key)
+		c.used -= e.bytes
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of a ChunkCache.
+type CacheStats struct {
+	// Hits and Misses count lookups; a miss decodes the chunk.
+	Hits, Misses int64
+	// Evictions counts entries dropped to honor the byte budget.
+	Evictions int64
+	// Bytes is the decoded bytes currently cached; Entries the count.
+	Bytes   int64
+	Entries int
+}
+
+// Stats snapshots the cache counters.
+func (c *ChunkCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Bytes: c.used, Entries: c.order.Len(),
+	}
+}
+
+// drop removes every entry owned by src — called when a store closes so
+// a shared cache does not pin payloads of a closed file.
+func (c *ChunkCache) drop(src any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.src == src {
+			if e.p != nil || e.err != nil {
+				c.order.Remove(el)
+				delete(c.byKey, e.key)
+				c.used -= e.bytes
+			} else {
+				// Still loading: mark it so the finishing load discards
+				// itself instead of caching under a closed source.
+				e.dropped = true
+			}
+		}
+		el = next
+	}
+}

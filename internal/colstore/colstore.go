@@ -3,13 +3,13 @@
 // ingested into once and reopened from in milliseconds, instead of
 // re-parsing CSV on every process start.
 //
-// # Format (version 2)
+// # Format (version 3)
 //
 // All integers are little-endian; "uv" is an unsigned varint
 // (encoding/binary Uvarint).
 //
 //	magic   "ATLS" (4 bytes)
-//	version u8 (= 2)
+//	version u8 (= 3)
 //	uv nameLen | table name (UTF-8)
 //	uv rows
 //	uv chunkSize          // rows per chunk; positive multiple of 64
@@ -31,10 +31,25 @@
 //	      Int64/Float64  chunkRows × u64 (two's-complement / IEEE bits)
 //	      Bool           ceil(chunkRows/64) × u64 packed bits
 //	      String         chunkRows × u32 dictionary codes
+//	directory (v3+):      // duplicates every segment's metadata so a
+//	                      // lazy open reads it in one seek — see below
+//	  per column:
+//	    (String columns) uv dictOff | uv dictLen   // dictionary byte range
+//	    per chunk:
+//	      uv off | uv len // chunk byte range (flags..values)
+//	      u32 chunkCRC    // CRC-32 (IEEE) of those bytes
+//	      zone map        // same encoding as the chunk header
+//	                      // (flags..code set, no null bitmap or values)
+//	dirOff  u64 (v3+)     // absolute offset of the directory
+//	dirCRC  u32 (v3+)     // CRC-32 (IEEE) of the directory bytes, so a
+//	                      // lazy open verifies the metadata it prunes
+//	                      // by without reading the whole file
 //	trailer u32 CRC-32 (IEEE) of every preceding byte
 //
-// Version 1 files are identical minus the code-set flag and payload;
-// Read accepts both, so stores ingested before v2 keep opening.
+// Version 1 files lack the code-set flag/payload and the directory;
+// version 2 files lack only the directory. Read accepts all three, so
+// stores ingested before v3 keep opening (eagerly, and lazily via a
+// one-time metadata walk).
 //
 // The per-chunk min/max, null count, distinct estimate and categorical
 // code set form the zone maps: Open hands them to
@@ -42,6 +57,21 @@
 // whose zone maps prove they cannot match a predicate — numeric ranges
 // via min/max, equality/IN predicates via the code sets — and shards
 // one scan chunk-by-chunk across workers.
+//
+// # Memory tiers
+//
+// Open chooses between two residency modes (see Options):
+//
+//   - eager: the whole file is read, verified against the trailer CRC
+//     and decoded into plain in-memory columns — the right call for
+//     tables that comfortably fit in RAM.
+//   - lazy: the file is mmapped (or pread on demand), only the header
+//     and the directory are parsed, and chunks decode on first touch
+//     into a bounded, shared decoded-chunk cache (lazy.go, cache.go).
+//     Zone maps then work as an I/O filter: a pruned chunk is never
+//     read or decoded at all, which is what lets tables larger than RAM
+//     serve from the same file format. Per-chunk CRCs (v3) keep
+//     integrity checking without a whole-file read.
 //
 // Chunk sizes are multiples of 64 so chunk boundaries align with
 // selection-bitmap words: null words and packed bool words of a chunk
@@ -51,6 +81,7 @@ package colstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -66,8 +97,10 @@ import (
 const (
 	magic = "ATLS"
 	// Version is the current format version byte. Version 2 added
-	// per-chunk categorical code sets; version 1 files still open.
-	Version = 2
+	// per-chunk categorical code sets; version 3 added the trailer
+	// directory with per-chunk offsets and CRCs (the lazy-open index).
+	// Version 1 and 2 files still open.
+	Version = 3
 	// DefaultChunkSize is the default rows-per-chunk at ingest.
 	DefaultChunkSize = storage.ChunkRows
 	// maxDictEntries bounds a string column's dictionary, enforced
@@ -77,62 +110,129 @@ const (
 	maxDictEntries = 1 << 24
 )
 
-// Store is an opened .atl file: the decoded table plus file-level
-// metadata. The table carries the store's chunk metadata, so scans over
-// it prune via zone maps automatically.
+// Store is an opened .atl file: the table plus file-level metadata. The
+// table carries the store's chunk metadata, so scans over it prune via
+// zone maps automatically. Eager stores hold fully decoded columns;
+// lazy stores hold storage.LazyColumn views whose chunks decode on
+// first touch (see Options).
 type Store struct {
 	// Path is the file the store was opened from ("" for Read).
 	Path string
 	// ChunkSize is the ingest chunk size in rows.
 	ChunkSize int
 	table     *storage.Table
+	// lazy is non-nil for memory-tiered stores.
+	lazy *lazyFile
 }
 
 // Table returns the store's table (chunk-aware).
 func (s *Store) Table() *storage.Table { return s.table }
+
+// Lazy reports whether the store serves chunks on demand rather than
+// holding fully decoded columns.
+func (s *Store) Lazy() bool { return s.lazy != nil }
+
+// Close releases the store's file mapping and descriptor. Eager stores
+// are plain in-memory tables and Close is a no-op. Chunks already
+// decoded stay valid (payloads are copies), but further first touches
+// fail.
+func (s *Store) Close() error {
+	if s.lazy == nil {
+		return nil
+	}
+	return s.lazy.close()
+}
+
+// IOStats returns the store's cumulative lazy-I/O counters (zero for
+// eager stores).
+func (s *Store) IOStats() IOStats {
+	if s.lazy == nil {
+		return IOStats{}
+	}
+	return s.lazy.ioStats()
+}
+
+// Source exposes the store's chunk source, or nil for eager stores —
+// the hook a shard set uses to route a combined table's chunk fetches
+// to its member files.
+func (s *Store) Source() storage.ChunkSource {
+	if s.lazy == nil {
+		return nil
+	}
+	return s.lazy
+}
 
 // WriteFile ingests a table into path. chunkSize 0 uses
 // DefaultChunkSize; otherwise it must be a positive multiple of 64.
 // The file is written to a temporary sibling and renamed into place, so
 // a failed or interrupted ingest never destroys an existing store.
 func WriteFile(path string, t *storage.Table, chunkSize int) error {
+	_, err := WriteFileStats(path, t, chunkSize)
+	return err
+}
+
+// WriteFileStats is WriteFile returning the chunk metadata computed at
+// ingest — the zone maps callers (sharded ingest) reduce into
+// file-level statistics without rescanning the table.
+func WriteFileStats(path string, t *storage.Table, chunkSize int) (*storage.Chunking, error) {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	tmp := f.Name()
-	if err := Write(f, t, chunkSize); err != nil {
+	ck, err := writeVersioned(f, t, chunkSize, Version)
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return nil, err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return nil, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return err
+		return nil, err
 	}
-	return nil
+	return ck, nil
 }
 
 // Write serializes a table in .atl format. Zone maps are computed here,
 // at ingest, so Open never rescans values.
 func Write(w io.Writer, t *storage.Table, chunkSize int) error {
-	return writeVersioned(w, t, chunkSize, Version)
+	_, err := writeVersioned(w, t, chunkSize, Version)
+	return err
 }
 
-// writeVersioned is Write at an explicit format version; version 1 omits
-// code sets. It exists so compatibility tests can produce genuine v1
-// images with the current writer.
-func writeVersioned(w io.Writer, t *storage.Table, chunkSize int, version byte) error {
+// chunkRef locates one encoded chunk inside the file: the byte range
+// holding its header and values, and (v3+) the CRC of those bytes.
+type chunkRef struct {
+	off, length int64
+	crc         uint32
+	hasCRC      bool
+}
+
+// byteRange is a (offset, length) pair into the file.
+type byteRange struct{ off, length int64 }
+
+// writeVersioned is Write at an explicit format version; version 1
+// omits code sets, versions 1 and 2 omit the directory. It exists so
+// compatibility tests can produce genuine old-format images with the
+// current writer. The segment bytes are identical across versions 2 and
+// 3 — v3 only appends the directory.
+func writeVersioned(w io.Writer, t *storage.Table, chunkSize int, version byte) (*storage.Chunking, error) {
 	if chunkSize == 0 {
 		chunkSize = DefaultChunkSize
 	}
+	// Re-ingesting an opened lazy store: materialize before computing
+	// zone maps, which need typed column access.
+	t, err := materializeLazyTable(t)
+	if err != nil {
+		return nil, err
+	}
 	ck, err := storage.ComputeChunking(t, chunkSize)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
@@ -150,59 +250,146 @@ func writeVersioned(w io.Writer, t *storage.Table, chunkSize int, version byte) 
 		e.u8(byte(f.Type))
 	}
 	numChunks := ck.NumChunks(t.NumRows())
+	dir := make([][]chunkRef, t.NumCols())
+	dictRanges := make([]byteRange, t.NumCols())
+	var chunkBuf bytes.Buffer
 	for c := 0; c < t.NumCols(); c++ {
 		col := t.Column(c)
 		if sc, ok := col.(*storage.StringColumn); ok {
 			dict := sc.Dict()
 			if len(dict) > maxDictEntries {
-				return fmt.Errorf("colstore: column %q has %d distinct values, format limit is %d",
+				return nil, fmt.Errorf("colstore: column %q has %d distinct values, format limit is %d",
 					t.Schema().Field(c).Name, len(dict), maxDictEntries)
 			}
+			dictStart := e.n
 			e.uv(uint64(len(dict)))
 			for _, s := range dict {
 				e.bytes([]byte(s))
 			}
+			dictRanges[c] = byteRange{off: dictStart, length: e.n - dictStart}
 		}
 		nullWords := storage.NullWords(col)
+		dir[c] = make([]chunkRef, numChunks)
 		for k := 0; k < numChunks; k++ {
 			lo := k * chunkSize
 			hi := lo + chunkSize
 			if hi > t.NumRows() {
 				hi = t.NumRows()
 			}
-			e.chunk(col, ck.Zones[c][k], nullWords, lo, hi)
+			if version >= 3 {
+				// Encode the chunk through a scratch buffer so its byte
+				// range can be CRCed for the directory. The bytes written
+				// are identical to a direct encode.
+				chunkBuf.Reset()
+				ce := &encoder{w: &chunkBuf, version: version}
+				ce.chunk(col, ck.Zones[c][k], nullWords, lo, hi)
+				if ce.err != nil {
+					return nil, ce.err
+				}
+				b := chunkBuf.Bytes()
+				dir[c][k] = chunkRef{off: e.n, length: int64(len(b)), crc: crc32.ChecksumIEEE(b), hasCRC: true}
+				e.raw(b)
+			} else {
+				e.chunk(col, ck.Zones[c][k], nullWords, lo, hi)
+			}
 		}
 	}
+	if version >= 3 {
+		dirOff := e.n
+		// The directory is encoded through the scratch buffer so its own
+		// CRC lands in the footer: a lazy open can then verify the exact
+		// bytes its pruning decisions come from.
+		chunkBuf.Reset()
+		de := &encoder{w: &chunkBuf, version: version}
+		for c := 0; c < t.NumCols(); c++ {
+			if t.Schema().Field(c).Type == storage.String {
+				de.uv(uint64(dictRanges[c].off))
+				de.uv(uint64(dictRanges[c].length))
+			}
+			for k := 0; k < numChunks; k++ {
+				ref := dir[c][k]
+				de.uv(uint64(ref.off))
+				de.uv(uint64(ref.length))
+				de.u32(ref.crc)
+				de.zoneHeader(ck.Zones[c][k])
+			}
+		}
+		if de.err != nil {
+			return nil, de.err
+		}
+		dirBytes := chunkBuf.Bytes()
+		e.raw(dirBytes)
+		e.u64(uint64(dirOff))
+		e.u32(crc32.ChecksumIEEE(dirBytes))
+	}
 	if e.err != nil {
-		return e.err
+		return nil, e.err
 	}
 	if err := bw.Flush(); err != nil {
-		return err
+		return nil, err
 	}
 	var tail [4]byte
 	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
-	_, err = w.Write(tail[:])
-	return err
+	if _, err = w.Write(tail[:]); err != nil {
+		return nil, err
+	}
+	return ck, nil
 }
 
-// encoder wraps a writer with little-endian primitives and sticky
-// errors.
+// materializeLazyTable returns t with every memory-tiered column
+// decoded into a plain eager one (t itself when none is lazy) — the
+// adapter that lets an opened lazy store be re-ingested with full zone
+// maps.
+func materializeLazyTable(t *storage.Table) (*storage.Table, error) {
+	lazy := false
+	for c := 0; c < t.NumCols(); c++ {
+		if _, ok := t.Column(c).(*storage.LazyColumn); ok {
+			lazy = true
+			break
+		}
+	}
+	if !lazy {
+		return t, nil
+	}
+	cols := make([]storage.Column, t.NumCols())
+	for c := 0; c < t.NumCols(); c++ {
+		mat, err := storage.MaterializeColumn(t.Column(c))
+		if err != nil {
+			return nil, fmt.Errorf("colstore: materializing column %q: %w", t.Schema().Field(c).Name, err)
+		}
+		cols[c] = mat
+	}
+	return storage.NewTable(t.Name(), t.Schema(), cols)
+}
+
+// byteWriter is the sink an encoder writes to: bufio.Writer for the
+// file stream, bytes.Buffer for per-chunk scratch encoding.
+type byteWriter interface {
+	io.Writer
+	io.ByteWriter
+}
+
+// encoder wraps a writer with little-endian primitives, sticky errors
+// and a running byte count (file offsets for the directory).
 type encoder struct {
-	w       *bufio.Writer
+	w       byteWriter
 	version byte
 	err     error
+	n       int64
 	buf     [binary.MaxVarintLen64]byte
 }
 
 func (e *encoder) raw(b []byte) {
 	if e.err == nil {
 		_, e.err = e.w.Write(b)
+		e.n += int64(len(b))
 	}
 }
 
 func (e *encoder) u8(v byte) {
 	if e.err == nil {
 		e.err = e.w.WriteByte(v)
+		e.n++
 	}
 }
 
@@ -232,9 +419,11 @@ const (
 	flagCodeSet = 4
 )
 
-// chunk writes one column chunk: zone map, null words, values.
-func (e *encoder) chunk(col storage.Column, zm storage.ZoneMap, nullWords []uint64, lo, hi int) {
-	w0, w1 := lo/64, (hi+63)/64
+// zoneHeader writes one zone map in the shared header encoding (flags,
+// optional min/max, null count, distinct, optional code set) — the
+// prefix of every chunk, and the per-chunk metadata record of the v3
+// directory.
+func (e *encoder) zoneHeader(zm storage.ZoneMap) {
 	var flags byte
 	if zm.NullCount > 0 {
 		flags |= flagNulls
@@ -259,6 +448,12 @@ func (e *encoder) chunk(col storage.Column, zm storage.ZoneMap, nullWords []uint
 			e.u64(w)
 		}
 	}
+}
+
+// chunk writes one column chunk: zone map, null words, values.
+func (e *encoder) chunk(col storage.Column, zm storage.ZoneMap, nullWords []uint64, lo, hi int) {
+	w0, w1 := lo/64, (hi+63)/64
+	e.zoneHeader(zm)
 	if zm.NullCount > 0 {
 		// Chunk boundaries are word-aligned, so the chunk's null words
 		// are a verbatim slice of the column bitmap.
@@ -304,22 +499,94 @@ func (e *encoder) chunk(col storage.Column, zm storage.ZoneMap, nullWords []uint
 	}
 }
 
-// Open reads an .atl file into an in-memory, chunk-aware table.
+// Open opens an .atl file. The residency mode is chosen automatically:
+// files below AutoLazyThreshold decode eagerly, larger files open
+// lazily (override with OpenWith or the ATLAS_STORE_MODE environment
+// variable — see Options).
 func Open(path string) (*Store, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	s, err := Read(data)
-	if err != nil {
-		return nil, fmt.Errorf("colstore: %s: %w", path, err)
-	}
-	s.Path = path
-	return s, nil
+	return OpenWith(path, Options{})
 }
 
-// Read decodes an .atl image. The CRC trailer is verified before any
-// decoding, so a truncated or corrupted file fails fast.
+// header is the decoded fixed part of an .atl file.
+type header struct {
+	version   byte
+	name      string
+	rows      int
+	chunkSize int
+	fields    []storage.Field
+	// end is the byte offset just past the header.
+	end int
+}
+
+// parseHeader decodes and validates the file header from d (positioned
+// at the version byte, after the magic).
+func parseHeader(d *decoder) (*header, error) {
+	h := &header{}
+	d.version = d.u8()
+	h.version = d.version
+	if d.err == nil && (d.version < 1 || d.version > Version) {
+		return nil, fmt.Errorf("unsupported version %d (this reader handles 1..%d)", d.version, Version)
+	}
+	h.name = string(d.bytes())
+	rowsU := d.uv()
+	h.chunkSize = int(d.uv())
+	numCols := int(d.uv())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if rowsU > 1<<40 {
+		return nil, fmt.Errorf("implausible row count %d", rowsU)
+	}
+	h.rows = int(rowsU)
+	// The upper bound keeps chunk arithmetic (rows+chunkSize-1) far from
+	// int overflow on crafted headers.
+	if h.chunkSize <= 0 || h.chunkSize%64 != 0 || h.chunkSize > 1<<30 {
+		return nil, fmt.Errorf("invalid chunk size %d", h.chunkSize)
+	}
+	if numCols < 0 || numCols > 1<<20 {
+		return nil, fmt.Errorf("implausible column count %d", numCols)
+	}
+	h.fields = make([]storage.Field, numCols)
+	for i := range h.fields {
+		h.fields[i].Name = string(d.bytes())
+		typ := storage.DataType(d.u8())
+		switch typ {
+		case storage.Int64, storage.Float64, storage.String, storage.Bool:
+		default:
+			return nil, fmt.Errorf("column %q: unknown type %d", h.fields[i].Name, typ)
+		}
+		h.fields[i].Type = typ
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if numCols == 0 && h.rows != 0 {
+		return nil, fmt.Errorf("%d rows but no columns", h.rows)
+	}
+	h.end = d.off
+	return h, nil
+}
+
+// minBitsPerRow returns the minimum value-payload bits one row costs —
+// the plausibility bound applied to claimed row counts before any
+// row-sized allocation.
+func (h *header) minBitsPerRow() int {
+	bits := 0
+	for _, f := range h.fields {
+		switch f.Type {
+		case storage.Int64, storage.Float64:
+			bits += 64
+		case storage.String:
+			bits += 32
+		case storage.Bool:
+			bits++
+		}
+	}
+	return bits
+}
+
+// Read decodes an .atl image eagerly. The CRC trailer is verified
+// before any decoding, so a truncated or corrupted file fails fast.
 func Read(data []byte) (*Store, error) {
 	if len(data) < len(magic)+1+4 {
 		return nil, fmt.Errorf("file too short (%d bytes)", len(data))
@@ -332,61 +599,20 @@ func Read(data []byte) (*Store, error) {
 		return nil, fmt.Errorf("checksum mismatch (file %08x, computed %08x)", want, got)
 	}
 	d := &decoder{data: body, off: 4}
-	d.version = d.u8()
-	if d.version < 1 || d.version > Version {
-		return nil, fmt.Errorf("unsupported version %d (this reader handles 1..%d)", d.version, Version)
+	h, err := parseHeader(d)
+	if err != nil {
+		return nil, err
 	}
-	name := string(d.bytes())
-	rowsU := d.uv()
-	chunkSize := int(d.uv())
-	numCols := int(d.uv())
-	if d.err != nil {
-		return nil, d.err
-	}
-	if rowsU > 1<<40 {
-		return nil, fmt.Errorf("implausible row count %d", rowsU)
-	}
-	rows := int(rowsU)
-	// The upper bound keeps chunk arithmetic (rows+chunkSize-1) far from
-	// int overflow on crafted headers.
-	if chunkSize <= 0 || chunkSize%64 != 0 || chunkSize > 1<<30 {
-		return nil, fmt.Errorf("invalid chunk size %d", chunkSize)
-	}
-	if numCols < 0 || numCols > 1<<20 {
-		return nil, fmt.Errorf("implausible column count %d", numCols)
-	}
-	fields := make([]storage.Field, numCols)
-	minBitsPerRow := 0
-	for i := range fields {
-		fields[i].Name = string(d.bytes())
-		typ := storage.DataType(d.u8())
-		switch typ {
-		case storage.Int64, storage.Float64:
-			minBitsPerRow += 64
-		case storage.String:
-			minBitsPerRow += 32
-		case storage.Bool:
-			minBitsPerRow++
-		default:
-			return nil, fmt.Errorf("column %q: unknown type %d", fields[i].Name, typ)
-		}
-		fields[i].Type = typ
-	}
-	if d.err != nil {
-		return nil, d.err
-	}
+	rows, chunkSize, numCols := h.rows, h.chunkSize, len(h.fields)
 	// Before allocating row-sized slices, check the claimed row count
 	// against the bytes actually present: every row needs at least
 	// minBitsPerRow of value payload, so a corrupted or crafted header
 	// fails here instead of panicking in makeslice (or OOMing).
 	remaining := uint64(len(d.data) - d.off)
-	if numCols == 0 && rows != 0 {
-		return nil, fmt.Errorf("%d rows but no columns", rows)
+	if mb := h.minBitsPerRow(); mb > 0 && uint64(rows) > remaining*8/uint64(mb) {
+		return nil, fmt.Errorf("implausible row count %d for %d remaining bytes", rows, remaining)
 	}
-	if minBitsPerRow > 0 && rowsU > remaining*8/uint64(minBitsPerRow) {
-		return nil, fmt.Errorf("implausible row count %d for %d remaining bytes", rowsU, remaining)
-	}
-	schema, err := storage.NewSchema(fields...)
+	schema, err := storage.NewSchema(h.fields...)
 	if err != nil {
 		return nil, err
 	}
@@ -394,9 +620,9 @@ func Read(data []byte) (*Store, error) {
 	numChunks := ck.NumChunks(rows)
 	cols := make([]storage.Column, numCols)
 	for c := range cols {
-		col, zones, err := d.column(fields[c], rows, chunkSize, numChunks)
+		col, zones, err := d.column(h.fields[c], rows, chunkSize, numChunks)
 		if err != nil {
-			return nil, fmt.Errorf("column %q: %w", fields[c].Name, err)
+			return nil, fmt.Errorf("column %q: %w", h.fields[c].Name, err)
 		}
 		cols[c] = col
 		ck.Zones[c] = zones
@@ -404,14 +630,70 @@ func Read(data []byte) (*Store, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
+	if h.version >= 3 {
+		// The directory duplicates segment metadata for lazy opens; an
+		// eager read validates its structure, position and CRC.
+		dirStart := d.off
+		if _, _, _, err := d.directory(h, numChunks); err != nil {
+			return nil, fmt.Errorf("directory: %w", err)
+		}
+		dirEnd := d.off
+		dirOff := d.u64()
+		dirCRC := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if int(dirOff) != dirStart {
+			return nil, fmt.Errorf("directory offset %d does not match its position %d", dirOff, dirStart)
+		}
+		if got := crc32.ChecksumIEEE(d.data[dirStart:dirEnd]); got != dirCRC {
+			return nil, fmt.Errorf("directory checksum mismatch (footer %08x, computed %08x)", dirCRC, got)
+		}
+	}
 	if d.off != len(d.data) {
 		return nil, fmt.Errorf("%d trailing bytes after last segment", len(d.data)-d.off)
 	}
-	tbl, err := storage.NewChunkedTable(name, schema, cols, ck)
+	tbl, err := storage.NewChunkedTable(h.name, schema, cols, ck)
 	if err != nil {
 		return nil, err
 	}
 	return &Store{ChunkSize: chunkSize, table: tbl}, nil
+}
+
+// directory parses the v3 trailer directory from d's current position,
+// returning per-column dictionary ranges, chunk references, and the
+// zone maps recorded in it.
+func (d *decoder) directory(h *header, numChunks int) (dictRanges []byteRange, dir [][]chunkRef, zones [][]storage.ZoneMap, err error) {
+	dictRanges = make([]byteRange, len(h.fields))
+	dir = make([][]chunkRef, len(h.fields))
+	zones = make([][]storage.ZoneMap, len(h.fields))
+	for c, f := range h.fields {
+		if f.Type == storage.String {
+			dictRanges[c] = byteRange{off: int64(d.uv()), length: int64(d.uv())}
+		}
+		dir[c] = make([]chunkRef, numChunks)
+		zones[c] = make([]storage.ZoneMap, numChunks)
+		for k := 0; k < numChunks; k++ {
+			ref := chunkRef{off: int64(d.uv()), length: int64(d.uv()), crc: d.u32(), hasCRC: true}
+			chunkRows := h.chunkSize
+			if hi := (k + 1) * h.chunkSize; hi > h.rows {
+				chunkRows = h.rows - k*h.chunkSize
+			}
+			// Code-set sizing is validated against the real dictionary when
+			// chunks decode; the directory pass applies the structural
+			// bound only (dictLen -1).
+			zm, _, zerr := d.zoneHeader(f, -1, chunkRows, k)
+			if zerr != nil {
+				return nil, nil, nil, zerr
+			}
+			if d.err != nil {
+				return nil, nil, nil, d.err
+			}
+			dir[c][k] = ref
+			zones[c][k] = zm
+		}
+	}
+	return dictRanges, dir, zones, d.err
 }
 
 // decoder walks a byte image with sticky errors and bounds checks.
@@ -492,6 +774,63 @@ func (d *decoder) bytes() []byte {
 	return b
 }
 
+// zoneHeader decodes one zone map in the shared header encoding (the
+// prefix of every chunk, and the directory's per-chunk record). dictLen
+// is the column's dictionary size, used to validate code-set sizing;
+// pass -1 when the dictionary is not at hand (directory pass), which
+// applies the structural bound only.
+func (d *decoder) zoneHeader(f storage.Field, dictLen, chunkRows, k int) (storage.ZoneMap, byte, error) {
+	flags := d.u8()
+	known := byte(flagNulls | flagMinMax)
+	if d.version >= 2 {
+		known |= flagCodeSet
+	}
+	if d.err == nil && flags&^known != 0 {
+		return storage.ZoneMap{}, 0, fmt.Errorf("chunk %d: unknown flags %#x for version %d", k, flags, d.version)
+	}
+	zm := storage.ZoneMap{}
+	if flags&flagMinMax != 0 {
+		zm.Min = math.Float64frombits(d.u64())
+		zm.Max = math.Float64frombits(d.u64())
+		zm.HasMinMax = true
+	}
+	zm.NullCount = int(d.uv())
+	zm.Distinct = int(d.uv())
+	if d.err != nil {
+		return storage.ZoneMap{}, 0, d.err
+	}
+	if zm.NullCount < 0 || zm.NullCount > chunkRows {
+		return storage.ZoneMap{}, 0, fmt.Errorf("chunk %d: null count %d out of range", k, zm.NullCount)
+	}
+	if flags&flagCodeSet != 0 {
+		// The writer only emits code sets for dictionary columns whose
+		// cardinality fits the zone-code bound, always sized to the
+		// dictionary. Anything else is a malformed file — reject it
+		// rather than let a short bitset mis-prune scans.
+		nw := int(d.uv())
+		if f.Type != storage.String {
+			return storage.ZoneMap{}, 0, fmt.Errorf("chunk %d: code set on %v column", k, f.Type)
+		}
+		maxWords := (storage.MaxZoneCodes + 63) / 64
+		if dictLen >= 0 {
+			if dictLen == 0 || dictLen > storage.MaxZoneCodes || nw != (dictLen+63)/64 {
+				return storage.ZoneMap{}, 0, fmt.Errorf("chunk %d: code set of %d words for %d dictionary entries", k, nw, dictLen)
+			}
+		} else if nw <= 0 || nw > maxWords {
+			return storage.ZoneMap{}, 0, fmt.Errorf("chunk %d: implausible code set of %d words", k, nw)
+		}
+		set := make([]uint64, nw)
+		for wi := range set {
+			set[wi] = d.u64()
+		}
+		zm.CodeSet = set
+	}
+	if d.err != nil {
+		return storage.ZoneMap{}, 0, d.err
+	}
+	return zm, flags, nil
+}
+
 // column decodes one column segment: optional dictionary, then
 // numChunks chunks of zone map + nulls + values.
 func (d *decoder) column(f storage.Field, rows, chunkSize, numChunks int) (storage.Column, []storage.ZoneMap, error) {
@@ -536,42 +875,9 @@ func (d *decoder) column(f storage.Field, rows, chunkSize, numChunks int) (stora
 		}
 		chunkRows := hi - lo
 		chunkWords := (chunkRows + 63) / 64
-		flags := d.u8()
-		known := byte(flagNulls | flagMinMax)
-		if d.version >= 2 {
-			known |= flagCodeSet
-		}
-		if flags&^known != 0 {
-			return nil, nil, fmt.Errorf("chunk %d: unknown flags %#x for version %d", k, flags, d.version)
-		}
-		zm := storage.ZoneMap{}
-		if flags&flagMinMax != 0 {
-			zm.Min = math.Float64frombits(d.u64())
-			zm.Max = math.Float64frombits(d.u64())
-			zm.HasMinMax = true
-		}
-		zm.NullCount = int(d.uv())
-		zm.Distinct = int(d.uv())
-		if zm.NullCount < 0 || zm.NullCount > chunkRows {
-			return nil, nil, fmt.Errorf("chunk %d: null count %d out of range", k, zm.NullCount)
-		}
-		if flags&flagCodeSet != 0 {
-			// The writer only emits code sets for dictionary columns whose
-			// cardinality fits the zone-code bound, always sized to the
-			// dictionary. Anything else is a malformed file — reject it
-			// rather than let a short bitset mis-prune scans.
-			nw := int(d.uv())
-			if f.Type != storage.String {
-				return nil, nil, fmt.Errorf("chunk %d: code set on %v column", k, f.Type)
-			}
-			if len(dict) == 0 || len(dict) > storage.MaxZoneCodes || nw != (len(dict)+63)/64 {
-				return nil, nil, fmt.Errorf("chunk %d: code set of %d words for %d dictionary entries", k, nw, len(dict))
-			}
-			set := make([]uint64, nw)
-			for wi := range set {
-				set[wi] = d.u64()
-			}
-			zm.CodeSet = set
+		zm, flags, err := d.zoneHeader(f, len(dict), chunkRows, k)
+		if err != nil {
+			return nil, nil, err
 		}
 		zones[k] = zm
 		if flags&flagNulls != 0 {

@@ -2,6 +2,7 @@ package colstore
 
 import (
 	"bytes"
+	"encoding/binary"
 	"hash/crc32"
 	"math"
 	"os"
@@ -263,9 +264,11 @@ func TestNullRowCodesClamped(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := append([]byte(nil), buf.Bytes()...)
-	// The code payload is the last 12 bytes before the CRC (3 × u32).
-	// Poison the NULL row's code.
-	codeOff := len(data) - 4 - 12 + 4
+	// The code payload is the last 12 bytes before the v3 directory
+	// (3 × u32); the directory offset sits in the 8 bytes before the
+	// CRC. Poison the NULL row's code.
+	dirOff := int(binary.LittleEndian.Uint64(data[len(data)-16:]))
+	codeOff := dirOff - 12 + 4
 	data[codeOff] = 0xFF
 	data[codeOff+1] = 0xFF
 	reseal(data)
@@ -279,7 +282,7 @@ func TestNullRowCodesClamped(t *testing.T) {
 	}
 	// Non-null out-of-range codes stay fatal.
 	data2 := append([]byte(nil), buf.Bytes()...)
-	data2[len(data2)-4-4] = 0xFF // last row ("b"), not null
+	data2[dirOff-4] = 0xFF // last row ("b"), not null
 	reseal(data2)
 	if _, err := Read(data2); err == nil {
 		t.Error("non-null out-of-range code must be rejected")

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package colstore
+
+import "os"
+
+// mmapFile is unavailable on this platform; lazy stores fall back to
+// pread (and v1/v2 files to eager decode).
+func mmapFile(*os.File, int64) []byte { return nil }
+
+// munmapFile matches mmap_unix.go; nothing to release.
+func munmapFile([]byte) error { return nil }

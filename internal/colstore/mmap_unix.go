@@ -1,0 +1,29 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. Returns nil (no error) when the
+// file is empty or the mapping fails — callers fall back to pread.
+func mmapFile(f *os.File, size int64) []byte {
+	if size <= 0 || int64(int(size)) != size {
+		return nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// munmapFile releases a mapping produced by mmapFile.
+func munmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

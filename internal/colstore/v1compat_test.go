@@ -30,7 +30,7 @@ func v1TestTable(t *testing.T) *storage.Table {
 func TestV1FileStillOpens(t *testing.T) {
 	tbl := v1TestTable(t)
 	var buf bytes.Buffer
-	if err := writeVersioned(&buf, tbl, 128, 1); err != nil {
+	if _, err := writeVersioned(&buf, tbl, 128, 1); err != nil {
 		t.Fatal(err)
 	}
 	st, err := Read(buf.Bytes())

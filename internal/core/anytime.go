@@ -78,7 +78,8 @@ type AnytimeResult struct {
 // table, or ctx is done — whichever comes first. It always returns the
 // best result so far; ctx expiry is not an error (that is the point of
 // an anytime algorithm).
-func (c *Cartographer) ExploreAnytime(ctx context.Context, q query.Query, opts AnytimeOptions) (*AnytimeResult, error) {
+func (c *Cartographer) ExploreAnytime(ctx context.Context, q query.Query, opts AnytimeOptions) (res *AnytimeResult, rerr error) {
+	defer recoverChunkPanic(&rerr)
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}

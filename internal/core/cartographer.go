@@ -107,6 +107,11 @@ type Cartographer struct {
 	// (sorted values, sketches, category counts), computed once and
 	// shared read-only across goroutines and Explore calls.
 	stats *statCache
+	// scan accumulates chunk-level scan decisions (pruned / full /
+	// scanned, and lazy decodes / cache hits) across every exploration
+	// this Cartographer runs — the pruning-efficacy counters front-ends
+	// surface.
+	scan engine.ScanStats
 }
 
 // NewCartographer validates the options and builds a Cartographer.
@@ -141,6 +146,32 @@ func (c *Cartographer) Options() Options { return c.opts }
 // the Cartographer's behalf.
 func (c *Cartographer) Workers() int { return resolveParallelism(c.opts.Parallelism) }
 
+// ScanOpts returns the scan options the Cartographer runs its own scans
+// with — workers plus its cumulative stats accumulator — so callers
+// (sessions) scanning on its behalf feed the same counters.
+func (c *Cartographer) ScanOpts() engine.ScanOptions {
+	return engine.ScanOptions{Workers: c.Workers(), Stats: &c.scan}
+}
+
+// ScanStats snapshots the cumulative chunk-level scan counters of every
+// exploration this Cartographer has run.
+func (c *Cartographer) ScanStats() engine.Snapshot { return c.scan.Snapshot() }
+
+// recoverChunkPanic converts a lazy-column chunk-fetch panic into the
+// named *storage.ChunkError, so a corrupt or truncated chunk touched
+// anywhere in the pipeline fails the exploration with an error.
+func recoverChunkPanic(err *error) {
+	if r := recover(); r != nil {
+		ce := storage.AsChunkPanic(r)
+		if ce == nil {
+			panic(r)
+		}
+		if *err == nil {
+			*err = ce
+		}
+	}
+}
+
 // Result is the answer to one exploration step: the ranked data maps for
 // a user query, plus diagnostics.
 type Result struct {
@@ -173,14 +204,14 @@ type Result struct {
 // identical at any parallelism. On chunk-aware tables (column-store
 // backed) the base scan itself is sharded chunk-by-chunk over the same
 // worker pool and prunes chunks via zone maps.
-func (c *Cartographer) Explore(q query.Query) (*Result, error) {
+func (c *Cartographer) Explore(q query.Query) (res *Result, err error) {
+	defer recoverChunkPanic(&err)
 	start := time.Now()
 	if err := c.checkTable(q); err != nil {
 		return nil, err
 	}
-	workers := resolveParallelism(c.opts.Parallelism)
 	base := bitvec.NewFull(c.table.NumRows())
-	if err := engine.EvalAndIntoOpts(c.table, q, base, engine.ScanOptions{Workers: workers}); err != nil {
+	if err := engine.EvalAndIntoOpts(c.table, q, base, c.ScanOpts()); err != nil {
 		return nil, err
 	}
 	return c.exploreBase(q, base, start)
@@ -191,7 +222,8 @@ func (c *Cartographer) Explore(q query.Query) (*Result, error) {
 // example, a session assembling the selection from cached per-predicate
 // bitmaps). base must have exactly the table's length and must select
 // exactly the rows matching q; the Cartographer takes ownership of it.
-func (c *Cartographer) ExploreSel(q query.Query, base *bitvec.Vector) (*Result, error) {
+func (c *Cartographer) ExploreSel(q query.Query, base *bitvec.Vector) (res *Result, err error) {
+	defer recoverChunkPanic(&err)
 	start := time.Now()
 	if err := c.checkTable(q); err != nil {
 		return nil, err
@@ -247,7 +279,7 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 		if err != nil {
 			return err
 		}
-		bits, err := engine.PartitionBitsOpts(c.table, attrs[i], preds, base, engine.ScanOptions{Workers: workers})
+		bits, err := engine.PartitionBitsOpts(c.table, attrs[i], preds, base, engine.ScanOptions{Workers: workers, Stats: &c.scan})
 		if err != nil {
 			return err
 		}

@@ -24,7 +24,8 @@ type ExampleRow struct {
 // RegionExamples returns up to k example tuples from the region selected
 // by q: the paper's "random … examples" presentation aid. Sampling is
 // uniform over the region and deterministic in seed.
-func RegionExamples(t *storage.Table, q query.Query, k int, seed int64) ([]ExampleRow, error) {
+func RegionExamples(t *storage.Table, q query.Query, k int, seed int64) (out_ []ExampleRow, err_ error) {
+	defer recoverChunkPanic(&err_)
 	if k < 1 {
 		return nil, fmt.Errorf("core: need k >= 1 examples, got %d", k)
 	}
@@ -58,7 +59,8 @@ func RegionExamples(t *storage.Table, q query.Query, k int, seed int64) ([]Examp
 // medians are returned (ties by row order). Categorical attributes do not
 // contribute to centrality. This is the "if possible, representative"
 // variant of the Section 5.2 idea.
-func RepresentativeExamples(t *storage.Table, q query.Query, k int) ([]ExampleRow, error) {
+func RepresentativeExamples(t *storage.Table, q query.Query, k int) (out_ []ExampleRow, err_ error) {
+	defer recoverChunkPanic(&err_)
 	if k < 1 {
 		return nil, fmt.Errorf("core: need k >= 1 examples, got %d", k)
 	}
@@ -75,12 +77,23 @@ func RepresentativeExamples(t *storage.Table, q query.Query, k int) ([]ExampleRo
 		col    storage.Column
 		median float64
 		scale  float64
+		// positional marks lazy columns gathered down to the selected
+		// rows: index by position in rows, not by table row.
+		positional bool
 	}
 	var numCols []numCol
 	for ci := 0; ci < t.NumCols(); ci++ {
 		col := t.Column(ci)
 		if !col.Type().IsNumeric() {
 			continue
+		}
+		positional := false
+		if lc, ok := col.(*storage.LazyColumn); ok {
+			// Row-by-row access through the chunk cache would take the
+			// cache lock per (row, column); gather the selected rows once
+			// instead (chunk-batched fetches, eager result).
+			col = lc.Gather(rows)
+			positional = true
 		}
 		vals, err := engine.NumericValuesUnder(t, t.Schema().Field(ci).Name, sel)
 		if err != nil {
@@ -103,7 +116,7 @@ func RepresentativeExamples(t *storage.Table, q query.Query, k int) ([]ExampleRo
 		if scale == 0 {
 			scale = 1
 		}
-		numCols = append(numCols, numCol{col, med, scale})
+		numCols = append(numCols, numCol{col, med, scale, positional})
 	}
 	// score rows by distance to the medians
 	type scored struct {
@@ -111,19 +124,23 @@ func RepresentativeExamples(t *storage.Table, q query.Query, k int) ([]ExampleRo
 		cost float64
 	}
 	scoredRows := make([]scored, 0, len(rows))
-	for _, row := range rows {
+	for oi, row := range rows {
 		cost := 0.0
 		for _, nc := range numCols {
-			if nc.col.IsNull(row) {
+			idx := row
+			if nc.positional {
+				idx = oi
+			}
+			if nc.col.IsNull(idx) {
 				cost += 1 // penalize missing values
 				continue
 			}
 			var v float64
 			switch c := nc.col.(type) {
 			case *storage.Int64Column:
-				v = float64(c.At(row))
+				v = float64(c.At(idx))
 			case *storage.Float64Column:
-				v = c.At(row)
+				v = c.At(idx)
 			}
 			d := (v - nc.median) / nc.scale
 			if d < 0 {

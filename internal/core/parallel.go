@@ -4,13 +4,30 @@ import (
 	"runtime"
 
 	"repro/internal/par"
+	"repro/internal/storage"
 )
 
 // parallelFor is par.For under the pipeline's historical name: fn(i)
 // for every i in [0, n) on up to `workers` goroutines, results
 // collected by index so the pipeline stays schedule-independent.
+// Chunk-fetch panics from lazy Column accessors are converted to errors
+// inside each task, so a corrupt chunk fails the pipeline instead of
+// killing a worker goroutine.
 func parallelFor(workers, n int, fn func(i int) error) error {
-	return par.For(workers, n, fn)
+	return par.For(workers, n, func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				ce := storage.AsChunkPanic(r)
+				if ce == nil {
+					panic(r)
+				}
+				if err == nil {
+					err = ce
+				}
+			}
+		}()
+		return fn(i)
+	})
 }
 
 // resolveParallelism maps an Options.Parallelism value to a worker

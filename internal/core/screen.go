@@ -181,7 +181,115 @@ func screenColumn(col storage.Column, f storage.Field, sel *bitvec.Vector, opts 
 			return &ScreenFinding{f.Name, ScreenConstant, 1}
 		}
 		return nil
+	case *storage.LazyColumn:
+		return screenLazyColumn(c, f, sel, opts, limit)
 	default:
 		return &ScreenFinding{f.Name, ScreenReason(fmt.Sprintf("unsupported type %T", col)), 0}
+	}
+}
+
+// screenLazyColumn screens a memory-tiered column chunk-wise: rows are
+// visited in the same order with the same early exits as the eager
+// kinds (findings are identical), touching only chunks that hold
+// selected rows up to the sample limit. A chunk-fetch failure panics
+// with the ChunkError; the pipeline's recovery converts it to an error.
+func screenLazyColumn(c *storage.LazyColumn, f storage.Field, sel *bitvec.Vector, opts ScreenOptions, limit int) *ScreenFinding {
+	visit := func(fn func(p *storage.ChunkPayload, l int) bool) {
+		err := c.ForEachSelected(sel, func(p *storage.ChunkPayload, lo, i int) bool {
+			return fn(p, i-lo)
+		})
+		if err != nil {
+			panic(&storage.ChunkError{Col: -1, Chunk: -1, Err: err})
+		}
+	}
+	switch c.Type() {
+	case storage.String:
+		distinct := map[uint32]struct{}{}
+		rows := 0
+		visit(func(p *storage.ChunkPayload, l int) bool {
+			if p.IsNull(l) {
+				return true
+			}
+			rows++
+			distinct[p.Codes[l]] = struct{}{}
+			return rows < limit
+		})
+		switch {
+		case rows == 0:
+			return &ScreenFinding{f.Name, ScreenAllNull, 0}
+		case len(distinct) <= 1:
+			return &ScreenFinding{f.Name, ScreenConstant, len(distinct)}
+		case float64(len(distinct)) > opts.UniqueRatio*float64(rows):
+			return &ScreenFinding{f.Name, ScreenNearUnique, len(distinct)}
+		case len(distinct) > opts.MaxCardinality:
+			return &ScreenFinding{f.Name, ScreenHighCardinality, len(distinct)}
+		}
+		return nil
+	case storage.Int64:
+		distinct := map[int64]struct{}{}
+		rows := 0
+		visit(func(p *storage.ChunkPayload, l int) bool {
+			if p.IsNull(l) {
+				return true
+			}
+			rows++
+			distinct[p.Ints[l]] = struct{}{}
+			return rows < limit
+		})
+		switch {
+		case rows == 0:
+			return &ScreenFinding{f.Name, ScreenAllNull, 0}
+		case len(distinct) <= 1:
+			return &ScreenFinding{f.Name, ScreenConstant, len(distinct)}
+		case rows >= 100 && float64(len(distinct)) > 0.95*float64(rows):
+			return &ScreenFinding{f.Name, ScreenNearUnique, len(distinct)}
+		}
+		return nil
+	case storage.Float64:
+		var first float64
+		rows, constant := 0, true
+		visit(func(p *storage.ChunkPayload, l int) bool {
+			if p.IsNull(l) {
+				return true
+			}
+			if rows == 0 {
+				first = p.Floats[l]
+			} else if p.Floats[l] != first {
+				constant = false
+				return false
+			}
+			rows++
+			return rows < limit
+		})
+		switch {
+		case rows == 0:
+			return &ScreenFinding{f.Name, ScreenAllNull, 0}
+		case constant:
+			return &ScreenFinding{f.Name, ScreenConstant, 1}
+		}
+		return nil
+	case storage.Bool:
+		falses, trues, rows := 0, 0, 0
+		visit(func(p *storage.ChunkPayload, l int) bool {
+			if p.IsNull(l) {
+				return true
+			}
+			rows++
+			if p.Bools[l] {
+				trues++
+			} else {
+				falses++
+			}
+			return rows < limit && (falses == 0 || trues == 0)
+		})
+		switch {
+		case rows == 0:
+			return &ScreenFinding{f.Name, ScreenAllNull, 0}
+		case falses == 0 || trues == 0:
+			return &ScreenFinding{f.Name, ScreenConstant, 1}
+		}
+		return nil
+	default:
+		return &ScreenFinding{f.Name, ScreenReason(fmt.Sprintf("unsupported type %v", c.Type())), 0}
 	}
 }

@@ -26,7 +26,9 @@ func EvalPredicateOpts(t *storage.Table, p query.Predicate, opts ScanOptions) (*
 	if err != nil {
 		return nil, err
 	}
-	evalCompiled(t, []compiledPred{cp}, out, opts)
+	if err := evalCompiled(t, []compiledPred{cp}, out, opts); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -76,8 +78,7 @@ func evalAndInto(t *storage.Table, q query.Query, sel *bitvec.Vector) error {
 	if err != nil {
 		return err
 	}
-	evalCompiled(t, cps, sel, ScanOptions{})
-	return nil
+	return evalCompiled(t, cps, sel, ScanOptions{})
 }
 
 // Count evaluates q and returns the number of matching rows.
@@ -137,6 +138,21 @@ func AppendNumericValuesUnder(dst []float64, t *storage.Table, attr string, sel 
 			}
 			return true
 		})
+	case *storage.LazyColumn:
+		if !c.Type().IsNumeric() {
+			return nil, fmt.Errorf("engine: column %q is not numeric (type %v)", attr, col.Type())
+		}
+		// Chunk-wise: chunks with no selected rows are never fetched, so
+		// a selective extraction reads only the touched byte ranges.
+		err := c.ForEachSelected(sel, func(p *storage.ChunkPayload, lo, i int) bool {
+			if l := i - lo; !p.IsNull(l) {
+				out = append(out, p.Numeric(l))
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("engine: column %q is not numeric (type %v)", attr, col.Type())
 	}
@@ -149,6 +165,26 @@ func CategoryCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (dic
 	col, err := t.ColumnByName(attr)
 	if err != nil {
 		return nil, nil, err
+	}
+	if lc, ok := col.(*storage.LazyColumn); ok {
+		if lc.Type() != storage.String {
+			return nil, nil, fmt.Errorf("engine: column %q is not categorical (type %v)", attr, col.Type())
+		}
+		dict, err = lc.DictValues()
+		if err != nil {
+			return nil, nil, err
+		}
+		counts = make([]int, len(dict))
+		err = lc.ForEachSelected(sel, func(p *storage.ChunkPayload, lo, i int) bool {
+			if l := i - lo; !p.IsNull(l) {
+				counts[p.Codes[l]]++
+			}
+			return true
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return dict, counts, nil
 	}
 	c, ok := col.(*storage.StringColumn)
 	if !ok {
@@ -171,6 +207,25 @@ func BoolCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (falses,
 	col, err := t.ColumnByName(attr)
 	if err != nil {
 		return 0, 0, err
+	}
+	if lc, ok := col.(*storage.LazyColumn); ok {
+		if lc.Type() != storage.Bool {
+			return 0, 0, fmt.Errorf("engine: column %q is not boolean (type %v)", attr, col.Type())
+		}
+		err = lc.ForEachSelected(sel, func(p *storage.ChunkPayload, lo, i int) bool {
+			if l := i - lo; !p.IsNull(l) {
+				if p.Bools[l] {
+					trues++
+				} else {
+					falses++
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return falses, trues, nil
 	}
 	c, ok := col.(*storage.BoolColumn)
 	if !ok {

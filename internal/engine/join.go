@@ -25,6 +25,15 @@ func JoinFK(fact *storage.Table, factKey string, dim *storage.Table, dimKey stri
 	if fkCol.Type() != dkCol.Type() {
 		return nil, fmt.Errorf("engine: join key type mismatch %v vs %v", fkCol.Type(), dkCol.Type())
 	}
+	// Joins probe key columns row by row; memory-tiered keys are
+	// materialized once up front (the join output is materialized
+	// anyway, so this adds no asymptotic memory).
+	if fkCol, err = storage.MaterializeColumn(fkCol); err != nil {
+		return nil, err
+	}
+	if dkCol, err = storage.MaterializeColumn(dkCol); err != nil {
+		return nil, err
+	}
 
 	// Build hash index over the dimension key.
 	lookup, err := buildKeyIndex(dkCol)
@@ -93,6 +102,12 @@ func SemiJoinFilter(fact *storage.Table, factKey string, dim *storage.Table, dim
 	}
 	if fkCol.Type() != dkCol.Type() {
 		return nil, fmt.Errorf("engine: join key type mismatch %v vs %v", fkCol.Type(), dkCol.Type())
+	}
+	if fkCol, err = storage.MaterializeColumn(fkCol); err != nil {
+		return nil, err
+	}
+	if dkCol, err = storage.MaterializeColumn(dkCol); err != nil {
+		return nil, err
 	}
 	// Collect the selected dimension keys into a hash set, then probe
 	// with every fact row.

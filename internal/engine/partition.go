@@ -3,10 +3,9 @@ package engine
 import (
 	"fmt"
 	"math/bits"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/bitvec"
+	"repro/internal/par"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -61,8 +60,12 @@ func PartitionBitsOpts(t *storage.Table, attr string, preds []query.Predicate, s
 	// visit resolves one selected row: tests it against the predicates in
 	// order and records the first match. Rows are only ever touched once
 	// and chunk boundaries are word-aligned, so driving visit over
-	// disjoint word ranges from several workers races on nothing.
+	// disjoint word ranges from several workers races on nothing. On
+	// memory-tiered columns mkVisit builds the visitor per chunk from the
+	// fetched payload; chunks with no selected rows are never fetched.
 	var visit func(i int)
+	var lazyCol *storage.LazyColumn
+	var mkVisit func(p *storage.ChunkPayload, lo int) func(i int)
 	switch c := col.(type) {
 	case *storage.Int64Column:
 		if err := predsAreKind(preds, query.Range, col); err != nil {
@@ -139,48 +142,150 @@ func PartitionBitsOpts(t *storage.Table, attr string, preds []query.Predicate, s
 				}
 			}
 		}
+	case *storage.LazyColumn:
+		lazyCol = c
+		mkVisit, err = compileLazyVisit(c, preds, place)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("engine: unsupported column type %T", col)
 	}
 
 	selWords := sel.Words()
 	ck := t.Chunking()
-	workers := opts.Workers
-	if ck == nil || workers <= 1 {
+	if ck == nil {
+		if lazyCol != nil {
+			return nil, fmt.Errorf("engine: lazy column partition requires chunk metadata")
+		}
 		visitSelectedRange(selWords, 0, len(selWords), visit)
 		return out, nil
 	}
 	numChunks := ck.NumChunks(n)
+	wordsPerChunk := ck.Size / 64
+	visitChunk := func(k int) error {
+		w0 := k * wordsPerChunk
+		w1 := w0 + wordsPerChunk
+		if w1 > len(selWords) {
+			w1 = len(selWords)
+		}
+		v := visit
+		if lazyCol != nil {
+			if !anyWordsRange(selWords, w0, w1) {
+				return nil
+			}
+			p, hit, err := lazyCol.Chunk(k)
+			if err != nil {
+				return err
+			}
+			countFetch(opts.Stats, hit)
+			v = mkVisit(p, k*ck.Size)
+		}
+		visitSelectedRange(selWords, w0, w1, v)
+		return nil
+	}
+	workers := opts.Workers
 	if workers > numChunks {
 		workers = numChunks
 	}
 	if workers <= 1 {
-		visitSelectedRange(selWords, 0, len(selWords), visit)
+		if lazyCol == nil {
+			visitSelectedRange(selWords, 0, len(selWords), visit)
+			return out, nil
+		}
+		for k := 0; k < numChunks; k++ {
+			if err := visitChunk(k); err != nil {
+				return nil, err
+			}
+		}
 		return out, nil
 	}
-	wordsPerChunk := ck.Size / 64
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= numChunks {
+	if err := par.For(workers, numChunks, visitChunk); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compileLazyVisit builds the per-chunk row visitor of a partition pass
+// over a memory-tiered column.
+func compileLazyVisit(c *storage.LazyColumn, preds []query.Predicate, place func(i, ri int)) (func(p *storage.ChunkPayload, lo int) func(i int), error) {
+	switch c.Type() {
+	case storage.Int64, storage.Float64:
+		if err := predsAreKind(preds, query.Range, c); err != nil {
+			return nil, err
+		}
+		return func(p *storage.ChunkPayload, lo int) func(i int) {
+			return func(i int) {
+				l := i - lo
+				if p.IsNull(l) {
 					return
 				}
-				w0 := k * wordsPerChunk
-				w1 := w0 + wordsPerChunk
-				if w1 > len(selWords) {
-					w1 = len(selWords)
+				v := p.Numeric(l)
+				for ri := range preds {
+					if preds[ri].MatchFloat(v) {
+						place(i, ri)
+						return
+					}
 				}
-				visitSelectedRange(selWords, w0, w1, visit)
 			}
-		}()
+		}, nil
+	case storage.String:
+		if err := predsAreKind(preds, query.In, c); err != nil {
+			return nil, err
+		}
+		dict, err := c.DictValues()
+		if err != nil {
+			return nil, err
+		}
+		// compile once: dictionary code → first admitting region
+		index := make(map[string]int32, len(dict))
+		for code, v := range dict {
+			index[v] = int32(code)
+		}
+		region := make([]int32, len(dict))
+		for i := range region {
+			region[i] = -1
+		}
+		for ri, p := range preds {
+			for _, v := range p.Values {
+				if code, ok := index[v]; ok && region[code] < 0 {
+					region[code] = int32(ri)
+				}
+			}
+		}
+		return func(p *storage.ChunkPayload, lo int) func(i int) {
+			return func(i int) {
+				l := i - lo
+				// Null check first: null rows may carry placeholder codes.
+				if p.IsNull(l) {
+					return
+				}
+				if ri := region[p.Codes[l]]; ri >= 0 {
+					place(i, int(ri))
+				}
+			}
+		}, nil
+	case storage.Bool:
+		if err := predsAreKind(preds, query.BoolEq, c); err != nil {
+			return nil, err
+		}
+		return func(p *storage.ChunkPayload, lo int) func(i int) {
+			return func(i int) {
+				l := i - lo
+				if p.IsNull(l) {
+					return
+				}
+				for ri := range preds {
+					if preds[ri].MatchBool(p.Bools[l]) {
+						place(i, ri)
+						return
+					}
+				}
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported lazy column type %v", c.Type())
 	}
-	wg.Wait()
-	return out, nil
 }
 
 func predsAreKind(preds []query.Predicate, kind query.PredKind, col storage.Column) error {

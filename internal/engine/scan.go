@@ -3,10 +3,10 @@ package engine
 import (
 	"fmt"
 	"math/bits"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/bitvec"
+	"repro/internal/par"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -14,7 +14,8 @@ import (
 // ScanStats counts chunk-level scan decisions for one evaluation. One
 // entry is recorded per (predicate, chunk) pair; tables without chunk
 // metadata record nothing. The counters are atomics so chunk-parallel
-// scans can share one ScanStats.
+// scans can share one ScanStats (and a Cartographer can accumulate one
+// across explorations).
 type ScanStats struct {
 	// ChunksScanned counts chunks whose rows were actually tested.
 	ChunksScanned atomic.Int64
@@ -24,6 +25,43 @@ type ScanStats struct {
 	// ChunksFull counts chunks skipped because the zone map proves every
 	// non-pruned row matches (predicate covers [min,max], no NULLs).
 	ChunksFull atomic.Int64
+	// ChunksDecoded counts lazy chunk payloads decoded for this scan
+	// (cache misses on memory-tiered tables); pruned and all-match
+	// chunks never decode, which is what makes zone maps an I/O filter.
+	ChunksDecoded atomic.Int64
+	// ChunkCacheHits counts lazy chunk fetches served without a decode:
+	// decoded-cache hits, and zero-copy payloads of already-resident
+	// columns (eager shard files behind a lazy combined view).
+	ChunkCacheHits atomic.Int64
+}
+
+// Snapshot is a plain-value copy of a ScanStats for reporting.
+type Snapshot struct {
+	ChunksScanned, ChunksPruned, ChunksFull int64
+	ChunksDecoded, ChunkCacheHits           int64
+}
+
+// Snapshot copies the counters.
+func (s *ScanStats) Snapshot() Snapshot {
+	return Snapshot{
+		ChunksScanned:  s.ChunksScanned.Load(),
+		ChunksPruned:   s.ChunksPruned.Load(),
+		ChunksFull:     s.ChunksFull.Load(),
+		ChunksDecoded:  s.ChunksDecoded.Load(),
+		ChunkCacheHits: s.ChunkCacheHits.Load(),
+	}
+}
+
+// countFetch records a lazy chunk fetch in the stats.
+func countFetch(stats *ScanStats, hit bool) {
+	if stats == nil {
+		return
+	}
+	if hit {
+		stats.ChunkCacheHits.Add(1)
+	} else {
+		stats.ChunksDecoded.Add(1)
+	}
 }
 
 // ScanOptions tunes one scan.
@@ -47,8 +85,7 @@ func EvalAndIntoOpts(t *storage.Table, q query.Query, sel *bitvec.Vector, opts S
 	if err != nil {
 		return err
 	}
-	evalCompiled(t, cps, sel, opts)
-	return nil
+	return evalCompiled(t, cps, sel, opts)
 }
 
 // zoneVerdict is a zone map's answer for one (predicate, chunk) pair.
@@ -65,11 +102,18 @@ const (
 )
 
 // compiledPred is one predicate resolved against its column: a per-row
-// matcher plus a zone-map decision function.
+// matcher plus a zone-map decision function. On memory-tiered columns
+// the matcher is built per chunk from the fetched payload instead —
+// chunks the zone map prunes (or proves all-match) are never fetched,
+// so zone maps filter I/O, not just CPU.
 type compiledPred struct {
 	colIdx int
 	match  func(i int) bool
 	zone   func(zm storage.ZoneMap, chunkRows int) zoneVerdict
+	// lazyCol and mkMatch replace match on lazy columns: the payload of
+	// a chunk starting at row lo yields that chunk's row matcher.
+	lazyCol *storage.LazyColumn
+	mkMatch func(p *storage.ChunkPayload, lo int) func(i int) bool
 	// never marks predicates proven unsatisfiable at compile time (an In
 	// set with no dictionary hits): the scan clears the selection without
 	// visiting rows.
@@ -163,8 +207,79 @@ func compilePred(t *storage.Table, p query.Predicate) (compiledPred, error) {
 			return vals[i] == p.BoolVal && !c.IsNull(i)
 		}
 		cp.zone = zoneNullOnly
+	case *storage.LazyColumn:
+		return compileLazyPred(cp, c, p)
 	default:
 		return compiledPred{}, fmt.Errorf("engine: unsupported column type %T", col)
+	}
+	return cp, nil
+}
+
+// compileLazyPred resolves a predicate against a memory-tiered column:
+// same zone rules as the eager kinds, but the row matcher is built per
+// chunk from the fetched payload.
+func compileLazyPred(cp compiledPred, c *storage.LazyColumn, p query.Predicate) (compiledPred, error) {
+	cp.lazyCol = c
+	switch c.Type() {
+	case storage.Int64, storage.Float64:
+		if p.Kind != query.Range {
+			return compiledPred{}, kindErr(p, c)
+		}
+		cp.zone = rangeZone(p)
+		cp.mkMatch = func(pl *storage.ChunkPayload, lo int) func(i int) bool {
+			return func(i int) bool {
+				l := i - lo
+				return p.MatchFloat(pl.Numeric(l)) && !pl.IsNull(l)
+			}
+		}
+	case storage.String:
+		if p.Kind != query.In {
+			return compiledPred{}, kindErr(p, c)
+		}
+		dict, err := c.DictValues()
+		if err != nil {
+			return compiledPred{}, err
+		}
+		admit := make([]bool, len(dict))
+		admitWords := make([]uint64, (len(dict)+63)/64)
+		index := make(map[string]uint32, len(dict))
+		for code, v := range dict {
+			index[v] = uint32(code)
+		}
+		any := false
+		for _, v := range p.Values {
+			if code, ok := index[v]; ok {
+				admit[code] = true
+				admitWords[code/64] |= uint64(1) << uint(code%64)
+				any = true
+			}
+		}
+		if !any {
+			cp.zone = zonePruneAlways
+			cp.never = true
+			return cp, nil
+		}
+		cp.zone = codeSetZone(admitWords)
+		cp.mkMatch = func(pl *storage.ChunkPayload, lo int) func(i int) bool {
+			return func(i int) bool {
+				l := i - lo
+				// Null check first: null rows may carry placeholder codes.
+				return !pl.IsNull(l) && admit[pl.Codes[l]]
+			}
+		}
+	case storage.Bool:
+		if p.Kind != query.BoolEq {
+			return compiledPred{}, kindErr(p, c)
+		}
+		cp.zone = zoneNullOnly
+		cp.mkMatch = func(pl *storage.ChunkPayload, lo int) func(i int) bool {
+			return func(i int) bool {
+				l := i - lo
+				return pl.Bools[l] == p.BoolVal && !pl.IsNull(l)
+			}
+		}
+	default:
+		return compiledPred{}, fmt.Errorf("engine: unsupported lazy column type %v", c.Type())
 	}
 	return cp, nil
 }
@@ -233,9 +348,13 @@ func rangeZone(p query.Predicate) func(zm storage.ZoneMap, chunkRows int) zoneVe
 // evalCompiled narrows sel by every compiled predicate. Chunked tables
 // go chunk by chunk, consulting zone maps and optionally sharding chunks
 // across workers; unchunked tables use the whole-range fused kernel.
-func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts ScanOptions) {
+// On memory-tiered tables a chunk's payload is fetched only when a
+// predicate's verdict is "scan" — pruned and all-match chunks stay
+// undecoded — and fetch failures (corrupt or truncated chunks) surface
+// as errors.
+func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts ScanOptions) error {
 	if len(cps) == 0 {
-		return
+		return nil
 	}
 	words := sel.Words()
 	ck := t.Chunking()
@@ -243,19 +362,22 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 		for i := range cps {
 			if cps[i].never {
 				sel.Zero()
-				return
+				return nil
+			}
+			if cps[i].lazyCol != nil {
+				return fmt.Errorf("engine: lazy column scan requires chunk metadata")
 			}
 			andWordsRange(words, 0, len(words), cps[i].match)
 			if !sel.Any() {
-				return
+				return nil
 			}
 		}
-		return
+		return nil
 	}
 	numChunks := ck.NumChunks(t.NumRows())
 	wordsPerChunk := ck.Size / 64
 	lastRows := t.NumRows() - (numChunks-1)*ck.Size
-	scanChunk := func(k int) {
+	scanChunk := func(k int) error {
 		w0 := k * wordsPerChunk
 		w1 := w0 + wordsPerChunk
 		if w1 > len(words) {
@@ -267,7 +389,7 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 		}
 		for i := range cps {
 			if !anyWordsRange(words, w0, w1) {
-				return
+				return nil
 			}
 			cp := &cps[i]
 			switch cp.zone(ck.Zones[cp.colIdx][k], chunkRows) {
@@ -276,18 +398,28 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 				if opts.Stats != nil {
 					opts.Stats.ChunksPruned.Add(1)
 				}
-				return
+				return nil
 			case zoneFull:
 				if opts.Stats != nil {
 					opts.Stats.ChunksFull.Add(1)
 				}
 			default:
-				andWordsRange(words, w0, w1, cp.match)
+				match := cp.match
+				if cp.lazyCol != nil {
+					pl, hit, err := cp.lazyCol.Chunk(k)
+					if err != nil {
+						return err
+					}
+					countFetch(opts.Stats, hit)
+					match = cp.mkMatch(pl, k*ck.Size)
+				}
+				andWordsRange(words, w0, w1, match)
 				if opts.Stats != nil {
 					opts.Stats.ChunksScanned.Add(1)
 				}
 			}
 		}
+		return nil
 	}
 	workers := opts.Workers
 	if workers > numChunks {
@@ -295,26 +427,13 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 	}
 	if workers <= 1 {
 		for k := 0; k < numChunks; k++ {
-			scanChunk(k)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= numChunks {
-					return
-				}
-				scanChunk(k)
+			if err := scanChunk(k); err != nil {
+				return err
 			}
-		}()
+		}
+		return nil
 	}
-	wg.Wait()
+	return par.For(workers, numChunks, scanChunk)
 }
 
 // andWordsRange clears, in every non-zero word of words[w0:w1], the bits

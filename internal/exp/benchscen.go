@@ -45,6 +45,42 @@ func ShardedInputs(tbl *storage.Table, shards int, dir string) (manifestPath str
 	return manifestPath, nil
 }
 
+// LazySelectiveInputs ingests the lazy-exploration workload: a table
+// whose ts column is monotone in row order (the clustered/time-ordered
+// ingest case), written as a `shards`-file range-sharded store under
+// dir. The returned query selects a ~2% ts band living entirely inside
+// one shard, so a deferred open plus manifest-level shard pruning plus
+// zone maps should leave most shard files unopened and most chunks
+// undecoded. totalChunks counts (column, chunk) pairs across all
+// shards — the denominator for chunks-decoded ratios.
+func LazySelectiveInputs(n, shards int, dir string) (manifestPath string, q query.Query, totalChunks int, err error) {
+	schema := storage.MustSchema(
+		storage.Field{Name: "ts", Type: storage.Int64},
+		storage.Field{Name: "load", Type: storage.Float64},
+	)
+	ts := make([]int64, n)
+	load := make([]float64, n)
+	for i := range ts {
+		ts[i] = int64(i)
+		load[i] = float64((i*37)%1000) / 10
+	}
+	tbl := storage.MustTable("events", schema, []storage.Column{
+		storage.NewInt64Column(ts, nil),
+		storage.NewFloat64Column(load, nil),
+	})
+	manifestPath = filepath.Join(dir, fmt.Sprintf("events_%d.atlm", shards))
+	m, err := shard.WriteSharded(manifestPath, tbl, shard.IngestOptions{Shards: shards})
+	if err != nil {
+		return "", query.Query{}, 0, err
+	}
+	for _, sf := range m.Shards {
+		totalChunks += (sf.Rows + m.ChunkSize - 1) / m.ChunkSize * tbl.NumCols()
+	}
+	lo := float64(n / 2)
+	q = query.New("events", query.NewRange("ts", lo, lo+float64(n/50)))
+	return manifestPath, q, totalChunks, nil
+}
+
 // PrunedScanScenario builds the zone-map pruning workload: one monotone
 // Int64 column (the clustered/time-ordered ingest case) as both a
 // chunked and an unchunked table, plus a selective range query covering

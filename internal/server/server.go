@@ -32,6 +32,9 @@ type Server struct {
 	// selections per shard, the stat cache fills from merged per-shard
 	// partials, and /api/shards reports the layout.
 	set *shard.Set
+	// store is non-nil when serving a single-file store; with set it
+	// feeds the lazy-I/O counters of /api/stats.
+	store *colstore.Store
 	// partialsOnce guards the merged per-column partials behind
 	// /api/shards: tables are immutable, so the per-shard scans run once
 	// and every later request serves the cached reduction.
@@ -72,18 +75,34 @@ func NewSharded(set *shard.Set, opts core.Options) *Server {
 // internal/shard) — manifests open every shard and serve the sharded
 // table with fan-out explorations.
 func NewFromStore(path string, opts core.Options) (*Server, error) {
+	return NewFromStoreWith(path, opts, StoreConfig{})
+}
+
+// StoreConfig carries the memory-tier knobs of a store-backed server.
+type StoreConfig struct {
+	// Store is passed to every file open (residency mode, cache budget).
+	Store colstore.Options
+	// Defer postpones opening shard files until first touch (sharded
+	// stores with a v2 manifest only).
+	Defer bool
+}
+
+// NewFromStoreWith is NewFromStore with explicit memory-tier options.
+func NewFromStoreWith(path string, opts core.Options, sc StoreConfig) (*Server, error) {
 	if shard.IsManifest(path) {
-		set, err := shard.Open(path)
+		set, err := shard.OpenWith(path, shard.Options{Store: sc.Store, Defer: sc.Defer})
 		if err != nil {
 			return nil, err
 		}
 		return NewSharded(set, opts), nil
 	}
-	st, err := colstore.Open(path)
+	st, err := colstore.OpenWith(path, sc.Store)
 	if err != nil {
 		return nil, err
 	}
-	return New(st.Table(), opts), nil
+	s := New(st.Table(), opts)
+	s.store = st
+	return s, nil
 }
 
 // Table returns the served table.
@@ -125,6 +144,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/sessions/{id}/describe", s.handleDescribe)
 	mux.HandleFunc("GET /api/sessions/{id}/personalized", s.handlePersonalized)
 	mux.HandleFunc("GET /api/shards", s.handleShards)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
 	return mux
 }
 
@@ -519,6 +539,74 @@ func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 		dto.Columns = append(dto.Columns, col)
+	}
+	writeJSON(w, http.StatusOK, dto)
+}
+
+// ScanStatsDTO reports the shared Cartographer's cumulative chunk-level
+// scan decisions — the pruning-efficacy view of production traffic.
+type ScanStatsDTO struct {
+	ChunksPruned   int64 `json:"chunksPruned"`
+	ChunksFull     int64 `json:"chunksFull"`
+	ChunksScanned  int64 `json:"chunksScanned"`
+	ChunksDecoded  int64 `json:"chunksDecoded"`
+	ChunkCacheHits int64 `json:"chunkCacheHits"`
+}
+
+// StoreStatsDTO reports a memory-tiered store's I/O counters.
+type StoreStatsDTO struct {
+	Lazy           bool  `json:"lazy"`
+	BytesRead      int64 `json:"bytesRead"`
+	ChunksDecoded  int64 `json:"chunksDecoded"`
+	CacheHits      int64 `json:"cacheHits"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+	CacheBytes     int64 `json:"cacheBytes"`
+	OpenedShards   int   `json:"openedShards,omitempty"`
+}
+
+// StatsDTO is the /api/stats answer.
+type StatsDTO struct {
+	Scan  ScanStatsDTO   `json:"scan"`
+	Store *StoreStatsDTO `json:"store,omitempty"`
+}
+
+// handleStats reports scan-level pruning counters and, for store-backed
+// servers, the lazy I/O counters — how many chunks production traffic
+// actually decoded versus pruned.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	dto := StatsDTO{}
+	if s.cart != nil {
+		sn := s.cart.ScanStats()
+		dto.Scan = ScanStatsDTO{
+			ChunksPruned:   sn.ChunksPruned,
+			ChunksFull:     sn.ChunksFull,
+			ChunksScanned:  sn.ChunksScanned,
+			ChunksDecoded:  sn.ChunksDecoded,
+			ChunkCacheHits: sn.ChunkCacheHits,
+		}
+	}
+	switch {
+	case s.set != nil:
+		io := s.set.IOStats()
+		dto.Store = &StoreStatsDTO{
+			Lazy:           s.set.LazyViews(),
+			BytesRead:      io.BytesRead,
+			ChunksDecoded:  io.ChunksDecoded,
+			CacheHits:      io.CacheHits,
+			CacheEvictions: io.CacheEvictions,
+			CacheBytes:     io.CacheBytes,
+			OpenedShards:   s.set.OpenedShards(),
+		}
+	case s.store != nil:
+		io := s.store.IOStats()
+		dto.Store = &StoreStatsDTO{
+			Lazy:           s.store.Lazy(),
+			BytesRead:      io.BytesRead,
+			ChunksDecoded:  io.ChunksDecoded,
+			CacheHits:      io.CacheHits,
+			CacheEvictions: io.CacheEvictions,
+			CacheBytes:     io.CacheBytes,
+		}
 	}
 	writeJSON(w, http.StatusOK, dto)
 }

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/shard"
+)
+
+// TestStatsEndpoint: /api/stats must report scan verdict counters after
+// explorations, plus the lazy store I/O counters on memory-tiered
+// stores.
+func TestStatsEndpoint(t *testing.T) {
+	tbl := datagen.Census(4_000, 1)
+	path := filepath.Join(t.TempDir(), "census.atl")
+	if err := colstore.WriteFile(path, tbl, 256); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewFromStoreWith(path, core.DefaultOptions(),
+		StoreConfig{Store: colstore.Options{Mode: colstore.ModeLazy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := strings.NewReader(`{"cql": "EXPLORE census WHERE age BETWEEN 20 AND 60"}`)
+	resp, err := http.Post(ts.URL+"/api/explore", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dto StatsDTO
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	if dto.Scan.ChunksScanned == 0 {
+		t.Error("no chunks scanned recorded after an exploration")
+	}
+	if dto.Store == nil || !dto.Store.Lazy {
+		t.Fatalf("store stats missing or not lazy: %+v", dto.Store)
+	}
+	if dto.Store.ChunksDecoded == 0 || dto.Store.BytesRead == 0 {
+		t.Errorf("lazy store reported no I/O: %+v", dto.Store)
+	}
+}
+
+// TestStatsEndpointSharded: the sharded variant reports opened-shard
+// counts.
+func TestStatsEndpointSharded(t *testing.T) {
+	tbl := datagen.Census(4_000, 2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "census.atlm")
+	if _, err := shard.WriteSharded(path, tbl, shard.IngestOptions{Shards: 2, ChunkSize: 256}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewFromStoreWith(path, core.DefaultOptions(),
+		StoreConfig{Store: colstore.Options{Mode: colstore.ModeLazy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := strings.NewReader(`{"cql": "EXPLORE census"}`)
+	resp, err := http.Post(ts.URL+"/api/explore", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dto StatsDTO
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	if dto.Store == nil || !dto.Store.Lazy {
+		t.Fatalf("sharded store stats missing or not lazy: %+v", dto.Store)
+	}
+	if dto.Store.OpenedShards != 2 {
+		t.Errorf("opened shards = %d, want 2", dto.Store.OpenedShards)
+	}
+}

@@ -92,11 +92,12 @@ func newPredCache(capacity int) *predCache {
 }
 
 // getOrCompute returns the cached bitmap for p over the whole table,
-// evaluating and caching it on a miss. Misses scan with the given worker
-// count (chunk-parallel on chunked tables). The returned vector must be
+// evaluating and caching it on a miss. Misses scan with the given scan
+// options (chunk-parallel on chunked tables, verdict counters shared
+// with the session's Cartographer). The returned vector must be
 // treated as read-only.
-func (c *predCache) getOrCompute(t *storage.Table, p query.Predicate, workers int) (*bitvec.Vector, error) {
-	return c.getOrComputeKeyed(t, p, workers, p.String())
+func (c *predCache) getOrCompute(t *storage.Table, p query.Predicate, opts engine.ScanOptions) (*bitvec.Vector, error) {
+	return c.getOrComputeKeyed(t, p, opts, p.String())
 }
 
 // getOrComputeShard is getOrCompute for one shard of a sharded table:
@@ -104,11 +105,11 @@ func (c *predCache) getOrCompute(t *storage.Table, p query.Predicate, workers in
 // computed against its own view, cached and evicted independently — the
 // granularity a multi-backend deployment needs, where a shard's bitmap
 // is only valid on the backend holding that shard.
-func (c *predCache) getOrComputeShard(view *storage.Table, p query.Predicate, shard, workers int) (*bitvec.Vector, error) {
-	return c.getOrComputeKeyed(view, p, workers, fmt.Sprintf("%d|%s", shard, p.String()))
+func (c *predCache) getOrComputeShard(view *storage.Table, p query.Predicate, shard int, opts engine.ScanOptions) (*bitvec.Vector, error) {
+	return c.getOrComputeKeyed(view, p, opts, fmt.Sprintf("%d|%s", shard, p.String()))
 }
 
-func (c *predCache) getOrComputeKeyed(t *storage.Table, p query.Predicate, workers int, key string) (*bitvec.Vector, error) {
+func (c *predCache) getOrComputeKeyed(t *storage.Table, p query.Predicate, opts engine.ScanOptions, key string) (*bitvec.Vector, error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
@@ -122,7 +123,7 @@ func (c *predCache) getOrComputeKeyed(t *storage.Table, p query.Predicate, worke
 
 	// Evaluate outside the lock: predicate scans are the expensive part
 	// and must not serialize concurrent prefetches.
-	bits, err := engine.EvalPredicateOpts(t, p, engine.ScanOptions{Workers: workers})
+	bits, err := engine.EvalPredicateOpts(t, p, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/engine"
 	"repro/internal/query"
 )
 
@@ -15,7 +16,7 @@ func TestPredCacheLRUEviction(t *testing.T) {
 	p2 := query.NewRange("age", 30, 40)
 	p3 := query.NewRange("age", 40, 50)
 	for _, p := range []query.Predicate{p1, p2, p3} {
-		if _, err := c.getOrCompute(tbl, p, 1); err != nil {
+		if _, err := c.getOrCompute(tbl, p, engine.ScanOptions{Workers: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -30,10 +31,10 @@ func TestPredCacheLRUEviction(t *testing.T) {
 		t.Error("p3 should be cached")
 	}
 	// Touch p2, insert p1 again: p3 now evicts.
-	if _, err := c.getOrCompute(tbl, p2, 1); err != nil {
+	if _, err := c.getOrCompute(tbl, p2, engine.ScanOptions{Workers: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.getOrCompute(tbl, p1, 1); err != nil {
+	if _, err := c.getOrCompute(tbl, p1, engine.ScanOptions{Workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.byKey[p3.String()]; ok {
@@ -49,18 +50,18 @@ func TestPredCacheReturnsCorrectBitmaps(t *testing.T) {
 	tbl := datagen.Census(1000, 1)
 	c := newPredCache(8)
 	p := query.NewRange("age", 25, 45)
-	first, err := c.getOrCompute(tbl, p, 1)
+	first, err := c.getOrCompute(tbl, p, engine.ScanOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := c.getOrCompute(tbl, p, 1)
+	second, err := c.getOrCompute(tbl, p, engine.ScanOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first != second {
 		t.Error("cache hit should return the identical vector")
 	}
-	if _, err := c.getOrCompute(tbl, query.NewRange("no_such", 0, 1), 1); err == nil {
+	if _, err := c.getOrCompute(tbl, query.NewRange("no_such", 0, 1), engine.ScanOptions{Workers: 1}); err == nil {
 		t.Error("unknown attribute must error and not be cached")
 	}
 	if c.len() != 1 {

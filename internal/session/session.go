@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/par"
 	"repro/internal/query"
 	"repro/internal/storage"
@@ -41,6 +42,15 @@ type ShardLayout interface {
 	ShardTable(i int) *storage.Table
 	// ShardOffset returns shard i's first row in the combined table.
 	ShardOffset(i int) int
+}
+
+// ShardPruner is the optional shard-file pruning interface of a layout
+// (implemented by shard.Set from manifest v2 statistics): a false
+// answer proves predicate p matches no row of shard i, letting the
+// session skip the shard's predicate scan entirely — on memory-tiered
+// sets, without even opening the shard's file.
+type ShardPruner interface {
+	ShardMayMatch(shard int, p query.Predicate) bool
 }
 
 // Session is a stateful exploration over one table. It is safe for
@@ -96,11 +106,12 @@ func (s *Session) explore(q query.Query) (*core.Result, error) {
 		// Let the Cartographer surface its canonical mismatch error.
 		return s.cart.Explore(q)
 	}
-	// Cache misses scan with the cartographer's parallelism so the
-	// session path keeps the chunk-parallel sharding of Explore.
-	workers := s.cart.Workers()
+	// Cache misses scan with the cartographer's scan options, keeping
+	// the chunk-parallel sharding of Explore and feeding its cumulative
+	// verdict counters.
+	sopts := s.cart.ScanOpts()
 	if s.shards != nil {
-		base, err := s.shardedBase(q, workers)
+		base, err := s.shardedBase(q, sopts)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +119,7 @@ func (s *Session) explore(q query.Query) (*core.Result, error) {
 	}
 	base := bitvec.NewFull(t.NumRows())
 	for _, p := range q.Preds {
-		bm, err := s.preds.getOrCompute(t, p, workers)
+		bm, err := s.preds.getOrCompute(t, p, sopts)
 		if err != nil {
 			return nil, err
 		}
@@ -126,19 +137,28 @@ func (s *Session) explore(q query.Query) (*core.Result, error) {
 // ranges of the combined bitmap. Shards fan out over up to workers
 // goroutines; the assembled result is the exact concatenation, so it is
 // identical at any shard count and parallelism.
-func (s *Session) shardedBase(q query.Query, workers int) (*bitvec.Vector, error) {
+func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.Vector, error) {
 	n := s.shards.NumShards()
+	pruner, _ := s.shards.(ShardPruner)
 	// Divide the worker budget: shards are the outer parallel axis; any
 	// leftover workers shard each predicate scan chunk-wise.
-	inner := workers / n
-	if inner < 1 {
-		inner = 1
+	workers := sopts.Workers
+	inner := sopts
+	inner.Workers = workers / n
+	if inner.Workers < 1 {
+		inner.Workers = 1
 	}
 	sels := make([]*bitvec.Vector, n)
 	err := par.For(workers, n, func(i int) error {
 		view := s.shards.ShardTable(i)
 		sel := bitvec.NewFull(view.NumRows())
 		for _, p := range q.Preds {
+			if pruner != nil && !pruner.ShardMayMatch(i, p) {
+				// Manifest statistics prove the predicate is disjoint with
+				// this shard: empty selection, no scan, no file open.
+				sel.Zero()
+				break
+			}
 			bm, err := s.preds.getOrComputeShard(view, p, i, inner)
 			if err != nil {
 				return err

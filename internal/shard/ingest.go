@@ -1,13 +1,16 @@
 package shard
 
 import (
+	"encoding/base64"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/colstore"
+	"repro/internal/par"
 	"repro/internal/storage"
 )
 
@@ -22,6 +25,10 @@ type IngestOptions struct {
 	// ChunkSize is rows per chunk inside every shard file (0 uses
 	// colstore.DefaultChunkSize; must be a positive multiple of 64).
 	ChunkSize int
+	// Parallelism bounds the workers writing shard files concurrently
+	// (0 = GOMAXPROCS). Shard files are independent, so the written
+	// bytes are identical at any setting.
+	Parallelism int
 }
 
 // WriteSharded splits a table into shard .atl files next to manifestPath
@@ -64,14 +71,32 @@ func WriteSharded(manifestPath string, t *storage.Table, o IngestOptions) (*Mani
 	if o.HashKey != "" {
 		m.Partitioning = PartitionHash
 	}
+	for i := 0; i < t.NumCols(); i++ {
+		f := t.Schema().Field(i)
+		m.Columns = append(m.Columns, ColumnSchema{Name: f.Name, Type: columnTypeName(f.Type)})
+	}
 	dir := filepath.Dir(manifestPath)
 	base := strings.TrimSuffix(filepath.Base(manifestPath), filepath.Ext(manifestPath))
-	for i, p := range parts {
+	// Shard files are independent: fan the per-shard colstore writes
+	// (zone-map computation + encode + fsync-rename) over the worker
+	// pool. Each shard's bytes depend only on its own part, so the
+	// output is identical to a serial write.
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m.Shards = make([]ShardFile, len(parts))
+	err = par.For(workers, len(parts), func(i int) error {
 		name := fmt.Sprintf("%s.%05d.atl", base, i)
-		if err := colstore.WriteFile(filepath.Join(dir, name), p, chunkSize); err != nil {
-			return nil, fmt.Errorf("shard: writing shard %d: %w", i, err)
+		ck, err := colstore.WriteFileStats(filepath.Join(dir, name), parts[i], chunkSize)
+		if err != nil {
+			return fmt.Errorf("shard: writing shard %d: %w", i, err)
 		}
-		m.Shards = append(m.Shards, ShardFile{File: name, Rows: p.NumRows()})
+		m.Shards[i] = ShardFile{File: name, Rows: parts[i].NumRows(), Stats: shardStats(parts[i], ck)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if err := m.validate(); err != nil {
 		return nil, err
@@ -80,6 +105,82 @@ func WriteSharded(manifestPath string, t *storage.Table, o IngestOptions) (*Mani
 		return nil, err
 	}
 	return m, nil
+}
+
+// shardStats reduces a shard's ingest-time zone maps into the manifest
+// v2 per-shard column statistics: file-level min/max and NULL counts,
+// and the 256-bit category hash bitset — the index a selective Explore
+// prunes whole shard files with, before opening them.
+func shardStats(p *storage.Table, ck *storage.Chunking) []ColumnStats {
+	rows := p.NumRows()
+	numChunks := ck.NumChunks(rows)
+	out := make([]ColumnStats, p.NumCols())
+	for ci := 0; ci < p.NumCols(); ci++ {
+		st := &out[ci]
+		trackCats := p.Schema().Field(ci).Type == storage.String
+		var catBits []byte
+		var dict []string
+		if sc, ok := p.Column(ci).(*storage.StringColumn); ok {
+			dict = sc.Dict()
+		}
+		haveCodes := trackCats && dict != nil
+		var seen []uint64
+		if haveCodes {
+			catBits = make([]byte, CatBitsSize)
+			seen = make([]uint64, (len(dict)+63)/64)
+		}
+		for k := 0; k < numChunks; k++ {
+			zm := ck.Zones[ci][k]
+			st.Nulls += zm.NullCount
+			chunkRows := ck.Size
+			if hi := (k + 1) * ck.Size; hi > rows {
+				chunkRows = rows - k*ck.Size
+			}
+			if zm.HasMinMax {
+				if !st.HasMinMax {
+					st.Min, st.Max, st.HasMinMax = zm.Min, zm.Max, true
+				} else {
+					if zm.Min < st.Min {
+						st.Min = zm.Min
+					}
+					if zm.Max > st.Max {
+						st.Max = zm.Max
+					}
+				}
+			} else if zm.NullCount < chunkRows && p.Schema().Field(ci).Type.IsNumeric() {
+				// A chunk with values but no bounds (NaN) poisons the
+				// file-level range: pruning on it would be unsound.
+				st.HasMinMax = false
+				st.Min, st.Max = 0, 0
+				// Poisoned for good — only null counts remain to tally.
+				for k++; k < numChunks; k++ {
+					st.Nulls += ck.Zones[ci][k].NullCount
+				}
+				break
+			}
+			if haveCodes {
+				if zm.CodeSet == nil {
+					// Cardinality outgrew zone-code tracking; no bitset.
+					haveCodes = false
+					catBits = nil
+				} else {
+					for wi, w := range zm.CodeSet {
+						seen[wi] |= w
+					}
+				}
+			}
+		}
+		if catBits != nil {
+			for code := range dict {
+				if seen[code/64]&(1<<uint(code%64)) != 0 {
+					b := CatBitsHash(dict[code])
+					catBits[b/8] |= 1 << uint(b%8)
+				}
+			}
+			st.CatBits = base64.StdEncoding.EncodeToString(catBits)
+		}
+	}
+	return out
 }
 
 // rangeParts slices t into up to n contiguous row ranges whose

@@ -13,21 +13,29 @@
 // Explorations over a shard set return maps byte-identical to the
 // unsharded table at any shard count and any parallelism.
 //
-// # Manifest format (version 1)
+// # Manifest format (version 2)
 //
 // A manifest is a JSON object, conventionally stored next to its shard
 // files with an ".atlm" extension:
 //
 //	{
-//	  "version": 1,
+//	  "version": 2,
 //	  "table": "census",            // logical table name
 //	  "partitioning": "range",      // "range" or "hash"
 //	  "key": "cid",                 // hash partitioning key (hash only)
 //	  "chunk_size": 65536,          // rows per chunk in every shard
 //	  "rows": 1000000,              // total rows across shards
+//	  "columns": [                  // v2: the shared schema
+//	    {"name": "age", "type": "int64"},
+//	    {"name": "education", "type": "string"}
+//	  ],
 //	  "shards": [
-//	    {"file": "census.00000.atl", "rows": 131072},
-//	    {"file": "census.00001.atl", "rows": 131072}
+//	    {"file": "census.00000.atl", "rows": 131072,
+//	     "stats": [                 // v2: one entry per column
+//	       {"min": 17, "max": 90, "has_min_max": true, "nulls": 12},
+//	       {"nulls": 0, "cat_bits": "AAEC...iA=="}
+//	     ]},
+//	    {"file": "census.00001.atl", "rows": 131072, "stats": [...]}
 //	  ]
 //	}
 //
@@ -38,14 +46,29 @@
 // shards' zone maps without rescanning. Hash partitioning routes rows by
 // a key column, which keeps all rows of one key in one shard (the layout
 // FK-join and per-key workloads want) at the cost of reordering rows.
+//
+// The v2 per-shard column statistics are the shard-file pruning index:
+// numeric min/max in the engine's float comparison space, NULL counts,
+// and — for categorical columns — a 256-bit hash bitset of the values
+// present in the shard (bit fnv1a(value) mod 256). A selective
+// exploration consults them to skip whole shard files before opening
+// them; together with the schema they also let a deferred open build a
+// working (coarser) zone map layer without touching any shard file.
+// Version 1 manifests (no schema, no stats) still open — they just
+// cannot prune or defer.
 package shard
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+
+	"repro/internal/query"
+	"repro/internal/storage"
 )
 
 // Partitioning names a row-routing strategy.
@@ -60,8 +83,35 @@ const (
 	PartitionHash Partitioning = "hash"
 )
 
-// ManifestVersion is the current manifest format version.
-const ManifestVersion = 1
+// ManifestVersion is the current manifest format version. Version 2
+// added the schema and per-shard column statistics; version 1 manifests
+// still open.
+const ManifestVersion = 2
+
+// CatBitsSize is the byte size of a categorical hash bitset (256 bits).
+const CatBitsSize = 32
+
+// ColumnSchema names one column of the sharded table in the manifest.
+type ColumnSchema struct {
+	Name string `json:"name"`
+	// Type is the storage type: "int64", "float64", "string" or "bool".
+	Type string `json:"type"`
+}
+
+// ColumnStats is one shard's pruning statistics for one column.
+type ColumnStats struct {
+	// Min/Max bound the shard's non-null values in the engine's float
+	// comparison space (Int64 values widened), valid when HasMinMax.
+	Min       float64 `json:"min,omitempty"`
+	Max       float64 `json:"max,omitempty"`
+	HasMinMax bool    `json:"has_min_max,omitempty"`
+	// Nulls is the shard's NULL count in this column.
+	Nulls int `json:"nulls"`
+	// CatBits is the base64 256-bit hash bitset of the categorical
+	// values present in the shard (bit CatBitsHash(v) set for every
+	// distinct value v); empty when untracked.
+	CatBits string `json:"cat_bits,omitempty"`
+}
 
 // ShardFile describes one shard segment of a manifest.
 type ShardFile struct {
@@ -69,6 +119,9 @@ type ShardFile struct {
 	File string `json:"file"`
 	// Rows is the shard's row count, checked against the opened file.
 	Rows int `json:"rows"`
+	// Stats holds one ColumnStats per schema column (v2; nil in v1
+	// manifests, which disables shard-file pruning).
+	Stats []ColumnStats `json:"stats,omitempty"`
 }
 
 // Manifest describes a sharded table: the partitioning that produced it
@@ -78,15 +131,92 @@ type Manifest struct {
 	Table        string       `json:"table"`
 	Partitioning Partitioning `json:"partitioning"`
 	// Key is the hash partitioning column; empty for range partitioning.
-	Key       string      `json:"key,omitempty"`
-	ChunkSize int         `json:"chunk_size"`
-	Rows      int         `json:"rows"`
-	Shards    []ShardFile `json:"shards"`
+	Key       string `json:"key,omitempty"`
+	ChunkSize int    `json:"chunk_size"`
+	Rows      int    `json:"rows"`
+	// Columns is the shared schema (v2; nil in v1 manifests).
+	Columns []ColumnSchema `json:"columns,omitempty"`
+	Shards  []ShardFile    `json:"shards"`
+}
+
+// Schema reconstructs the storage schema the manifest declares, or nil
+// for v1 manifests without one.
+func (m *Manifest) Schema() (*storage.Schema, error) {
+	if len(m.Columns) == 0 {
+		return nil, nil
+	}
+	fields := make([]storage.Field, len(m.Columns))
+	for i, c := range m.Columns {
+		typ, err := parseColumnType(c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("shard: column %q: %w", c.Name, err)
+		}
+		fields[i] = storage.Field{Name: c.Name, Type: typ}
+	}
+	return storage.NewSchema(fields...)
+}
+
+func parseColumnType(s string) (storage.DataType, error) {
+	switch s {
+	case "int64":
+		return storage.Int64, nil
+	case "float64":
+		return storage.Float64, nil
+	case "string":
+		return storage.String, nil
+	case "bool":
+		return storage.Bool, nil
+	default:
+		return 0, fmt.Errorf("unknown column type %q", s)
+	}
+}
+
+func columnTypeName(t storage.DataType) string {
+	switch t {
+	case storage.Int64:
+		return "int64"
+	case storage.Float64:
+		return "float64"
+	case storage.String:
+		return "string"
+	default:
+		return "bool"
+	}
+}
+
+// CatBitsHash returns the bit index of a categorical value in a shard's
+// 256-bit category bitset.
+func CatBitsHash(v string) int {
+	h := fnv.New32a()
+	h.Write([]byte(v))
+	return int(h.Sum32() % (CatBitsSize * 8))
+}
+
+// catBitsDecode unpacks a base64 bitset, or nil when absent/invalid.
+func catBitsDecode(s string) []byte {
+	if s == "" {
+		return nil
+	}
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil || len(b) != CatBitsSize {
+		return nil
+	}
+	return b
 }
 
 func (m *Manifest) validate() error {
-	if m.Version != ManifestVersion {
-		return fmt.Errorf("shard: unsupported manifest version %d (want %d)", m.Version, ManifestVersion)
+	if m.Version < 1 || m.Version > ManifestVersion {
+		return fmt.Errorf("shard: unsupported manifest version %d (this reader handles 1..%d)", m.Version, ManifestVersion)
+	}
+	if len(m.Columns) > 0 {
+		if _, err := m.Schema(); err != nil {
+			return err
+		}
+	}
+	for i, sf := range m.Shards {
+		if len(sf.Stats) != 0 && len(sf.Stats) != len(m.Columns) {
+			return fmt.Errorf("shard: shard %d has %d column stats for %d columns", i, len(sf.Stats), len(m.Columns))
+		}
 	}
 	switch m.Partitioning {
 	case PartitionRange:
@@ -123,6 +253,60 @@ func (m *Manifest) validate() error {
 		return fmt.Errorf("shard: shard rows sum to %d, manifest claims %d", sum, m.Rows)
 	}
 	return nil
+}
+
+// ShardMayMatch reports whether predicate p could select any row of
+// shard i, judged from the manifest's v2 per-shard statistics alone —
+// the shard-file pruning test that runs before any shard file is
+// opened. It is conservative: absent statistics, unknown columns and
+// untracked predicate shapes report true.
+func (m *Manifest) ShardMayMatch(i int, p query.Predicate) bool {
+	if i < 0 || i >= len(m.Shards) || len(m.Columns) == 0 {
+		return true
+	}
+	ci := -1
+	for c, col := range m.Columns {
+		if col.Name == p.Attr {
+			ci = c
+			break
+		}
+	}
+	sf := m.Shards[i]
+	if ci < 0 || ci >= len(sf.Stats) {
+		return true
+	}
+	st := sf.Stats[ci]
+	if sf.Rows > 0 && st.Nulls == sf.Rows {
+		// All-NULL shard column: NULL rows never match any predicate.
+		return false
+	}
+	switch p.Kind {
+	case query.Range:
+		if !st.HasMinMax {
+			return true
+		}
+		// Same interval test as the engine's zone pruning, in the same
+		// float comparison space.
+		if p.Hi < st.Min || p.Lo > st.Max ||
+			(p.Hi == st.Min && !p.HiIncl) || (p.Lo == st.Max && !p.LoIncl) {
+			return false
+		}
+		return true
+	case query.In:
+		bits := catBitsDecode(st.CatBits)
+		if bits == nil {
+			return true
+		}
+		for _, v := range p.Values {
+			b := CatBitsHash(v)
+			if bits[b/8]&(1<<uint(b%8)) != 0 {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
 }
 
 // ReadManifest parses and validates a manifest file.

@@ -184,8 +184,100 @@ func columnPartial(t *storage.Table, ci int, lo, hi float64, useHist bool) (*Col
 			p.Count++
 		}
 		return p, nil
+	case *storage.LazyColumn:
+		return lazyColumnPartial(p, c, lo, hi, useHist)
 	default:
 		return nil, fmt.Errorf("shard: unsupported column type %T", col)
+	}
+}
+
+// lazyColumnPartial computes the partial of a memory-tiered column
+// chunk by chunk — a full pass (partials are whole-shard statistics)
+// that streams through the chunk cache instead of materializing the
+// column.
+func lazyColumnPartial(p *ColumnPartial, c *storage.LazyColumn, lo, hi float64, useHist bool) (*ColumnPartial, error) {
+	switch c.Type() {
+	case storage.Int64, storage.Float64:
+		if useHist {
+			h, err := stats.FixedHist(lo, hi, partialHistBins)
+			if err != nil {
+				return nil, err
+			}
+			p.Hist = h
+		}
+		p.Quantiles = sketch.MustGK(partialEps)
+		err := c.ForEachChunk(func(k, start int, pl *storage.ChunkPayload) (bool, error) {
+			for i := 0; i < pl.Rows(); i++ {
+				if pl.IsNull(i) {
+					continue
+				}
+				v := pl.Numeric(i)
+				p.Count++
+				p.Sum += v
+				if !math.IsNaN(v) {
+					if !p.HasMinMax {
+						p.Min, p.Max, p.HasMinMax = v, v, true
+					} else {
+						if v < p.Min {
+							p.Min = v
+						}
+						if v > p.Max {
+							p.Max = v
+						}
+					}
+				}
+				if p.Hist != nil {
+					p.Hist.Observe(v)
+				}
+				p.Quantiles.Add(v)
+			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Quantiles.Finalize()
+		return p, nil
+	case storage.String:
+		dict, err := c.DictValues()
+		if err != nil {
+			return nil, err
+		}
+		p.CatCounts = make([]int, len(dict))
+		err = c.ForEachChunk(func(k, start int, pl *storage.ChunkPayload) (bool, error) {
+			for i, code := range pl.Codes {
+				if !pl.IsNull(i) {
+					p.CatCounts[code]++
+					p.Count++
+				}
+			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	case storage.Bool:
+		err := c.ForEachChunk(func(k, start int, pl *storage.ChunkPayload) (bool, error) {
+			for i, v := range pl.Bools {
+				if pl.IsNull(i) {
+					continue
+				}
+				if v {
+					p.Trues++
+				} else {
+					p.Falses++
+				}
+				p.Count++
+			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("shard: unsupported lazy column type %v", c.Type())
 	}
 }
 

@@ -5,19 +5,20 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/par"
+	"repro/internal/query"
 	"repro/internal/sketch"
 	"repro/internal/storage"
 )
 
-// Set is an opened sharded table: the manifest, the reassembled combined
-// table, and one chunk-aware view per shard sharing the combined
-// storage.
+// Set is an opened sharded table: the manifest, the combined chunk-aware
+// table, and one chunk-aware view per shard sharing its storage.
 //
 // The combined table is what the pipeline explores. Its chunk metadata
 // is stitched from the shards' zone maps (range partitioning aligns
@@ -28,37 +29,175 @@ import (
 // worker pool. The per-shard views carry the same zone maps restricted
 // to their row range; they are what per-shard work (partial statistics,
 // the session's per-shard predicate bitmaps) runs against.
+//
+// Chunk-aligned sets (range partitioning always; hash when every
+// non-final shard is a chunk multiple) assemble WITHOUT materializing:
+// the combined table's columns are storage.LazyColumn views routing
+// each chunk fetch to its shard file through one shared decoded-chunk
+// cache, so open touches no values and holds no concatenated copy (the
+// old transient 2× peak is gone). With Options.Defer the shard files
+// themselves open on first touch, and the manifest's v2 statistics
+// stand in for zone maps until then — a selective exploration skips
+// whole shard files without ever opening them.
 type Set struct {
 	manifest *Manifest
 	combined *storage.Table
 	views    []*storage.Table
 	offsets  []int
+
+	// Aligned (lazy-view) sets only; nil after an eager reassembly.
+	dir       string
+	storeOpts colstore.Options
+	cache     *colstore.ChunkCache
+	shards    []*lazyShard
+	chunkOffs []int // shard i's first combined chunk
+	// src is the combined table's routing source — also the cache-entry
+	// owner of remapped string payloads, dropped at Close.
+	src *setSource
+
+	// dictsOnce loads every shard's dictionaries, builds the union
+	// dictionaries and the per-(shard, column) code remap tables. In
+	// deferred mode it runs on first dictionary demand.
+	dictsOnce sync.Once
+	dictsErr  error
+	unionDict [][]string   // per column; nil for non-string
+	remaps    [][][]uint32 // [shard][col] local→union code map; nil = identity
 }
 
-// Open opens a manifest and its shard files, validates them against
-// each other — every shard must exist, decode, match the manifest's row
-// counts and chunk size, and agree on one schema — and reassembles the
-// combined table. Shard files are opened concurrently.
+// Options tunes OpenWith — how a shard set materializes.
+type Options struct {
+	// Store carries the per-file colstore open options (residency mode,
+	// cache budget, mmap, CRC). When Store.Cache is nil, OpenWith
+	// creates one cache shared by every shard file, so Store.CacheBytes
+	// bounds the whole set's decoded bytes, not each file's.
+	Store colstore.Options
+	// Defer postpones opening shard files until a chunk, dictionary or
+	// statistic of that shard is first touched. Requires a v2 manifest
+	// with complete per-shard stats; others open non-deferred. The
+	// engine then prunes on manifest-level statistics (file min/max
+	// spread to every chunk) until a shard actually opens. Note that
+	// the union dictionary of a string column spans every shard, so the
+	// first categorical predicate compile or category statistic opens
+	// all files (cheaply: metadata only) — whole-file skipping is at
+	// its best on numeric workloads.
+	Defer bool
+}
+
+// Open opens a manifest and its shard files with default options:
+// chunk-aligned sets assemble as lazy views (no materialization), each
+// shard file opening per colstore.ModeAuto.
 func Open(manifestPath string) (*Set, error) {
+	return OpenWith(manifestPath, Options{})
+}
+
+// OpenWith opens a manifest with explicit memory-tier options. Every
+// opened shard is validated against the manifest (row count, chunk
+// size) and the set's schema, with errors naming the bad shard; in
+// deferred mode that validation runs when the shard first opens.
+func OpenWith(manifestPath string, o Options) (*Set, error) {
 	m, err := ReadManifest(manifestPath)
 	if err != nil {
 		return nil, err
 	}
 	dir := filepath.Dir(manifestPath)
 	n := len(m.Shards)
+
+	// Chunk alignment decides the assembly: aligned sets stitch lazy
+	// views; unaligned ones (hash partitions with odd sizes) must
+	// re-encode rows and fall back to eager reassembly.
+	aligned := true
+	for i := 0; i < n-1; i++ {
+		if m.Shards[i].Rows%m.ChunkSize != 0 {
+			aligned = false
+			break
+		}
+	}
+	if !aligned {
+		return openEager(m, dir)
+	}
+
+	s := &Set{manifest: m, dir: dir, storeOpts: o.Store}
+	if s.storeOpts.Cache == nil {
+		s.storeOpts.Cache = colstore.NewChunkCache(colstore.ResolveCacheBudget(s.storeOpts.CacheBytes))
+	}
+	s.cache = s.storeOpts.Cache
+	s.offsets = make([]int, n)
+	s.chunkOffs = make([]int, n)
+	off, chunkOff := 0, 0
+	for i, sf := range m.Shards {
+		s.offsets[i] = off
+		s.chunkOffs[i] = chunkOff
+		off += sf.Rows
+		chunkOff += (sf.Rows + m.ChunkSize - 1) / m.ChunkSize
+	}
+	s.shards = make([]*lazyShard, n)
+	for i := range s.shards {
+		s.shards[i] = &lazyShard{s: s, idx: i, path: filepath.Join(dir, m.Shards[i].File)}
+	}
+
+	// Deferring needs the full v2 statistics: without a shard's stats
+	// there is no NULL count to seed the lazy columns with (IsNull would
+	// silently report false) and nothing to prune on — open such sets
+	// non-deferred instead.
+	deferred := o.Defer && len(m.Columns) > 0
+	for _, sf := range m.Shards {
+		if len(sf.Stats) != len(m.Columns) {
+			deferred = false
+			break
+		}
+	}
+	var schema *storage.Schema
+	var viewZones [][][]storage.ZoneMap // [shard][col][chunk]
+	if deferred {
+		schema, err = m.Schema()
+		if err != nil {
+			return nil, err
+		}
+		viewZones = manifestZones(m)
+	} else {
+		// Open every shard now (cheap for lazy files: header + directory
+		// + dictionaries), concurrently, and use their exact zone maps.
+		err = par.For(runtime.GOMAXPROCS(0), n, func(i int) error {
+			_, err := s.shards[i].source()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		schema = s.shards[0].st.Table().Schema()
+		for i := 1; i < n; i++ {
+			if !schema.Equal(s.shards[i].st.Table().Schema()) {
+				return nil, fmt.Errorf("shard: schema mismatch: shard 0 (%s) and shard %d (%s) disagree",
+					m.Shards[0].File, i, m.Shards[i].File)
+			}
+		}
+		if err := s.loadDictsNow(schema); err != nil {
+			return nil, err
+		}
+		viewZones = make([][][]storage.ZoneMap, n)
+		for i := range s.shards {
+			viewZones[i] = s.remapShardZones(i, s.shards[i].st.Table())
+		}
+	}
+	if err := s.build(schema, viewZones, deferred); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// openEager is the materializing path for unaligned sets: every shard
+// decodes eagerly and the combined table is a row-wise concatenation
+// (the pre-memory-tier behavior).
+func openEager(m *Manifest, dir string) (*Set, error) {
+	n := len(m.Shards)
 	parts := make([]*storage.Table, n)
-	err = par.For(runtime.GOMAXPROCS(0), n, func(i int) error {
-		st, err := colstore.Open(filepath.Join(dir, m.Shards[i].File))
+	err := par.For(runtime.GOMAXPROCS(0), n, func(i int) error {
+		st, err := colstore.OpenWith(filepath.Join(dir, m.Shards[i].File), colstore.Options{Mode: colstore.ModeEager})
 		if err != nil {
 			return fmt.Errorf("shard: opening shard %d: %w", i, err)
 		}
-		if st.Table().NumRows() != m.Shards[i].Rows {
-			return fmt.Errorf("shard: shard %d (%s) holds %d rows, manifest says %d",
-				i, m.Shards[i].File, st.Table().NumRows(), m.Shards[i].Rows)
-		}
-		if st.ChunkSize != m.ChunkSize {
-			return fmt.Errorf("shard: shard %d (%s) has chunk size %d, manifest says %d",
-				i, m.Shards[i].File, st.ChunkSize, m.ChunkSize)
+		if err := validateShard(m, i, st); err != nil {
+			return err
 		}
 		parts[i] = st.Table()
 		return nil
@@ -73,6 +212,490 @@ func Open(manifestPath string) (*Set, error) {
 		}
 	}
 	return assemble(m, parts)
+}
+
+// validateShard cross-checks an opened shard file against the manifest.
+func validateShard(m *Manifest, i int, st *colstore.Store) error {
+	if st.Table().NumRows() != m.Shards[i].Rows {
+		return fmt.Errorf("shard: shard %d (%s) holds %d rows, manifest says %d",
+			i, m.Shards[i].File, st.Table().NumRows(), m.Shards[i].Rows)
+	}
+	if st.ChunkSize != m.ChunkSize {
+		return fmt.Errorf("shard: shard %d (%s) has chunk size %d, manifest says %d",
+			i, m.Shards[i].File, st.ChunkSize, m.ChunkSize)
+	}
+	return nil
+}
+
+// lazyShard is one member file of an aligned set, opened on demand
+// (immediately for non-deferred sets).
+type lazyShard struct {
+	s    *Set
+	idx  int
+	path string
+
+	mu  sync.Mutex
+	st  *colstore.Store
+	src storage.ChunkSource
+	err error
+}
+
+// source opens the shard file if needed and returns its chunk source.
+func (ls *lazyShard) source() (storage.ChunkSource, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.src != nil || ls.err != nil {
+		return ls.src, ls.err
+	}
+	st, err := colstore.OpenWith(ls.path, ls.s.storeOpts)
+	if err != nil {
+		ls.err = fmt.Errorf("shard: opening shard %d: %w", ls.idx, err)
+		return nil, ls.err
+	}
+	if err := validateShard(ls.s.manifest, ls.idx, st); err != nil {
+		st.Close()
+		ls.err = err
+		return nil, ls.err
+	}
+	// Deferred sets validate the schema against the manifest's on first
+	// open (non-deferred sets cross-check shard 0 at set open).
+	if ls.s.combined != nil && !st.Table().Schema().Equal(ls.s.combined.Schema()) {
+		st.Close()
+		ls.err = fmt.Errorf("shard: shard %d (%s) schema disagrees with the manifest",
+			ls.idx, ls.s.manifest.Shards[ls.idx].File)
+		return nil, ls.err
+	}
+	src := st.Source()
+	if src == nil {
+		// Eagerly decoded file: serve chunk payloads as zero-copy slices
+		// of its columns.
+		tsrc, err := storage.TableChunkSource(st.Table())
+		if err != nil {
+			st.Close()
+			ls.err = err
+			return nil, ls.err
+		}
+		src = tsrc
+	}
+	ls.st = st
+	ls.src = src
+	return ls.src, nil
+}
+
+// opened reports whether the shard file has been opened.
+func (ls *lazyShard) opened() bool {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.st != nil
+}
+
+// setSource routes combined-table chunk fetches to the owning shard,
+// remapping string codes into the union dictionary when shard
+// dictionaries differ. It implements storage.ChunkSource.
+type setSource struct{ s *Set }
+
+// shardOfChunk maps a combined chunk index to its shard.
+func (s *Set) shardOfChunk(gk int) int {
+	i := sort.SearchInts(s.chunkOffs, gk+1) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// FetchChunk implements storage.ChunkSource.
+func (ss *setSource) FetchChunk(ci, gk int) (*storage.ChunkPayload, bool, error) {
+	s := ss.s
+	i := s.shardOfChunk(gk)
+	lk := gk - s.chunkOffs[i]
+	remap, err := s.remapFor(i, ci)
+	if err != nil {
+		return nil, false, err
+	}
+	if remap == nil {
+		src, err := s.shards[i].source()
+		if err != nil {
+			return nil, false, err
+		}
+		return src.FetchChunk(ci, lk)
+	}
+	// Distinct shard dictionaries: the remapped payload is its own cache
+	// entry (keyed by the set source) so the copy happens once per
+	// residency, not per touch.
+	return s.cache.Get(ss, ci, gk, func() (*storage.ChunkPayload, error) {
+		src, err := s.shards[i].source()
+		if err != nil {
+			return nil, err
+		}
+		p, _, err := src.FetchChunk(ci, lk)
+		if err != nil {
+			return nil, err
+		}
+		codes := make([]uint32, len(p.Codes))
+		for o, c := range p.Codes {
+			codes[o] = remap[c]
+		}
+		return &storage.ChunkPayload{Codes: codes, Nulls: p.Nulls}, nil
+	})
+}
+
+// viewSource is a shard view's chunk source: the combined source offset
+// by the shard's first chunk.
+type viewSource struct {
+	ss    *setSource
+	shard int
+}
+
+// FetchChunk implements storage.ChunkSource.
+func (vs *viewSource) FetchChunk(ci, k int) (*storage.ChunkPayload, bool, error) {
+	return vs.ss.FetchChunk(ci, vs.ss.s.chunkOffs[vs.shard]+k)
+}
+
+// remapFor returns the local→union code remap of (shard, col), nil for
+// identity or non-string columns. Loads dictionaries on first use.
+func (s *Set) remapFor(shard, ci int) ([]uint32, error) {
+	if s.combined.Schema().Field(ci).Type != storage.String {
+		return nil, nil
+	}
+	if err := s.loadDicts(); err != nil {
+		return nil, err
+	}
+	return s.remaps[shard][ci], nil
+}
+
+// loadDicts runs the one-time union-dictionary build (all shards open).
+func (s *Set) loadDicts() error {
+	s.dictsOnce.Do(func() { s.dictsErr = s.loadDictsLocked() })
+	return s.dictsErr
+}
+
+// loadDictsNow is loadDicts for the non-deferred open path, where the
+// schema object is at hand before the combined table exists.
+func (s *Set) loadDictsNow(schema *storage.Schema) error {
+	s.dictsOnce.Do(func() { s.dictsErr = s.buildDicts(schema) })
+	return s.dictsErr
+}
+
+func (s *Set) loadDictsLocked() error {
+	return s.buildDicts(s.combined.Schema())
+}
+
+// buildDicts opens every shard, reads the string dictionaries, unions
+// them in (shard, dictionary) order — exactly the order the eager
+// concatenation builds — and derives per-shard remap tables (nil when a
+// shard's dictionary already equals the union prefix).
+func (s *Set) buildDicts(schema *storage.Schema) error {
+	n := len(s.shards)
+	shardDicts := make([][][]string, n) // [shard][col]
+	err := par.For(runtime.GOMAXPROCS(0), n, func(i int) error {
+		if _, err := s.shards[i].source(); err != nil {
+			return err
+		}
+		t := s.shards[i].st.Table()
+		dicts := make([][]string, schema.NumFields())
+		for ci := 0; ci < schema.NumFields(); ci++ {
+			if schema.Field(ci).Type != storage.String {
+				continue
+			}
+			switch c := t.Column(ci).(type) {
+			case *storage.StringColumn:
+				dicts[ci] = c.Dict()
+			case *storage.LazyColumn:
+				d, err := c.DictValues()
+				if err != nil {
+					return err
+				}
+				dicts[ci] = d
+			default:
+				return fmt.Errorf("shard: shard %d column %d is %T, want a string column", i, ci, t.Column(ci))
+			}
+		}
+		shardDicts[i] = dicts
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.unionDict = make([][]string, schema.NumFields())
+	s.remaps = make([][][]uint32, n)
+	for i := range s.remaps {
+		s.remaps[i] = make([][]uint32, schema.NumFields())
+	}
+	for ci := 0; ci < schema.NumFields(); ci++ {
+		if schema.Field(ci).Type != storage.String {
+			continue
+		}
+		var union []string
+		index := map[string]uint32{}
+		for i := 0; i < n; i++ {
+			pd := shardDicts[i][ci]
+			remap := make([]uint32, len(pd))
+			identity := true
+			for code, v := range pd {
+				uc, ok := index[v]
+				if !ok {
+					uc = uint32(len(union))
+					index[v] = uc
+					union = append(union, v)
+				}
+				remap[code] = uc
+				if int(uc) != code {
+					identity = false
+				}
+			}
+			if !identity {
+				s.remaps[i][ci] = remap
+			}
+		}
+		s.unionDict[ci] = union
+	}
+	return nil
+}
+
+// manifestZones synthesizes per-shard zone maps from the manifest's v2
+// statistics for a deferred open: every chunk of a shard inherits the
+// file-level min/max, and the null count degrades to the sound
+// three-state {none, some, all} the pruning rules need. Coarser than
+// the real zone maps — but no shard file is touched, and a predicate
+// disjoint with a whole file prunes all its chunks, so the file is
+// never opened.
+func manifestZones(m *Manifest) [][][]storage.ZoneMap {
+	out := make([][][]storage.ZoneMap, len(m.Shards))
+	for i, sf := range m.Shards {
+		numChunks := (sf.Rows + m.ChunkSize - 1) / m.ChunkSize
+		cols := make([][]storage.ZoneMap, len(m.Columns))
+		for ci := range m.Columns {
+			zones := make([]storage.ZoneMap, numChunks)
+			var st *ColumnStats
+			if ci < len(sf.Stats) {
+				st = &sf.Stats[ci]
+			}
+			for k := range zones {
+				if st == nil {
+					continue
+				}
+				chunkRows := m.ChunkSize
+				if hi := (k + 1) * m.ChunkSize; hi > sf.Rows {
+					chunkRows = sf.Rows - k*m.ChunkSize
+				}
+				zm := storage.ZoneMap{Min: st.Min, Max: st.Max, HasMinMax: st.HasMinMax}
+				switch {
+				case sf.Rows > 0 && st.Nulls == sf.Rows:
+					zm.NullCount = chunkRows
+				case st.Nulls > 0:
+					// "Some nulls, unknown where": 1 blocks the all-match
+					// shortcut without enabling the all-NULL prune.
+					zm.NullCount = 1
+				}
+				zones[k] = zm
+			}
+			cols[ci] = zones
+		}
+		out[i] = cols
+	}
+	return out
+}
+
+// remapShardZones copies an opened shard's zone maps, translating
+// categorical code sets into union-dictionary space.
+func (s *Set) remapShardZones(i int, t *storage.Table) [][]storage.ZoneMap {
+	ck := t.Chunking()
+	out := make([][]storage.ZoneMap, t.NumCols())
+	for ci := range out {
+		zones := append([]storage.ZoneMap(nil), ck.Zones[ci]...)
+		if t.Schema().Field(ci).Type == storage.String {
+			unionCard := len(s.unionDict[ci])
+			remap := s.remaps[i][ci]
+			for k := range zones {
+				if remap == nil {
+					// Identical dictionaries; the code set is only valid if
+					// the union did not outgrow the zone-code bound.
+					if unionCard > storage.MaxZoneCodes {
+						zones[k].CodeSet = nil
+					}
+					continue
+				}
+				zones[k].CodeSet = remapCodeSet(zones[k].CodeSet, remap, unionCard)
+			}
+		}
+		out[ci] = zones
+	}
+	return out
+}
+
+// build assembles the combined lazy table and per-shard views from the
+// per-shard zone maps.
+func (s *Set) build(schema *storage.Schema, viewZones [][][]storage.ZoneMap, deferred bool) error {
+	m := s.manifest
+	n := len(s.shards)
+	if n == 1 && !deferred {
+		// Single opened shard: the combined table IS the shard file's
+		// table (chunk metadata included); no indirection needed.
+		tbl := s.shards[0].st.Table().Rename(m.Table)
+		s.combined = tbl
+		s.views = []*storage.Table{tbl}
+		return nil
+	}
+	src := &setSource{s: s}
+	s.src = src
+	// Combined zone maps: concatenation of the shards' (alignment makes
+	// the chunk grids line up).
+	ck := &storage.Chunking{Size: m.ChunkSize, Zones: make([][]storage.ZoneMap, schema.NumFields())}
+	for ci := 0; ci < schema.NumFields(); ci++ {
+		var zones []storage.ZoneMap
+		for i := range s.shards {
+			zones = append(zones, viewZones[i][ci]...)
+		}
+		ck.Zones[ci] = zones
+	}
+	nullCounts := make([]int, schema.NumFields())
+	for ci := range nullCounts {
+		if deferred {
+			for _, sf := range m.Shards {
+				if ci < len(sf.Stats) {
+					nullCounts[ci] += sf.Stats[ci].Nulls
+				}
+			}
+		} else {
+			for _, zones := range ck.Zones[ci] {
+				nullCounts[ci] += zones.NullCount
+			}
+		}
+	}
+	dictFn := func(ci int) func() ([]string, error) {
+		return func() ([]string, error) {
+			if err := s.loadDicts(); err != nil {
+				return nil, err
+			}
+			return s.unionDict[ci], nil
+		}
+	}
+	cols := make([]storage.Column, schema.NumFields())
+	for ci := 0; ci < schema.NumFields(); ci++ {
+		cfg := storage.LazyColumnConfig{
+			Source: src, Col: ci, Type: schema.Field(ci).Type,
+			Rows: m.Rows, ChunkSize: m.ChunkSize, NullCount: nullCounts[ci],
+		}
+		if cfg.Type == storage.String {
+			cfg.DictFn = dictFn(ci)
+		}
+		col, err := storage.NewLazyColumn(cfg)
+		if err != nil {
+			return err
+		}
+		cols[ci] = col
+	}
+	combined, err := storage.NewChunkedTable(m.Table, schema, cols, ck)
+	if err != nil {
+		return err
+	}
+	s.combined = combined
+
+	s.views = make([]*storage.Table, n)
+	for i := range s.shards {
+		vsrc := &viewSource{ss: src, shard: i}
+		rows := m.Shards[i].Rows
+		vcols := make([]storage.Column, schema.NumFields())
+		for ci := 0; ci < schema.NumFields(); ci++ {
+			vnulls := 0
+			for _, zm := range viewZones[i][ci] {
+				vnulls += zm.NullCount
+			}
+			if deferred && ci < len(m.Shards[i].Stats) {
+				vnulls = m.Shards[i].Stats[ci].Nulls
+			}
+			cfg := storage.LazyColumnConfig{
+				Source: vsrc, Col: ci, Type: schema.Field(ci).Type,
+				Rows: rows, ChunkSize: m.ChunkSize, NullCount: vnulls,
+			}
+			if cfg.Type == storage.String {
+				cfg.DictFn = dictFn(ci)
+			}
+			col, err := storage.NewLazyColumn(cfg)
+			if err != nil {
+				return err
+			}
+			vcols[ci] = col
+		}
+		vck := &storage.Chunking{Size: m.ChunkSize, Zones: viewZones[i]}
+		view, err := storage.NewChunkedTable(m.Table, schema, vcols, vck)
+		if err != nil {
+			return err
+		}
+		s.views[i] = view
+	}
+	return nil
+}
+
+// Close closes every opened shard file. Safe on eagerly reassembled
+// sets (no-op) and idempotent.
+func (s *Set) Close() error {
+	var first error
+	for _, ls := range s.shards {
+		ls.mu.Lock()
+		if ls.st != nil {
+			if err := ls.st.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		ls.mu.Unlock()
+	}
+	// Remapped string payloads are cached under the set's own source
+	// key; drop them so a caller-shared cache does not pin a closed set.
+	if s.cache != nil && s.src != nil {
+		s.cache.Drop(s.src)
+	}
+	return first
+}
+
+// LazyViews reports whether the set assembled as lazy views over its
+// shard files (chunk-aligned sets) rather than a materialized
+// concatenation.
+func (s *Set) LazyViews() bool { return s.shards != nil }
+
+// OpenedShards counts shard files opened so far — the observable
+// measure of shard-file pruning under deferred opens.
+func (s *Set) OpenedShards() int {
+	if s.shards == nil {
+		return len(s.views)
+	}
+	n := 0
+	for _, ls := range s.shards {
+		if ls.opened() {
+			n++
+		}
+	}
+	return n
+}
+
+// IOStats sums the lazy-I/O counters of every opened shard file.
+func (s *Set) IOStats() colstore.IOStats {
+	var out colstore.IOStats
+	for _, ls := range s.shards {
+		ls.mu.Lock()
+		if ls.st != nil {
+			st := ls.st.IOStats()
+			out.BytesRead += st.BytesRead
+			out.ChunksDecoded += st.ChunksDecoded
+		}
+		ls.mu.Unlock()
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		out.CacheHits = cs.Hits
+		out.CacheEvictions = cs.Evictions
+		out.CacheBytes = cs.Bytes
+	}
+	return out
+}
+
+// ShardMayMatch reports whether predicate p could select rows of shard
+// i, judged from the manifest statistics alone (see
+// Manifest.ShardMayMatch). Sessions use it to skip per-shard predicate
+// scans — and in deferred mode the file open itself — for provably
+// disjoint shards.
+func (s *Set) ShardMayMatch(i int, p query.Predicate) bool {
+	return s.manifest.ShardMayMatch(i, p)
 }
 
 // assemble builds the combined table and per-shard views from opened,
@@ -189,6 +812,15 @@ func exactMinMax(col storage.Column) (lo, hi float64, ok bool) {
 				observe(v)
 			}
 		}
+	case *storage.LazyColumn:
+		_ = c.ForEachChunk(func(k, start int, p *storage.ChunkPayload) (bool, error) {
+			for i := 0; i < p.Rows(); i++ {
+				if !p.IsNull(i) {
+					observe(p.Numeric(i))
+				}
+			}
+			return true, nil
+		})
 	}
 	return lo, hi, ok
 }

@@ -253,7 +253,9 @@ func TestOpenMissingShard(t *testing.T) {
 }
 
 // TestOpenCorruptShard: a corrupted shard file fails the CRC with an
-// error naming the shard.
+// error naming the shard on an eager open; a lazy open defers the
+// check to the corrupted chunk's first touch, which must error (per
+// chunk CRC), not panic or return wrong data.
 func TestOpenCorruptShard(t *testing.T) {
 	tbl := datagen.Census(2_000, 1)
 	dir := t.TempDir()
@@ -271,12 +273,32 @@ func TestOpenCorruptShard(t *testing.T) {
 	if err := os.WriteFile(victim, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = Open(path)
+	_, err = OpenWith(path, Options{Store: colstore.Options{Mode: colstore.ModeEager}})
 	if err == nil {
-		t.Fatal("open with corrupt shard succeeded")
+		t.Fatal("eager open with corrupt shard succeeded")
 	}
 	if !strings.Contains(err.Error(), "shard 1") || !strings.Contains(err.Error(), "checksum") {
 		t.Errorf("error %q does not report the corrupt shard", err)
+	}
+
+	// Lazy open succeeds (metadata is intact) but touching every chunk
+	// must surface the corruption as an error.
+	s, err := OpenWith(path, Options{Store: colstore.Options{Mode: colstore.ModeLazy}})
+	if err != nil {
+		t.Fatalf("lazy open should defer value corruption to first touch, got %v", err)
+	}
+	defer s.Close()
+	var touchErr error
+	for ci := 0; ci < s.Table().NumCols() && touchErr == nil; ci++ {
+		if lc, ok := s.Table().Column(ci).(*storage.LazyColumn); ok {
+			_, touchErr = lc.Materialize()
+		}
+	}
+	if touchErr == nil {
+		t.Fatal("touching all chunks of a corrupt lazy shard reported no error")
+	}
+	if !strings.Contains(touchErr.Error(), "checksum") {
+		t.Errorf("error %q does not report the checksum failure", touchErr)
 	}
 }
 

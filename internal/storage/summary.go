@@ -69,35 +69,102 @@ func Summarize(t *Table) []ColumnSummary {
 					counts[code]++
 				}
 			}
-			// top 5 by count, ties by value for determinism
-			type vc struct {
-				v string
-				n int
-			}
-			all := make([]vc, 0, len(counts))
-			for code, n := range counts {
-				if n > 0 {
-					all = append(all, vc{c.Dict()[code], n})
-				}
-			}
-			for i := 0; i < len(all); i++ {
-				for j := i + 1; j < len(all); j++ {
-					if all[j].n > all[i].n || (all[j].n == all[i].n && all[j].v < all[i].v) {
-						all[i], all[j] = all[j], all[i]
-					}
-				}
-			}
-			for i := 0; i < len(all) && i < 5; i++ {
-				s.TopValues = append(s.TopValues, ValueCount{all[i].v, all[i].n})
-			}
+			s.TopValues = topValues(c.Dict(), counts)
 		case *BoolColumn:
 			for i := 0; i < c.Len(); i++ {
 				if !c.IsNull(i) && c.At(i) {
 					s.TrueCount++
 				}
 			}
+		case *LazyColumn:
+			summarizeLazy(&s, c)
 		}
 		out = append(out, s)
+	}
+	return out
+}
+
+// summarizeLazy summarizes a store-backed column chunk by chunk. A
+// chunk that fails to decode truncates the summary (display statistics
+// are best-effort; scans surface the error properly).
+func summarizeLazy(s *ColumnSummary, c *LazyColumn) {
+	switch c.Type() {
+	case Int64, Float64:
+		s.Min, s.Max = 0, 0
+		sum, count := 0.0, 0
+		first := true
+		_ = c.ForEachChunk(func(k, lo int, p *ChunkPayload) (bool, error) {
+			for i := 0; i < p.Rows(); i++ {
+				if p.IsNull(i) {
+					continue
+				}
+				v := p.Numeric(i)
+				if first {
+					s.Min, s.Max, first = v, v, false
+				} else if v < s.Min {
+					s.Min = v
+				} else if v > s.Max {
+					s.Max = v
+				}
+				sum += v
+				count++
+			}
+			return true, nil
+		})
+		if count > 0 {
+			s.Mean = sum / float64(count)
+		}
+	case String:
+		dict, err := c.DictValues()
+		if err != nil {
+			return
+		}
+		s.Cardinality = len(dict)
+		counts := make([]int, len(dict))
+		_ = c.ForEachChunk(func(k, lo int, p *ChunkPayload) (bool, error) {
+			for i, code := range p.Codes {
+				if !p.IsNull(i) {
+					counts[code]++
+				}
+			}
+			return true, nil
+		})
+		s.TopValues = topValues(dict, counts)
+	case Bool:
+		_ = c.ForEachChunk(func(k, lo int, p *ChunkPayload) (bool, error) {
+			for i, v := range p.Bools {
+				if v && !p.IsNull(i) {
+					s.TrueCount++
+				}
+			}
+			return true, nil
+		})
+	}
+}
+
+// topValues returns up to 5 dictionary values by descending count, ties
+// broken by value for determinism.
+func topValues(dict []string, counts []int) []ValueCount {
+	type vc struct {
+		v string
+		n int
+	}
+	all := make([]vc, 0, len(counts))
+	for code, n := range counts {
+		if n > 0 {
+			all = append(all, vc{dict[code], n})
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].n > all[i].n || (all[j].n == all[i].n && all[j].v < all[i].v) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	var out []ValueCount
+	for i := 0; i < len(all) && i < 5; i++ {
+		out = append(out, ValueCount{all[i].v, all[i].n})
 	}
 	return out
 }
