@@ -60,6 +60,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/engine"
 	"repro/internal/query"
+	"repro/internal/remote"
 	"repro/internal/sample"
 	"repro/internal/session"
 	"repro/internal/shard"
@@ -524,8 +525,19 @@ func OpenSharded(manifestPath string) (*ShardedTable, error) {
 // OpenShardedWith is OpenSharded with explicit memory-tier options;
 // with Defer set, shard files open only when first touched and the
 // manifest's per-shard statistics prune whole files beforehand.
+//
+// Manifests whose shard locations are http(s):// URLs open through the
+// remote shard fabric (see internal/remote): each such shard is served
+// by its own atlasd -serve-shard process, statistics fan out as
+// per-shard RPCs, and chunk payloads stream on demand into the shared
+// decoded-chunk cache. Explorations stay byte-identical to the local
+// sharded (and unsharded) table.
 func OpenShardedWith(manifestPath string, o StoreOpenOptions) (*ShardedTable, error) {
-	set, err := shard.OpenWith(manifestPath, shard.Options{Store: o.colstoreOptions(), Defer: o.Defer})
+	set, err := shard.OpenWith(manifestPath, shard.Options{
+		Store:  o.colstoreOptions(),
+		Defer:  o.Defer,
+		Remote: remote.NewOpener(remote.Options{}),
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,8 @@
 //	atlas -store data.atlm           # explore a sharded store (manifest)
 //	atlas ingest -csv data.csv -out data.atl [-table name] [-chunk 65536]
 //	atlas ingest -csv data.csv -shards 4 [-by keycol] [-out data.atlm]
+//	atlas remote-manifest -manifest data.atlm -out remote.atlm \
+//	    -urls http://host1:9001,http://host2:9001
 //
 // The ingest subcommand converts a CSV file into the on-disk columnar
 // store format (".atl"): per-column chunked segments with zone maps,
@@ -18,6 +20,11 @@
 // partitioning by the -by column), which explorations fan out across.
 // -store explores either kind of file directly — manifests are detected
 // by content, not extension.
+//
+// The remote-manifest subcommand rewrites a local manifest's shard
+// locations into the URLs of atlasd -serve-shard processes, producing
+// the coordinator manifest of a scale-out deployment; -store (here and
+// in atlasd) opens such manifests through the remote shard fabric.
 //
 // REPL commands:
 //
@@ -44,12 +51,20 @@ import (
 
 	"repro"
 	"repro/internal/colstore"
+	"repro/internal/shard"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "ingest" {
 		if err := runIngest(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "atlas ingest:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "remote-manifest" {
+		if err := runRemoteManifest(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "atlas remote-manifest:", err)
 			os.Exit(1)
 		}
 		return
@@ -344,6 +359,48 @@ func runIngest(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "parse %v, write %v\n",
 		parsed.Sub(start).Round(time.Millisecond), time.Since(parsed).Round(time.Millisecond))
+	return nil
+}
+
+// runRemoteManifest implements "atlas remote-manifest": local manifest
+// in, coordinator manifest with http(s):// shard locations out.
+func runRemoteManifest(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("remote-manifest", flag.ContinueOnError)
+	var (
+		manifest = fs.String("manifest", "", "local shard manifest to rewrite (required)")
+		outPath  = fs.String("out", "", "output manifest path (required)")
+		urls     = fs.String("urls", "", "comma-separated shard server URLs, one per shard in manifest order; empty entries keep the shard local (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *manifest == "" || *outPath == "" || *urls == "" {
+		return fmt.Errorf("-manifest, -out and -urls are required")
+	}
+	m, err := shard.ReadManifest(*manifest)
+	if err != nil {
+		return err
+	}
+	list := strings.Split(*urls, ",")
+	for i := range list {
+		list[i] = strings.TrimSpace(list[i])
+	}
+	rm, err := shard.RemoteManifest(m, list)
+	if err != nil {
+		return err
+	}
+	if err := shard.WriteManifestFile(*outPath, rm); err != nil {
+		return err
+	}
+	nRemote := 0
+	for _, sf := range rm.Shards {
+		if shard.IsRemoteLocation(sf.File) {
+			nRemote++
+		}
+	}
+	fmt.Fprintf(out, "wrote %s: %d shard(s), %d remote\n", *outPath, len(rm.Shards), nRemote)
+	fmt.Fprintf(out, "serve each shard with: atlasd -addr :PORT -serve-shard SHARD.atl\n")
+	fmt.Fprintf(out, "then explore with:     atlas -store %s  (or atlasd -store %s)\n", *outPath, *outPath)
 	return nil
 }
 

@@ -17,7 +17,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/query"
+	"repro/internal/remote"
 	"repro/internal/shard"
 	"repro/internal/storage"
 )
@@ -93,6 +96,45 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// startShardServers serves every shard file of a local manifest from
+// its own in-process fabric server and writes the rewritten coordinator
+// manifest to outPath — the remote-deployment shape with the network
+// taken out of the measurement.
+func startShardServers(manifestPath, outPath string) (string, func(), error) {
+	m, err := shard.ReadManifest(manifestPath)
+	if err != nil {
+		return "", nil, err
+	}
+	dir := filepath.Dir(manifestPath)
+	var closers []func()
+	stop := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	urls := make([]string, len(m.Shards))
+	for i, sf := range m.Shards {
+		st, err := colstore.OpenWith(filepath.Join(dir, sf.File), colstore.Options{Mode: colstore.ModeLazy})
+		if err != nil {
+			stop()
+			return "", nil, err
+		}
+		ts := httptest.NewServer(remote.NewServer(st).Handler())
+		closers = append(closers, func() { ts.Close(); st.Close() })
+		urls[i] = ts.URL
+	}
+	rm, err := shard.RemoteManifest(m, urls)
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	if err := shard.WriteManifestFile(outPath, rm); err != nil {
+		stop()
+		return "", nil, err
+	}
+	return outPath, stop, nil
 }
 
 // benchRecord is one benchmark's machine-readable result. Metrics
@@ -376,6 +418,116 @@ func writeBenchJSON(path string, quick bool) error {
 			"shards":         4,
 		})
 		set.Close()
+	}
+
+	// Remote shard fabric: the same sharded census store with every
+	// shard served by its own in-process fabric server (httptest), so
+	// the scenario measures the RPC fan-out and wire transfer without
+	// network noise. RemoteExploreCold is the full exploration (stats
+	// plane fan-out + chunk plane for partitioning); the metrics record
+	// one cold exploration's RPC count and bytes over the wire.
+	{
+		shards := shardCounts[len(shardCounts)-1]
+		manifest, err := exp.ShardedInputs(tbl, shards, tmp)
+		if err != nil {
+			return err
+		}
+		remoteManifest, stop, err := startShardServers(manifest, filepath.Join(tmp, "remote_census.atlm"))
+		if err != nil {
+			return err
+		}
+		opener := remote.NewOpener(remote.Options{})
+		set, err := shard.OpenWith(remoteManifest, shard.Options{Remote: opener})
+		if err != nil {
+			stop()
+			return err
+		}
+		name := fmt.Sprintf("RemoteExploreCold/census_n=%d/shards=%d", n, shards)
+		run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cart, err := core.NewCartographerWith(set.Table(), core.DefaultOptions(), set.Provider(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cart.Explore(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		set.Close()
+		// One fresh cold exploration on its own opener, so the counters
+		// mean "RPCs and bytes of one exploration", not b.N of them.
+		coldOpener := remote.NewOpener(remote.Options{})
+		coldSet, err := shard.OpenWith(remoteManifest, shard.Options{Remote: coldOpener})
+		if err != nil {
+			stop()
+			return err
+		}
+		cart, err := core.NewCartographerWith(coldSet.Table(), core.DefaultOptions(), coldSet.Provider(0))
+		if err != nil {
+			stop()
+			return err
+		}
+		if _, err := cart.Explore(q); err != nil {
+			stop()
+			return err
+		}
+		st := coldOpener.Stats()
+		addMetrics(name, map[string]float64{
+			"rpc_count":      float64(st.RPCs),
+			"bytes_wire":     float64(st.BytesIn),
+			"chunks_fetched": float64(st.ChunkFetches),
+			"retries":        float64(st.Retries),
+			"shards":         float64(shards),
+		})
+		coldSet.Close()
+		stop()
+	}
+
+	// Selective remote exploration: the deferred events workload over
+	// the fabric. Manifest stats skip whole shard servers, zone maps
+	// skip chunks inside the touched one — the counters assert that only
+	// the non-pruned chunks ever crossed the wire.
+	{
+		manifest, sq, totalChunks, err := exp.LazySelectiveInputs(n, 4, tmp)
+		if err != nil {
+			return err
+		}
+		remoteManifest, stop, err := startShardServers(manifest, filepath.Join(tmp, "remote_events.atlm"))
+		if err != nil {
+			return err
+		}
+		opener := remote.NewOpener(remote.Options{})
+		set, err := shard.OpenWith(remoteManifest, shard.Options{Remote: opener, Defer: true})
+		if err != nil {
+			stop()
+			return err
+		}
+		name := fmt.Sprintf("RemoteExploreSelective/events_n=%d/shards=4/deferred", n)
+		run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cart, err := core.NewCartographer(set.Table(), core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cart.Explore(sq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		st := opener.Stats()
+		addMetrics(name, map[string]float64{
+			"rpc_count":      float64(st.RPCs),
+			"bytes_wire":     float64(st.BytesIn),
+			"chunks_fetched": float64(st.ChunkFetches),
+			"total_chunks":   float64(totalChunks),
+			"opened_shards":  float64(set.OpenedShards()),
+			"shards":         4,
+		})
+		set.Close()
+		stop()
 	}
 
 	// Unsharded cold baseline: the same census data opened from a single

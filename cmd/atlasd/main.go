@@ -7,6 +7,7 @@
 //	atlasd -addr :8080 -csv data.csv -table mydata
 //	atlasd -addr :8080 -store data.atl
 //	atlasd -addr :8080 -store data.atlm
+//	atlasd -addr :9001 -serve-shard data.00001.atl
 //
 // -store serves directly from a columnar store file created with
 // "atlas ingest" (or atlas.SaveStore): cold start skips CSV parsing
@@ -14,7 +15,15 @@
 // manifest (created with "atlas ingest -shards N") serves the sharded
 // table: explorations fan out across shards, sessions keep per-shard
 // predicate bitmaps, and GET /api/shards reports the layout with merged
-// per-shard statistics.
+// per-shard statistics. Manifests whose shard locations are http(s)://
+// URLs open through the remote shard fabric — this atlasd becomes the
+// coordinator of a scale-out deployment.
+//
+// -serve-shard is the other side of that deployment: it serves ONE .atl
+// shard file over the fabric's RPC protocol (statistics plane + chunk
+// plane, see internal/remote) instead of the exploration API. Run one
+// per shard, then point a coordinator manifest (atlas remote-manifest)
+// at the listen addresses.
 //
 // Endpoints:
 //
@@ -28,6 +37,10 @@
 //	POST /api/sessions/{id}/back
 //	GET  /api/shards
 //	GET  /api/stats
+//
+// With -serve-shard, the /shard/v1/* fabric endpoints are served
+// instead (meta, zones, dict, chunk, values, catcounts, boolcounts,
+// partials, predcount, health).
 package main
 
 import (
@@ -39,6 +52,7 @@ import (
 
 	"repro"
 	"repro/internal/colstore"
+	"repro/internal/remote"
 	"repro/internal/server"
 )
 
@@ -51,12 +65,36 @@ func main() {
 		csvPath = flag.String("csv", "", "serve a CSV file instead of a bundled dataset")
 		tblName = flag.String("table", "", "table name for -csv")
 		store   = flag.String("store", "", "serve a columnar store file (.atl) created with 'atlas ingest'")
+		shardF  = flag.String("serve-shard", "", "serve ONE .atl shard file over the remote shard fabric instead of the exploration API")
 		lazy    = flag.Bool("lazy", false, "force lazy (memory-tiered) store opens: chunks decode on first touch")
 		eager   = flag.Bool("eager", false, "force eager store opens (full decode up front)")
 		cacheB  = flag.Int64("cachebudget", 0, "decoded-chunk cache budget in bytes for lazy opens (0 = env/unbounded)")
 		deferS  = flag.Bool("defer", false, "defer opening shard files until first touch (sharded stores)")
 	)
 	flag.Parse()
+
+	if *shardF != "" {
+		co := colstore.Options{CacheBytes: *cacheB}
+		switch {
+		case *lazy:
+			co.Mode = colstore.ModeLazy
+		case *eager:
+			co.Mode = colstore.ModeEager
+		}
+		st, err := colstore.OpenWith(*shardF, co)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atlasd:", err)
+			os.Exit(1)
+		}
+		rs := remote.NewServer(st)
+		t := st.Table()
+		log.Printf("atlasd: serving shard %q (table %q, %d rows, %d chunks) on %s",
+			*shardF, t.Name(), t.NumRows(), st.NumChunks(), *addr)
+		if err := http.ListenAndServe(*addr, rs.Handler()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var srv *server.Server
 	if *store != "" {

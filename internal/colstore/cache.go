@@ -67,6 +67,26 @@ func (c *ChunkCache) Get(owner any, ci, k int, load func() (*storage.ChunkPayloa
 // Close so a caller-shared cache does not pin payloads of a closed set.
 func (c *ChunkCache) Drop(owner any) { c.drop(owner) }
 
+// Contains reports whether (owner, ci, k) is resident or already
+// loading, without touching the LRU order — the cheap pre-check of a
+// prefetch, which must not promote entries it does not use.
+func (c *ChunkCache) Contains(owner any, ci, k int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byKey[chunkKey{src: owner, ci: ci, k: k}]
+	return ok
+}
+
+// HasRoom reports whether approximately n more cached bytes would fit
+// without evicting anything — the eviction-awareness test of a
+// prefetch: speculative loads must never push out chunks the scan is
+// still using, so a tight budget simply disables prefetching.
+func (c *ChunkCache) HasRoom(n int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget <= 0 || c.used+n <= c.budget
+}
+
 // get returns the payload for key, loading it via load on a miss. The
 // returned bool reports a cache hit (the payload existed or another
 // goroutine was already loading it).

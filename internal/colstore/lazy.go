@@ -163,6 +163,7 @@ type lazyFile struct {
 
 	bytesRead     atomic.Int64
 	chunksDecoded atomic.Int64
+	prefetching   atomic.Int64
 	// closeMu serializes close against in-flight chunk reads: fetch
 	// loaders hold the read side across the mmap access, so munmap can
 	// never pull the mapping out from under a reader.
@@ -660,6 +661,44 @@ func decodeChunkPayload(raw []byte, f storage.Field, dictLen, chunkRows, k int, 
 		return nil, fmt.Errorf("chunk claims %d nulls but carries no bitmap", zm.NullCount)
 	}
 	return p, nil
+}
+
+// maxPrefetchInFlight bounds a file's concurrent speculative chunk
+// loads; the scan itself is never throttled by this.
+const maxPrefetchInFlight = 4
+
+// PrefetchChunk implements storage.ChunkPrefetcher: an asynchronous,
+// single-flight, eviction-aware fetch of a chunk a sequential scan is
+// about to touch. It is a no-op when the chunk is already resident (or
+// loading), when caching it would evict something, or when too many
+// prefetches are in flight — a prefetch must only ever hide latency,
+// never change what the scan decodes or keeps.
+func (lf *lazyFile) PrefetchChunk(ci, k int) {
+	if lf.closed.Load() || ci < 0 || ci >= len(lf.dir) || k < 0 || k >= len(lf.dir[ci]) {
+		return
+	}
+	if lf.cache.Contains(lf, ci, k) {
+		return
+	}
+	// Estimate the decoded footprint from the chunk's row count (8 bytes
+	// per row bounds every column type this store encodes).
+	chunkRows := lf.chunkSize
+	if hi := (k + 1) * lf.chunkSize; hi > lf.rows {
+		chunkRows = lf.rows - k*lf.chunkSize
+	}
+	if !lf.cache.HasRoom(int64(chunkRows) * 8) {
+		return
+	}
+	if lf.prefetching.Add(1) > maxPrefetchInFlight {
+		lf.prefetching.Add(-1)
+		return
+	}
+	go func() {
+		defer lf.prefetching.Add(-1)
+		// Errors are ignored: failed loads are never cached, so the scan's
+		// own fetch retries and reports them.
+		_, _, _ = lf.FetchChunk(ci, k)
+	}()
 }
 
 // ioStats snapshots the file's cumulative counters.

@@ -377,6 +377,18 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 	numChunks := ck.NumChunks(t.NumRows())
 	wordsPerChunk := ck.Size / 64
 	lastRows := t.NumRows() - (numChunks-1)*ck.Size
+	chunkRowsOf := func(k int) int {
+		if k == numChunks-1 {
+			return lastRows
+		}
+		return ck.Size
+	}
+	// On the serial path (one chunk in flight at a time) a lazy fetch of
+	// chunk k hints the source to prefetch the next chunk this predicate
+	// will also scan — verdict-checked first, so pruned and all-match
+	// chunks are never speculatively decoded. The parallel path skips the
+	// hint: its workers already overlap fetches.
+	serial := false
 	scanChunk := func(k int) error {
 		w0 := k * wordsPerChunk
 		w1 := w0 + wordsPerChunk
@@ -411,6 +423,10 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 						return err
 					}
 					countFetch(opts.Stats, hit)
+					if serial && !hit && k+1 < numChunks &&
+						cp.zone(ck.Zones[cp.colIdx][k+1], chunkRowsOf(k+1)) == zoneScan {
+						cp.lazyCol.PrefetchHint(k + 1)
+					}
 					match = cp.mkMatch(pl, k*ck.Size)
 				}
 				andWordsRange(words, w0, w1, match)
@@ -426,6 +442,7 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 		workers = numChunks
 	}
 	if workers <= 1 {
+		serial = true
 		for k := 0; k < numChunks; k++ {
 			if err := scanChunk(k); err != nil {
 				return err

@@ -1,0 +1,526 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/query"
+	"repro/internal/shard"
+	"repro/internal/storage"
+)
+
+// ShardError is the named per-shard failure of the fabric: every error
+// a Client returns is wrapped in one, so an exploration that dies
+// because a remote shard timed out, truncated a payload or served
+// corrupt bytes says WHICH shard and WHAT operation — never a bare
+// transport error, and never a silently partial answer.
+type ShardError struct {
+	// Location is the shard's URL as the manifest names it.
+	Location string
+	// Op is the failing operation ("chunk", "values", "meta", ...).
+	Op string
+	// Err is the final underlying failure (after retries).
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("remote shard %s: %s: %v", e.Location, e.Op, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// httpStatusError is a non-200 answer; statuses below 500 are not
+// retried (the request itself is wrong).
+type httpStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.status, e.msg)
+}
+
+// counters aggregates fabric traffic across every client of one Opener.
+type counters struct {
+	rpcs         atomic.Int64
+	bytesIn      atomic.Int64
+	chunkFetches atomic.Int64
+	retries      atomic.Int64
+}
+
+// Client speaks the fabric protocol to one shard server. It implements
+// shard.Backend (+ StatBackend, HealthBackend, IOBackend) and
+// storage.ChunkSource/ChunkPrefetcher, so a shard.Set routes through it
+// exactly as it routes through a local file. Requests share a pooled
+// transport, are bounded in flight per shard, retried on transient
+// failures, and every fetched chunk is CRC-checked before it is
+// decoded.
+type Client struct {
+	base string // normalized URL, no trailing slash
+	hc   *http.Client
+	sem  chan struct{}
+
+	retries   int
+	retryWait time.Duration
+
+	cache *colstore.ChunkCache
+	stats *counters // opener-wide aggregates
+	// Per-shard counters behind IOStats (a Set sums its shards', so
+	// these must not alias the opener-wide totals).
+	ownBytes  atomic.Int64
+	ownChunks atomic.Int64
+
+	// Shard snapshot, fetched at open.
+	table     string
+	rows      int
+	chunkSize int
+	version   byte
+	schema    *storage.Schema
+	zones     [][]storage.ZoneMap
+
+	// dicts memoizes string dictionaries per column, each behind its own
+	// lock so first touches of different columns fetch concurrently; a
+	// failed fetch is not cached (the next touch retries).
+	dicts []dictSlot
+
+	prefetching atomic.Int64
+	closed      atomic.Bool
+}
+
+type dictSlot struct {
+	mu   sync.Mutex
+	vals []string
+	done bool
+}
+
+// init fetches and validates the shard's metadata and zone maps.
+func (c *Client) init() error {
+	data, _, err := c.do("meta", http.MethodGet, "/shard/v1/meta", nil, nil, nil)
+	if err != nil {
+		return err
+	}
+	var meta metaDTO
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return &ShardError{Location: c.base, Op: "meta", Err: err}
+	}
+	if meta.Rows < 0 || meta.ChunkSize <= 0 || meta.ChunkSize%64 != 0 {
+		return &ShardError{Location: c.base, Op: "meta", Err: fmt.Errorf("implausible shape rows=%d chunkSize=%d", meta.Rows, meta.ChunkSize)}
+	}
+	if meta.Version < 1 || meta.Version > int(colstore.Version) {
+		return &ShardError{Location: c.base, Op: "meta", Err: fmt.Errorf("unsupported chunk encoding version %d (this client handles 1..%d)", meta.Version, colstore.Version)}
+	}
+	fields := make([]storage.Field, len(meta.Columns))
+	for i, col := range meta.Columns {
+		typ, err := parseTypeName(col.Type)
+		if err != nil {
+			return &ShardError{Location: c.base, Op: "meta", Err: err}
+		}
+		fields[i] = storage.Field{Name: col.Name, Type: typ}
+	}
+	schema, err := storage.NewSchema(fields...)
+	if err != nil {
+		return &ShardError{Location: c.base, Op: "meta", Err: err}
+	}
+	c.table, c.rows, c.chunkSize = meta.Table, meta.Rows, meta.ChunkSize
+	c.version = byte(meta.Version)
+	c.schema = schema
+	c.dicts = make([]dictSlot, len(fields))
+
+	data, _, err = c.do("zones", http.MethodGet, "/shard/v1/zones", nil, nil, nil)
+	if err != nil {
+		return err
+	}
+	var zdto zonesDTO
+	if err := json.Unmarshal(data, &zdto); err != nil {
+		return &ShardError{Location: c.base, Op: "zones", Err: err}
+	}
+	numChunks := c.numChunks()
+	if len(zdto.Zones) != len(fields) {
+		return &ShardError{Location: c.base, Op: "zones", Err: fmt.Errorf("%d zone columns for %d fields", len(zdto.Zones), len(fields))}
+	}
+	zones := make([][]storage.ZoneMap, len(fields))
+	for ci, col := range zdto.Zones {
+		if len(col) != numChunks {
+			return &ShardError{Location: c.base, Op: "zones", Err: fmt.Errorf("column %d has %d zone maps for %d chunks", ci, len(col), numChunks)}
+		}
+		zones[ci] = make([]storage.ZoneMap, numChunks)
+		for k, d := range col {
+			zm, err := zoneFromDTO(d)
+			if err != nil {
+				return &ShardError{Location: c.base, Op: "zones", Err: err}
+			}
+			zones[ci][k] = zm
+		}
+	}
+	c.zones = zones
+	return nil
+}
+
+func (c *Client) numChunks() int {
+	if c.rows == 0 {
+		return 0
+	}
+	return (c.rows + c.chunkSize - 1) / c.chunkSize
+}
+
+// ---- transport ----
+
+// do runs one fabric request with bounded in-flight admission and
+// per-shard retries. check validates a successful response (length and
+// CRC tests); its failures are retried like transport errors, because a
+// truncated or corrupted body may be transient. The final error is a
+// *ShardError naming this shard.
+func (c *Client) do(op, method, path string, q url.Values, body []byte, check func([]byte, http.Header) error) ([]byte, http.Header, error) {
+	if c.closed.Load() {
+		return nil, nil, &ShardError{Location: c.base, Op: op, Err: errors.New("client closed")}
+	}
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.stats.retries.Add(1)
+			time.Sleep(c.retryWait * time.Duration(attempt))
+		}
+		data, hdr, err := c.doOnce(method, path, q, body)
+		if err == nil && check != nil {
+			err = check(data, hdr)
+		}
+		if err == nil {
+			return data, hdr, nil
+		}
+		lastErr = err
+		var hs *httpStatusError
+		if errors.As(err, &hs) && hs.status < 500 {
+			break // the request is wrong; retrying cannot fix it
+		}
+	}
+	return nil, nil, &ShardError{Location: c.base, Op: op, Err: lastErr}
+}
+
+func (c *Client) doOnce(method, path string, q url.Values, body []byte) ([]byte, http.Header, error) {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, u, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	c.stats.rpcs.Add(1)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	c.stats.bytesIn.Add(int64(len(data)))
+	c.ownBytes.Add(int64(len(data)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, &httpStatusError{status: resp.StatusCode, msg: strings.TrimSpace(string(data))}
+	}
+	return data, resp.Header, nil
+}
+
+// getJSON runs a GET and decodes its JSON answer.
+func (c *Client) getJSON(op, path string, q url.Values, into any) error {
+	data, _, err := c.do(op, http.MethodGet, path, q, nil, nil)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		return &ShardError{Location: c.base, Op: op, Err: err}
+	}
+	return nil
+}
+
+// postJSON runs a POST with a JSON body and decodes the JSON answer.
+func (c *Client) postJSON(op, path string, reqBody, into any) error {
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		return &ShardError{Location: c.base, Op: op, Err: err}
+	}
+	data, _, err := c.do(op, http.MethodPost, path, nil, body, nil)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		return &ShardError{Location: c.base, Op: op, Err: err}
+	}
+	return nil
+}
+
+// ---- shard.Backend ----
+
+// Meta implements shard.Backend.
+func (c *Client) Meta() shard.BackendMeta {
+	return shard.BackendMeta{Table: c.table, Rows: c.rows, ChunkSize: c.chunkSize, Schema: c.schema}
+}
+
+// Zones implements shard.Backend.
+func (c *Client) Zones() [][]storage.ZoneMap { return c.zones }
+
+// Dicts implements shard.Backend, fetching each string dictionary once
+// (per-column locks, so different columns' first touches overlap).
+func (c *Client) Dicts(ci int) ([]string, error) {
+	if ci < 0 || ci >= c.schema.NumFields() {
+		return nil, &ShardError{Location: c.base, Op: "dict", Err: fmt.Errorf("column %d out of range", ci)}
+	}
+	if c.schema.Field(ci).Type != storage.String {
+		return nil, nil
+	}
+	slot := &c.dicts[ci]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.done {
+		return slot.vals, nil
+	}
+	var dto dictDTO
+	if err := c.getJSON("dict", "/shard/v1/dict", url.Values{"col": {strconv.Itoa(ci)}}, &dto); err != nil {
+		return nil, err
+	}
+	if dto.Values == nil {
+		dto.Values = []string{}
+	}
+	slot.vals, slot.done = dto.Values, true
+	return slot.vals, nil
+}
+
+// Source implements shard.Backend: the client is its own chunk source.
+func (c *Client) Source() storage.ChunkSource { return c }
+
+// Close implements shard.Backend: drops this shard's cached payloads.
+// The pooled transport belongs to the Opener and stays usable.
+func (c *Client) Close() error {
+	if !c.closed.Swap(true) {
+		c.cache.Drop(c)
+	}
+	return nil
+}
+
+// IOStats implements shard.IOBackend: THIS shard's bytes over the wire
+// and chunk fetches, so /api/stats and the bench counters see remote
+// I/O the way they see file I/O (a Set sums these across its shards).
+func (c *Client) IOStats() colstore.IOStats {
+	return colstore.IOStats{
+		BytesRead:     c.ownBytes.Load(),
+		ChunksDecoded: c.ownChunks.Load(),
+	}
+}
+
+// ---- chunk plane ----
+
+// FetchChunk implements storage.ChunkSource: cache lookup, then one
+// RPC + CRC check + decode on a miss. Payload contents are identical to
+// a local open of the same shard file — the wire carries the file's own
+// chunk encoding.
+func (c *Client) FetchChunk(ci, k int) (*storage.ChunkPayload, bool, error) {
+	if ci < 0 || ci >= c.schema.NumFields() || k < 0 || k >= c.numChunks() {
+		return nil, false, &ShardError{Location: c.base, Op: "chunk", Err: fmt.Errorf("chunk (%d,%d) out of range", ci, k)}
+	}
+	return c.cache.Get(c, ci, k, func() (*storage.ChunkPayload, error) {
+		return c.loadChunk(ci, k)
+	})
+}
+
+// loadChunk is the cache-miss path of FetchChunk.
+func (c *Client) loadChunk(ci, k int) (*storage.ChunkPayload, error) {
+	dictLen := 0
+	if c.schema.Field(ci).Type == storage.String {
+		dict, err := c.Dicts(ci)
+		if err != nil {
+			return nil, err
+		}
+		dictLen = len(dict)
+	}
+	check := func(data []byte, hdr http.Header) error {
+		if lenStr := hdr.Get(headerChunkLen); lenStr != "" {
+			if want, err := strconv.Atoi(lenStr); err == nil && want != len(data) {
+				return fmt.Errorf("truncated chunk (%d,%d): got %d of %d bytes", ci, k, len(data), want)
+			}
+		}
+		crcStr := hdr.Get(headerChunkCRC)
+		if crcStr == "" {
+			return fmt.Errorf("chunk (%d,%d): missing CRC header", ci, k)
+		}
+		want, err := strconv.ParseUint(crcStr, 16, 32)
+		if err != nil {
+			return fmt.Errorf("chunk (%d,%d): bad CRC header %q", ci, k, crcStr)
+		}
+		if got := crc32.ChecksumIEEE(data); got != uint32(want) {
+			return fmt.Errorf("chunk (%d,%d): checksum mismatch (header %08x, computed %08x)", ci, k, want, got)
+		}
+		return nil
+	}
+	q := url.Values{"col": {strconv.Itoa(ci)}, "chunk": {strconv.Itoa(k)}}
+	data, _, err := c.do("chunk", http.MethodGet, "/shard/v1/chunk", q, nil, check)
+	if err != nil {
+		return nil, err
+	}
+	chunkRows := c.chunkSize
+	if hi := (k + 1) * c.chunkSize; hi > c.rows {
+		chunkRows = c.rows - k*c.chunkSize
+	}
+	p, err := colstore.DecodeChunk(data, c.schema.Field(ci), dictLen, chunkRows, k, c.version)
+	if err != nil {
+		return nil, &ShardError{Location: c.base, Op: "chunk", Err: fmt.Errorf("chunk (%d,%d): %w", ci, k, err)}
+	}
+	c.stats.chunkFetches.Add(1)
+	c.ownChunks.Add(1)
+	return p, nil
+}
+
+// maxClientPrefetch bounds a shard's concurrent speculative fetches.
+const maxClientPrefetch = 2
+
+// PrefetchChunk implements storage.ChunkPrefetcher: an asynchronous,
+// single-flight, eviction-aware fetch of the chunk a sequential scan
+// will touch next — this is where the fabric hides its round-trip
+// latency. Skipped when the chunk is resident, the cache has no room,
+// or enough prefetches are already in flight.
+func (c *Client) PrefetchChunk(ci, k int) {
+	if c.closed.Load() || ci < 0 || ci >= c.schema.NumFields() || k < 0 || k >= c.numChunks() {
+		return
+	}
+	if c.cache.Contains(c, ci, k) {
+		return
+	}
+	chunkRows := c.chunkSize
+	if hi := (k + 1) * c.chunkSize; hi > c.rows {
+		chunkRows = c.rows - k*c.chunkSize
+	}
+	if !c.cache.HasRoom(int64(chunkRows) * 8) {
+		return
+	}
+	if c.prefetching.Add(1) > maxClientPrefetch {
+		c.prefetching.Add(-1)
+		return
+	}
+	go func() {
+		defer c.prefetching.Add(-1)
+		_, _, _ = c.FetchChunk(ci, k)
+	}()
+}
+
+// ---- statistics plane (shard.StatBackend) ----
+
+// NumericValues implements shard.StatBackend: the shard's non-NULL
+// values in row order, as one binary stream.
+func (c *Client) NumericValues(attr string) ([]float64, error) {
+	check := func(data []byte, hdr http.Header) error {
+		if cs := hdr.Get(headerCount); cs != "" {
+			if want, err := strconv.Atoi(cs); err == nil && want*8 != len(data) {
+				return fmt.Errorf("truncated value stream for %q: got %d of %d bytes", attr, len(data), want*8)
+			}
+		}
+		if len(data)%8 != 0 {
+			return fmt.Errorf("value stream for %q: %d bytes is not a multiple of 8", attr, len(data))
+		}
+		return nil
+	}
+	data, _, err := c.do("values", http.MethodGet, "/shard/v1/values", url.Values{"attr": {attr}}, nil, check)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := decodeFloats(data)
+	if err != nil {
+		return nil, &ShardError{Location: c.base, Op: "values", Err: err}
+	}
+	return vals, nil
+}
+
+// CategoryCounts implements shard.StatBackend (local dictionary space).
+func (c *Client) CategoryCounts(attr string) ([]string, []int, error) {
+	var dto catCountsDTO
+	if err := c.getJSON("catcounts", "/shard/v1/catcounts", url.Values{"attr": {attr}}, &dto); err != nil {
+		return nil, nil, err
+	}
+	if len(dto.Dict) != len(dto.Counts) {
+		return nil, nil, &ShardError{Location: c.base, Op: "catcounts", Err: fmt.Errorf("%d dictionary entries with %d counts", len(dto.Dict), len(dto.Counts))}
+	}
+	return dto.Dict, dto.Counts, nil
+}
+
+// BoolCounts implements shard.StatBackend.
+func (c *Client) BoolCounts(attr string) (int, int, error) {
+	var dto boolCountsDTO
+	if err := c.getJSON("boolcounts", "/shard/v1/boolcounts", url.Values{"attr": {attr}}, &dto); err != nil {
+		return 0, 0, err
+	}
+	return dto.Falses, dto.Trues, nil
+}
+
+// ColumnPartials implements shard.StatBackend: every requested column's
+// mergeable bundle in one round trip.
+func (c *Client) ColumnPartials(specs []shard.PartialSpec) ([]*shard.ColumnPartial, error) {
+	req := partialsReqDTO{Specs: make([]partialSpecDTO, len(specs))}
+	for i, s := range specs {
+		d := partialSpecDTO{Col: s.Col, UseHist: s.UseHist}
+		if s.UseHist {
+			d.Lo, d.Hi = fbits(s.Lo), fbits(s.Hi)
+		}
+		req.Specs[i] = d
+	}
+	var dtos []partialDTO
+	if err := c.postJSON("partials", "/shard/v1/partials", req, &dtos); err != nil {
+		return nil, err
+	}
+	if len(dtos) != len(specs) {
+		return nil, &ShardError{Location: c.base, Op: "partials", Err: fmt.Errorf("%d partials for %d specs", len(dtos), len(specs))}
+	}
+	out := make([]*shard.ColumnPartial, len(dtos))
+	for i, d := range dtos {
+		p, err := partialFromDTO(d)
+		if err != nil {
+			return nil, &ShardError{Location: c.base, Op: "partials", Err: err}
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// PredicateCount implements shard.StatBackend: the per-predicate bitmap
+// count, answered where the shard lives.
+func (c *Client) PredicateCount(p query.Predicate) (int, error) {
+	var dto countDTO
+	if err := c.postJSON("predcount", "/shard/v1/predcount", predToDTO(p), &dto); err != nil {
+		return 0, err
+	}
+	return dto.Count, nil
+}
+
+// Health implements shard.HealthBackend: one uncached round trip,
+// timed.
+func (c *Client) Health() (time.Duration, error) {
+	start := time.Now()
+	var dto healthDTO
+	if err := c.getJSON("health", "/shard/v1/health", nil, &dto); err != nil {
+		return 0, err
+	}
+	if !dto.OK {
+		return 0, &ShardError{Location: c.base, Op: "health", Err: errors.New("shard reports not ok")}
+	}
+	return time.Since(start), nil
+}

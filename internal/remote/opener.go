@@ -1,0 +1,112 @@
+package remote
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/shard"
+)
+
+// Options tunes an Opener's clients.
+type Options struct {
+	// Timeout bounds each request, connection included (default 30s).
+	Timeout time.Duration
+	// Retries is the number of extra attempts after a transient failure
+	// (network error, 5xx, CRC mismatch, truncation). 0 uses the default
+	// of 2; negative disables retries.
+	Retries int
+	// RetryWait is the base backoff between attempts, multiplied by the
+	// attempt number (default 50ms).
+	RetryWait time.Duration
+	// MaxInflight bounds concurrent requests per shard (default 32).
+	MaxInflight int
+	// Transport overrides the pooled HTTP transport (tests, custom TLS).
+	Transport http.RoundTripper
+}
+
+// Opener opens fabric clients for http(s):// shard locations — the
+// shard.RemoteOpener a coordinator passes to shard.OpenWith. All
+// clients of one Opener share a pooled transport (connection reuse
+// across shards of the same host) and one traffic counter set.
+type Opener struct {
+	opts  Options
+	hc    *http.Client
+	stats counters
+}
+
+// NewOpener builds an Opener; zero Options give production defaults.
+func NewOpener(o Options) *Opener {
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	switch {
+	case o.Retries == 0:
+		o.Retries = 2
+	case o.Retries < 0:
+		o.Retries = 0
+	}
+	if o.RetryWait <= 0 {
+		o.RetryWait = 50 * time.Millisecond
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 32
+	}
+	transport := o.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        128,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	return &Opener{opts: o, hc: &http.Client{Timeout: o.Timeout, Transport: transport}}
+}
+
+// OpenShard implements shard.RemoteOpener: it dials the shard's meta
+// and zones endpoints and returns a backend whose chunk fetches feed
+// the set's shared decoded-chunk cache (store.Cache; a private cache is
+// created when the caller shares none).
+func (o *Opener) OpenShard(location string, store colstore.Options) (shard.Backend, error) {
+	cache := store.Cache
+	if cache == nil {
+		cache = colstore.NewChunkCache(colstore.ResolveCacheBudget(store.CacheBytes))
+	}
+	c := &Client{
+		base:      strings.TrimRight(location, "/"),
+		hc:        o.hc,
+		sem:       make(chan struct{}, o.opts.MaxInflight),
+		retries:   o.opts.Retries,
+		retryWait: o.opts.RetryWait,
+		cache:     cache,
+		stats:     &o.stats,
+	}
+	if err := c.init(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Stats is the aggregate fabric traffic of an Opener's clients.
+type Stats struct {
+	// RPCs counts requests sent (per attempt).
+	RPCs int64
+	// BytesIn counts response body bytes received.
+	BytesIn int64
+	// ChunkFetches counts chunk payloads fetched and decoded (cache
+	// misses that went over the wire).
+	ChunkFetches int64
+	// Retries counts extra attempts after transient failures.
+	Retries int64
+}
+
+// Stats snapshots the aggregate counters.
+func (o *Opener) Stats() Stats {
+	return Stats{
+		RPCs:         o.stats.rpcs.Load(),
+		BytesIn:      o.stats.bytesIn.Load(),
+		ChunkFetches: o.stats.chunkFetches.Load(),
+		Retries:      o.stats.retries.Load(),
+	}
+}

@@ -1,0 +1,338 @@
+// Package remote implements the shard fabric: serving one .atl shard
+// from its own process (atlasd -serve-shard) and consuming such shards
+// from a coordinator that opens a manifest whose shard locations are
+// http(s):// URLs. It is the scale-out seam of the atlas — the same
+// manifest, zone maps, mergeable partial statistics and decoded-chunk
+// cache as the local sharded store, with HTTP between the coordinator
+// and each shard's data.
+//
+// # Two RPC planes
+//
+// The statistics plane answers per-shard aggregate questions where the
+// data lives — values in row order, category and boolean counts,
+// mergeable ColumnPartial bundles (fixed-edge histograms, GK sketches),
+// per-predicate bitmap counts — so a sharded exploration's column
+// statistics fan out as N small requests and reduce through the
+// existing merge layer (internal/shard/partial.go), byte-identical to
+// the local computation.
+//
+// The chunk plane serves raw encoded chunk payloads by (column, chunk):
+// the coordinator's storage.ChunkSource for that shard, feeding the
+// shared decoded-chunk cache. The wire format IS the .atl chunk
+// encoding, so v3 per-chunk CRCs travel along and are re-verified on
+// the client; zone-map pruning and manifest-level shard pruning
+// (ShardMayMatch, deferred opens) skip whole requests the way they skip
+// file reads locally.
+//
+// # Endpoints (all under /shard/v1/)
+//
+//	GET  meta                         shard identity (rows, chunk size, schema)
+//	GET  zones                        per-(column, chunk) zone maps
+//	GET  dict?col=N                   string column dictionary
+//	GET  chunk?col=N&chunk=K          raw encoded chunk bytes + CRC header
+//	GET  values?attr=A                non-NULL numeric values, row order (binary)
+//	GET  catcounts?attr=A             per-code counts, local dictionary
+//	GET  boolcounts?attr=A            (false, true) tallies
+//	POST partials                     mergeable ColumnPartial per requested column
+//	POST predcount                    rows matching one predicate
+//	GET  health                       liveness probe
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/colstore"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/shard"
+	"repro/internal/storage"
+)
+
+// Server serves one opened .atl shard over the fabric protocol. It is
+// safe for concurrent use (the store and engine entry points are).
+type Server struct {
+	st  *colstore.Store
+	tbl *storage.Table
+
+	requests atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// NewServer wraps an opened shard store. The store stays owned by the
+// caller (Close it after the HTTP server stops).
+func NewServer(st *colstore.Store) *Server {
+	return &Server{st: st, tbl: st.Table()}
+}
+
+// ServerStats counts what a shard server has sent.
+type ServerStats struct {
+	// Requests counts fabric requests served (including errors).
+	Requests int64
+	// BytesOut counts response body bytes of successful answers.
+	BytesOut int64
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Requests: s.requests.Load(), BytesOut: s.bytesOut.Load()}
+}
+
+// Handler returns the fabric routing. Mount it at the server root (the
+// paths carry the /shard/v1/ prefix).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /shard/v1/meta", s.count(s.handleMeta))
+	mux.HandleFunc("GET /shard/v1/zones", s.count(s.handleZones))
+	mux.HandleFunc("GET /shard/v1/dict", s.count(s.handleDict))
+	mux.HandleFunc("GET /shard/v1/chunk", s.count(s.handleChunk))
+	mux.HandleFunc("GET /shard/v1/values", s.count(s.handleValues))
+	mux.HandleFunc("GET /shard/v1/catcounts", s.count(s.handleCatCounts))
+	mux.HandleFunc("GET /shard/v1/boolcounts", s.count(s.handleBoolCounts))
+	mux.HandleFunc("POST /shard/v1/partials", s.count(s.handlePartials))
+	mux.HandleFunc("POST /shard/v1/predcount", s.count(s.handlePredCount))
+	mux.HandleFunc("GET /shard/v1/health", s.count(s.handleHealth))
+	return mux
+}
+
+func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+// writeBody writes a fully-materialized binary body with its length
+// declared, so clients detect truncation.
+func (s *Server) writeBody(w http.ResponseWriter, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
+	s.bytesOut.Add(int64(len(body)))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeBody(w, "application/json", data)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	http.Error(w, err.Error(), status)
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	dto := metaDTO{
+		Table:     s.tbl.Name(),
+		Rows:      s.tbl.NumRows(),
+		ChunkSize: s.st.ChunkSize,
+		Version:   int(s.st.WireVersion()),
+	}
+	for _, f := range s.tbl.Schema().Fields() {
+		dto.Columns = append(dto.Columns, colDTO{Name: f.Name, Type: typeName(f.Type)})
+	}
+	s.writeJSON(w, dto)
+}
+
+func (s *Server) handleZones(w http.ResponseWriter, _ *http.Request) {
+	ck := s.tbl.Chunking()
+	if ck == nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("shard table has no chunk metadata"))
+		return
+	}
+	dto := zonesDTO{Zones: make([][]zoneDTO, len(ck.Zones))}
+	for ci, zones := range ck.Zones {
+		out := make([]zoneDTO, len(zones))
+		for k, zm := range zones {
+			out[k] = zoneToDTO(zm)
+		}
+		dto.Zones[ci] = out
+	}
+	s.writeJSON(w, dto)
+}
+
+// colParam parses and bounds-checks a column index parameter.
+func (s *Server) colParam(r *http.Request) (int, error) {
+	ci, err := strconv.Atoi(r.URL.Query().Get("col"))
+	if err != nil || ci < 0 || ci >= s.tbl.NumCols() {
+		return 0, fmt.Errorf("bad column %q", r.URL.Query().Get("col"))
+	}
+	return ci, nil
+}
+
+func (s *Server) handleDict(w http.ResponseWriter, r *http.Request) {
+	ci, err := s.colParam(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.tbl.Schema().Field(ci).Type != storage.String {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("column %d is not a string column", ci))
+		return
+	}
+	var dict []string
+	switch c := s.tbl.Column(ci).(type) {
+	case *storage.StringColumn:
+		dict = c.Dict()
+	case *storage.LazyColumn:
+		dict, err = c.DictValues()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	default:
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("column %d is %T", ci, s.tbl.Column(ci)))
+		return
+	}
+	s.writeJSON(w, dictDTO{Values: dict})
+}
+
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	ci, err := s.colParam(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	k, err := strconv.Atoi(r.URL.Query().Get("chunk"))
+	if err != nil || k < 0 || k >= s.st.NumChunks() {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad chunk %q", r.URL.Query().Get("chunk")))
+		return
+	}
+	raw, crc, err := s.st.RawChunk(ci, k)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set(headerChunkCRC, fmt.Sprintf("%08x", crc))
+	w.Header().Set(headerChunkLen, strconv.Itoa(len(raw)))
+	s.writeBody(w, "application/octet-stream", raw)
+}
+
+// attrStatus classifies an attr parameter: 400 when the request itself
+// is wrong (unknown attribute, wrong type family — retrying cannot
+// help), leaving later compute failures to surface as 500 so the
+// client's transient-failure retry applies to them.
+func (s *Server) attrStatus(attr string, want func(storage.DataType) bool) error {
+	for _, f := range s.tbl.Schema().Fields() {
+		if f.Name == attr {
+			if !want(f.Type) {
+				return fmt.Errorf("attribute %q has the wrong type for this endpoint", attr)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown attribute %q", attr)
+}
+
+func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
+	attr := r.URL.Query().Get("attr")
+	if err := s.attrStatus(attr, storage.DataType.IsNumeric); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	vals, err := engine.NumericValuesUnder(s.tbl, attr, bitvec.NewFull(s.tbl.NumRows()))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set(headerCount, strconv.Itoa(len(vals)))
+	s.writeBody(w, "application/octet-stream", encodeFloats(vals))
+}
+
+func (s *Server) handleCatCounts(w http.ResponseWriter, r *http.Request) {
+	attr := r.URL.Query().Get("attr")
+	if err := s.attrStatus(attr, func(t storage.DataType) bool { return t == storage.String }); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	dict, counts, err := engine.CategoryCountsUnder(s.tbl, attr, bitvec.NewFull(s.tbl.NumRows()))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, catCountsDTO{Dict: dict, Counts: counts})
+}
+
+func (s *Server) handleBoolCounts(w http.ResponseWriter, r *http.Request) {
+	attr := r.URL.Query().Get("attr")
+	if err := s.attrStatus(attr, func(t storage.DataType) bool { return t == storage.Bool }); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	falses, trues, err := engine.BoolCountsUnder(s.tbl, attr, bitvec.NewFull(s.tbl.NumRows()))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, boolCountsDTO{Falses: falses, Trues: trues})
+}
+
+func (s *Server) handlePartials(w http.ResponseWriter, r *http.Request) {
+	var req partialsReqDTO
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	out := make([]partialDTO, len(req.Specs))
+	for i, spec := range req.Specs {
+		var lo, hi float64
+		var err error
+		if spec.Lo != "" {
+			if lo, err = parseFbits(spec.Lo); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		if spec.Hi != "" {
+			if hi, err = parseFbits(spec.Hi); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		if spec.Col < 0 || spec.Col >= s.tbl.NumCols() {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("column %d out of range", spec.Col))
+			return
+		}
+		p, err := shard.ComputeColumnPartial(s.tbl, spec.Col, lo, hi, spec.UseHist)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out[i] = partialToDTO(p)
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handlePredCount(w http.ResponseWriter, r *http.Request) {
+	var dto predDTO
+	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	p, err := predFromDTO(dto)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.attrStatus(p.Attr, func(storage.DataType) bool { return true }); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := engine.Count(s.tbl, query.New(s.tbl.Name(), p))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, countDTO{Count: n})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, healthDTO{OK: true, Table: s.tbl.Name(), Rows: s.tbl.NumRows()})
+}

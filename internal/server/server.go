@@ -15,6 +15,8 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/cql"
+	"repro/internal/par"
+	"repro/internal/remote"
 	"repro/internal/session"
 	"repro/internal/shard"
 	"repro/internal/storage"
@@ -85,12 +87,19 @@ type StoreConfig struct {
 	// Defer postpones opening shard files until first touch (sharded
 	// stores with a v2 manifest only).
 	Defer bool
+	// Remote opens http(s):// shard locations; nil uses a default
+	// internal/remote opener, so remote manifests serve out of the box.
+	Remote shard.RemoteOpener
 }
 
 // NewFromStoreWith is NewFromStore with explicit memory-tier options.
 func NewFromStoreWith(path string, opts core.Options, sc StoreConfig) (*Server, error) {
 	if shard.IsManifest(path) {
-		set, err := shard.OpenWith(path, shard.Options{Store: sc.Store, Defer: sc.Defer})
+		opener := sc.Remote
+		if opener == nil {
+			opener = remote.NewOpener(remote.Options{})
+		}
+		set, err := shard.OpenWith(path, shard.Options{Store: sc.Store, Defer: sc.Defer, Remote: opener})
 		if err != nil {
 			return nil, err
 		}
@@ -464,11 +473,24 @@ func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// ShardDTO describes one shard of a sharded table.
+// ShardDTO describes one shard of a sharded table. Remote shards
+// (served over the fabric by their own atlasd) additionally report the
+// outcome and latency of a liveness probe.
 type ShardDTO struct {
 	File   string `json:"file"`
 	Rows   int    `json:"rows"`
 	Offset int    `json:"offset"`
+	// Remote reports whether the shard is served over the fabric.
+	Remote bool `json:"remote,omitempty"`
+	// Opened reports whether the shard's backend has been opened
+	// (deferred sets leave untouched shards unopened).
+	Opened bool `json:"opened"`
+	// Healthy is the probe outcome; omitted for local shards.
+	Healthy *bool `json:"healthy,omitempty"`
+	// LatencyMs is the probe round trip (remote shards only).
+	LatencyMs float64 `json:"latencyMs,omitempty"`
+	// Error carries the probe failure, if any.
+	Error string `json:"error,omitempty"`
 }
 
 // ShardsDTO describes the sharded layout behind the served table, plus
@@ -513,8 +535,26 @@ func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
 		ChunkSize:    m.ChunkSize,
 		Rows:         m.Rows,
 	}
+	// Probe shards concurrently: one slow or down remote shard costs one
+	// probe's latency, not the sum over shards.
+	healths := make([]shard.ShardHealthInfo, len(m.Shards))
+	_ = par.For(len(m.Shards), len(m.Shards), func(i int) error {
+		healths[i] = s.set.ShardHealth(i)
+		return nil
+	})
 	for i, sf := range m.Shards {
-		dto.Shards = append(dto.Shards, ShardDTO{File: sf.File, Rows: sf.Rows, Offset: s.set.ShardOffset(i)})
+		sd := ShardDTO{File: sf.File, Rows: sf.Rows, Offset: s.set.ShardOffset(i)}
+		h := healths[i]
+		sd.Remote, sd.Opened = h.Remote, h.Opened
+		if h.Remote {
+			healthy := h.Healthy
+			sd.Healthy = &healthy
+			sd.LatencyMs = float64(h.Latency.Microseconds()) / 1000.0
+		}
+		if h.Err != nil {
+			sd.Error = h.Err.Error()
+		}
+		dto.Shards = append(dto.Shards, sd)
 	}
 	s.partialsOnce.Do(func() {
 		s.partials, s.partialsErr = s.set.Partials(s.opts.Parallelism)

@@ -97,19 +97,21 @@ func newPredCache(capacity int) *predCache {
 // with the session's Cartographer). The returned vector must be
 // treated as read-only.
 func (c *predCache) getOrCompute(t *storage.Table, p query.Predicate, opts engine.ScanOptions) (*bitvec.Vector, error) {
-	return c.getOrComputeKeyed(t, p, opts, p.String())
+	return c.getOrComputeKeyed(t, p, opts, p.String(), nil)
 }
 
 // getOrComputeShard is getOrCompute for one shard of a sharded table:
 // the entry is keyed by (predicate, shard), so each shard's bitmap is
 // computed against its own view, cached and evicted independently — the
 // granularity a multi-backend deployment needs, where a shard's bitmap
-// is only valid on the backend holding that shard.
-func (c *predCache) getOrComputeShard(view *storage.Table, p query.Predicate, shard int, opts engine.ScanOptions) (*bitvec.Vector, error) {
-	return c.getOrComputeKeyed(view, p, opts, fmt.Sprintf("%d|%s", shard, p.String()))
+// is only valid on the backend holding that shard. compute, when
+// non-nil, replaces the default predicate scan on a miss (remote shards
+// consult their statistics plane first).
+func (c *predCache) getOrComputeShard(view *storage.Table, p query.Predicate, shard int, opts engine.ScanOptions, compute func() (*bitvec.Vector, error)) (*bitvec.Vector, error) {
+	return c.getOrComputeKeyed(view, p, opts, fmt.Sprintf("%d|%s", shard, p.String()), compute)
 }
 
-func (c *predCache) getOrComputeKeyed(t *storage.Table, p query.Predicate, opts engine.ScanOptions, key string) (*bitvec.Vector, error) {
+func (c *predCache) getOrComputeKeyed(t *storage.Table, p query.Predicate, opts engine.ScanOptions, key string, compute func() (*bitvec.Vector, error)) (*bitvec.Vector, error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
@@ -123,7 +125,10 @@ func (c *predCache) getOrComputeKeyed(t *storage.Table, p query.Predicate, opts 
 
 	// Evaluate outside the lock: predicate scans are the expensive part
 	// and must not serialize concurrent prefetches.
-	bits, err := engine.EvalPredicateOpts(t, p, opts)
+	if compute == nil {
+		compute = func() (*bitvec.Vector, error) { return engine.EvalPredicateOpts(t, p, opts) }
+	}
+	bits, err := compute()
 	if err != nil {
 		return nil, err
 	}

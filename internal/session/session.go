@@ -53,6 +53,17 @@ type ShardPruner interface {
 	ShardMayMatch(shard int, p query.Predicate) bool
 }
 
+// ShardPredCounter is the optional statistics-plane probe of a layout
+// (implemented by shard.Set for shards served over the remote fabric):
+// with ok=true it answers how many rows of shard i satisfy p, computed
+// where the shard lives. The session consults it on predicate-bitmap
+// cache misses of remote shards — a zero count yields the empty bitmap
+// with no chunk payload ever crossing the wire, the per-predicate
+// bitmap-count half of the fabric's statistics plane.
+type ShardPredCounter interface {
+	RemotePredicateCount(shard int, p query.Predicate) (count int, ok bool, err error)
+}
+
 // Session is a stateful exploration over one table. It is safe for
 // concurrent use.
 type Session struct {
@@ -140,6 +151,7 @@ func (s *Session) explore(q query.Query) (*core.Result, error) {
 func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.Vector, error) {
 	n := s.shards.NumShards()
 	pruner, _ := s.shards.(ShardPruner)
+	counter, _ := s.shards.(ShardPredCounter)
 	// Divide the worker budget: shards are the outer parallel axis; any
 	// leftover workers shard each predicate scan chunk-wise.
 	workers := sopts.Workers
@@ -159,7 +171,7 @@ func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.
 				sel.Zero()
 				break
 			}
-			bm, err := s.preds.getOrComputeShard(view, p, i, inner)
+			bm, err := s.preds.getOrComputeShard(view, p, i, inner, s.shardPredCompute(counter, view, p, i, inner))
 			if err != nil {
 				return err
 			}
@@ -179,6 +191,25 @@ func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.
 		base.OrBlit(s.shards.ShardOffset(i), sel)
 	}
 	return base, nil
+}
+
+// shardPredCompute builds the cache-miss evaluator of one (predicate,
+// shard) bitmap. Layouts with a statistics plane (remote shards) are
+// asked for the predicate's row count first: zero means the cached
+// bitmap is empty and no chunk is pulled; a positive count — or a probe
+// failure — falls through to the ordinary scan (whose own error names
+// the shard if it is really down). Local layouts get a nil compute, so
+// the cache scans directly.
+func (s *Session) shardPredCompute(counter ShardPredCounter, view *storage.Table, p query.Predicate, i int, opts engine.ScanOptions) func() (*bitvec.Vector, error) {
+	if counter == nil {
+		return nil
+	}
+	return func() (*bitvec.Vector, error) {
+		if n, ok, err := counter.RemotePredicateCount(i, p); err == nil && ok && n == 0 {
+			return bitvec.New(view.NumRows()), nil
+		}
+		return engine.EvalPredicateOpts(view, p, opts)
+	}
 }
 
 // exploreLocked runs (or serves from cache) an exploration and appends a

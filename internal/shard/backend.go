@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// This file is the backend seam of the shard layer: everything a Set
+// needs from one member shard — metadata, zone maps, dictionaries and a
+// chunk source — behind an interface, so a shard can live in a local
+// .atl file (fileBackend, below) or behind another process's RPC
+// endpoints (internal/remote's client). The Set's assembly, pruning and
+// fan-out logic is identical either way; only where bytes come from
+// differs.
+
+// BackendMeta is a shard's identity: what the manifest's per-shard
+// entries are validated against at open.
+type BackendMeta struct {
+	// Table is the shard's stored table name.
+	Table string
+	// Rows is the shard's row count.
+	Rows int
+	// ChunkSize is rows per chunk.
+	ChunkSize int
+	// Schema is the shard's column schema.
+	Schema *storage.Schema
+}
+
+// Backend serves one shard's data to a Set. Implementations must be
+// safe for concurrent use; every method after a successful open answers
+// from the same immutable snapshot.
+type Backend interface {
+	// Meta returns the shard's identity.
+	Meta() BackendMeta
+	// Zones returns the shard's per-column, per-chunk zone maps in the
+	// shard's own (local-dictionary) code space.
+	Zones() [][]storage.ZoneMap
+	// Dicts returns the dictionary of string column ci (nil for
+	// non-string columns). May fetch on first use.
+	Dicts(ci int) ([]string, error)
+	// Source serves the shard's decoded chunk payloads (local code
+	// space; the Set remaps into union space where needed).
+	Source() storage.ChunkSource
+	// Close releases the backend's resources.
+	Close() error
+}
+
+// TableBackend is the optional fast path of backends that hold a whole
+// chunk-aware table in-process (local files): a single-shard set serves
+// it directly, with no routing layer.
+type TableBackend interface {
+	Backend
+	Table() *storage.Table
+}
+
+// IOBackend is the optional I/O-counter surface of a backend; remote
+// backends report bytes over the wire and chunk fetches here.
+type IOBackend interface {
+	IOStats() colstore.IOStats
+}
+
+// PartialSpec names one column's partial-statistics request: the
+// set-wide histogram range agreed by the coordinator before the
+// fan-out.
+type PartialSpec struct {
+	// Col is the column index.
+	Col int
+	// Lo and Hi fix the histogram edges; UseHist is false when the set
+	// has no finite range (no histogram is built then).
+	Lo, Hi  float64
+	UseHist bool
+}
+
+// StatBackend is the statistics plane of a backend: per-shard
+// statistics computed where the shard's data lives, so a sharded
+// exploration fans out as small requests instead of pulling chunks.
+// Answers are in the shard's local dictionary space — the Set remaps
+// them into union space during the reduce — and must be exactly what
+// the equivalent local scan would produce (values in row order, exact
+// counts), which is what keeps remote explorations byte-identical.
+type StatBackend interface {
+	// NumericValues returns attr's non-NULL values in row order under
+	// the full selection.
+	NumericValues(attr string) ([]float64, error)
+	// CategoryCounts returns attr's local dictionary and per-code
+	// counts under the full selection.
+	CategoryCounts(attr string) (dict []string, counts []int, err error)
+	// BoolCounts returns attr's (false, true) tallies.
+	BoolCounts(attr string) (falses, trues int, err error)
+	// ColumnPartials computes one mergeable partial per spec, in one
+	// round trip.
+	ColumnPartials(specs []PartialSpec) ([]*ColumnPartial, error)
+	// PredicateCount returns how many shard rows satisfy p — the
+	// per-predicate bitmap count of the statistics plane.
+	PredicateCount(p query.Predicate) (int, error)
+}
+
+// HealthBackend is the optional liveness probe of a backend.
+type HealthBackend interface {
+	// Health round-trips a liveness check, returning its latency.
+	Health() (time.Duration, error)
+}
+
+// RemoteOpener opens backends for http(s):// shard locations. The
+// store options carry the set's shared decoded-chunk cache, so remote
+// payloads honor the same byte budget as local ones. Implemented by
+// internal/remote.Opener; shard itself stays transport-free.
+type RemoteOpener interface {
+	OpenShard(location string, store colstore.Options) (Backend, error)
+}
+
+// IsRemoteLocation reports whether a manifest shard location names a
+// remote shard server rather than a file next to the manifest.
+func IsRemoteLocation(loc string) bool {
+	return strings.HasPrefix(loc, "http://") || strings.HasPrefix(loc, "https://")
+}
+
+// fileBackend adapts a local .atl store to the Backend interface.
+type fileBackend struct {
+	st  *colstore.Store
+	src storage.ChunkSource
+}
+
+// openFileBackend opens a shard file with the set's store options.
+func openFileBackend(path string, o colstore.Options) (*fileBackend, error) {
+	st, err := colstore.OpenWith(path, o)
+	if err != nil {
+		return nil, err
+	}
+	src := st.Source()
+	if src == nil {
+		// Eagerly decoded file: serve chunk payloads as zero-copy slices
+		// of its columns.
+		tsrc, err := storage.TableChunkSource(st.Table())
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		src = tsrc
+	}
+	return &fileBackend{st: st, src: src}, nil
+}
+
+// Meta implements Backend.
+func (fb *fileBackend) Meta() BackendMeta {
+	t := fb.st.Table()
+	return BackendMeta{Table: t.Name(), Rows: t.NumRows(), ChunkSize: fb.st.ChunkSize, Schema: t.Schema()}
+}
+
+// Zones implements Backend.
+func (fb *fileBackend) Zones() [][]storage.ZoneMap {
+	return fb.st.Table().Chunking().Zones
+}
+
+// Dicts implements Backend.
+func (fb *fileBackend) Dicts(ci int) ([]string, error) {
+	t := fb.st.Table()
+	if t.Schema().Field(ci).Type != storage.String {
+		return nil, nil
+	}
+	switch c := t.Column(ci).(type) {
+	case *storage.StringColumn:
+		return c.Dict(), nil
+	case *storage.LazyColumn:
+		return c.DictValues()
+	default:
+		return nil, fmt.Errorf("shard: column %d is %T, want a string column", ci, t.Column(ci))
+	}
+}
+
+// Source implements Backend.
+func (fb *fileBackend) Source() storage.ChunkSource { return fb.src }
+
+// Table implements TableBackend.
+func (fb *fileBackend) Table() *storage.Table { return fb.st.Table() }
+
+// IOStats implements IOBackend.
+func (fb *fileBackend) IOStats() colstore.IOStats { return fb.st.IOStats() }
+
+// Close implements Backend.
+func (fb *fileBackend) Close() error { return fb.st.Close() }

@@ -66,6 +66,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/query"
 	"repro/internal/storage"
@@ -241,8 +242,8 @@ func (m *Manifest) validate() error {
 		if sf.File == "" {
 			return fmt.Errorf("shard: shard %d has no file", i)
 		}
-		if filepath.IsAbs(sf.File) {
-			return fmt.Errorf("shard: shard file %q must be relative to the manifest", sf.File)
+		if !IsRemoteLocation(sf.File) && filepath.IsAbs(sf.File) {
+			return fmt.Errorf("shard: shard file %q must be relative to the manifest (or an http(s):// location)", sf.File)
 		}
 		if sf.Rows < 0 {
 			return fmt.Errorf("shard: shard %d has negative row count %d", i, sf.Rows)
@@ -325,6 +326,42 @@ func ReadManifest(path string) (*Manifest, error) {
 		return nil, fmt.Errorf("shard: %s: %w", path, err)
 	}
 	return &m, nil
+}
+
+// RemoteManifest returns a copy of m with shard i served from urls[i]
+// instead of its local file — the coordinator-side manifest of a remote
+// deployment, where each URL names an atlasd running with -serve-shard
+// on that shard's .atl file. Rows, statistics and ordering carry over
+// unchanged, so shard-file pruning and deferred opens keep working; an
+// empty urls[i] keeps shard i local (mixed deployments are fine).
+func RemoteManifest(m *Manifest, urls []string) (*Manifest, error) {
+	if len(urls) != len(m.Shards) {
+		return nil, fmt.Errorf("shard: %d URLs for %d shards", len(urls), len(m.Shards))
+	}
+	out := *m
+	out.Shards = append([]ShardFile(nil), m.Shards...)
+	for i, u := range urls {
+		if u == "" {
+			continue
+		}
+		if !IsRemoteLocation(u) {
+			return nil, fmt.Errorf("shard: shard %d location %q is not an http(s):// URL", i, u)
+		}
+		out.Shards[i].File = strings.TrimRight(u, "/")
+	}
+	if err := out.validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WriteManifestFile serializes a manifest to path (atomically, via a
+// temporary sibling) — exported for remote-manifest tooling.
+func WriteManifestFile(path string, m *Manifest) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	return writeManifest(path, m)
 }
 
 // writeManifest serializes m to path via a temporary sibling, so a

@@ -139,6 +139,19 @@ func (p *ColumnPartial) Merge(o *ColumnPartial) error {
 	return nil
 }
 
+// ComputeColumnPartial computes one shard table's mergeable partial for
+// column ci: what a Set computes per shard locally, and what a remote
+// shard server computes where its data lives before shipping only the
+// bundle. lo/hi fix the histogram edges (the set-wide range the
+// coordinator agreed before the fan-out); useHist disables the
+// histogram when the set has no finite range.
+func ComputeColumnPartial(t *storage.Table, ci int, lo, hi float64, useHist bool) (*ColumnPartial, error) {
+	if ci < 0 || ci >= t.NumCols() {
+		return nil, fmt.Errorf("shard: column %d out of range", ci)
+	}
+	return columnPartial(t, ci, lo, hi, useHist)
+}
+
 // partialHistBins is the bin count of per-shard summary histograms.
 const partialHistBins = 64
 

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/colstore"
@@ -48,6 +50,7 @@ type Set struct {
 	// Aligned (lazy-view) sets only; nil after an eager reassembly.
 	dir       string
 	storeOpts colstore.Options
+	remote    RemoteOpener
 	cache     *colstore.ChunkCache
 	shards    []*lazyShard
 	chunkOffs []int // shard i's first combined chunk
@@ -57,8 +60,11 @@ type Set struct {
 
 	// dictsOnce loads every shard's dictionaries, builds the union
 	// dictionaries and the per-(shard, column) code remap tables. In
-	// deferred mode it runs on first dictionary demand.
+	// deferred mode it runs on first dictionary demand. dictsDone flips
+	// after a successful build — the side-effect-free check prefetch
+	// hints rely on.
 	dictsOnce sync.Once
+	dictsDone atomic.Bool
 	dictsErr  error
 	unionDict [][]string   // per column; nil for non-string
 	remaps    [][][]uint32 // [shard][col] local→union code map; nil = identity
@@ -81,6 +87,10 @@ type Options struct {
 	// all files (cheaply: metadata only) — whole-file skipping is at
 	// its best on numeric workloads.
 	Defer bool
+	// Remote opens backends for manifests whose shard locations are
+	// http(s):// URLs (see internal/remote). Opening such a manifest
+	// without a remote opener fails with an error naming the shard.
+	Remote RemoteOpener
 }
 
 // Open opens a manifest and its shard files with default options:
@@ -112,11 +122,26 @@ func OpenWith(manifestPath string, o Options) (*Set, error) {
 			break
 		}
 	}
+	anyRemote := false
+	for _, sf := range m.Shards {
+		if IsRemoteLocation(sf.File) {
+			anyRemote = true
+			break
+		}
+	}
 	if !aligned {
+		if anyRemote {
+			// Eager reassembly re-encodes whole columns; pulling every
+			// remote chunk just to concatenate defeats the fabric.
+			return nil, fmt.Errorf("shard: remote shards require chunk-aligned manifests (every non-final shard a multiple of %d rows)", m.ChunkSize)
+		}
 		return openEager(m, dir)
 	}
+	if anyRemote && o.Remote == nil {
+		return nil, fmt.Errorf("shard: manifest names remote shards but no remote opener is configured")
+	}
 
-	s := &Set{manifest: m, dir: dir, storeOpts: o.Store}
+	s := &Set{manifest: m, dir: dir, storeOpts: o.Store, remote: o.Remote}
 	if s.storeOpts.Cache == nil {
 		s.storeOpts.Cache = colstore.NewChunkCache(colstore.ResolveCacheBudget(s.storeOpts.CacheBytes))
 	}
@@ -132,7 +157,11 @@ func OpenWith(manifestPath string, o Options) (*Set, error) {
 	}
 	s.shards = make([]*lazyShard, n)
 	for i := range s.shards {
-		s.shards[i] = &lazyShard{s: s, idx: i, path: filepath.Join(dir, m.Shards[i].File)}
+		loc := m.Shards[i].File
+		if !IsRemoteLocation(loc) {
+			loc = filepath.Join(dir, loc)
+		}
+		s.shards[i] = &lazyShard{s: s, idx: i, loc: loc}
 	}
 
 	// Deferring needs the full v2 statistics: without a shard's stats
@@ -155,18 +184,18 @@ func OpenWith(manifestPath string, o Options) (*Set, error) {
 		}
 		viewZones = manifestZones(m)
 	} else {
-		// Open every shard now (cheap for lazy files: header + directory
-		// + dictionaries), concurrently, and use their exact zone maps.
+		// Open every shard now (cheap for lazy files and remote backends:
+		// metadata only), concurrently, and use their exact zone maps.
 		err = par.For(runtime.GOMAXPROCS(0), n, func(i int) error {
-			_, err := s.shards[i].source()
+			_, err := s.shards[i].backend()
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
-		schema = s.shards[0].st.Table().Schema()
+		schema = s.shards[0].be.Meta().Schema
 		for i := 1; i < n; i++ {
-			if !schema.Equal(s.shards[i].st.Table().Schema()) {
+			if !schema.Equal(s.shards[i].be.Meta().Schema) {
 				return nil, fmt.Errorf("shard: schema mismatch: shard 0 (%s) and shard %d (%s) disagree",
 					m.Shards[0].File, i, m.Shards[i].File)
 			}
@@ -176,7 +205,7 @@ func OpenWith(manifestPath string, o Options) (*Set, error) {
 		}
 		viewZones = make([][][]storage.ZoneMap, n)
 		for i := range s.shards {
-			viewZones[i] = s.remapShardZones(i, s.shards[i].st.Table())
+			viewZones[i] = s.remapShardZones(i, s.shards[i].be.Zones())
 		}
 	}
 	if err := s.build(schema, viewZones, deferred); err != nil {
@@ -216,77 +245,109 @@ func openEager(m *Manifest, dir string) (*Set, error) {
 
 // validateShard cross-checks an opened shard file against the manifest.
 func validateShard(m *Manifest, i int, st *colstore.Store) error {
-	if st.Table().NumRows() != m.Shards[i].Rows {
+	return validateShardMeta(m, i, BackendMeta{Rows: st.Table().NumRows(), ChunkSize: st.ChunkSize})
+}
+
+// validateShardMeta cross-checks a backend's identity against the
+// manifest.
+func validateShardMeta(m *Manifest, i int, meta BackendMeta) error {
+	if meta.Rows != m.Shards[i].Rows {
 		return fmt.Errorf("shard: shard %d (%s) holds %d rows, manifest says %d",
-			i, m.Shards[i].File, st.Table().NumRows(), m.Shards[i].Rows)
+			i, m.Shards[i].File, meta.Rows, m.Shards[i].Rows)
 	}
-	if st.ChunkSize != m.ChunkSize {
+	if meta.ChunkSize != m.ChunkSize {
 		return fmt.Errorf("shard: shard %d (%s) has chunk size %d, manifest says %d",
-			i, m.Shards[i].File, st.ChunkSize, m.ChunkSize)
+			i, m.Shards[i].File, meta.ChunkSize, m.ChunkSize)
 	}
 	return nil
 }
 
-// lazyShard is one member file of an aligned set, opened on demand
-// (immediately for non-deferred sets).
+// lazyShard is one member of an aligned set — a local .atl file or a
+// remote shard server — opened on demand (immediately for non-deferred
+// sets).
 type lazyShard struct {
-	s    *Set
-	idx  int
-	path string
+	s   *Set
+	idx int
+	loc string // file path, or http(s):// location
 
 	mu  sync.Mutex
-	st  *colstore.Store
+	be  Backend
 	src storage.ChunkSource
 	err error
 }
 
-// source opens the shard file if needed and returns its chunk source.
-func (ls *lazyShard) source() (storage.ChunkSource, error) {
+// backend opens the shard's backend if needed, validating it against
+// the manifest, and returns it.
+func (ls *lazyShard) backend() (Backend, error) {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
-	if ls.src != nil || ls.err != nil {
-		return ls.src, ls.err
+	if ls.be != nil || ls.err != nil {
+		return ls.be, ls.err
 	}
-	st, err := colstore.OpenWith(ls.path, ls.s.storeOpts)
+	remote := IsRemoteLocation(ls.loc)
+	// Remote failures are NOT cached: servers heal (restarts, network
+	// blips), so the next touch redials instead of serving a poisoned
+	// error until the whole set reopens. Local file errors stay sticky —
+	// files do not fix themselves.
+	fail := func(err error) (Backend, error) {
+		if !remote {
+			ls.err = err
+		}
+		return nil, err
+	}
+	var be Backend
+	var err error
+	if remote {
+		if ls.s.remote == nil {
+			return fail(fmt.Errorf("shard: shard %d is remote (%s) but no remote opener is configured", ls.idx, ls.loc))
+		}
+		be, err = ls.s.remote.OpenShard(ls.loc, ls.s.storeOpts)
+	} else {
+		be, err = openFileBackend(ls.loc, ls.s.storeOpts)
+	}
 	if err != nil {
-		ls.err = fmt.Errorf("shard: opening shard %d: %w", ls.idx, err)
-		return nil, ls.err
+		return fail(fmt.Errorf("shard: opening shard %d: %w", ls.idx, err))
 	}
-	if err := validateShard(ls.s.manifest, ls.idx, st); err != nil {
-		st.Close()
-		ls.err = err
-		return nil, ls.err
+	meta := be.Meta()
+	if err := validateShardMeta(ls.s.manifest, ls.idx, meta); err != nil {
+		be.Close()
+		return fail(err)
 	}
 	// Deferred sets validate the schema against the manifest's on first
 	// open (non-deferred sets cross-check shard 0 at set open).
-	if ls.s.combined != nil && !st.Table().Schema().Equal(ls.s.combined.Schema()) {
-		st.Close()
-		ls.err = fmt.Errorf("shard: shard %d (%s) schema disagrees with the manifest",
-			ls.idx, ls.s.manifest.Shards[ls.idx].File)
-		return nil, ls.err
+	if ls.s.combined != nil && !meta.Schema.Equal(ls.s.combined.Schema()) {
+		be.Close()
+		return fail(fmt.Errorf("shard: shard %d (%s) schema disagrees with the manifest",
+			ls.idx, ls.s.manifest.Shards[ls.idx].File))
 	}
-	src := st.Source()
-	if src == nil {
-		// Eagerly decoded file: serve chunk payloads as zero-copy slices
-		// of its columns.
-		tsrc, err := storage.TableChunkSource(st.Table())
-		if err != nil {
-			st.Close()
-			ls.err = err
-			return nil, ls.err
-		}
-		src = tsrc
+	ls.be = be
+	ls.src = be.Source()
+	return ls.be, nil
+}
+
+// source opens the shard backend if needed and returns its chunk source.
+func (ls *lazyShard) source() (storage.ChunkSource, error) {
+	if _, err := ls.backend(); err != nil {
+		return nil, err
 	}
-	ls.st = st
-	ls.src = src
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	return ls.src, nil
 }
 
-// opened reports whether the shard file has been opened.
+// openedSource returns the shard's chunk source only if the backend is
+// already open — the side-effect-free lookup of prefetch hints.
+func (ls *lazyShard) openedSource() storage.ChunkSource {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.src
+}
+
+// opened reports whether the shard backend has been opened.
 func (ls *lazyShard) opened() bool {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
-	return ls.st != nil
+	return ls.be != nil
 }
 
 // setSource routes combined-table chunk fetches to the owning shard,
@@ -339,6 +400,29 @@ func (ss *setSource) FetchChunk(ci, gk int) (*storage.ChunkPayload, bool, error)
 	})
 }
 
+// PrefetchChunk implements storage.ChunkPrefetcher: hints are routed to
+// the owning shard's source only when that shard is already open (a
+// speculative load must never open a deferred file) and only for
+// identity-dictionary columns (remapped payloads are cache entries of
+// the set itself; speculating those buys little and complicates
+// ownership).
+func (ss *setSource) PrefetchChunk(ci, gk int) {
+	s := ss.s
+	i := s.shardOfChunk(gk)
+	src := s.shards[i].openedSource()
+	if src == nil {
+		return
+	}
+	if s.combined != nil && s.combined.Schema().Field(ci).Type == storage.String {
+		if !s.dictsDone.Load() || s.remaps[i][ci] != nil {
+			return
+		}
+	}
+	if p, ok := src.(storage.ChunkPrefetcher); ok {
+		p.PrefetchChunk(ci, gk-s.chunkOffs[i])
+	}
+}
+
 // viewSource is a shard view's chunk source: the combined source offset
 // by the shard's first chunk.
 type viewSource struct {
@@ -349,6 +433,11 @@ type viewSource struct {
 // FetchChunk implements storage.ChunkSource.
 func (vs *viewSource) FetchChunk(ci, k int) (*storage.ChunkPayload, bool, error) {
 	return vs.ss.FetchChunk(ci, vs.ss.s.chunkOffs[vs.shard]+k)
+}
+
+// PrefetchChunk implements storage.ChunkPrefetcher.
+func (vs *viewSource) PrefetchChunk(ci, k int) {
+	vs.ss.PrefetchChunk(ci, vs.ss.s.chunkOffs[vs.shard]+k)
 }
 
 // remapFor returns the local→union code remap of (shard, col), nil for
@@ -365,14 +454,24 @@ func (s *Set) remapFor(shard, ci int) ([]uint32, error) {
 
 // loadDicts runs the one-time union-dictionary build (all shards open).
 func (s *Set) loadDicts() error {
-	s.dictsOnce.Do(func() { s.dictsErr = s.loadDictsLocked() })
+	s.dictsOnce.Do(func() {
+		s.dictsErr = s.loadDictsLocked()
+		if s.dictsErr == nil {
+			s.dictsDone.Store(true)
+		}
+	})
 	return s.dictsErr
 }
 
 // loadDictsNow is loadDicts for the non-deferred open path, where the
 // schema object is at hand before the combined table exists.
 func (s *Set) loadDictsNow(schema *storage.Schema) error {
-	s.dictsOnce.Do(func() { s.dictsErr = s.buildDicts(schema) })
+	s.dictsOnce.Do(func() {
+		s.dictsErr = s.buildDicts(schema)
+		if s.dictsErr == nil {
+			s.dictsDone.Store(true)
+		}
+	})
 	return s.dictsErr
 }
 
@@ -388,27 +487,20 @@ func (s *Set) buildDicts(schema *storage.Schema) error {
 	n := len(s.shards)
 	shardDicts := make([][][]string, n) // [shard][col]
 	err := par.For(runtime.GOMAXPROCS(0), n, func(i int) error {
-		if _, err := s.shards[i].source(); err != nil {
+		be, err := s.shards[i].backend()
+		if err != nil {
 			return err
 		}
-		t := s.shards[i].st.Table()
 		dicts := make([][]string, schema.NumFields())
 		for ci := 0; ci < schema.NumFields(); ci++ {
 			if schema.Field(ci).Type != storage.String {
 				continue
 			}
-			switch c := t.Column(ci).(type) {
-			case *storage.StringColumn:
-				dicts[ci] = c.Dict()
-			case *storage.LazyColumn:
-				d, err := c.DictValues()
-				if err != nil {
-					return err
-				}
-				dicts[ci] = d
-			default:
-				return fmt.Errorf("shard: shard %d column %d is %T, want a string column", i, ci, t.Column(ci))
+			d, err := be.Dicts(ci)
+			if err != nil {
+				return fmt.Errorf("shard: shard %d column %d dictionary: %w", i, ci, err)
 			}
+			dicts[ci] = d
 		}
 		shardDicts[i] = dicts
 		return nil
@@ -498,12 +590,12 @@ func manifestZones(m *Manifest) [][][]storage.ZoneMap {
 
 // remapShardZones copies an opened shard's zone maps, translating
 // categorical code sets into union-dictionary space.
-func (s *Set) remapShardZones(i int, t *storage.Table) [][]storage.ZoneMap {
-	ck := t.Chunking()
-	out := make([][]storage.ZoneMap, t.NumCols())
+func (s *Set) remapShardZones(i int, shardZones [][]storage.ZoneMap) [][]storage.ZoneMap {
+	schema := s.shards[i].be.Meta().Schema
+	out := make([][]storage.ZoneMap, len(shardZones))
 	for ci := range out {
-		zones := append([]storage.ZoneMap(nil), ck.Zones[ci]...)
-		if t.Schema().Field(ci).Type == storage.String {
+		zones := append([]storage.ZoneMap(nil), shardZones[ci]...)
+		if schema.Field(ci).Type == storage.String {
 			unionCard := len(s.unionDict[ci])
 			remap := s.remaps[i][ci]
 			for k := range zones {
@@ -529,12 +621,15 @@ func (s *Set) build(schema *storage.Schema, viewZones [][][]storage.ZoneMap, def
 	m := s.manifest
 	n := len(s.shards)
 	if n == 1 && !deferred {
-		// Single opened shard: the combined table IS the shard file's
-		// table (chunk metadata included); no indirection needed.
-		tbl := s.shards[0].st.Table().Rename(m.Table)
-		s.combined = tbl
-		s.views = []*storage.Table{tbl}
-		return nil
+		if tb, ok := s.shards[0].be.(TableBackend); ok {
+			// Single opened local shard: the combined table IS the shard
+			// file's table (chunk metadata included); no indirection needed.
+			tbl := tb.Table().Rename(m.Table)
+			s.combined = tbl
+			s.views = []*storage.Table{tbl}
+			return nil
+		}
+		// Single remote shard: fall through to the routed assembly.
 	}
 	src := &setSource{s: s}
 	s.src = src
@@ -627,14 +722,14 @@ func (s *Set) build(schema *storage.Schema, viewZones [][][]storage.ZoneMap, def
 	return nil
 }
 
-// Close closes every opened shard file. Safe on eagerly reassembled
+// Close closes every opened shard backend. Safe on eagerly reassembled
 // sets (no-op) and idempotent.
 func (s *Set) Close() error {
 	var first error
 	for _, ls := range s.shards {
 		ls.mu.Lock()
-		if ls.st != nil {
-			if err := ls.st.Close(); err != nil && first == nil {
+		if ls.be != nil {
+			if err := ls.be.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -668,13 +763,14 @@ func (s *Set) OpenedShards() int {
 	return n
 }
 
-// IOStats sums the lazy-I/O counters of every opened shard file.
+// IOStats sums the lazy-I/O counters of every opened shard backend
+// (remote backends report bytes over the wire and chunk fetches).
 func (s *Set) IOStats() colstore.IOStats {
 	var out colstore.IOStats
 	for _, ls := range s.shards {
 		ls.mu.Lock()
-		if ls.st != nil {
-			st := ls.st.IOStats()
+		if iob, ok := ls.be.(IOBackend); ok {
+			st := iob.IOStats()
 			out.BytesRead += st.BytesRead
 			out.ChunksDecoded += st.ChunksDecoded
 		}
@@ -692,10 +788,134 @@ func (s *Set) IOStats() colstore.IOStats {
 // ShardMayMatch reports whether predicate p could select rows of shard
 // i, judged from the manifest statistics alone (see
 // Manifest.ShardMayMatch). Sessions use it to skip per-shard predicate
-// scans — and in deferred mode the file open itself — for provably
-// disjoint shards.
+// scans — and in deferred mode the file open (or remote connection)
+// itself — for provably disjoint shards.
 func (s *Set) ShardMayMatch(i int, p query.Predicate) bool {
 	return s.manifest.ShardMayMatch(i, p)
+}
+
+// statBackendFor returns the statistics-plane interface of shard i's
+// backend for remote shards, opening the backend if needed. Local
+// shards return (nil, nil): their statistics run against the shard
+// views, sharing the chunk cache and the scan-verdict counters.
+func (s *Set) statBackendFor(i int) (StatBackend, error) {
+	if s.shards == nil || !IsRemoteLocation(s.shards[i].loc) {
+		return nil, nil
+	}
+	be, err := s.shards[i].backend()
+	if err != nil {
+		return nil, err
+	}
+	sb, _ := be.(StatBackend)
+	return sb, nil
+}
+
+// colIndex resolves an attribute name against the combined schema.
+func (s *Set) colIndex(attr string) (int, error) {
+	schema := s.combined.Schema()
+	for ci := 0; ci < schema.NumFields(); ci++ {
+		if schema.Field(ci).Name == attr {
+			return ci, nil
+		}
+	}
+	return -1, fmt.Errorf("shard: no column %q", attr)
+}
+
+// countsToUnion remaps shard i's local-dictionary count vector for
+// column ci into union-code space — the reduce-side translation of
+// statistics computed where a remote shard lives.
+func (s *Set) countsToUnion(i, ci int, counts []int) ([]int, error) {
+	if err := s.loadDicts(); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(s.unionDict[ci]))
+	remap := s.remaps[i][ci]
+	if remap == nil {
+		// Identity remap: the shard's dictionary is a prefix of the union.
+		if len(counts) > len(out) {
+			return nil, fmt.Errorf("shard: shard %d column %d returned %d category counts for %d union codes", i, ci, len(counts), len(out))
+		}
+		copy(out, counts)
+		return out, nil
+	}
+	if len(counts) > len(remap) {
+		return nil, fmt.Errorf("shard: shard %d column %d returned %d category counts for %d dictionary codes", i, ci, len(counts), len(remap))
+	}
+	for c, n := range counts {
+		out[remap[c]] += n
+	}
+	return out, nil
+}
+
+// RemotePredicateCount asks shard i's statistics plane how many of its
+// rows satisfy p — the per-predicate bitmap count, answered without any
+// chunk leaving the shard. Local shards (no statistics plane) return
+// ok=false; callers scan the view instead.
+func (s *Set) RemotePredicateCount(i int, p query.Predicate) (count int, ok bool, err error) {
+	sb, err := s.statBackendFor(i)
+	if err != nil || sb == nil {
+		return 0, false, err
+	}
+	count, err = sb.PredicateCount(p)
+	if err != nil {
+		return 0, true, err
+	}
+	return count, true, nil
+}
+
+// ShardHealthInfo is one shard's liveness snapshot (see ShardHealth).
+type ShardHealthInfo struct {
+	// Location is the manifest's shard location (file or URL).
+	Location string
+	// Remote reports whether the shard is served over the fabric.
+	Remote bool
+	// Opened reports whether the shard's backend has been opened.
+	Opened bool
+	// Healthy is the probe outcome; always true for reachable local
+	// shards.
+	Healthy bool
+	// Latency is the probe round-trip time (remote shards only).
+	Latency time.Duration
+	// Err carries the probe failure, if any.
+	Err error
+}
+
+// ShardHealth probes shard i: remote shards round-trip their health
+// endpoint (opening the backend if needed — this is a diagnostic, not a
+// data path), local shards report opened state. It is what GET
+// /api/shards surfaces per shard.
+func (s *Set) ShardHealth(i int) ShardHealthInfo {
+	info := ShardHealthInfo{Location: s.manifest.Shards[i].File}
+	if s.shards == nil {
+		// Eagerly reassembled set: everything was opened and validated.
+		info.Opened, info.Healthy = true, true
+		return info
+	}
+	ls := s.shards[i]
+	info.Remote = IsRemoteLocation(ls.loc)
+	info.Opened = ls.opened()
+	if !info.Remote {
+		info.Healthy = true
+		return info
+	}
+	be, err := ls.backend()
+	if err != nil {
+		info.Err = err
+		return info
+	}
+	info.Opened = true
+	hb, ok := be.(HealthBackend)
+	if !ok {
+		info.Healthy = true
+		return info
+	}
+	lat, err := hb.Health()
+	if err != nil {
+		info.Err = err
+		return info
+	}
+	info.Healthy, info.Latency = true, lat
+	return info
 }
 
 // assemble builds the combined table and per-shard views from opened,
@@ -902,10 +1122,24 @@ type Provider struct {
 	workers int
 }
 
-// NumericStats implements core.StatProvider.
+// NumericStats implements core.StatProvider. Remote shards answer over
+// the statistics plane — one small request returning the shard's values
+// in row order, computed where the data lives — and local shards scan
+// their views; either way the merged result is exactly the unsharded
+// computation.
 func (p *Provider) NumericStats(attr string, opts core.CutOptions) ([]float64, *sketch.GK, error) {
 	runs := make([][]float64, p.s.NumShards())
 	err := par.For(p.workers, len(runs), func(i int) error {
+		if sb, err := p.s.statBackendFor(i); err != nil {
+			return err
+		} else if sb != nil {
+			vals, err := sb.NumericValues(attr)
+			if err != nil {
+				return err
+			}
+			runs[i] = vals
+			return nil
+		}
 		view := p.s.views[i]
 		vals, err := engine.NumericValuesUnder(view, attr, bitvec.NewFull(view.NumRows()))
 		if err != nil {
@@ -942,12 +1176,33 @@ func (p *Provider) NumericStats(attr string, opts core.CutOptions) ([]float64, *
 	return MergeSortedRuns(runs), gk, nil
 }
 
-// CategoryStats implements core.StatProvider.
+// CategoryStats implements core.StatProvider. Remote shards return
+// counts in their local dictionary space; the reduce remaps them into
+// the set's union dictionary, so the summed vector equals the local
+// fan-out exactly.
 func (p *Provider) CategoryStats(attr string) ([]string, []int, error) {
 	n := p.s.NumShards()
 	partCounts := make([][]int, n)
 	var dict []string
 	err := par.For(p.workers, n, func(i int) error {
+		if sb, err := p.s.statBackendFor(i); err != nil {
+			return err
+		} else if sb != nil {
+			ci, err := p.s.colIndex(attr)
+			if err != nil {
+				return err
+			}
+			_, counts, err := sb.CategoryCounts(attr)
+			if err != nil {
+				return err
+			}
+			u, err := p.s.countsToUnion(i, ci, counts)
+			if err != nil {
+				return err
+			}
+			partCounts[i] = u
+			return nil
+		}
 		view := p.s.views[i]
 		d, counts, err := engine.CategoryCountsUnder(view, attr, bitvec.NewFull(view.NumRows()))
 		if err != nil {
@@ -961,6 +1216,18 @@ func (p *Provider) CategoryStats(attr string) ([]string, []int, error) {
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if dict == nil {
+		// Shard 0 answered over the stats plane: the output dictionary is
+		// the union dictionary (already loaded by the count remap).
+		ci, err := p.s.colIndex(attr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.s.loadDicts(); err != nil {
+			return nil, nil, err
+		}
+		dict = p.s.unionDict[ci]
 	}
 	counts := partCounts[0]
 	for _, pc := range partCounts[1:] {
@@ -977,6 +1244,16 @@ func (p *Provider) BoolStats(attr string) (int, int, error) {
 	falses := make([]int, n)
 	trues := make([]int, n)
 	err := par.For(p.workers, n, func(i int) error {
+		if sb, err := p.s.statBackendFor(i); err != nil {
+			return err
+		} else if sb != nil {
+			f, t, err := sb.BoolCounts(attr)
+			if err != nil {
+				return err
+			}
+			falses[i], trues[i] = f, t
+			return nil
+		}
 		view := p.s.views[i]
 		f, t, err := engine.BoolCountsUnder(view, attr, bitvec.NewFull(view.NumRows()))
 		if err != nil {
@@ -1050,6 +1327,35 @@ func (s *Set) Partials(parallelism int) ([]*ColumnPartial, error) {
 	}
 	perShard := make([][]*ColumnPartial, s.NumShards())
 	err := par.For(parallelism, s.NumShards(), func(i int) error {
+		if sb, err := s.statBackendFor(i); err != nil {
+			return err
+		} else if sb != nil {
+			// Statistics plane: all columns in one round trip, computed
+			// where the shard lives; only the local→union category remap
+			// happens here.
+			specs := make([]PartialSpec, nCols)
+			for ci := range specs {
+				specs[ci] = PartialSpec{Col: ci, Lo: los[ci], Hi: his[ci], UseHist: useHist[ci]}
+			}
+			parts, err := sb.ColumnPartials(specs)
+			if err != nil {
+				return err
+			}
+			if len(parts) != nCols {
+				return fmt.Errorf("shard: shard %d returned %d partials for %d columns", i, len(parts), nCols)
+			}
+			for ci, p := range parts {
+				if p != nil && p.CatCounts != nil {
+					u, err := s.countsToUnion(i, ci, p.CatCounts)
+					if err != nil {
+						return err
+					}
+					p.CatCounts = u
+				}
+			}
+			perShard[i] = parts
+			return nil
+		}
 		out := make([]*ColumnPartial, nCols)
 		for ci := 0; ci < nCols; ci++ {
 			p, err := columnPartial(s.views[i], ci, los[ci], his[ci], useHist[ci])

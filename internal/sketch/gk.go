@@ -170,6 +170,59 @@ func (s *GK) Quantile(q float64) float64 {
 // Median returns an ε-approximate median.
 func (s *GK) Median() float64 { return s.Quantile(0.5) }
 
+// GKEntry is one exported tuple of a GK sketch: a value with its rank
+// uncertainty bounds, the unit of the sketch's wire serialization
+// (remote shards ship their per-column sketches to a coordinator that
+// rebuilds and merges them).
+type GKEntry struct {
+	// V is the observed value.
+	V float64
+	// G is rmin(i) − rmin(i−1); Delta is rmax(i) − rmin(i).
+	G, Delta int
+}
+
+// Export flushes the sketch and returns its observation count and entry
+// list — everything GKFromEntries needs to reconstruct an equivalent
+// sketch on the other side of a wire.
+func (s *GK) Export() (n int, entries []GKEntry) {
+	s.flush()
+	entries = make([]GKEntry, len(s.entries))
+	for i, e := range s.entries {
+		entries[i] = GKEntry{V: e.v, G: e.g, Delta: e.delta}
+	}
+	return s.n, entries
+}
+
+// GKFromEntries reconstructs a sketch from an exported entry list.
+// Entries must be ascending by value (as Export produces); the rebuilt
+// sketch answers Quantile and Merge exactly as the original.
+func GKFromEntries(eps float64, n int, entries []GKEntry) (*GK, error) {
+	s, err := NewGK(eps)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("sketch: negative observation count %d", n)
+	}
+	g := 0
+	s.entries = make([]gkEntry, len(entries))
+	for i, e := range entries {
+		if i > 0 && e.V < entries[i-1].V {
+			return nil, fmt.Errorf("sketch: entries out of order at %d", i)
+		}
+		if e.G < 0 || e.Delta < 0 {
+			return nil, fmt.Errorf("sketch: negative rank bounds at entry %d", i)
+		}
+		g += e.G
+		s.entries[i] = gkEntry{v: e.V, g: e.G, delta: e.Delta}
+	}
+	if g > n {
+		return nil, fmt.Errorf("sketch: entry gaps sum to %d for %d observations", g, n)
+	}
+	s.n = n
+	return s, nil
+}
+
 // Merge folds another sketch into s — the reduction step of distributed
 // quantile summaries: each shard sketches its own value stream and the
 // coordinator merges the partials. Entry lists are merge-sorted by value

@@ -84,6 +84,17 @@ type ChunkSource interface {
 	FetchChunk(ci, k int) (p *ChunkPayload, hit bool, err error)
 }
 
+// ChunkPrefetcher is the optional speculative side of a ChunkSource: a
+// hint that chunk k of column ci is about to be fetched. Implementations
+// start an asynchronous single-flight load (sharing the fetch path's
+// cache, so the real fetch either hits or joins the flight) and must be
+// eviction-aware — a prefetch that would push resident chunks out of a
+// bounded cache is skipped, never traded. Sources without the method
+// simply ignore hints.
+type ChunkPrefetcher interface {
+	PrefetchChunk(ci, k int)
+}
+
 // ChunkError is the named error for a chunk that could not be read or
 // decoded on first touch (CRC mismatch, short read, corrupt encoding).
 // It is returned by the error-aware access paths and carried by the
@@ -224,6 +235,21 @@ func (c *LazyColumn) chunkOrPanic(k int) *ChunkPayload {
 		panic(err.(*ChunkError))
 	}
 	return p
+}
+
+// PrefetchHint tells the column's source that chunk k is about to be
+// fetched, if the source supports prefetching. Out-of-range hints are
+// dropped. The sequential drivers (ForEachChunk, ForEachSelected, the
+// engine's serial chunk scan) hint their next touched chunk after a
+// cache miss, overlapping the current chunk's work with the next one's
+// fetch — which is what hides a remote source's round-trip latency.
+func (c *LazyColumn) PrefetchHint(k int) {
+	if k < 0 || k >= c.NumChunks() {
+		return
+	}
+	if p, ok := c.src.(ChunkPrefetcher); ok {
+		p.PrefetchChunk(c.ci, k)
+	}
 }
 
 // DictValues returns the dictionary of a String column, resolving it on
@@ -418,12 +444,17 @@ func (c *LazyColumn) Materialize() (Column, error) {
 
 // ForEachChunk fetches every chunk in order and calls fn(k, lo, payload)
 // where lo is the chunk's first row. fn returns false to stop early.
+// After a fetch that missed the cache, the next chunk is prefetched (on
+// sources that support it) so its load overlaps fn's work on this one.
 func (c *LazyColumn) ForEachChunk(fn func(k, lo int, p *ChunkPayload) (bool, error)) error {
 	n := c.NumChunks()
 	for k := 0; k < n; k++ {
-		p, _, err := c.Chunk(k)
+		p, hit, err := c.Chunk(k)
 		if err != nil {
 			return err
+		}
+		if !hit {
+			c.PrefetchHint(k + 1)
 		}
 		cont, err := fn(k, k*c.chunkSize, p)
 		if err != nil {
@@ -449,25 +480,35 @@ func (c *LazyColumn) ForEachSelected(sel *bitvec.Vector, fn func(p *ChunkPayload
 	words := sel.Words()
 	wordsPerChunk := c.chunkSize / 64
 	n := c.NumChunks()
+	// The touched chunk set is known from the selection alone, so collect
+	// it up front: the loop then prefetches exactly the next chunk it
+	// will fetch — never one a zone map already ruled out.
+	touched := make([]int, 0, n)
 	for k := 0; k < n; k++ {
 		w0 := k * wordsPerChunk
 		w1 := w0 + wordsPerChunk
 		if w1 > len(words) {
 			w1 = len(words)
 		}
-		any := false
 		for wi := w0; wi < w1; wi++ {
 			if words[wi] != 0 {
-				any = true
+				touched = append(touched, k)
 				break
 			}
 		}
-		if !any {
-			continue
-		}
-		p, _, err := c.Chunk(k)
+	}
+	for ti, k := range touched {
+		p, hit, err := c.Chunk(k)
 		if err != nil {
 			return err
+		}
+		if !hit && ti+1 < len(touched) {
+			c.PrefetchHint(touched[ti+1])
+		}
+		w0 := k * wordsPerChunk
+		w1 := w0 + wordsPerChunk
+		if w1 > len(words) {
+			w1 = len(words)
 		}
 		lo := k * c.chunkSize
 		for wi := w0; wi < w1; wi++ {
