@@ -369,7 +369,7 @@ func runRemoteManifest(args []string, out io.Writer) error {
 	var (
 		manifest = fs.String("manifest", "", "local shard manifest to rewrite (required)")
 		outPath  = fs.String("out", "", "output manifest path (required)")
-		urls     = fs.String("urls", "", "comma-separated shard server URLs, one per shard in manifest order; empty entries keep the shard local (required)")
+		urls     = fs.String("urls", "", "comma-separated shard server URLs, one per shard in manifest order; empty entries keep the shard local; separate an entry's replicas with | (primary first), e.g. http://a:8093|http://b:8093 (required)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -392,14 +392,15 @@ func runRemoteManifest(args []string, out io.Writer) error {
 	if err := shard.WriteManifestFile(*outPath, rm); err != nil {
 		return err
 	}
-	nRemote := 0
+	nRemote, nReplicas := 0, 0
 	for _, sf := range rm.Shards {
 		if shard.IsRemoteLocation(sf.File) {
 			nRemote++
 		}
+		nReplicas += len(sf.Replicas)
 	}
-	fmt.Fprintf(out, "wrote %s: %d shard(s), %d remote\n", *outPath, len(rm.Shards), nRemote)
-	fmt.Fprintf(out, "serve each shard with: atlasd -addr :PORT -serve-shard SHARD.atl\n")
+	fmt.Fprintf(out, "wrote %s: %d shard(s), %d remote, %d replica(s)\n", *outPath, len(rm.Shards), nRemote, nReplicas)
+	fmt.Fprintf(out, "serve each shard with: atlasd -addr :PORT -serve-shard SHARD.atl (replicas: same file, another host/port)\n")
 	fmt.Fprintf(out, "then explore with:     atlas -store %s  (or atlasd -store %s)\n", *outPath, *outPath)
 	return nil
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/query"
 	"repro/internal/remote"
+	"repro/internal/remote/chaos"
 	"repro/internal/shard"
 	"repro/internal/storage"
 )
@@ -135,6 +136,69 @@ func startShardServers(manifestPath, outPath string) (string, func(), error) {
 		return "", nil, err
 	}
 	return outPath, stop, nil
+}
+
+// startReplicatedShardServers is startShardServers with `replicas`
+// chaos-wrapped servers per shard — the failover scenario's fabric.
+// The injectors come back as [shard][replica] so a scenario can script
+// faults mid-run.
+func startReplicatedShardServers(manifestPath, outPath string, replicas int) (string, [][]*chaos.Injector, func(), error) {
+	m, err := shard.ReadManifest(manifestPath)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	dir := filepath.Dir(manifestPath)
+	var closers []func()
+	stop := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	entries := make([]string, len(m.Shards))
+	var injectors [][]*chaos.Injector
+	for i, sf := range m.Shards {
+		var urls []string
+		var injs []*chaos.Injector
+		for r := 0; r < replicas; r++ {
+			st, err := colstore.OpenWith(filepath.Join(dir, sf.File), colstore.Options{Mode: colstore.ModeLazy})
+			if err != nil {
+				stop()
+				return "", nil, nil, err
+			}
+			in := chaos.Wrap(remote.NewServer(st).Handler())
+			ts := httptest.NewServer(in)
+			closers = append(closers, func() { ts.Close(); st.Close() })
+			urls = append(urls, ts.URL)
+			injs = append(injs, in)
+		}
+		entries[i] = strings.Join(urls, "|")
+		injectors = append(injectors, injs)
+	}
+	rm, err := shard.RemoteManifest(m, entries)
+	if err != nil {
+		stop()
+		return "", nil, nil, err
+	}
+	if err := shard.WriteManifestFile(outPath, rm); err != nil {
+		stop()
+		return "", nil, nil, err
+	}
+	return outPath, injectors, stop, nil
+}
+
+// renderForCompare flattens a Result into a deterministic string
+// (everything except timing) — the failover scenario's byte-identity
+// yardstick.
+func renderForCompare(r *core.Result) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s | base=%d/%d\n", r.Input.String(), r.BaseCount, r.TotalRows)
+	for _, f := range r.Flagged {
+		fmt.Fprintf(&b, "flag %s %s\n", f.Attr, f.Reason)
+	}
+	for _, m := range r.Maps {
+		b.WriteString(m.String())
+	}
+	return b.String()
 }
 
 // benchRecord is one benchmark's machine-readable result. Metrics
@@ -483,6 +547,84 @@ func writeBenchJSON(path string, quick bool) error {
 		})
 		coldSet.Close()
 		stop()
+	}
+
+	// Failover: the census store over a 4-shard × 2-replica fabric. One
+	// cold exploration runs healthy; a second one has one of the four
+	// primaries killed two requests into its stream and must complete
+	// against the surviving replica — byte-identically, and without
+	// blowing up the wall-clock. One-shot timed runs rather than
+	// testing.Benchmark iterations, because the kill is a one-time event.
+	{
+		shards := shardCounts[len(shardCounts)-1]
+		manifest, err := exp.ShardedInputs(tbl, shards, tmp)
+		if err != nil {
+			return err
+		}
+		remoteManifest, injectors, stop, err := startReplicatedShardServers(manifest, filepath.Join(tmp, "failover_census.atlm"), 2)
+		if err != nil {
+			return err
+		}
+		timed := func(kill bool) (time.Duration, string, remote.Stats, error) {
+			for _, shardInjs := range injectors {
+				for _, in := range shardInjs {
+					in.Heal()
+				}
+			}
+			opener := remote.NewOpener(remote.Options{RetryWait: time.Millisecond})
+			set, err := shard.OpenWith(remoteManifest, shard.Options{Remote: opener})
+			if err != nil {
+				return 0, "", remote.Stats{}, err
+			}
+			defer set.Close()
+			cart, err := core.NewCartographerWith(set.Table(), core.DefaultOptions(), set.Provider(0))
+			if err != nil {
+				return 0, "", remote.Stats{}, err
+			}
+			if kill {
+				// Arm after the open: the metadata is served, the process
+				// dies two requests into the exploration itself.
+				injectors[0][0].KillAfter(2)
+			}
+			start := time.Now()
+			res, err := cart.Explore(q)
+			if err != nil {
+				return 0, "", remote.Stats{}, err
+			}
+			return time.Since(start), renderForCompare(res), opener.Stats(), nil
+		}
+		healthyDur, healthyRes, healthySt, err := timed(false)
+		if err != nil {
+			stop()
+			return err
+		}
+		failDur, failRes, failSt, err := timed(true)
+		if err != nil {
+			stop()
+			return fmt.Errorf("failover exploration: %w", err)
+		}
+		stop()
+		if failRes != healthyRes {
+			return fmt.Errorf("failover exploration result differs from the healthy run")
+		}
+		name := fmt.Sprintf("RemoteExploreFailover/census_n=%d/shards=%d/replicas=2", n, shards)
+		results[name] = benchRecord{
+			NsPerOp:    float64(failDur.Nanoseconds()),
+			Iterations: 1,
+			Metrics: map[string]float64{
+				"healthy_ms":        float64(healthyDur.Nanoseconds()) / 1e6,
+				"failover_ms":       float64(failDur.Nanoseconds()) / 1e6,
+				"slowdown":          float64(failDur.Nanoseconds()) / float64(healthyDur.Nanoseconds()),
+				"rpc_count":         float64(failSt.RPCs),
+				"rpc_count_healthy": float64(healthySt.RPCs),
+				"retries":           float64(failSt.Retries),
+				"failovers":         float64(failSt.Failovers),
+				"byte_identical":    1,
+				"shards":            float64(shards),
+				"replicas":          2,
+			},
+		}
+		fmt.Printf("benchmarking %s ... healthy=%v failover=%v failovers=%d\n", name, healthyDur.Round(time.Millisecond), failDur.Round(time.Millisecond), failSt.Failovers)
 	}
 
 	// Selective remote exploration: the deferred events workload over

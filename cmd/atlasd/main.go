@@ -70,6 +70,13 @@ func main() {
 		eager   = flag.Bool("eager", false, "force eager store opens (full decode up front)")
 		cacheB  = flag.Int64("cachebudget", 0, "decoded-chunk cache budget in bytes for lazy opens (0 = env/unbounded)")
 		deferS  = flag.Bool("defer", false, "defer opening shard files until first touch (sharded stores)")
+
+		// Remote-fabric failover knobs (coordinator over a manifest with
+		// http(s):// shard locations; ignored otherwise).
+		fabTimeout  = flag.Duration("fabric-timeout", 0, "per-request timeout against remote shards (0 = 30s default)")
+		fabRetries  = flag.Int("fabric-retries", 0, "extra attempts after a transient remote failure, on top of one attempt per replica (0 = default 2, negative = none)")
+		breakerTrip = flag.Int("breaker-threshold", 0, "consecutive failures before a replica's circuit breaker trips (0 = default 3, negative = never)")
+		breakerCool = flag.Duration("breaker-cooldown", 0, "how long a tripped replica stays out of rotation before a half-open probe (0 = 2s default)")
 	)
 	flag.Parse()
 
@@ -99,6 +106,12 @@ func main() {
 	var srv *server.Server
 	if *store != "" {
 		sc := server.StoreConfig{Defer: *deferS}
+		sc.Remote = remote.NewOpener(remote.Options{
+			Timeout:          *fabTimeout,
+			Retries:          *fabRetries,
+			BreakerThreshold: *breakerTrip,
+			BreakerCooldown:  *breakerCool,
+		})
 		sc.Store.CacheBytes = *cacheB
 		switch {
 		case *lazy:

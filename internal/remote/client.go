@@ -58,22 +58,31 @@ type counters struct {
 	bytesIn      atomic.Int64
 	chunkFetches atomic.Int64
 	retries      atomic.Int64
+	failovers    atomic.Int64
 }
 
-// Client speaks the fabric protocol to one shard server. It implements
-// shard.Backend (+ StatBackend, HealthBackend, IOBackend) and
-// storage.ChunkSource/ChunkPrefetcher, so a shard.Set routes through it
-// exactly as it routes through a local file. Requests share a pooled
-// transport, are bounded in flight per shard, retried on transient
-// failures, and every fetched chunk is CRC-checked before it is
-// decoded.
+// Client speaks the fabric protocol to one shard — a replica set of
+// servers holding the same immutable shard file. It implements
+// shard.Backend (+ StatBackend, PredBitsBackend, HealthBackend,
+// IOBackend, ReplicaBackend) and storage.ChunkSource/ChunkPrefetcher,
+// so a shard.Set routes through it exactly as it routes through a
+// local file. Requests share a pooled transport, are bounded in flight
+// per shard, and every fetched chunk is CRC-checked before it is
+// decoded. Failures rotate to the next healthy replica (see
+// replica.go); retries against the same replica back off exponentially
+// with jitter.
 type Client struct {
-	base string // normalized URL, no trailing slash
-	hc   *http.Client
-	sem  chan struct{}
+	primary string     // manifest's primary location — names this shard in errors
+	reps    []*replica // dial order: primary first, then replicas
+	cur     atomic.Int32
+	hc      *http.Client
+	sem     chan struct{}
 
-	retries   int
-	retryWait time.Duration
+	retries          int
+	retryWait        time.Duration
+	maxRetryWait     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
 
 	cache *colstore.ChunkCache
 	stats *counters // opener-wide aggregates
@@ -95,6 +104,18 @@ type Client struct {
 	// failed fetch is not cached (the next touch retries).
 	dicts []dictSlot
 
+	// Batch statistics cache: the first statistics-plane demand fetches
+	// every attribute's stats in ONE round trip (POST batchstats) and
+	// answers later calls from memory — the table is immutable, so the
+	// answers never go stale. batchOff remembers a server without the
+	// endpoint (404); per-attribute calls then carry the load, so old
+	// servers keep working.
+	statsMu   sync.Mutex
+	batchOff  bool
+	numStats  map[string][]float64
+	catStats  map[string]catCountsDTO
+	boolStats map[string]boolCountsDTO
+
 	prefetching atomic.Int64
 	closed      atomic.Bool
 }
@@ -113,25 +134,25 @@ func (c *Client) init() error {
 	}
 	var meta metaDTO
 	if err := json.Unmarshal(data, &meta); err != nil {
-		return &ShardError{Location: c.base, Op: "meta", Err: err}
+		return &ShardError{Location: c.primary, Op: "meta", Err: err}
 	}
 	if meta.Rows < 0 || meta.ChunkSize <= 0 || meta.ChunkSize%64 != 0 {
-		return &ShardError{Location: c.base, Op: "meta", Err: fmt.Errorf("implausible shape rows=%d chunkSize=%d", meta.Rows, meta.ChunkSize)}
+		return &ShardError{Location: c.primary, Op: "meta", Err: fmt.Errorf("implausible shape rows=%d chunkSize=%d", meta.Rows, meta.ChunkSize)}
 	}
 	if meta.Version < 1 || meta.Version > int(colstore.Version) {
-		return &ShardError{Location: c.base, Op: "meta", Err: fmt.Errorf("unsupported chunk encoding version %d (this client handles 1..%d)", meta.Version, colstore.Version)}
+		return &ShardError{Location: c.primary, Op: "meta", Err: fmt.Errorf("unsupported chunk encoding version %d (this client handles 1..%d)", meta.Version, colstore.Version)}
 	}
 	fields := make([]storage.Field, len(meta.Columns))
 	for i, col := range meta.Columns {
 		typ, err := parseTypeName(col.Type)
 		if err != nil {
-			return &ShardError{Location: c.base, Op: "meta", Err: err}
+			return &ShardError{Location: c.primary, Op: "meta", Err: err}
 		}
 		fields[i] = storage.Field{Name: col.Name, Type: typ}
 	}
 	schema, err := storage.NewSchema(fields...)
 	if err != nil {
-		return &ShardError{Location: c.base, Op: "meta", Err: err}
+		return &ShardError{Location: c.primary, Op: "meta", Err: err}
 	}
 	c.table, c.rows, c.chunkSize = meta.Table, meta.Rows, meta.ChunkSize
 	c.version = byte(meta.Version)
@@ -144,28 +165,48 @@ func (c *Client) init() error {
 	}
 	var zdto zonesDTO
 	if err := json.Unmarshal(data, &zdto); err != nil {
-		return &ShardError{Location: c.base, Op: "zones", Err: err}
+		return &ShardError{Location: c.primary, Op: "zones", Err: err}
 	}
 	numChunks := c.numChunks()
 	if len(zdto.Zones) != len(fields) {
-		return &ShardError{Location: c.base, Op: "zones", Err: fmt.Errorf("%d zone columns for %d fields", len(zdto.Zones), len(fields))}
+		return &ShardError{Location: c.primary, Op: "zones", Err: fmt.Errorf("%d zone columns for %d fields", len(zdto.Zones), len(fields))}
 	}
 	zones := make([][]storage.ZoneMap, len(fields))
 	for ci, col := range zdto.Zones {
 		if len(col) != numChunks {
-			return &ShardError{Location: c.base, Op: "zones", Err: fmt.Errorf("column %d has %d zone maps for %d chunks", ci, len(col), numChunks)}
+			return &ShardError{Location: c.primary, Op: "zones", Err: fmt.Errorf("column %d has %d zone maps for %d chunks", ci, len(col), numChunks)}
 		}
 		zones[ci] = make([]storage.ZoneMap, numChunks)
 		for k, d := range col {
 			zm, err := zoneFromDTO(d)
 			if err != nil {
-				return &ShardError{Location: c.base, Op: "zones", Err: err}
+				return &ShardError{Location: c.primary, Op: "zones", Err: err}
 			}
 			zones[ci][k] = zm
 		}
 	}
 	c.zones = zones
 	return nil
+}
+
+// warmReplicas establishes a pooled connection to every non-primary
+// replica with a best-effort asynchronous health ping (bypassing do(),
+// so breakers and traffic counters see nothing). Failover is then a
+// connection-pool hit instead of a fresh dial racing the failed
+// connection's teardown — a cold dial issued while an aborted
+// connection is being torn down can lose a segment and eat the
+// kernel's minimum retransmission timeout (~200ms) before the replica
+// answers.
+func (c *Client) warmReplicas() {
+	for _, r := range c.reps[1:] {
+		go func(url string) {
+			resp, err := c.hc.Get(url + "/shard/v1/health")
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(r.url)
+	}
 }
 
 func (c *Client) numChunks() int {
@@ -177,41 +218,105 @@ func (c *Client) numChunks() int {
 
 // ---- transport ----
 
-// do runs one fabric request with bounded in-flight admission and
-// per-shard retries. check validates a successful response (length and
-// CRC tests); its failures are retried like transport errors, because a
-// truncated or corrupted body may be transient. The final error is a
-// *ShardError naming this shard.
+// do runs one fabric request with bounded in-flight admission,
+// replica rotation and per-shard retries. check validates a successful
+// response (length and CRC tests); its failures are retried like
+// transport errors, because a truncated or corrupted body may be
+// transient. A failed attempt strikes that replica's circuit breaker
+// and the next attempt rotates forward to the next admissible replica
+// — sleeping (jittered exponential backoff) only when it lands on the
+// same replica again, because waiting is pointless when a different
+// healthy peer can answer now. The final error is a *ShardError naming
+// this shard by its primary location.
 func (c *Client) do(op, method, path string, q url.Values, body []byte, check func([]byte, http.Header) error) ([]byte, http.Header, error) {
 	if c.closed.Load() {
-		return nil, nil, &ShardError{Location: c.base, Op: op, Err: errors.New("client closed")}
+		return nil, nil, &ShardError{Location: c.primary, Op: op, Err: errors.New("client closed")}
 	}
 	c.sem <- struct{}{}
 	defer func() { <-c.sem }()
 	var lastErr error
-	for attempt := 0; attempt <= c.retries; attempt++ {
+	// At least one attempt per replica, plus the configured retries:
+	// Retries only bounds extra attempts, it never hides a live replica.
+	attempts := c.retries + len(c.reps)
+	start := int(c.cur.Load())
+	prev, sameStreak := -1, 0
+	for attempt := 0; attempt < attempts; attempt++ {
+		i := c.pick(start, time.Now())
+		r := c.reps[i]
 		if attempt > 0 {
 			c.stats.retries.Add(1)
-			time.Sleep(c.retryWait * time.Duration(attempt))
+			if i != prev {
+				c.stats.failovers.Add(1)
+				sameStreak = 0
+			} else {
+				sameStreak++
+				time.Sleep(backoffJitter(c.retryWait, sameStreak, c.maxRetryWait))
+			}
 		}
-		data, hdr, err := c.doOnce(method, path, q, body)
+		prev = i
+		began := time.Now()
+		data, hdr, err := c.doOnce(r.url, method, path, q, body)
 		if err == nil && check != nil {
 			err = check(data, hdr)
 		}
 		if err == nil {
+			r.onSuccess(time.Since(began))
+			c.cur.Store(int32(i))
 			return data, hdr, nil
 		}
 		lastErr = err
 		var hs *httpStatusError
 		if errors.As(err, &hs) && hs.status < 500 {
-			break // the request is wrong; retrying cannot fix it
+			// The request itself is wrong; no replica can fix it, and the
+			// replica answered — no breaker strike.
+			break
 		}
+		r.onFailure(err, c.breakerThreshold, c.breakerCooldown, time.Now())
+		start = i + 1 // rotate past the replica that just failed
 	}
-	return nil, nil, &ShardError{Location: c.base, Op: op, Err: lastErr}
+	return nil, nil, &ShardError{Location: c.primary, Op: op, Err: lastErr}
 }
 
-func (c *Client) doOnce(method, path string, q url.Values, body []byte) ([]byte, http.Header, error) {
-	u := c.base + path
+// pick chooses the replica for the next attempt: the first breaker-
+// admissible replica scanning forward from start (sticky on the last
+// replica that answered, so a healthy fabric never flaps). When every
+// breaker is tripped and cooling, the one reopening soonest is chosen
+// — a late answer beats none.
+func (c *Client) pick(start int, now time.Time) int {
+	n := len(c.reps)
+	for off := 0; off < n; off++ {
+		i := (start + off) % n
+		if c.reps[i].allow(now) {
+			return i
+		}
+	}
+	best, bestAt := start%n, time.Time{}
+	if best < 0 {
+		best += n
+	}
+	for i, r := range c.reps {
+		at := r.reopenTime()
+		if bestAt.IsZero() || at.Before(bestAt) {
+			best, bestAt = i, at
+		}
+	}
+	return best
+}
+
+// Replicas implements shard.ReplicaBackend: each replica's breaker
+// state for ShardHealth and GET /api/shards.
+func (c *Client) Replicas() []shard.ReplicaHealth {
+	now := time.Now()
+	out := make([]shard.ReplicaHealth, len(c.reps))
+	for i, r := range c.reps {
+		state, fails, lastErr, lat := r.health(now)
+		out[i] = shard.ReplicaHealth{URL: r.url, State: state, Fails: fails, Err: lastErr, Latency: lat}
+	}
+	return out
+}
+
+func (c *Client) doOnce(base, method, path string, q url.Values, body []byte) ([]byte, http.Header, error) {
+	u := base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
@@ -251,7 +356,7 @@ func (c *Client) getJSON(op, path string, q url.Values, into any) error {
 		return err
 	}
 	if err := json.Unmarshal(data, into); err != nil {
-		return &ShardError{Location: c.base, Op: op, Err: err}
+		return &ShardError{Location: c.primary, Op: op, Err: err}
 	}
 	return nil
 }
@@ -260,14 +365,14 @@ func (c *Client) getJSON(op, path string, q url.Values, into any) error {
 func (c *Client) postJSON(op, path string, reqBody, into any) error {
 	body, err := json.Marshal(reqBody)
 	if err != nil {
-		return &ShardError{Location: c.base, Op: op, Err: err}
+		return &ShardError{Location: c.primary, Op: op, Err: err}
 	}
 	data, _, err := c.do(op, http.MethodPost, path, nil, body, nil)
 	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(data, into); err != nil {
-		return &ShardError{Location: c.base, Op: op, Err: err}
+		return &ShardError{Location: c.primary, Op: op, Err: err}
 	}
 	return nil
 }
@@ -286,7 +391,7 @@ func (c *Client) Zones() [][]storage.ZoneMap { return c.zones }
 // (per-column locks, so different columns' first touches overlap).
 func (c *Client) Dicts(ci int) ([]string, error) {
 	if ci < 0 || ci >= c.schema.NumFields() {
-		return nil, &ShardError{Location: c.base, Op: "dict", Err: fmt.Errorf("column %d out of range", ci)}
+		return nil, &ShardError{Location: c.primary, Op: "dict", Err: fmt.Errorf("column %d out of range", ci)}
 	}
 	if c.schema.Field(ci).Type != storage.String {
 		return nil, nil
@@ -295,6 +400,12 @@ func (c *Client) Dicts(ci int) ([]string, error) {
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
 	if slot.done {
+		return slot.vals, nil
+	}
+	if vals, ok := c.cachedBatchDict(ci); ok {
+		// A batch stats fetch already carried this dictionary (catcounts
+		// answers include it); no separate dict round trip needed.
+		slot.vals, slot.done = vals, true
 		return slot.vals, nil
 	}
 	var dto dictDTO
@@ -338,7 +449,7 @@ func (c *Client) IOStats() colstore.IOStats {
 // chunk encoding.
 func (c *Client) FetchChunk(ci, k int) (*storage.ChunkPayload, bool, error) {
 	if ci < 0 || ci >= c.schema.NumFields() || k < 0 || k >= c.numChunks() {
-		return nil, false, &ShardError{Location: c.base, Op: "chunk", Err: fmt.Errorf("chunk (%d,%d) out of range", ci, k)}
+		return nil, false, &ShardError{Location: c.primary, Op: "chunk", Err: fmt.Errorf("chunk (%d,%d) out of range", ci, k)}
 	}
 	return c.cache.Get(c, ci, k, func() (*storage.ChunkPayload, error) {
 		return c.loadChunk(ci, k)
@@ -385,7 +496,7 @@ func (c *Client) loadChunk(ci, k int) (*storage.ChunkPayload, error) {
 	}
 	p, err := colstore.DecodeChunk(data, c.schema.Field(ci), dictLen, chunkRows, k, c.version)
 	if err != nil {
-		return nil, &ShardError{Location: c.base, Op: "chunk", Err: fmt.Errorf("chunk (%d,%d): %w", ci, k, err)}
+		return nil, &ShardError{Location: c.primary, Op: "chunk", Err: fmt.Errorf("chunk (%d,%d): %w", ci, k, err)}
 	}
 	c.stats.chunkFetches.Add(1)
 	c.ownChunks.Add(1)
@@ -426,9 +537,160 @@ func (c *Client) PrefetchChunk(ci, k int) {
 
 // ---- statistics plane (shard.StatBackend) ----
 
+// loadBatchStats fetches EVERY attribute's statistics in one round
+// trip on the first statistics-plane demand and reports whether the
+// cache is usable. Servers without the endpoint (old deployments
+// answer 404) or serving an undecodable body turn the batch off for
+// this client; callers then fall back to the per-attribute endpoints,
+// which also own error reporting — a dead batch plane never masks a
+// live per-attribute answer.
+func (c *Client) loadBatchStats() bool {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.numStats != nil {
+		return true
+	}
+	if c.batchOff {
+		return false
+	}
+	req := batchReqDTO{Attrs: make([]string, c.schema.NumFields())}
+	for i := range req.Attrs {
+		req.Attrs[i] = c.schema.Field(i).Name
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.batchOff = true
+		return false
+	}
+	check := func(data []byte, _ http.Header) error {
+		_, _, _, _, err := c.parseBatchStats(data)
+		return err
+	}
+	data, _, err := c.do("batchstats", http.MethodPost, "/shard/v1/batchstats", nil, body, check)
+	if err != nil {
+		c.batchOff = true
+		return false
+	}
+	num, cat, boolc, _, err := c.parseBatchStats(data)
+	if err != nil {
+		c.batchOff = true
+		return false
+	}
+	c.numStats, c.catStats, c.boolStats = num, cat, boolc
+	return true
+}
+
+// parseBatchStats decodes and validates a batchstats body (it doubles
+// as the retryable response check of the batch RPC).
+func (c *Client) parseBatchStats(data []byte) (map[string][]float64, map[string]catCountsDTO, map[string]boolCountsDTO, int, error) {
+	hdr, blob, err := decodeBatch(data)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	num := make(map[string][]float64)
+	cat := make(map[string]catCountsDTO)
+	boolc := make(map[string]boolCountsDTO)
+	for _, st := range hdr.Stats {
+		switch st.Kind {
+		case "numeric":
+			if st.Off < 0 || st.Count < 0 || st.Off+st.Count*8 > len(blob) {
+				return nil, nil, nil, 0, fmt.Errorf("batch stat %q: %d values at offset %d overflow %d blob bytes", st.Attr, st.Count, st.Off, len(blob))
+			}
+			vals, err := decodeFloats(blob[st.Off : st.Off+st.Count*8])
+			if err != nil {
+				return nil, nil, nil, 0, err
+			}
+			num[st.Attr] = vals
+		case "cat":
+			if len(st.Dict) != len(st.Counts) {
+				return nil, nil, nil, 0, fmt.Errorf("batch stat %q: %d dictionary entries with %d counts", st.Attr, len(st.Dict), len(st.Counts))
+			}
+			d := st.Dict
+			if d == nil {
+				d = []string{}
+			}
+			cat[st.Attr] = catCountsDTO{Dict: d, Counts: st.Counts}
+		case "bool":
+			boolc[st.Attr] = boolCountsDTO{Falses: st.Falses, Trues: st.Trues}
+		default:
+			return nil, nil, nil, 0, fmt.Errorf("batch stat %q: unknown kind %q", st.Attr, st.Kind)
+		}
+	}
+	return num, cat, boolc, len(hdr.Stats), nil
+}
+
+// batchNumeric answers NumericValues from the batch cache. The slice
+// is copied out: callers sort their copy in place, and the cached row
+// order must survive for the next exploration's sketch replay.
+func (c *Client) batchNumeric(attr string) ([]float64, bool) {
+	if !c.loadBatchStats() {
+		return nil, false
+	}
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	vals, ok := c.numStats[attr]
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	return out, true
+}
+
+// batchCat answers CategoryCounts from the batch cache (counts copied;
+// the shared dictionary is read-only by contract).
+func (c *Client) batchCat(attr string) ([]string, []int, bool) {
+	if !c.loadBatchStats() {
+		return nil, nil, false
+	}
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	dto, ok := c.catStats[attr]
+	if !ok {
+		return nil, nil, false
+	}
+	counts := make([]int, len(dto.Counts))
+	copy(counts, dto.Counts)
+	return dto.Dict, counts, true
+}
+
+// batchBool answers BoolCounts from the batch cache.
+func (c *Client) batchBool(attr string) (int, int, bool) {
+	if !c.loadBatchStats() {
+		return 0, 0, false
+	}
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	dto, ok := c.boolStats[attr]
+	if !ok {
+		return 0, 0, false
+	}
+	return dto.Falses, dto.Trues, true
+}
+
+// cachedBatchDict returns column ci's dictionary if a batch fetch
+// already brought it over — without triggering one: the dictionary
+// plane must stay cheap for opens and selective scans that never touch
+// statistics.
+func (c *Client) cachedBatchDict(ci int) ([]string, bool) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.numStats == nil {
+		return nil, false
+	}
+	dto, ok := c.catStats[c.schema.Field(ci).Name]
+	if !ok {
+		return nil, false
+	}
+	return dto.Dict, true
+}
+
 // NumericValues implements shard.StatBackend: the shard's non-NULL
 // values in row order, as one binary stream.
 func (c *Client) NumericValues(attr string) ([]float64, error) {
+	if vals, ok := c.batchNumeric(attr); ok {
+		return vals, nil
+	}
 	check := func(data []byte, hdr http.Header) error {
 		if cs := hdr.Get(headerCount); cs != "" {
 			if want, err := strconv.Atoi(cs); err == nil && want*8 != len(data) {
@@ -446,25 +708,31 @@ func (c *Client) NumericValues(attr string) ([]float64, error) {
 	}
 	vals, err := decodeFloats(data)
 	if err != nil {
-		return nil, &ShardError{Location: c.base, Op: "values", Err: err}
+		return nil, &ShardError{Location: c.primary, Op: "values", Err: err}
 	}
 	return vals, nil
 }
 
 // CategoryCounts implements shard.StatBackend (local dictionary space).
 func (c *Client) CategoryCounts(attr string) ([]string, []int, error) {
+	if dict, counts, ok := c.batchCat(attr); ok {
+		return dict, counts, nil
+	}
 	var dto catCountsDTO
 	if err := c.getJSON("catcounts", "/shard/v1/catcounts", url.Values{"attr": {attr}}, &dto); err != nil {
 		return nil, nil, err
 	}
 	if len(dto.Dict) != len(dto.Counts) {
-		return nil, nil, &ShardError{Location: c.base, Op: "catcounts", Err: fmt.Errorf("%d dictionary entries with %d counts", len(dto.Dict), len(dto.Counts))}
+		return nil, nil, &ShardError{Location: c.primary, Op: "catcounts", Err: fmt.Errorf("%d dictionary entries with %d counts", len(dto.Dict), len(dto.Counts))}
 	}
 	return dto.Dict, dto.Counts, nil
 }
 
 // BoolCounts implements shard.StatBackend.
 func (c *Client) BoolCounts(attr string) (int, int, error) {
+	if falses, trues, ok := c.batchBool(attr); ok {
+		return falses, trues, nil
+	}
 	var dto boolCountsDTO
 	if err := c.getJSON("boolcounts", "/shard/v1/boolcounts", url.Values{"attr": {attr}}, &dto); err != nil {
 		return 0, 0, err
@@ -488,13 +756,13 @@ func (c *Client) ColumnPartials(specs []shard.PartialSpec) ([]*shard.ColumnParti
 		return nil, err
 	}
 	if len(dtos) != len(specs) {
-		return nil, &ShardError{Location: c.base, Op: "partials", Err: fmt.Errorf("%d partials for %d specs", len(dtos), len(specs))}
+		return nil, &ShardError{Location: c.primary, Op: "partials", Err: fmt.Errorf("%d partials for %d specs", len(dtos), len(specs))}
 	}
 	out := make([]*shard.ColumnPartial, len(dtos))
 	for i, d := range dtos {
 		p, err := partialFromDTO(d)
 		if err != nil {
-			return nil, &ShardError{Location: c.base, Op: "partials", Err: err}
+			return nil, &ShardError{Location: c.primary, Op: "partials", Err: err}
 		}
 		out[i] = p
 	}
@@ -511,6 +779,35 @@ func (c *Client) PredicateCount(p query.Predicate) (int, error) {
 	return dto.Count, nil
 }
 
+// PredicateBits implements shard.PredBitsBackend: the predicate's
+// exact selection bitmap alongside its count, so the coordinator
+// assembles non-empty session bases without touching the chunk plane.
+// Old servers ignore the wantBits request field and answer count-only;
+// words is nil then and the caller decides (empty stays chunk-free,
+// non-empty falls back to scanning).
+func (c *Client) PredicateBits(p query.Predicate) (int, []uint64, error) {
+	d := predToDTO(p)
+	d.WantBits = true
+	var dto countDTO
+	if err := c.postJSON("predcount", "/shard/v1/predcount", d, &dto); err != nil {
+		return 0, nil, err
+	}
+	if dto.Bits == "" {
+		return dto.Count, nil, nil
+	}
+	words, err := decodeWords(dto.Bits)
+	if err != nil {
+		return 0, nil, &ShardError{Location: c.primary, Op: "predcount", Err: err}
+	}
+	if want := (c.rows + 63) / 64; len(words) != want {
+		return 0, nil, &ShardError{Location: c.primary, Op: "predcount", Err: fmt.Errorf("predicate bitmap has %d words for %d rows", len(words), c.rows)}
+	}
+	if tail := uint(c.rows % 64); tail != 0 && len(words) > 0 && words[len(words)-1]>>tail != 0 {
+		return 0, nil, &ShardError{Location: c.primary, Op: "predcount", Err: fmt.Errorf("predicate bitmap sets bits past row %d", c.rows)}
+	}
+	return dto.Count, words, nil
+}
+
 // Health implements shard.HealthBackend: one uncached round trip,
 // timed.
 func (c *Client) Health() (time.Duration, error) {
@@ -520,7 +817,7 @@ func (c *Client) Health() (time.Duration, error) {
 		return 0, err
 	}
 	if !dto.OK {
-		return 0, &ShardError{Location: c.base, Op: "health", Err: errors.New("shard reports not ok")}
+		return 0, &ShardError{Location: c.primary, Op: "health", Err: errors.New("shard reports not ok")}
 	}
 	return time.Since(start), nil
 }

@@ -192,7 +192,9 @@ func TestRemoteStatsPlaneError(t *testing.T) {
 			return h
 		}
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if strings.HasSuffix(r.URL.Path, "/values") {
+			// Break both the per-attribute endpoint and its batch
+			// shortcut, else the client just routes around the fault.
+			if strings.HasSuffix(r.URL.Path, "/values") || strings.HasSuffix(r.URL.Path, "/batchstats") {
 				http.Error(w, "synthetic shard failure", http.StatusInternalServerError)
 				return
 			}

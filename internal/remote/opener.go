@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"fmt"
 	"net/http"
 	"strings"
 	"time"
@@ -14,12 +15,24 @@ type Options struct {
 	// Timeout bounds each request, connection included (default 30s).
 	Timeout time.Duration
 	// Retries is the number of extra attempts after a transient failure
-	// (network error, 5xx, CRC mismatch, truncation). 0 uses the default
-	// of 2; negative disables retries.
+	// (network error, 5xx, CRC mismatch, truncation), on top of the one
+	// attempt every replica always gets. 0 uses the default of 2;
+	// negative disables extra retries.
 	Retries int
-	// RetryWait is the base backoff between attempts, multiplied by the
-	// attempt number (default 50ms).
+	// RetryWait is the base backoff before re-attempting the SAME
+	// replica (default 50ms). It grows exponentially with consecutive
+	// same-replica attempts, jittered ±50%; rotating to a different
+	// replica never sleeps.
 	RetryWait time.Duration
+	// MaxRetryWait caps the exponential backoff (default 2s).
+	MaxRetryWait time.Duration
+	// BreakerThreshold is how many consecutive failures trip one
+	// replica's circuit breaker, taking it out of rotation. 0 uses the
+	// default of 3; negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped replica stays out of
+	// rotation before the next touch probes it half-open (default 2s).
+	BreakerCooldown time.Duration
 	// MaxInflight bounds concurrent requests per shard (default 32).
 	MaxInflight int
 	// Transport overrides the pooled HTTP transport (tests, custom TLS).
@@ -50,6 +63,19 @@ func NewOpener(o Options) *Opener {
 	if o.RetryWait <= 0 {
 		o.RetryWait = 50 * time.Millisecond
 	}
+	if o.MaxRetryWait <= 0 {
+		o.MaxRetryWait = 2 * time.Second
+	}
+	switch {
+	case o.BreakerThreshold == 0:
+		o.BreakerThreshold = 3
+	case o.BreakerThreshold < 0:
+		// Disabled: a threshold no failure streak reaches.
+		o.BreakerThreshold = int(^uint(0) >> 1)
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
 	if o.MaxInflight <= 0 {
 		o.MaxInflight = 32
 	}
@@ -65,26 +91,45 @@ func NewOpener(o Options) *Opener {
 }
 
 // OpenShard implements shard.RemoteOpener: it dials the shard's meta
-// and zones endpoints and returns a backend whose chunk fetches feed
-// the set's shared decoded-chunk cache (store.Cache; a private cache is
-// created when the caller shares none).
-func (o *Opener) OpenShard(location string, store colstore.Options) (shard.Backend, error) {
+// and zones endpoints (rotating across the replica locations, primary
+// first) and returns a backend whose chunk fetches feed the set's
+// shared decoded-chunk cache (store.Cache; a private cache is created
+// when the caller shares none).
+func (o *Opener) OpenShard(locations []string, store colstore.Options) (shard.Backend, error) {
+	if len(locations) == 0 {
+		return nil, fmt.Errorf("remote: no locations to open")
+	}
 	cache := store.Cache
 	if cache == nil {
 		cache = colstore.NewChunkCache(colstore.ResolveCacheBudget(store.CacheBytes))
 	}
+	reps := make([]*replica, 0, len(locations))
+	seen := make(map[string]bool, len(locations))
+	for _, loc := range locations {
+		u := strings.TrimRight(loc, "/")
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		reps = append(reps, &replica{url: u})
+	}
 	c := &Client{
-		base:      strings.TrimRight(location, "/"),
-		hc:        o.hc,
-		sem:       make(chan struct{}, o.opts.MaxInflight),
-		retries:   o.opts.Retries,
-		retryWait: o.opts.RetryWait,
-		cache:     cache,
-		stats:     &o.stats,
+		primary:          reps[0].url,
+		reps:             reps,
+		hc:               o.hc,
+		sem:              make(chan struct{}, o.opts.MaxInflight),
+		retries:          o.opts.Retries,
+		retryWait:        o.opts.RetryWait,
+		maxRetryWait:     o.opts.MaxRetryWait,
+		breakerThreshold: o.opts.BreakerThreshold,
+		breakerCooldown:  o.opts.BreakerCooldown,
+		cache:            cache,
+		stats:            &o.stats,
 	}
 	if err := c.init(); err != nil {
 		return nil, err
 	}
+	c.warmReplicas()
 	return c, nil
 }
 
@@ -99,6 +144,8 @@ type Stats struct {
 	ChunkFetches int64
 	// Retries counts extra attempts after transient failures.
 	Retries int64
+	// Failovers counts retries that rotated to a different replica.
+	Failovers int64
 }
 
 // Stats snapshots the aggregate counters.
@@ -108,5 +155,6 @@ func (o *Opener) Stats() Stats {
 		BytesIn:      o.stats.bytesIn.Load(),
 		ChunkFetches: o.stats.chunkFetches.Load(),
 		Retries:      o.stats.retries.Load(),
+		Failovers:    o.stats.failovers.Load(),
 	}
 }

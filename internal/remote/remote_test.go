@@ -488,7 +488,7 @@ func TestEagerStoreChunkPlane(t *testing.T) {
 	defer ts.Close()
 
 	opener := testOpener()
-	be, err := opener.OpenShard(ts.URL, colstore.Options{})
+	be, err := opener.OpenShard([]string{ts.URL}, colstore.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

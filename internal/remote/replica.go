@@ -1,0 +1,121 @@
+package remote
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the failover half of the fabric client: a shard's
+// replica set with one circuit breaker per replica. The breaker is the
+// classic three-state machine driven purely by request outcomes — no
+// background prober, no goroutines:
+//
+//   - closed ("healthy"): requests flow; consecutive failures count up.
+//   - open ("tripped"): after threshold consecutive failures the
+//     replica leaves rotation for a cooldown, so a dead peer is not
+//     hammered once per retry of every in-flight operation.
+//   - half-open ("probing"): when the cooldown lapses, the next pick is
+//     allowed through as a probe. Success closes the breaker (and the
+//     replica rejoins rotation with zero strikes); failure re-trips it
+//     for another cooldown.
+//
+// Because the breaker heals itself on the next touch after cooldown,
+// the shard Set above needs no restart, reopen or manual intervention
+// to recover a replica that came back — the self-healing the manifest's
+// replica list promises.
+
+// replicaState names a breaker state for health reporting.
+const (
+	replicaHealthy = "healthy"
+	replicaTripped = "tripped"
+	replicaProbing = "probing"
+)
+
+// replica is one dialable location of a shard plus its breaker state.
+type replica struct {
+	url string
+
+	mu          sync.Mutex
+	fails       int       // consecutive failures
+	tripped     bool      // breaker open (fails reached the threshold)
+	reopenAt    time.Time // when a tripped breaker allows a half-open probe
+	lastErr     error
+	lastLatency time.Duration
+}
+
+// allow reports whether the breaker admits a request now: closed
+// breakers always, tripped breakers only once the cooldown has lapsed
+// (the half-open probe).
+func (r *replica) allow(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.tripped || !now.Before(r.reopenAt)
+}
+
+// reopenTime returns when a tripped breaker next admits a probe (zero
+// for closed breakers).
+func (r *replica) reopenTime() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.tripped {
+		return time.Time{}
+	}
+	return r.reopenAt
+}
+
+// onSuccess closes the breaker and records the round-trip time.
+func (r *replica) onSuccess(latency time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails = 0
+	r.tripped = false
+	r.lastErr = nil
+	r.lastLatency = latency
+}
+
+// onFailure counts a strike; threshold consecutive strikes trip the
+// breaker for cooldown. A failed half-open probe re-trips immediately.
+func (r *replica) onFailure(err error, threshold int, cooldown time.Duration, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails++
+	r.lastErr = err
+	if r.fails >= threshold || r.tripped {
+		r.tripped = true
+		r.reopenAt = now.Add(cooldown)
+	}
+}
+
+// health snapshots the replica for ShardHealth / GET /api/shards.
+func (r *replica) health(now time.Time) (state string, fails int, lastErr error, latency time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case !r.tripped:
+		state = replicaHealthy
+	case now.Before(r.reopenAt):
+		state = replicaTripped
+	default:
+		state = replicaProbing
+	}
+	return state, r.fails, r.lastErr, r.lastLatency
+}
+
+// backoffJitter returns the sleep before re-attempting the SAME replica:
+// exponential in the attempt number, capped at maxWait, with ±50%
+// jitter so a fleet of coordinators retrying one recovering shard does
+// not thunder in lockstep. Rotating to a different replica sleeps not
+// at all — the whole point of a replica set is that the next answer can
+// come from somewhere healthy immediately.
+func backoffJitter(base time.Duration, attempt int, maxWait time.Duration) time.Duration {
+	if base <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := base << uint(attempt-1)
+	if d > maxWait || d <= 0 {
+		d = maxWait
+	}
+	// [0.5, 1.5) of the exponential step.
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}

@@ -33,9 +33,16 @@
 //	GET  values?attr=A                non-NULL numeric values, row order (binary)
 //	GET  catcounts?attr=A             per-code counts, local dictionary
 //	GET  boolcounts?attr=A            (false, true) tallies
+//	POST batchstats                   every listed attribute's stats, one trip
 //	POST partials                     mergeable ColumnPartial per requested column
-//	POST predcount                    rows matching one predicate
+//	POST predcount                    rows matching one predicate (+ its bitmap
+//	                                  when the request sets wantBits)
 //	GET  health                       liveness probe
+//
+// Shard tables are immutable, so the server memoizes each attribute's
+// statistics the first time any stats endpoint asks for them; repeat
+// RPCs — and the batchstats fan-in — answer from that cache instead of
+// rescanning the column.
 package remote
 
 import (
@@ -43,6 +50,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/bitvec"
@@ -59,6 +67,14 @@ type Server struct {
 	st  *colstore.Store
 	tbl *storage.Table
 
+	// statCache memoizes per-attribute statistics (the table is
+	// immutable, so a column's sorted run never changes); statComputes
+	// counts actual column scans, so tests can prove repeat RPCs hit
+	// the cache.
+	statMu       sync.Mutex
+	statCache    map[string]*statEntry
+	statComputes atomic.Int64
+
 	requests atomic.Int64
 	bytesOut atomic.Int64
 }
@@ -66,7 +82,7 @@ type Server struct {
 // NewServer wraps an opened shard store. The store stays owned by the
 // caller (Close it after the HTTP server stops).
 func NewServer(st *colstore.Store) *Server {
-	return &Server{st: st, tbl: st.Table()}
+	return &Server{st: st, tbl: st.Table(), statCache: make(map[string]*statEntry)}
 }
 
 // ServerStats counts what a shard server has sent.
@@ -75,11 +91,86 @@ type ServerStats struct {
 	Requests int64
 	// BytesOut counts response body bytes of successful answers.
 	BytesOut int64
+	// StatComputes counts per-attribute statistics actually computed
+	// (cache misses); repeat stats RPCs do not move it.
+	StatComputes int64
 }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{Requests: s.requests.Load(), BytesOut: s.bytesOut.Load()}
+	return ServerStats{
+		Requests:     s.requests.Load(),
+		BytesOut:     s.bytesOut.Load(),
+		StatComputes: s.statComputes.Load(),
+	}
+}
+
+// statEntry is one attribute's memoized statistics: exactly one of the
+// three shapes is populated, by the attribute's type.
+type statEntry struct {
+	mu   sync.Mutex
+	done bool
+
+	enc    []byte // numeric: the encoded row-order value stream
+	count  int    // numeric: value count
+	dict   []string
+	counts []int
+	falses int
+	trues  int
+}
+
+// statFor computes (once) and returns attr's statistics. Concurrent
+// first touches of one attribute single-flight behind its entry lock;
+// different attributes compute concurrently. Failures are NOT cached —
+// a lazy store's transient read error must not poison the attribute
+// until restart.
+func (s *Server) statFor(attr string) (*statEntry, error) {
+	s.statMu.Lock()
+	e := s.statCache[attr]
+	if e == nil {
+		e = &statEntry{}
+		s.statCache[attr] = e
+	}
+	s.statMu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return e, nil
+	}
+	var f *storage.Field
+	for _, fd := range s.tbl.Schema().Fields() {
+		if fd.Name == attr {
+			fd := fd
+			f = &fd
+			break
+		}
+	}
+	if f == nil {
+		return nil, fmt.Errorf("unknown attribute %q", attr)
+	}
+	full := bitvec.NewFull(s.tbl.NumRows())
+	var err error
+	switch {
+	case f.Type.IsNumeric():
+		var vals []float64
+		if vals, err = engine.NumericValuesUnder(s.tbl, attr, full); err == nil {
+			e.enc, e.count = encodeFloats(vals), len(vals)
+		}
+	case f.Type == storage.String:
+		e.dict, e.counts, err = engine.CategoryCountsUnder(s.tbl, attr, full)
+	default:
+		e.falses, e.trues, err = engine.BoolCountsUnder(s.tbl, attr, full)
+	}
+	if err != nil {
+		s.statMu.Lock()
+		delete(s.statCache, attr)
+		s.statMu.Unlock()
+		return nil, err
+	}
+	e.done = true
+	s.statComputes.Add(1)
+	return e, nil
 }
 
 // Handler returns the fabric routing. Mount it at the server root (the
@@ -93,6 +184,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /shard/v1/values", s.count(s.handleValues))
 	mux.HandleFunc("GET /shard/v1/catcounts", s.count(s.handleCatCounts))
 	mux.HandleFunc("GET /shard/v1/boolcounts", s.count(s.handleBoolCounts))
+	mux.HandleFunc("POST /shard/v1/batchstats", s.count(s.handleBatchStats))
 	mux.HandleFunc("POST /shard/v1/partials", s.count(s.handlePartials))
 	mux.HandleFunc("POST /shard/v1/predcount", s.count(s.handlePredCount))
 	mux.HandleFunc("GET /shard/v1/health", s.count(s.handleHealth))
@@ -237,13 +329,13 @@ func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	vals, err := engine.NumericValuesUnder(s.tbl, attr, bitvec.NewFull(s.tbl.NumRows()))
+	e, err := s.statFor(attr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	w.Header().Set(headerCount, strconv.Itoa(len(vals)))
-	s.writeBody(w, "application/octet-stream", encodeFloats(vals))
+	w.Header().Set(headerCount, strconv.Itoa(e.count))
+	s.writeBody(w, "application/octet-stream", e.enc)
 }
 
 func (s *Server) handleCatCounts(w http.ResponseWriter, r *http.Request) {
@@ -252,12 +344,12 @@ func (s *Server) handleCatCounts(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	dict, counts, err := engine.CategoryCountsUnder(s.tbl, attr, bitvec.NewFull(s.tbl.NumRows()))
+	e, err := s.statFor(attr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.writeJSON(w, catCountsDTO{Dict: dict, Counts: counts})
+	s.writeJSON(w, catCountsDTO{Dict: e.dict, Counts: e.counts})
 }
 
 func (s *Server) handleBoolCounts(w http.ResponseWriter, r *http.Request) {
@@ -266,12 +358,61 @@ func (s *Server) handleBoolCounts(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	falses, trues, err := engine.BoolCountsUnder(s.tbl, attr, bitvec.NewFull(s.tbl.NumRows()))
+	e, err := s.statFor(attr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.writeJSON(w, boolCountsDTO{Falses: falses, Trues: trues})
+	s.writeJSON(w, boolCountsDTO{Falses: e.falses, Trues: e.trues})
+}
+
+// handleBatchStats answers every listed attribute's statistics in one
+// response: a JSON header locating each numeric attribute's float
+// stream in the binary blob that follows (see encodeBatch). All
+// answers come from the same memoized entries the per-attribute
+// endpoints use.
+func (s *Server) handleBatchStats(w http.ResponseWriter, r *http.Request) {
+	var req batchReqDTO
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	schema := s.tbl.Schema()
+	hdr := batchHeaderDTO{Stats: make([]batchStatDTO, 0, len(req.Attrs))}
+	var blob []byte
+	for _, attr := range req.Attrs {
+		if err := s.attrStatus(attr, func(storage.DataType) bool { return true }); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var typ storage.DataType
+		for _, f := range schema.Fields() {
+			if f.Name == attr {
+				typ = f.Type
+				break
+			}
+		}
+		e, err := s.statFor(attr)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		switch {
+		case typ.IsNumeric():
+			hdr.Stats = append(hdr.Stats, batchStatDTO{Attr: attr, Kind: "numeric", Off: len(blob), Count: e.count})
+			blob = append(blob, e.enc...)
+		case typ == storage.String:
+			hdr.Stats = append(hdr.Stats, batchStatDTO{Attr: attr, Kind: "cat", Dict: e.dict, Counts: e.counts})
+		default:
+			hdr.Stats = append(hdr.Stats, batchStatDTO{Attr: attr, Kind: "bool", Falses: e.falses, Trues: e.trues})
+		}
+	}
+	body, err := encodeBatch(hdr, blob)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeBody(w, "application/octet-stream", body)
 }
 
 func (s *Server) handlePartials(w http.ResponseWriter, r *http.Request) {
@@ -323,6 +464,17 @@ func (s *Server) handlePredCount(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.attrStatus(p.Attr, func(storage.DataType) bool { return true }); err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if dto.WantBits {
+		// The caller wants the selection bitmap itself, so session base
+		// assembly can skip the chunk plane even for non-empty answers.
+		sel, err := engine.EvalPredicate(s.tbl, p)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.writeJSON(w, countDTO{Count: sel.Count(), Bits: encodeWords(sel.Words())})
 		return
 	}
 	n, err := engine.Count(s.tbl, query.New(s.tbl.Name(), p))

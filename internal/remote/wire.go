@@ -3,6 +3,7 @@ package remote
 import (
 	"encoding/base64"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
@@ -180,6 +181,10 @@ type predDTO struct {
 	HiIncl  bool     `json:"hiIncl,omitempty"`
 	Values  []string `json:"values,omitempty"`
 	BoolVal bool     `json:"boolVal,omitempty"`
+	// WantBits asks for the selection bitmap alongside the count. Old
+	// servers decode predcount bodies leniently and simply ignore it,
+	// answering count-only — the fallback the client handles.
+	WantBits bool `json:"wantBits,omitempty"`
 }
 
 func predToDTO(p query.Predicate) predDTO {
@@ -211,9 +216,93 @@ func predFromDTO(d predDTO) (query.Predicate, error) {
 	return p, nil
 }
 
-// countDTO is the predcount answer.
+// countDTO is the predcount answer. Bits carries the selection bitmap
+// (base64 over little-endian u64 words, tail bits zero) when the
+// request asked for it; empty otherwise.
 type countDTO struct {
-	Count int `json:"count"`
+	Count int    `json:"count"`
+	Bits  string `json:"bits,omitempty"`
+}
+
+// encodeWords packs a bitmap's u64 words as base64 (little-endian).
+func encodeWords(words []uint64) string {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// decodeWords unpacks a base64 little-endian word stream.
+func decodeWords(s string) ([]uint64, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil || len(buf)%8 != 0 {
+		return nil, fmt.Errorf("remote: bad bitmap encoding")
+	}
+	words := make([]uint64, len(buf)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return words, nil
+}
+
+// batchReqDTO is POST /shard/v1/batchstats: the attributes whose
+// statistics the coordinator wants in one round trip.
+type batchReqDTO struct {
+	Attrs []string `json:"attrs"`
+}
+
+// batchStatDTO is one attribute's statistics in a batchstats answer.
+// Numeric value streams live in the response's binary blob (Off/Count
+// locate them) so floats travel exactly as the values endpoint sends
+// them; categorical and boolean answers are small and inline.
+type batchStatDTO struct {
+	Attr string `json:"attr"`
+	// Kind is "numeric", "cat" or "bool".
+	Kind string `json:"kind"`
+	// Off/Count locate a numeric attribute's float stream in the blob:
+	// Count values at byte offset Off.
+	Off    int      `json:"off,omitempty"`
+	Count  int      `json:"count,omitempty"`
+	Dict   []string `json:"dict,omitempty"`
+	Counts []int    `json:"counts,omitempty"`
+	Falses int      `json:"falses,omitempty"`
+	Trues  int      `json:"trues,omitempty"`
+}
+
+// batchHeaderDTO is the JSON header of a batchstats response body.
+type batchHeaderDTO struct {
+	Stats []batchStatDTO `json:"stats"`
+}
+
+// encodeBatch frames a batchstats body: a u32 little-endian header
+// length, the JSON header, then the binary blob of float streams.
+func encodeBatch(hdr batchHeaderDTO, blob []byte) ([]byte, error) {
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4+len(hj)+len(blob))
+	binary.LittleEndian.PutUint32(out, uint32(len(hj)))
+	copy(out[4:], hj)
+	copy(out[4+len(hj):], blob)
+	return out, nil
+}
+
+// decodeBatch unframes a batchstats body.
+func decodeBatch(data []byte) (batchHeaderDTO, []byte, error) {
+	var hdr batchHeaderDTO
+	if len(data) < 4 {
+		return hdr, nil, fmt.Errorf("remote: batch body of %d bytes has no header", len(data))
+	}
+	hl := int(binary.LittleEndian.Uint32(data))
+	if hl < 0 || 4+hl > len(data) {
+		return hdr, nil, fmt.Errorf("remote: batch header of %d bytes overflows %d-byte body", hl, len(data))
+	}
+	if err := json.Unmarshal(data[4:4+hl], &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("remote: batch header: %w", err)
+	}
+	return hdr, data[4+hl:], nil
 }
 
 // partialsReqDTO is POST /shard/v1/partials.

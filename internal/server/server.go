@@ -491,6 +491,23 @@ type ShardDTO struct {
 	LatencyMs float64 `json:"latencyMs,omitempty"`
 	// Error carries the probe failure, if any.
 	Error string `json:"error,omitempty"`
+	// Replicas is the per-replica circuit-breaker state of a replicated
+	// remote shard.
+	Replicas []ReplicaDTO `json:"replicas,omitempty"`
+}
+
+// ReplicaDTO is one replica's breaker snapshot on GET /api/shards.
+type ReplicaDTO struct {
+	URL string `json:"url"`
+	// State is "healthy", "tripped" (cooling down) or "probing"
+	// (cooldown lapsed, next touch probes half-open).
+	State string `json:"state"`
+	// Fails is the current consecutive-failure count.
+	Fails int `json:"fails,omitempty"`
+	// LatencyMs is the last successful round trip.
+	LatencyMs float64 `json:"latencyMs,omitempty"`
+	// Error is the last failure seen, if any.
+	Error string `json:"error,omitempty"`
 }
 
 // ShardsDTO describes the sharded layout behind the served table, plus
@@ -553,6 +570,18 @@ func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
 		}
 		if h.Err != nil {
 			sd.Error = h.Err.Error()
+		}
+		for _, r := range h.Replicas {
+			rd := ReplicaDTO{
+				URL:       r.URL,
+				State:     r.State,
+				Fails:     r.Fails,
+				LatencyMs: float64(r.Latency.Microseconds()) / 1000.0,
+			}
+			if r.Err != nil {
+				rd.Error = r.Err.Error()
+			}
+			sd.Replicas = append(sd.Replicas, rd)
 		}
 		dto.Shards = append(dto.Shards, sd)
 	}

@@ -64,6 +64,18 @@ type ShardPredCounter interface {
 	RemotePredicateCount(shard int, p query.Predicate) (count int, ok bool, err error)
 }
 
+// ShardPredBitmapper is the bitmap extension of ShardPredCounter
+// (implemented by shard.Set against servers that answer predcount with
+// wantBits): with ok=true the returned bitmap IS shard i's selection
+// under p, computed where the shard lives and validated against the
+// server's own count. The session prefers it on cache misses — then
+// even non-empty predicates assemble without any chunk crossing the
+// wire. ok=false (old servers, local shards) falls back to the counter
+// and the scan.
+type ShardPredBitmapper interface {
+	RemotePredicateBits(shard int, p query.Predicate) (bm *bitvec.Vector, ok bool, err error)
+}
+
 // Session is a stateful exploration over one table. It is safe for
 // concurrent use.
 type Session struct {
@@ -152,6 +164,7 @@ func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.
 	n := s.shards.NumShards()
 	pruner, _ := s.shards.(ShardPruner)
 	counter, _ := s.shards.(ShardPredCounter)
+	bitmapper, _ := s.shards.(ShardPredBitmapper)
 	// Divide the worker budget: shards are the outer parallel axis; any
 	// leftover workers shard each predicate scan chunk-wise.
 	workers := sopts.Workers
@@ -171,7 +184,7 @@ func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.
 				sel.Zero()
 				break
 			}
-			bm, err := s.preds.getOrComputeShard(view, p, i, inner, s.shardPredCompute(counter, view, p, i, inner))
+			bm, err := s.preds.getOrComputeShard(view, p, i, inner, s.shardPredCompute(bitmapper, counter, view, p, i, inner))
 			if err != nil {
 				return err
 			}
@@ -195,17 +208,23 @@ func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.
 
 // shardPredCompute builds the cache-miss evaluator of one (predicate,
 // shard) bitmap. Layouts with a statistics plane (remote shards) are
-// asked for the predicate's row count first: zero means the cached
-// bitmap is empty and no chunk is pulled; a positive count — or a probe
-// failure — falls through to the ordinary scan (whose own error names
-// the shard if it is really down). Local layouts get a nil compute, so
-// the cache scans directly.
-func (s *Session) shardPredCompute(counter ShardPredCounter, view *storage.Table, p query.Predicate, i int, opts engine.ScanOptions) func() (*bitvec.Vector, error) {
-	if counter == nil {
+// asked for the predicate's bitmap first — the whole selection crosses
+// as packed words on the stats plane, so even non-empty predicates
+// pull no chunk. Layouts with only a counter still get the empty fast
+// path (a zero count proves the empty bitmap). A probe failure or an
+// unsupporting server falls through to the ordinary scan (whose own
+// error names the shard if it is really down). Local layouts get a nil
+// compute, so the cache scans directly.
+func (s *Session) shardPredCompute(bitmapper ShardPredBitmapper, counter ShardPredCounter, view *storage.Table, p query.Predicate, i int, opts engine.ScanOptions) func() (*bitvec.Vector, error) {
+	if bitmapper == nil && counter == nil {
 		return nil
 	}
 	return func() (*bitvec.Vector, error) {
-		if n, ok, err := counter.RemotePredicateCount(i, p); err == nil && ok && n == 0 {
+		if bitmapper != nil {
+			if bm, ok, err := bitmapper.RemotePredicateBits(i, p); err == nil && ok {
+				return bm, nil
+			}
+		} else if n, ok, err := counter.RemotePredicateCount(i, p); err == nil && ok && n == 0 {
 			return bitvec.New(view.NumRows()), nil
 		}
 		return engine.EvalPredicateOpts(view, p, opts)

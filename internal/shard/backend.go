@@ -100,18 +100,52 @@ type StatBackend interface {
 	PredicateCount(p query.Predicate) (int, error)
 }
 
+// PredBitsBackend is the optional bitmap extension of the statistics
+// plane: a backend that can return the exact selection bitmap of a
+// predicate alongside its count, so session base assembly skips the
+// chunk plane even for non-empty predicates. words is nil when the
+// backend (an old server, say) answered count-only.
+type PredBitsBackend interface {
+	PredicateBits(p query.Predicate) (count int, words []uint64, err error)
+}
+
 // HealthBackend is the optional liveness probe of a backend.
 type HealthBackend interface {
 	// Health round-trips a liveness check, returning its latency.
 	Health() (time.Duration, error)
 }
 
+// ReplicaHealth is one replica's view from a backend's circuit
+// breaker: which URL, whether its breaker is closed (healthy), tripped
+// (cooling down) or half-open (due a probe), and the evidence.
+type ReplicaHealth struct {
+	// URL is the replica's location.
+	URL string
+	// State is "healthy", "tripped" or "probing".
+	State string
+	// Fails is the current consecutive-failure count.
+	Fails int
+	// Err is the last failure seen, nil when healthy.
+	Err error
+	// Latency is the last successful round-trip time (0 if none yet).
+	Latency time.Duration
+}
+
+// ReplicaBackend is the optional replica-set surface of a backend:
+// per-replica breaker state for health reporting.
+type ReplicaBackend interface {
+	Replicas() []ReplicaHealth
+}
+
 // RemoteOpener opens backends for http(s):// shard locations. The
-// store options carry the set's shared decoded-chunk cache, so remote
-// payloads honor the same byte budget as local ones. Implemented by
-// internal/remote.Opener; shard itself stays transport-free.
+// locations are one shard's dial order — primary first, then replicas
+// serving the same immutable shard — and the backend fails over among
+// them. The store options carry the set's shared decoded-chunk cache,
+// so remote payloads honor the same byte budget as local ones.
+// Implemented by internal/remote.Opener; shard itself stays
+// transport-free.
 type RemoteOpener interface {
-	OpenShard(location string, store colstore.Options) (Backend, error)
+	OpenShard(locations []string, store colstore.Options) (Backend, error)
 }
 
 // IsRemoteLocation reports whether a manifest shard location names a

@@ -206,8 +206,8 @@ func TestManifestV2Stats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Version != 2 {
-		t.Fatalf("manifest version %d, want 2", m.Version)
+	if m.Version != ManifestVersion {
+		t.Fatalf("manifest version %d, want %d", m.Version, ManifestVersion)
 	}
 	if len(m.Columns) != 4 || m.Columns[0].Name != "ts" || m.Columns[0].Type != "int64" {
 		t.Fatalf("bad manifest schema %+v", m.Columns)

@@ -13,13 +13,13 @@
 // Explorations over a shard set return maps byte-identical to the
 // unsharded table at any shard count and any parallelism.
 //
-// # Manifest format (version 2)
+// # Manifest format (version 3)
 //
 // A manifest is a JSON object, conventionally stored next to its shard
 // files with an ".atlm" extension:
 //
 //	{
-//	  "version": 2,
+//	  "version": 3,
 //	  "table": "census",            // logical table name
 //	  "partitioning": "range",      // "range" or "hash"
 //	  "key": "cid",                 // hash partitioning key (hash only)
@@ -35,7 +35,9 @@
 //	       {"min": 17, "max": 90, "has_min_max": true, "nulls": 12},
 //	       {"nulls": 0, "cat_bits": "AAEC...iA=="}
 //	     ]},
-//	    {"file": "census.00001.atl", "rows": 131072, "stats": [...]}
+//	    {"file": "http://10.0.0.7:8093", "rows": 131072,
+//	     "replicas": ["http://10.0.0.8:8093"],   // v3: failover peers
+//	     "stats": [...]}
 //	  ]
 //	}
 //
@@ -56,6 +58,14 @@
 // working (coarser) zone map layer without touching any shard file.
 // Version 1 manifests (no schema, no stats) still open — they just
 // cannot prune or defer.
+//
+// Version 3 adds per-shard replica locations: a remote shard entry may
+// list additional http(s):// URLs in "replicas", each serving the same
+// immutable shard file. The remote client rotates to a replica when the
+// primary trips its health-driven circuit breaker, so a single peer
+// dying mid-exploration degrades to a failover instead of an error.
+// Replicas are only meaningful on remote shards; v1/v2 manifests (no
+// replicas) still open unchanged.
 package shard
 
 import (
@@ -85,9 +95,9 @@ const (
 )
 
 // ManifestVersion is the current manifest format version. Version 2
-// added the schema and per-shard column statistics; version 1 manifests
-// still open.
-const ManifestVersion = 2
+// added the schema and per-shard column statistics; version 3 added
+// per-shard replica locations. Version 1 and 2 manifests still open.
+const ManifestVersion = 3
 
 // CatBitsSize is the byte size of a categorical hash bitset (256 bits).
 const CatBitsSize = 32
@@ -123,6 +133,19 @@ type ShardFile struct {
 	// Stats holds one ColumnStats per schema column (v2; nil in v1
 	// manifests, which disables shard-file pruning).
 	Stats []ColumnStats `json:"stats,omitempty"`
+	// Replicas lists additional http(s):// locations serving the same
+	// shard (v3). Only valid when File is itself a remote location; the
+	// remote client fails over to them when File's server misbehaves.
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Locations returns the shard's primary location followed by its
+// replicas — the dial order of the remote client.
+func (sf *ShardFile) Locations() []string {
+	locs := make([]string, 0, 1+len(sf.Replicas))
+	locs = append(locs, sf.File)
+	locs = append(locs, sf.Replicas...)
+	return locs
 }
 
 // Manifest describes a sharded table: the partitioning that produced it
@@ -248,6 +271,19 @@ func (m *Manifest) validate() error {
 		if sf.Rows < 0 {
 			return fmt.Errorf("shard: shard %d has negative row count %d", i, sf.Rows)
 		}
+		if len(sf.Replicas) > 0 {
+			if m.Version < 3 {
+				return fmt.Errorf("shard: shard %d lists replicas but manifest version %d predates them (need 3)", i, m.Version)
+			}
+			if !IsRemoteLocation(sf.File) {
+				return fmt.Errorf("shard: shard %d lists replicas for local file %q (replicas need a remote primary)", i, sf.File)
+			}
+			for _, r := range sf.Replicas {
+				if !IsRemoteLocation(r) {
+					return fmt.Errorf("shard: shard %d replica %q is not an http(s):// location", i, r)
+				}
+			}
+		}
 		sum += sf.Rows
 	}
 	if sum != m.Rows {
@@ -331,23 +367,39 @@ func ReadManifest(path string) (*Manifest, error) {
 // RemoteManifest returns a copy of m with shard i served from urls[i]
 // instead of its local file — the coordinator-side manifest of a remote
 // deployment, where each URL names an atlasd running with -serve-shard
-// on that shard's .atl file. Rows, statistics and ordering carry over
-// unchanged, so shard-file pruning and deferred opens keep working; an
-// empty urls[i] keeps shard i local (mixed deployments are fine).
+// on that shard's .atl file. An entry may name several replicas
+// separated by '|' ("http://a:8093|http://b:8093"): the first is the
+// primary, the rest are failover peers serving the same shard. Rows,
+// statistics and ordering carry over unchanged, so shard-file pruning
+// and deferred opens keep working; an empty urls[i] keeps shard i local
+// (mixed deployments are fine).
 func RemoteManifest(m *Manifest, urls []string) (*Manifest, error) {
 	if len(urls) != len(m.Shards) {
 		return nil, fmt.Errorf("shard: %d URLs for %d shards", len(urls), len(m.Shards))
 	}
 	out := *m
+	out.Version = ManifestVersion
 	out.Shards = append([]ShardFile(nil), m.Shards...)
-	for i, u := range urls {
-		if u == "" {
+	for i, entry := range urls {
+		if entry == "" {
 			continue
 		}
-		if !IsRemoteLocation(u) {
-			return nil, fmt.Errorf("shard: shard %d location %q is not an http(s):// URL", i, u)
+		var locs []string
+		for _, u := range strings.Split(entry, "|") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			if !IsRemoteLocation(u) {
+				return nil, fmt.Errorf("shard: shard %d location %q is not an http(s):// URL", i, u)
+			}
+			locs = append(locs, strings.TrimRight(u, "/"))
 		}
-		out.Shards[i].File = strings.TrimRight(u, "/")
+		if len(locs) == 0 {
+			continue
+		}
+		out.Shards[i].File = locs[0]
+		out.Shards[i].Replicas = locs[1:]
 	}
 	if err := out.validate(); err != nil {
 		return nil, err

@@ -157,11 +157,13 @@ func OpenWith(manifestPath string, o Options) (*Set, error) {
 	}
 	s.shards = make([]*lazyShard, n)
 	for i := range s.shards {
-		loc := m.Shards[i].File
-		if !IsRemoteLocation(loc) {
-			loc = filepath.Join(dir, loc)
+		var locs []string
+		if IsRemoteLocation(m.Shards[i].File) {
+			locs = m.Shards[i].Locations()
+		} else {
+			locs = []string{filepath.Join(dir, m.Shards[i].File)}
 		}
-		s.shards[i] = &lazyShard{s: s, idx: i, loc: loc}
+		s.shards[i] = &lazyShard{s: s, idx: i, locs: locs}
 	}
 
 	// Deferring needs the full v2 statistics: without a shard's stats
@@ -266,9 +268,9 @@ func validateShardMeta(m *Manifest, i int, meta BackendMeta) error {
 // remote shard server — opened on demand (immediately for non-deferred
 // sets).
 type lazyShard struct {
-	s   *Set
-	idx int
-	loc string // file path, or http(s):// location
+	s    *Set
+	idx  int
+	locs []string // one file path, or http(s):// locations (primary first)
 
 	mu  sync.Mutex
 	be  Backend
@@ -284,7 +286,7 @@ func (ls *lazyShard) backend() (Backend, error) {
 	if ls.be != nil || ls.err != nil {
 		return ls.be, ls.err
 	}
-	remote := IsRemoteLocation(ls.loc)
+	remote := IsRemoteLocation(ls.locs[0])
 	// Remote failures are NOT cached: servers heal (restarts, network
 	// blips), so the next touch redials instead of serving a poisoned
 	// error until the whole set reopens. Local file errors stay sticky —
@@ -299,11 +301,11 @@ func (ls *lazyShard) backend() (Backend, error) {
 	var err error
 	if remote {
 		if ls.s.remote == nil {
-			return fail(fmt.Errorf("shard: shard %d is remote (%s) but no remote opener is configured", ls.idx, ls.loc))
+			return fail(fmt.Errorf("shard: shard %d is remote (%s) but no remote opener is configured", ls.idx, ls.locs[0]))
 		}
-		be, err = ls.s.remote.OpenShard(ls.loc, ls.s.storeOpts)
+		be, err = ls.s.remote.OpenShard(ls.locs, ls.s.storeOpts)
 	} else {
-		be, err = openFileBackend(ls.loc, ls.s.storeOpts)
+		be, err = openFileBackend(ls.locs[0], ls.s.storeOpts)
 	}
 	if err != nil {
 		return fail(fmt.Errorf("shard: opening shard %d: %w", ls.idx, err))
@@ -799,7 +801,7 @@ func (s *Set) ShardMayMatch(i int, p query.Predicate) bool {
 // shards return (nil, nil): their statistics run against the shard
 // views, sharing the chunk cache and the scan-verdict counters.
 func (s *Set) statBackendFor(i int) (StatBackend, error) {
-	if s.shards == nil || !IsRemoteLocation(s.shards[i].loc) {
+	if s.shards == nil || !IsRemoteLocation(s.shards[i].locs[0]) {
 		return nil, nil
 	}
 	be, err := s.shards[i].backend()
@@ -863,6 +865,53 @@ func (s *Set) RemotePredicateCount(i int, p query.Predicate) (count int, ok bool
 	return count, true, nil
 }
 
+// RemotePredicateBits asks shard i's statistics plane for the exact
+// selection bitmap of p, so a non-empty predicate is assembled without
+// any chunk leaving the shard. Local shards, backends without the
+// bitmap extension, and old servers answering a non-zero count without
+// words all return ok=false; callers scan the view instead. The bitmap
+// is validated against the server's own count before it is trusted —
+// on mismatch the caller falls back to scanning.
+func (s *Set) RemotePredicateBits(i int, p query.Predicate) (bm *bitvec.Vector, ok bool, err error) {
+	sb, err := s.statBackendFor(i)
+	if err != nil || sb == nil {
+		return nil, false, err
+	}
+	rows := s.views[i].NumRows()
+	pb, isPB := sb.(PredBitsBackend)
+	if !isPB {
+		// Count-only plane: the empty case still skips the chunk plane.
+		n, err := sb.PredicateCount(p)
+		if err != nil {
+			return nil, false, err
+		}
+		if n == 0 {
+			return bitvec.New(rows), true, nil
+		}
+		return nil, false, nil
+	}
+	count, words, err := pb.PredicateBits(p)
+	if err != nil {
+		return nil, false, err
+	}
+	if words == nil {
+		if count == 0 {
+			return bitvec.New(rows), true, nil
+		}
+		return nil, false, nil
+	}
+	v := bitvec.New(rows)
+	w := v.Words()
+	if len(words) != len(w) {
+		return nil, false, fmt.Errorf("shard: shard %d predicate bitmap has %d words for %d rows", i, len(words), rows)
+	}
+	copy(w, words)
+	if got := v.Count(); got != count {
+		return nil, false, fmt.Errorf("shard: shard %d predicate bitmap counts %d bits, server said %d", i, got, count)
+	}
+	return v, true, nil
+}
+
 // ShardHealthInfo is one shard's liveness snapshot (see ShardHealth).
 type ShardHealthInfo struct {
 	// Location is the manifest's shard location (file or URL).
@@ -878,6 +927,9 @@ type ShardHealthInfo struct {
 	Latency time.Duration
 	// Err carries the probe failure, if any.
 	Err error
+	// Replicas is the per-replica breaker state of a replicated remote
+	// shard (nil for local shards and unopened backends).
+	Replicas []ReplicaHealth
 }
 
 // ShardHealth probes shard i: remote shards round-trip their health
@@ -892,7 +944,7 @@ func (s *Set) ShardHealth(i int) ShardHealthInfo {
 		return info
 	}
 	ls := s.shards[i]
-	info.Remote = IsRemoteLocation(ls.loc)
+	info.Remote = IsRemoteLocation(ls.locs[0])
 	info.Opened = ls.opened()
 	if !info.Remote {
 		info.Healthy = true
@@ -904,6 +956,9 @@ func (s *Set) ShardHealth(i int) ShardHealthInfo {
 		return info
 	}
 	info.Opened = true
+	if rb, ok := be.(ReplicaBackend); ok {
+		info.Replicas = rb.Replicas()
+	}
 	hb, ok := be.(HealthBackend)
 	if !ok {
 		info.Healthy = true
