@@ -59,6 +59,7 @@ import (
 	"repro/internal/cql"
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/obsv"
 	"repro/internal/query"
 	"repro/internal/remote"
 	"repro/internal/sample"
@@ -96,6 +97,11 @@ type (
 	Session = session.Session
 	// Node is one step of a session.
 	Node = session.Node
+	// SpanProfile is one node of a profiled exploration's span tree:
+	// name, offset and duration in nanoseconds from the trace start,
+	// attributes (chunk-scan deltas, replica URLs, cache verdicts),
+	// children, and a Remote flag on subtrees a shard server reported.
+	SpanProfile = obsv.SpanJSON
 	// AttrProfile compares an attribute's distribution inside a region
 	// with the whole table (the "why is this region interesting" view).
 	AttrProfile = core.AttrProfile
@@ -183,6 +189,24 @@ func (e *Explorer) Table() *Table { return e.table }
 // repeated explorations reuse its column-stat cache instead of
 // re-sorting the same columns.
 func (e *Explorer) Explore(cqlText string) (res *Result, err error) {
+	return e.exploreCtx(context.Background(), cqlText)
+}
+
+// ExploreProfiled is Explore with tracing: it additionally returns the
+// exploration's span tree — per-phase timings (screen, cut, cluster,
+// merge, rank), chunk-scan deltas, and on sharded-remote stores the
+// shard servers' own spans grafted under the RPCs that triggered them.
+func (e *Explorer) ExploreProfiled(cqlText string) (*Result, *SpanProfile, error) {
+	tr, root := obsv.NewTrace("explore")
+	res, err := e.exploreCtx(obsv.WithSpan(context.Background(), root), cqlText)
+	root.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr.Tree(), nil
+}
+
+func (e *Explorer) exploreCtx(ctx context.Context, cqlText string) (res *Result, err error) {
 	// Sampling gathers rows through lazy columns before a Cartographer
 	// exists; surface chunk-fetch failures there as errors too.
 	defer func() {
@@ -206,7 +230,7 @@ func (e *Explorer) Explore(cqlText string) (res *Result, err error) {
 	}
 	sampled := o.Sample > 0 && o.Sample < 1
 	if !sampled && effective == e.opts {
-		return e.cart.Explore(q)
+		return e.cart.ExploreCtx(ctx, q)
 	}
 	tbl := e.table
 	if sampled {
@@ -227,7 +251,7 @@ func (e *Explorer) Explore(cqlText string) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return cart.Explore(q)
+	return cart.ExploreCtx(ctx, q)
 }
 
 // ExploreQuery runs the pipeline on an already-built query.

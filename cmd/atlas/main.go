@@ -40,6 +40,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +53,7 @@ import (
 
 	"repro"
 	"repro/internal/colstore"
+	"repro/internal/obsv"
 	"repro/internal/shard"
 )
 
@@ -81,6 +84,7 @@ func main() {
 		cacheB  = flag.Int64("cachebudget", 0, "decoded-chunk cache budget in bytes for lazy opens (0 = env/unbounded)")
 		deferS  = flag.Bool("defer", false, "defer opening shard files until first touch (sharded stores)")
 		verbose = flag.Bool("v", false, "print scan statistics (chunks pruned/scanned/decoded) after each exploration")
+		profile = flag.Bool("profile", false, "trace every exploration and print its span tree as JSON (phase timings, chunk-scan deltas, remote shard spans)")
 	)
 	flag.Parse()
 
@@ -96,6 +100,23 @@ func main() {
 	}
 	table := ex.Table()
 	sess := ex.NewSession()
+
+	// With -profile, explorations and drill-downs run under a trace and
+	// the resulting span tree is printed after the maps.
+	traced := func(name string, run func(ctx context.Context) (*atlas.Node, error)) (*atlas.Node, error) {
+		if !*profile {
+			return run(context.Background())
+		}
+		tr, root := obsv.NewTrace(name)
+		node, err := run(obsv.WithSpan(context.Background(), root))
+		root.End()
+		if err != nil {
+			return nil, err
+		}
+		printNode(node)
+		printProfile(tr.Tree())
+		return node, nil
+	}
 	printStats := func() {
 		if !*verbose {
 			return
@@ -144,12 +165,16 @@ func main() {
 				fmt.Println("error:", err)
 				continue
 			}
-			node, err := sess.Explore(q)
+			node, err := traced("explore", func(ctx context.Context) (*atlas.Node, error) {
+				return sess.ExploreCtx(ctx, q)
+			})
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			printNode(node)
+			if !*profile {
+				printNode(node)
+			}
 			printStats()
 			sess.Prefetch(4)
 		case "maps":
@@ -171,12 +196,16 @@ func main() {
 				fmt.Println("usage: pick <map> <region> (1-based)")
 				continue
 			}
-			node, err := sess.DrillDown(mi-1, ri-1)
+			node, err := traced("drill", func(ctx context.Context) (*atlas.Node, error) {
+				return sess.DrillDownCtx(ctx, mi-1, ri-1)
+			})
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			printNode(node)
+			if !*profile {
+				printNode(node)
+			}
 			printStats()
 			sess.Prefetch(4)
 		case "why":
@@ -448,6 +477,17 @@ func loadTable(dataset string, rows int, seed int64, csvPath, tblName string) (*
 	default:
 		return nil, fmt.Errorf("unknown dataset %q (want census, body, sky or orders)", dataset)
 	}
+}
+
+// printProfile renders a profiled exploration's span tree as indented
+// JSON, ready to pipe into jq or a flamegraph converter.
+func printProfile(tree *atlas.SpanProfile) {
+	b, err := json.MarshalIndent(tree, "", "  ")
+	if err != nil {
+		fmt.Println("profile error:", err)
+		return
+	}
+	fmt.Printf("[profile]\n%s\n", b)
 }
 
 func printNode(n *atlas.Node) {

@@ -52,6 +52,7 @@ import (
 
 	"repro"
 	"repro/internal/colstore"
+	"repro/internal/obsv"
 	"repro/internal/remote"
 	"repro/internal/server"
 )
@@ -70,6 +71,7 @@ func main() {
 		eager   = flag.Bool("eager", false, "force eager store opens (full decode up front)")
 		cacheB  = flag.Int64("cachebudget", 0, "decoded-chunk cache budget in bytes for lazy opens (0 = env/unbounded)")
 		deferS  = flag.Bool("defer", false, "defer opening shard files until first touch (sharded stores)")
+		slowQ   = flag.Duration("slow-query", 0, "log explorations (or, with -serve-shard, fabric requests) that take at least this long (0 = disabled)")
 
 		// Remote-fabric failover knobs (coordinator over a manifest with
 		// http(s):// shard locations; ignored otherwise).
@@ -94,10 +96,17 @@ func main() {
 			os.Exit(1)
 		}
 		rs := remote.NewServer(st)
+		if *slowQ > 0 {
+			rs.SlowThreshold = *slowQ
+			rs.SlowLog = log.Printf
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", rs.Handler())
+		mux.Handle("GET /metrics", shardRegistry(rs, st).Handler())
 		t := st.Table()
 		log.Printf("atlasd: serving shard %q (table %q, %d rows, %d chunks) on %s",
 			*shardF, t.Name(), t.NumRows(), st.NumChunks(), *addr)
-		if err := http.ListenAndServe(*addr, rs.Handler()); err != nil {
+		if err := http.ListenAndServe(*addr, mux); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -133,11 +142,45 @@ func main() {
 		}
 		srv = server.New(table, atlas.DefaultOptions())
 	}
+	if *slowQ > 0 {
+		srv.SetSlowQueryLog(*slowQ, nil)
+	}
 	table := srv.Table()
 	log.Printf("atlasd: serving table %q (%d rows) on %s", table.Name(), table.NumRows(), *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// shardRegistry builds the metric registry a -serve-shard process
+// scrapes at GET /metrics: the fabric server's request counters plus the
+// underlying store's I/O counters, all sampled on scrape.
+func shardRegistry(rs *remote.Server, st *colstore.Store) *obsv.Registry {
+	r := obsv.NewRegistry()
+	fab := map[string]string{"layer": "fabric"}
+	r.CounterFunc("atlas_shard_requests_total", "fabric requests served (including errors)", fab, func() float64 {
+		return float64(rs.Stats().Requests)
+	})
+	r.CounterFunc("atlas_shard_bytes_out_total", "response body bytes of successful answers", fab, func() float64 {
+		return float64(rs.Stats().BytesOut)
+	})
+	r.CounterFunc("atlas_shard_stat_computes_total", "per-attribute statistics computed (stat-cache misses)", fab, func() float64 {
+		return float64(rs.Stats().StatComputes)
+	})
+	sto := map[string]string{"layer": "store"}
+	r.CounterFunc("atlas_store_bytes_read_total", "bytes read from segment files", sto, func() float64 {
+		return float64(st.IOStats().BytesRead)
+	})
+	r.CounterFunc("atlas_store_chunks_decoded_total", "chunk payloads decoded from storage", sto, func() float64 {
+		return float64(st.IOStats().ChunksDecoded)
+	})
+	r.CounterFunc("atlas_store_cache_hits_total", "decoded-chunk cache hits", sto, func() float64 {
+		return float64(st.IOStats().CacheHits)
+	})
+	r.GaugeFunc("atlas_store_cache_bytes", "decoded-chunk cache residency", sto, func() float64 {
+		return float64(st.IOStats().CacheBytes)
+	})
+	return r
 }
 
 func loadTable(dataset string, rows int, seed int64, csvPath, tblName string) (*atlas.Table, error) {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/engine"
+	"repro/internal/obsv"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -153,6 +155,12 @@ func (c *Cartographer) ScanOpts() engine.ScanOptions {
 	return engine.ScanOptions{Workers: c.Workers(), Stats: &c.scan}
 }
 
+// ScanOptsCtx is ScanOpts carrying a request context, so lazy chunk
+// fetches made on the Cartographer's behalf ride the caller's trace.
+func (c *Cartographer) ScanOptsCtx(ctx context.Context) engine.ScanOptions {
+	return engine.ScanOptions{Workers: c.Workers(), Stats: &c.scan, Ctx: ctx}
+}
+
 // ScanStats snapshots the cumulative chunk-level scan counters of every
 // exploration this Cartographer has run.
 func (c *Cartographer) ScanStats() engine.Snapshot { return c.scan.Snapshot() }
@@ -204,17 +212,31 @@ type Result struct {
 // identical at any parallelism. On chunk-aware tables (column-store
 // backed) the base scan itself is sharded chunk-by-chunk over the same
 // worker pool and prunes chunks via zone maps.
-func (c *Cartographer) Explore(q query.Query) (res *Result, err error) {
+func (c *Cartographer) Explore(q query.Query) (*Result, error) {
+	return c.ExploreCtx(context.Background(), q)
+}
+
+// ExploreCtx is Explore with a request context. When ctx carries a
+// trace span (obsv.StartSpan), the pipeline records one child span per
+// phase — base scan, screening, per-attribute cuts, clustering,
+// per-cluster merges, ranking — with chunk-level scan deltas as span
+// attributes; RPC spans of remote statistic and chunk fetches nest
+// under the phase that issued them. Untraced contexts cost one nil
+// check per phase.
+func (c *Cartographer) ExploreCtx(ctx context.Context, q query.Query) (res *Result, err error) {
 	defer recoverChunkPanic(&err)
 	start := time.Now()
 	if err := c.checkTable(q); err != nil {
 		return nil, err
 	}
+	bctx, sp := obsv.StartSpan(ctx, "base")
 	base := bitvec.NewFull(c.table.NumRows())
-	if err := engine.EvalAndIntoOpts(c.table, q, base, c.ScanOpts()); err != nil {
+	if err := engine.EvalAndIntoOpts(c.table, q, base, c.ScanOptsCtx(bctx)); err != nil {
+		sp.End()
 		return nil, err
 	}
-	return c.exploreBase(q, base, start)
+	sp.End()
+	return c.exploreBase(ctx, q, base, start)
 }
 
 // ExploreSel runs the pipeline on a precomputed base selection — the
@@ -222,7 +244,12 @@ func (c *Cartographer) Explore(q query.Query) (res *Result, err error) {
 // example, a session assembling the selection from cached per-predicate
 // bitmaps). base must have exactly the table's length and must select
 // exactly the rows matching q; the Cartographer takes ownership of it.
-func (c *Cartographer) ExploreSel(q query.Query, base *bitvec.Vector) (res *Result, err error) {
+func (c *Cartographer) ExploreSel(q query.Query, base *bitvec.Vector) (*Result, error) {
+	return c.ExploreSelCtx(context.Background(), q, base)
+}
+
+// ExploreSelCtx is ExploreSel with a request context (see ExploreCtx).
+func (c *Cartographer) ExploreSelCtx(ctx context.Context, q query.Query, base *bitvec.Vector) (res *Result, err error) {
 	defer recoverChunkPanic(&err)
 	start := time.Now()
 	if err := c.checkTable(q); err != nil {
@@ -231,7 +258,34 @@ func (c *Cartographer) ExploreSel(q query.Query, base *bitvec.Vector) (res *Resu
 	if base.Len() != c.table.NumRows() {
 		return nil, fmt.Errorf("core: base selection length %d != table rows %d", base.Len(), c.table.NumRows())
 	}
-	return c.exploreBase(q, base, start)
+	return c.exploreBase(ctx, q, base, start)
+}
+
+// phaseSpan opens one pipeline-phase span and arranges for the
+// cumulative scan-counter delta of the phase to land in its attributes
+// at end time. The returned end function is nil-safe to call.
+func (c *Cartographer) phaseSpan(ctx context.Context, name string) (context.Context, func()) {
+	pctx, sp := obsv.StartSpan(ctx, name)
+	if sp == nil {
+		return ctx, func() {}
+	}
+	before := c.scan.Snapshot()
+	return pctx, func() {
+		after := c.scan.Snapshot()
+		if d := after.ChunksScanned - before.ChunksScanned; d > 0 {
+			sp.SetAttr("chunksScanned", d)
+		}
+		if d := after.ChunksPruned - before.ChunksPruned; d > 0 {
+			sp.SetAttr("chunksPruned", d)
+		}
+		if d := after.ChunksDecoded - before.ChunksDecoded; d > 0 {
+			sp.SetAttr("chunksDecoded", d)
+		}
+		if d := after.ChunkCacheHits - before.ChunkCacheHits; d > 0 {
+			sp.SetAttr("chunkCacheHits", d)
+		}
+		sp.End()
+	}
 }
 
 func (c *Cartographer) checkTable(q query.Query) error {
@@ -242,7 +296,7 @@ func (c *Cartographer) checkTable(q query.Query) error {
 }
 
 // exploreBase is the shared pipeline body behind Explore and ExploreSel.
-func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start time.Time) (*Result, error) {
+func (c *Cartographer) exploreBase(ctx context.Context, q query.Query, base *bitvec.Vector, start time.Time) (*Result, error) {
 	workers := resolveParallelism(c.opts.Parallelism)
 	res := &Result{
 		Input:     q,
@@ -255,7 +309,9 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 	}
 
 	// Step 0 (Section 5.2): screen out keys, codes, comments, constants.
+	_, endScreen := c.phaseSpan(ctx, "screen")
 	attrs := c.candidateAttrs(q, base, res, workers)
+	endScreen()
 
 	// Step 1 (Section 3.1): one candidate map per attribute, fanned out
 	// per attribute. Explore's base selection is exactly Eval(q), so the
@@ -268,8 +324,11 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 		flagged bool
 	}
 	outs := make([]candOut, len(attrs))
+	cutCtx, endCut := c.phaseSpan(ctx, "cut")
 	err := parallelFor(workers, len(attrs), func(i int) error {
-		x := cutter{t: c.table, cache: c.stats}
+		actx, asp := obsv.StartSpan(cutCtx, "cut "+attrs[i])
+		defer asp.End()
+		x := cutter{t: c.table, cache: c.stats, ctx: actx}
 		preds, err := x.cutPredicates(base, baseFull, attrs[i], c.opts.Cut)
 		var deg *ErrDegenerate
 		if errors.As(err, &deg) {
@@ -279,7 +338,7 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 		if err != nil {
 			return err
 		}
-		bits, err := engine.PartitionBitsOpts(c.table, attrs[i], preds, base, engine.ScanOptions{Workers: workers, Stats: &c.scan})
+		bits, err := engine.PartitionBitsOpts(c.table, attrs[i], preds, base, engine.ScanOptions{Workers: workers, Stats: &c.scan, Ctx: actx})
 		if err != nil {
 			return err
 		}
@@ -294,6 +353,7 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 		outs[i].m = m
 		return nil
 	})
+	endCut()
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +372,9 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 	}
 
 	// Step 2 (Section 3.2): cluster candidates by statistical dependency.
+	_, endCluster := c.phaseSpan(ctx, "cluster")
 	clusters, err := c.clusterCandidates(candidates, workers)
+	endCluster()
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +382,7 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 	// Step 3 (Section 3.3): merge each cluster into one map, one worker
 	// per cluster; a nil slot marks a skipped or degenerate cluster.
 	merged := make([]*Map, len(clusters))
+	mergeCtx, endMerge := c.phaseSpan(ctx, "merge")
 	err = parallelFor(workers, len(clusters), func(i int) error {
 		idxs := clusters[i]
 		group := make([]*Map, len(idxs))
@@ -329,9 +392,11 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 		if len(group) == 1 && !c.opts.KeepSingletons && len(clusters) > 1 {
 			return nil
 		}
+		mctx, msp := obsv.StartSpan(mergeCtx, fmt.Sprintf("merge cluster %d", i))
+		defer msp.End()
 		// base IS the parent query's selection, so composition starts from
 		// it directly instead of re-evaluating q against the table
-		x := cutter{t: c.table, cache: c.stats}
+		x := cutter{t: c.table, cache: c.stats, ctx: mctx}
 		m, err := x.mergeCluster(base, base, q, group, c.opts.Merge, c.opts.Cut, c.opts.MaxRegions)
 		var deg *ErrDegenerate
 		if errors.As(err, &deg) {
@@ -343,6 +408,7 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 		merged[i] = m
 		return nil
 	})
+	endMerge()
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +422,8 @@ func (c *Cartographer) exploreBase(q query.Query, base *bitvec.Vector, start tim
 	}
 
 	// Step 4 (Section 3.4): rank by decreasing entropy, cap the answer.
+	_, endRank := c.phaseSpan(ctx, "rank")
+	defer endRank()
 	RankMaps(maps)
 	if len(maps) > c.opts.MaxMaps {
 		maps = maps[:c.opts.MaxMaps]

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -110,6 +111,17 @@ func (e *ErrDegenerate) Error() string {
 type cutter struct {
 	t     *storage.Table
 	cache *statCache // nil = uncached
+	// ctx carries the exploration's trace span and request ID into
+	// provider fan-outs on the cached path; nil means untraced.
+	ctx context.Context
+}
+
+// reqCtx returns the cutter's context, never nil.
+func (x *cutter) reqCtx() context.Context {
+	if x.ctx != nil {
+		return x.ctx
+	}
+	return context.Background()
 }
 
 // valsPool recycles the float64 scratch slices CUT materializes column
@@ -153,7 +165,7 @@ func (x *cutter) cutNumeric(sel *bitvec.Vector, full bool, attr string, opts Cut
 	)
 	if x.cache != nil && full {
 		var err error
-		sorted, gk, err = x.cache.numericStats(x.t, attr, sel, opts)
+		sorted, gk, err = x.cache.numericStats(x.reqCtx(), x.t, attr, sel, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -351,7 +363,7 @@ func (x *cutter) cutCategorical(sel *bitvec.Vector, full bool, attr string, opts
 		err    error
 	)
 	if x.cache != nil && full {
-		dict, counts, err = x.cache.categoryStats(x.t, attr, sel)
+		dict, counts, err = x.cache.categoryStats(x.reqCtx(), x.t, attr, sel)
 	} else {
 		dict, counts, err = engine.CategoryCountsUnder(x.t, attr, sel)
 	}
@@ -447,7 +459,7 @@ func (x *cutter) cutBool(sel *bitvec.Vector, full bool, attr string) ([]query.Pr
 		err           error
 	)
 	if x.cache != nil && full {
-		falses, trues, err = x.cache.boolStats(x.t, attr, sel)
+		falses, trues, err = x.cache.boolStats(x.reqCtx(), x.t, attr, sel)
 	} else {
 		falses, trues, err = engine.BoolCountsUnder(x.t, attr, sel)
 	}

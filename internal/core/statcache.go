@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -21,12 +22,14 @@ import (
 type StatProvider interface {
 	// NumericStats returns attr's non-NULL values sorted ascending and,
 	// when opts.Numeric is CutSketch, the finalized GK sketch over the
-	// table-order value stream.
-	NumericStats(attr string, opts CutOptions) (sorted []float64, gk *sketch.GK, err error)
+	// table-order value stream. ctx carries the caller's trace span and
+	// request ID into remote fan-outs; providers that stay local may
+	// ignore it.
+	NumericStats(ctx context.Context, attr string, opts CutOptions) (sorted []float64, gk *sketch.GK, err error)
 	// CategoryStats returns attr's dictionary and per-code counts.
-	CategoryStats(attr string) (dict []string, counts []int, err error)
+	CategoryStats(ctx context.Context, attr string) (dict []string, counts []int, err error)
 	// BoolStats returns attr's (false, true) tallies.
-	BoolStats(attr string) (falses, trues int, err error)
+	BoolStats(ctx context.Context, attr string) (falses, trues int, err error)
 }
 
 // statCache memoizes per-column statistics under the full selection
@@ -87,11 +90,11 @@ func (s *statCache) col(attr string) *colStats {
 // the finalized GK sketch) of a numeric column under the full selection.
 // The sketch is built from the table-order value stream before sorting,
 // so cached and uncached sketch cuts agree bit for bit.
-func (s *statCache) numericStats(t *storage.Table, attr string, sel *bitvec.Vector, opts CutOptions) ([]float64, *sketch.GK, error) {
+func (s *statCache) numericStats(ctx context.Context, t *storage.Table, attr string, sel *bitvec.Vector, opts CutOptions) ([]float64, *sketch.GK, error) {
 	cs := s.col(attr)
 	cs.once.Do(func() {
 		if s.provider != nil {
-			cs.sorted, cs.gk, cs.err = s.provider.NumericStats(attr, opts)
+			cs.sorted, cs.gk, cs.err = s.provider.NumericStats(ctx, attr, opts)
 			return
 		}
 		vals, err := engine.NumericValuesUnder(t, attr, sel)
@@ -110,11 +113,11 @@ func (s *statCache) numericStats(t *storage.Table, attr string, sel *bitvec.Vect
 
 // categoryStats returns the cached dictionary and per-code counts of a
 // categorical column under the full selection.
-func (s *statCache) categoryStats(t *storage.Table, attr string, sel *bitvec.Vector) ([]string, []int, error) {
+func (s *statCache) categoryStats(ctx context.Context, t *storage.Table, attr string, sel *bitvec.Vector) ([]string, []int, error) {
 	cs := s.col(attr)
 	cs.once.Do(func() {
 		if s.provider != nil {
-			cs.dict, cs.counts, cs.err = s.provider.CategoryStats(attr)
+			cs.dict, cs.counts, cs.err = s.provider.CategoryStats(ctx, attr)
 			return
 		}
 		cs.dict, cs.counts, cs.err = engine.CategoryCountsUnder(t, attr, sel)
@@ -124,11 +127,11 @@ func (s *statCache) categoryStats(t *storage.Table, attr string, sel *bitvec.Vec
 
 // boolStats returns the cached (false, true) tallies of a boolean column
 // under the full selection.
-func (s *statCache) boolStats(t *storage.Table, attr string, sel *bitvec.Vector) (falses, trues int, err error) {
+func (s *statCache) boolStats(ctx context.Context, t *storage.Table, attr string, sel *bitvec.Vector) (falses, trues int, err error) {
 	cs := s.col(attr)
 	cs.once.Do(func() {
 		if s.provider != nil {
-			cs.falses, cs.trues, cs.err = s.provider.BoolStats(attr)
+			cs.falses, cs.trues, cs.err = s.provider.BoolStats(ctx, attr)
 			return
 		}
 		cs.falses, cs.trues, cs.err = engine.BoolCountsUnder(t, attr, sel)

@@ -174,7 +174,7 @@ func PartitionBitsOpts(t *storage.Table, attr string, preds []query.Predicate, s
 			if !anyWordsRange(selWords, w0, w1) {
 				return nil
 			}
-			p, hit, err := lazyCol.Chunk(k)
+			p, hit, err := lazyCol.ChunkCtx(opts.Ctx, k)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync/atomic"
@@ -73,6 +74,10 @@ type ScanOptions struct {
 	Workers int
 	// Stats, when non-nil, accumulates chunk decisions.
 	Stats *ScanStats
+	// Ctx rides along into lazy chunk fetches: remote chunk sources pick
+	// up its trace span and request ID, so chunk-plane RPCs appear in the
+	// query profile. nil is fine (untraced).
+	Ctx context.Context
 }
 
 // EvalAndIntoOpts is EvalAndInto with scan options: zone-map pruning is
@@ -418,7 +423,7 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 			default:
 				match := cp.match
 				if cp.lazyCol != nil {
-					pl, hit, err := cp.lazyCol.Chunk(k)
+					pl, hit, err := cp.lazyCol.ChunkCtx(opts.Ctx, k)
 					if err != nil {
 						return err
 					}

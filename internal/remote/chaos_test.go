@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -164,7 +165,7 @@ func TestReplicaBreakerAndRecovery(t *testing.T) {
 	defer be.Close()
 	c := be.(*Client)
 	p := query.NewRange("age", 30, 40)
-	if _, err := c.PredicateCount(p); err != nil {
+	if _, err := c.PredicateCount(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
 	primary, secondary := rf.injectors[0][0], rf.injectors[0][1]
@@ -172,7 +173,7 @@ func TestReplicaBreakerAndRecovery(t *testing.T) {
 	// The primary starts 500ing: the first strike trips its breaker
 	// (threshold 1) and the call still succeeds via the replica.
 	primary.SetFault(chaos.Error5xx)
-	if _, err := c.PredicateCount(p); err != nil {
+	if _, err := c.PredicateCount(context.Background(), p); err != nil {
 		t.Fatalf("call failed despite a healthy replica: %v", err)
 	}
 	reps := c.Replicas()
@@ -196,7 +197,7 @@ func TestReplicaBreakerAndRecovery(t *testing.T) {
 	// instead of hammering a dead peer.
 	before := primary.Requests()
 	for i := 0; i < 5; i++ {
-		if _, err := c.PredicateCount(p); err != nil {
+		if _, err := c.PredicateCount(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -210,7 +211,7 @@ func TestReplicaBreakerAndRecovery(t *testing.T) {
 	primary.Heal()
 	secondary.SetFault(chaos.Kill)
 	time.Sleep(80 * time.Millisecond)
-	if _, err := c.PredicateCount(p); err != nil {
+	if _, err := c.PredicateCount(context.Background(), p); err != nil {
 		t.Fatalf("probe of the healed primary failed: %v", err)
 	}
 	reps = c.Replicas()
@@ -239,14 +240,14 @@ func TestBreakerSingleReplicaSelfHeals(t *testing.T) {
 	p := query.NewRange("age", 30, 40)
 	inj := rf.injectors[0][0]
 	inj.SetFault(chaos.Error5xx)
-	if _, err := c.PredicateCount(p); err == nil {
+	if _, err := c.PredicateCount(context.Background(), p); err == nil {
 		t.Fatal("succeeded against a 500ing sole replica")
 	}
 	if state := c.Replicas()[0].State; state != "tripped" {
 		t.Errorf("sole replica state %q, want tripped", state)
 	}
 	inj.Heal()
-	if _, err := c.PredicateCount(p); err != nil {
+	if _, err := c.PredicateCount(context.Background(), p); err != nil {
 		t.Fatalf("tripped sole replica was never re-dialed: %v", err)
 	}
 	if state := c.Replicas()[0].State; state != "healthy" {
@@ -401,10 +402,10 @@ func TestServerMemoizesStatistics(t *testing.T) {
 		}
 		defer be.Close()
 		c := be.(*Client)
-		if _, err := c.NumericValues("age"); err != nil {
+		if _, err := c.NumericValues(context.Background(), "age"); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := c.CategoryCounts("sex"); err != nil {
+		if _, _, err := c.CategoryCounts(context.Background(), "sex"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -429,7 +430,7 @@ func TestServerMemoizesStatistics(t *testing.T) {
 	c.batchOff = true
 	c.statsMu.Unlock()
 	for i := 0; i < 3; i++ {
-		if _, err := c.NumericValues("age"); err != nil {
+		if _, err := c.NumericValues(context.Background(), "age"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -490,7 +491,7 @@ func TestPredicateBitsWire(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		count, words, err := c.PredicateBits(p)
+		count, words, err := c.PredicateBits(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", p.String(), err)
 		}
@@ -521,7 +522,7 @@ func TestPredicateBitsWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	count, words, err := cOld.PredicateBits(p)
+	count, words, err := cOld.PredicateBits(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

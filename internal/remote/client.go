@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/colstore"
+	"repro/internal/obsv"
 	"repro/internal/query"
 	"repro/internal/shard"
 	"repro/internal/storage"
@@ -31,11 +33,18 @@ type ShardError struct {
 	Location string
 	// Op is the failing operation ("chunk", "values", "meta", ...).
 	Op string
+	// RequestID is the query request id the failing RPC belonged to
+	// ("" when the request carried none) — the join key between a
+	// client-side error and the server's slow-query/error log lines.
+	RequestID string
 	// Err is the final underlying failure (after retries).
 	Err error
 }
 
 func (e *ShardError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("remote shard %s: %s: %v (rid %s)", e.Location, e.Op, e.Err, e.RequestID)
+	}
 	return fmt.Sprintf("remote shard %s: %s: %v", e.Location, e.Op, e.Err)
 }
 
@@ -59,6 +68,7 @@ type counters struct {
 	chunkFetches atomic.Int64
 	retries      atomic.Int64
 	failovers    atomic.Int64
+	breakerTrips atomic.Int64
 }
 
 // Client speaks the fabric protocol to one shard — a replica set of
@@ -128,7 +138,7 @@ type dictSlot struct {
 
 // init fetches and validates the shard's metadata and zone maps.
 func (c *Client) init() error {
-	data, _, err := c.do("meta", http.MethodGet, "/shard/v1/meta", nil, nil, nil)
+	data, _, err := c.do(context.Background(), "meta", http.MethodGet, "/shard/v1/meta", nil, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -159,7 +169,7 @@ func (c *Client) init() error {
 	c.schema = schema
 	c.dicts = make([]dictSlot, len(fields))
 
-	data, _, err = c.do("zones", http.MethodGet, "/shard/v1/zones", nil, nil, nil)
+	data, _, err = c.do(context.Background(), "zones", http.MethodGet, "/shard/v1/zones", nil, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -227,13 +237,23 @@ func (c *Client) numChunks() int {
 // — sleeping (jittered exponential backoff) only when it lands on the
 // same replica again, because waiting is pointless when a different
 // healthy peer can answer now. The final error is a *ShardError naming
-// this shard by its primary location.
-func (c *Client) do(op, method, path string, q url.Values, body []byte, check func([]byte, http.Header) error) ([]byte, http.Header, error) {
+// this shard by its primary location (and the request id, when the
+// context carries one).
+//
+// When ctx carries a trace span, the whole operation records under one
+// "rpc <op>" span with one child per attempt; the server's own span
+// subtree comes back in the response headers and is grafted under the
+// attempt that succeeded. Untraced contexts skip all of it.
+func (c *Client) do(ctx context.Context, op, method, path string, q url.Values, body []byte, check func([]byte, http.Header) error) ([]byte, http.Header, error) {
+	rid := obsv.RequestIDFrom(ctx)
 	if c.closed.Load() {
-		return nil, nil, &ShardError{Location: c.primary, Op: op, Err: errors.New("client closed")}
+		return nil, nil, &ShardError{Location: c.primary, Op: op, RequestID: rid, Err: errors.New("client closed")}
 	}
 	c.sem <- struct{}{}
 	defer func() { <-c.sem }()
+	rctx, rsp := obsv.StartSpan(ctx, "rpc "+op)
+	defer rsp.End()
+	rsp.SetAttr("shard", c.primary)
 	var lastErr error
 	// At least one attempt per replica, plus the configured retries:
 	// Retries only bounds extra attempts, it never hides a live replica.
@@ -254,27 +274,40 @@ func (c *Client) do(op, method, path string, q url.Values, body []byte, check fu
 			}
 		}
 		prev = i
+		actx, asp := obsv.StartSpan(rctx, "attempt")
+		asp.SetAttr("replica", r.url)
 		began := time.Now()
-		data, hdr, err := c.doOnce(r.url, method, path, q, body)
+		data, hdr, err := c.doOnce(actx, r.url, method, path, q, body, rid)
 		if err == nil && check != nil {
 			err = check(data, hdr)
 		}
+		elapsed := time.Since(began)
 		if err == nil {
-			r.onSuccess(time.Since(began))
+			r.onSuccess(elapsed)
+			asp.End()
 			c.cur.Store(int32(i))
 			return data, hdr, nil
 		}
 		lastErr = err
+		asp.SetAttr("error", err.Error())
 		var hs *httpStatusError
 		if errors.As(err, &hs) && hs.status < 500 {
 			// The request itself is wrong; no replica can fix it, and the
 			// replica answered — no breaker strike.
+			asp.End()
 			break
 		}
-		r.onFailure(err, c.breakerThreshold, c.breakerCooldown, time.Now())
+		// The time burned on a failed attempt — timeout included — is
+		// charged to the replica that failed, so ShardHealth latencies
+		// stay honest about what failovers actually cost.
+		if r.onFailure(err, c.breakerThreshold, c.breakerCooldown, time.Now(), elapsed) {
+			c.stats.breakerTrips.Add(1)
+			asp.SetAttr("breakerTripped", true)
+		}
+		asp.End()
 		start = i + 1 // rotate past the replica that just failed
 	}
-	return nil, nil, &ShardError{Location: c.primary, Op: op, Err: lastErr}
+	return nil, nil, &ShardError{Location: c.primary, Op: op, RequestID: rid, Err: lastErr}
 }
 
 // pick chooses the replica for the next attempt: the first breaker-
@@ -309,13 +342,13 @@ func (c *Client) Replicas() []shard.ReplicaHealth {
 	now := time.Now()
 	out := make([]shard.ReplicaHealth, len(c.reps))
 	for i, r := range c.reps {
-		state, fails, lastErr, lat := r.health(now)
-		out[i] = shard.ReplicaHealth{URL: r.url, State: state, Fails: fails, Err: lastErr, Latency: lat}
+		state, fails, attempts, failures, lastErr, lat := r.health(now)
+		out[i] = shard.ReplicaHealth{URL: r.url, State: state, Fails: fails, Attempts: attempts, Failures: failures, Err: lastErr, Latency: lat}
 	}
 	return out
 }
 
-func (c *Client) doOnce(base, method, path string, q url.Values, body []byte) ([]byte, http.Header, error) {
+func (c *Client) doOnce(ctx context.Context, base, method, path string, q url.Values, body []byte, rid string) ([]byte, http.Header, error) {
 	u := base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -330,6 +363,13 @@ func (c *Client) doOnce(base, method, path string, q url.Values, body []byte) ([
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	sp := obsv.SpanFrom(ctx)
+	if sp != nil {
+		req.Header.Set(headerTrace, sp.TraceHeaderValue())
+	}
+	if rid != "" {
+		req.Header.Set(headerRequestID, rid)
 	}
 	c.stats.rpcs.Add(1)
 	resp, err := c.hc.Do(req)
@@ -346,33 +386,40 @@ func (c *Client) doOnce(base, method, path string, q url.Values, body []byte) ([
 	if resp.StatusCode != http.StatusOK {
 		return nil, nil, &httpStatusError{status: resp.StatusCode, msg: strings.TrimSpace(string(data))}
 	}
+	if sp != nil {
+		if enc := resp.Header.Get(headerSpans); enc != "" {
+			if remote, err := obsv.DecodeSpanTree(enc); err == nil {
+				sp.Graft(remote)
+			}
+		}
+	}
 	return data, resp.Header, nil
 }
 
 // getJSON runs a GET and decodes its JSON answer.
-func (c *Client) getJSON(op, path string, q url.Values, into any) error {
-	data, _, err := c.do(op, http.MethodGet, path, q, nil, nil)
+func (c *Client) getJSON(ctx context.Context, op, path string, q url.Values, into any) error {
+	data, _, err := c.do(ctx, op, http.MethodGet, path, q, nil, nil)
 	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(data, into); err != nil {
-		return &ShardError{Location: c.primary, Op: op, Err: err}
+		return &ShardError{Location: c.primary, Op: op, RequestID: obsv.RequestIDFrom(ctx), Err: err}
 	}
 	return nil
 }
 
 // postJSON runs a POST with a JSON body and decodes the JSON answer.
-func (c *Client) postJSON(op, path string, reqBody, into any) error {
+func (c *Client) postJSON(ctx context.Context, op, path string, reqBody, into any) error {
 	body, err := json.Marshal(reqBody)
 	if err != nil {
 		return &ShardError{Location: c.primary, Op: op, Err: err}
 	}
-	data, _, err := c.do(op, http.MethodPost, path, nil, body, nil)
+	data, _, err := c.do(ctx, op, http.MethodPost, path, nil, body, nil)
 	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(data, into); err != nil {
-		return &ShardError{Location: c.primary, Op: op, Err: err}
+		return &ShardError{Location: c.primary, Op: op, RequestID: obsv.RequestIDFrom(ctx), Err: err}
 	}
 	return nil
 }
@@ -409,7 +456,7 @@ func (c *Client) Dicts(ci int) ([]string, error) {
 		return slot.vals, nil
 	}
 	var dto dictDTO
-	if err := c.getJSON("dict", "/shard/v1/dict", url.Values{"col": {strconv.Itoa(ci)}}, &dto); err != nil {
+	if err := c.getJSON(context.Background(), "dict", "/shard/v1/dict", url.Values{"col": {strconv.Itoa(ci)}}, &dto); err != nil {
 		return nil, err
 	}
 	if dto.Values == nil {
@@ -448,16 +495,23 @@ func (c *Client) IOStats() colstore.IOStats {
 // a local open of the same shard file — the wire carries the file's own
 // chunk encoding.
 func (c *Client) FetchChunk(ci, k int) (*storage.ChunkPayload, bool, error) {
+	return c.FetchChunkCtx(context.Background(), ci, k)
+}
+
+// FetchChunkCtx implements storage.CtxChunkSource: FetchChunk with the
+// request context riding into the RPC, so a traced exploration sees
+// which phase pulled which chunk over the wire.
+func (c *Client) FetchChunkCtx(ctx context.Context, ci, k int) (*storage.ChunkPayload, bool, error) {
 	if ci < 0 || ci >= c.schema.NumFields() || k < 0 || k >= c.numChunks() {
 		return nil, false, &ShardError{Location: c.primary, Op: "chunk", Err: fmt.Errorf("chunk (%d,%d) out of range", ci, k)}
 	}
 	return c.cache.Get(c, ci, k, func() (*storage.ChunkPayload, error) {
-		return c.loadChunk(ci, k)
+		return c.loadChunk(ctx, ci, k)
 	})
 }
 
 // loadChunk is the cache-miss path of FetchChunk.
-func (c *Client) loadChunk(ci, k int) (*storage.ChunkPayload, error) {
+func (c *Client) loadChunk(ctx context.Context, ci, k int) (*storage.ChunkPayload, error) {
 	dictLen := 0
 	if c.schema.Field(ci).Type == storage.String {
 		dict, err := c.Dicts(ci)
@@ -486,7 +540,7 @@ func (c *Client) loadChunk(ci, k int) (*storage.ChunkPayload, error) {
 		return nil
 	}
 	q := url.Values{"col": {strconv.Itoa(ci)}, "chunk": {strconv.Itoa(k)}}
-	data, _, err := c.do("chunk", http.MethodGet, "/shard/v1/chunk", q, nil, check)
+	data, _, err := c.do(ctx, "chunk", http.MethodGet, "/shard/v1/chunk", q, nil, check)
 	if err != nil {
 		return nil, err
 	}
@@ -544,7 +598,7 @@ func (c *Client) PrefetchChunk(ci, k int) {
 // this client; callers then fall back to the per-attribute endpoints,
 // which also own error reporting — a dead batch plane never masks a
 // live per-attribute answer.
-func (c *Client) loadBatchStats() bool {
+func (c *Client) loadBatchStats(ctx context.Context) bool {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
 	if c.numStats != nil {
@@ -566,7 +620,7 @@ func (c *Client) loadBatchStats() bool {
 		_, _, _, _, err := c.parseBatchStats(data)
 		return err
 	}
-	data, _, err := c.do("batchstats", http.MethodPost, "/shard/v1/batchstats", nil, body, check)
+	data, _, err := c.do(ctx, "batchstats", http.MethodPost, "/shard/v1/batchstats", nil, body, check)
 	if err != nil {
 		c.batchOff = true
 		return false
@@ -622,8 +676,8 @@ func (c *Client) parseBatchStats(data []byte) (map[string][]float64, map[string]
 // batchNumeric answers NumericValues from the batch cache. The slice
 // is copied out: callers sort their copy in place, and the cached row
 // order must survive for the next exploration's sketch replay.
-func (c *Client) batchNumeric(attr string) ([]float64, bool) {
-	if !c.loadBatchStats() {
+func (c *Client) batchNumeric(ctx context.Context, attr string) ([]float64, bool) {
+	if !c.loadBatchStats(ctx) {
 		return nil, false
 	}
 	c.statsMu.Lock()
@@ -639,8 +693,8 @@ func (c *Client) batchNumeric(attr string) ([]float64, bool) {
 
 // batchCat answers CategoryCounts from the batch cache (counts copied;
 // the shared dictionary is read-only by contract).
-func (c *Client) batchCat(attr string) ([]string, []int, bool) {
-	if !c.loadBatchStats() {
+func (c *Client) batchCat(ctx context.Context, attr string) ([]string, []int, bool) {
+	if !c.loadBatchStats(ctx) {
 		return nil, nil, false
 	}
 	c.statsMu.Lock()
@@ -655,8 +709,8 @@ func (c *Client) batchCat(attr string) ([]string, []int, bool) {
 }
 
 // batchBool answers BoolCounts from the batch cache.
-func (c *Client) batchBool(attr string) (int, int, bool) {
-	if !c.loadBatchStats() {
+func (c *Client) batchBool(ctx context.Context, attr string) (int, int, bool) {
+	if !c.loadBatchStats(ctx) {
 		return 0, 0, false
 	}
 	c.statsMu.Lock()
@@ -687,8 +741,8 @@ func (c *Client) cachedBatchDict(ci int) ([]string, bool) {
 
 // NumericValues implements shard.StatBackend: the shard's non-NULL
 // values in row order, as one binary stream.
-func (c *Client) NumericValues(attr string) ([]float64, error) {
-	if vals, ok := c.batchNumeric(attr); ok {
+func (c *Client) NumericValues(ctx context.Context, attr string) ([]float64, error) {
+	if vals, ok := c.batchNumeric(ctx, attr); ok {
 		return vals, nil
 	}
 	check := func(data []byte, hdr http.Header) error {
@@ -702,7 +756,7 @@ func (c *Client) NumericValues(attr string) ([]float64, error) {
 		}
 		return nil
 	}
-	data, _, err := c.do("values", http.MethodGet, "/shard/v1/values", url.Values{"attr": {attr}}, nil, check)
+	data, _, err := c.do(ctx, "values", http.MethodGet, "/shard/v1/values", url.Values{"attr": {attr}}, nil, check)
 	if err != nil {
 		return nil, err
 	}
@@ -714,12 +768,12 @@ func (c *Client) NumericValues(attr string) ([]float64, error) {
 }
 
 // CategoryCounts implements shard.StatBackend (local dictionary space).
-func (c *Client) CategoryCounts(attr string) ([]string, []int, error) {
-	if dict, counts, ok := c.batchCat(attr); ok {
+func (c *Client) CategoryCounts(ctx context.Context, attr string) ([]string, []int, error) {
+	if dict, counts, ok := c.batchCat(ctx, attr); ok {
 		return dict, counts, nil
 	}
 	var dto catCountsDTO
-	if err := c.getJSON("catcounts", "/shard/v1/catcounts", url.Values{"attr": {attr}}, &dto); err != nil {
+	if err := c.getJSON(ctx, "catcounts", "/shard/v1/catcounts", url.Values{"attr": {attr}}, &dto); err != nil {
 		return nil, nil, err
 	}
 	if len(dto.Dict) != len(dto.Counts) {
@@ -729,12 +783,12 @@ func (c *Client) CategoryCounts(attr string) ([]string, []int, error) {
 }
 
 // BoolCounts implements shard.StatBackend.
-func (c *Client) BoolCounts(attr string) (int, int, error) {
-	if falses, trues, ok := c.batchBool(attr); ok {
+func (c *Client) BoolCounts(ctx context.Context, attr string) (int, int, error) {
+	if falses, trues, ok := c.batchBool(ctx, attr); ok {
 		return falses, trues, nil
 	}
 	var dto boolCountsDTO
-	if err := c.getJSON("boolcounts", "/shard/v1/boolcounts", url.Values{"attr": {attr}}, &dto); err != nil {
+	if err := c.getJSON(ctx, "boolcounts", "/shard/v1/boolcounts", url.Values{"attr": {attr}}, &dto); err != nil {
 		return 0, 0, err
 	}
 	return dto.Falses, dto.Trues, nil
@@ -742,7 +796,7 @@ func (c *Client) BoolCounts(attr string) (int, int, error) {
 
 // ColumnPartials implements shard.StatBackend: every requested column's
 // mergeable bundle in one round trip.
-func (c *Client) ColumnPartials(specs []shard.PartialSpec) ([]*shard.ColumnPartial, error) {
+func (c *Client) ColumnPartials(ctx context.Context, specs []shard.PartialSpec) ([]*shard.ColumnPartial, error) {
 	req := partialsReqDTO{Specs: make([]partialSpecDTO, len(specs))}
 	for i, s := range specs {
 		d := partialSpecDTO{Col: s.Col, UseHist: s.UseHist}
@@ -752,7 +806,7 @@ func (c *Client) ColumnPartials(specs []shard.PartialSpec) ([]*shard.ColumnParti
 		req.Specs[i] = d
 	}
 	var dtos []partialDTO
-	if err := c.postJSON("partials", "/shard/v1/partials", req, &dtos); err != nil {
+	if err := c.postJSON(ctx, "partials", "/shard/v1/partials", req, &dtos); err != nil {
 		return nil, err
 	}
 	if len(dtos) != len(specs) {
@@ -771,9 +825,9 @@ func (c *Client) ColumnPartials(specs []shard.PartialSpec) ([]*shard.ColumnParti
 
 // PredicateCount implements shard.StatBackend: the per-predicate bitmap
 // count, answered where the shard lives.
-func (c *Client) PredicateCount(p query.Predicate) (int, error) {
+func (c *Client) PredicateCount(ctx context.Context, p query.Predicate) (int, error) {
 	var dto countDTO
-	if err := c.postJSON("predcount", "/shard/v1/predcount", predToDTO(p), &dto); err != nil {
+	if err := c.postJSON(ctx, "predcount", "/shard/v1/predcount", predToDTO(p), &dto); err != nil {
 		return 0, err
 	}
 	return dto.Count, nil
@@ -785,11 +839,11 @@ func (c *Client) PredicateCount(p query.Predicate) (int, error) {
 // Old servers ignore the wantBits request field and answer count-only;
 // words is nil then and the caller decides (empty stays chunk-free,
 // non-empty falls back to scanning).
-func (c *Client) PredicateBits(p query.Predicate) (int, []uint64, error) {
+func (c *Client) PredicateBits(ctx context.Context, p query.Predicate) (int, []uint64, error) {
 	d := predToDTO(p)
 	d.WantBits = true
 	var dto countDTO
-	if err := c.postJSON("predcount", "/shard/v1/predcount", d, &dto); err != nil {
+	if err := c.postJSON(ctx, "predcount", "/shard/v1/predcount", d, &dto); err != nil {
 		return 0, nil, err
 	}
 	if dto.Bits == "" {
@@ -813,7 +867,7 @@ func (c *Client) PredicateBits(p query.Predicate) (int, []uint64, error) {
 func (c *Client) Health() (time.Duration, error) {
 	start := time.Now()
 	var dto healthDTO
-	if err := c.getJSON("health", "/shard/v1/health", nil, &dto); err != nil {
+	if err := c.getJSON(context.Background(), "health", "/shard/v1/health", nil, &dto); err != nil {
 		return 0, err
 	}
 	if !dto.OK {

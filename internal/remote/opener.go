@@ -146,6 +146,9 @@ type Stats struct {
 	Retries int64
 	// Failovers counts retries that rotated to a different replica.
 	Failovers int64
+	// BreakerTrips counts circuit breakers newly tripped (a replica
+	// leaving rotation after its failure threshold).
+	BreakerTrips int64
 }
 
 // Stats snapshots the aggregate counters.
@@ -156,5 +159,6 @@ func (o *Opener) Stats() Stats {
 		ChunkFetches: o.stats.chunkFetches.Load(),
 		Retries:      o.stats.retries.Load(),
 		Failovers:    o.stats.failovers.Load(),
+		BreakerTrips: o.stats.breakerTrips.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -418,7 +419,7 @@ func TestRemotePredicateCount(t *testing.T) {
 	}
 	for pi, p := range preds {
 		for i := 0; i < remoteSet.NumShards(); i++ {
-			got, ok, err := remoteSet.RemotePredicateCount(i, p)
+			got, ok, err := remoteSet.RemotePredicateCount(context.Background(), i, p)
 			if err != nil {
 				t.Fatalf("pred %d shard %d: %v", pi, i, err)
 			}
@@ -436,7 +437,7 @@ func TestRemotePredicateCount(t *testing.T) {
 		}
 	}
 	// Local sets have no statistics plane.
-	if _, ok, err := localSet.RemotePredicateCount(0, preds[0]); err != nil || ok {
+	if _, ok, err := localSet.RemotePredicateCount(context.Background(), 0, preds[0]); err != nil || ok {
 		t.Errorf("local set RemotePredicateCount = ok=%v err=%v, want ok=false", ok, err)
 	}
 }

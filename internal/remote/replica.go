@@ -41,7 +41,9 @@ type replica struct {
 	tripped     bool      // breaker open (fails reached the threshold)
 	reopenAt    time.Time // when a tripped breaker allows a half-open probe
 	lastErr     error
-	lastLatency time.Duration
+	lastLatency time.Duration // last round trip, successful or not
+	attempts    int64         // cumulative requests dialed
+	failures    int64         // cumulative failed requests
 }
 
 // allow reports whether the breaker admits a request now: closed
@@ -68,6 +70,7 @@ func (r *replica) reopenTime() time.Time {
 func (r *replica) onSuccess(latency time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.attempts++
 	r.fails = 0
 	r.tripped = false
 	r.lastErr = nil
@@ -76,19 +79,28 @@ func (r *replica) onSuccess(latency time.Duration) {
 
 // onFailure counts a strike; threshold consecutive strikes trip the
 // breaker for cooldown. A failed half-open probe re-trips immediately.
-func (r *replica) onFailure(err error, threshold int, cooldown time.Duration, now time.Time) {
+// latency is how long the failed attempt took (a timeout burns the
+// full deadline) and is recorded against THIS replica, so health
+// reports attribute failover cost to the replica that caused it. The
+// return value reports whether this strike newly tripped the breaker.
+func (r *replica) onFailure(err error, threshold int, cooldown time.Duration, now time.Time, latency time.Duration) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.attempts++
+	r.failures++
 	r.fails++
 	r.lastErr = err
+	r.lastLatency = latency
+	wasTripped := r.tripped
 	if r.fails >= threshold || r.tripped {
 		r.tripped = true
 		r.reopenAt = now.Add(cooldown)
 	}
+	return r.tripped && !wasTripped
 }
 
 // health snapshots the replica for ShardHealth / GET /api/shards.
-func (r *replica) health(now time.Time) (state string, fails int, lastErr error, latency time.Duration) {
+func (r *replica) health(now time.Time) (state string, fails int, attempts, failures int64, lastErr error, latency time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	switch {
@@ -99,7 +111,7 @@ func (r *replica) health(now time.Time) (state string, fails int, lastErr error,
 	default:
 		state = replicaProbing
 	}
-	return state, r.fails, r.lastErr, r.lastLatency
+	return state, r.fails, r.attempts, r.failures, r.lastErr, r.lastLatency
 }
 
 // backoffJitter returns the sleep before re-attempting the SAME replica:

@@ -46,16 +46,19 @@
 package remote
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/colstore"
 	"repro/internal/engine"
+	"repro/internal/obsv"
 	"repro/internal/query"
 	"repro/internal/shard"
 	"repro/internal/storage"
@@ -77,6 +80,12 @@ type Server struct {
 
 	requests atomic.Int64
 	bytesOut atomic.Int64
+
+	// SlowThreshold, when positive, logs fabric requests that took at
+	// least this long through SlowLog (set both before serving).
+	SlowThreshold time.Duration
+	// SlowLog receives slow-request lines; nil disables logging.
+	SlowLog func(format string, args ...any)
 }
 
 // NewServer wraps an opened shard store. The store stays owned by the
@@ -124,7 +133,7 @@ type statEntry struct {
 // different attributes compute concurrently. Failures are NOT cached —
 // a lazy store's transient read error must not poison the attribute
 // until restart.
-func (s *Server) statFor(attr string) (*statEntry, error) {
+func (s *Server) statFor(ctx context.Context, attr string) (*statEntry, error) {
 	s.statMu.Lock()
 	e := s.statCache[attr]
 	if e == nil {
@@ -136,8 +145,13 @@ func (s *Server) statFor(attr string) (*statEntry, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.done {
+		if sp := obsv.SpanFrom(ctx); sp != nil {
+			sp.SetAttr("statCached", true)
+		}
 		return e, nil
 	}
+	_, sp := obsv.StartSpan(ctx, "statcompute "+attr)
+	defer sp.End()
 	var f *storage.Field
 	for _, fd := range s.tbl.Schema().Fields() {
 		if fd.Name == attr {
@@ -177,25 +191,104 @@ func (s *Server) statFor(attr string) (*statEntry, error) {
 // paths carry the /shard/v1/ prefix).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /shard/v1/meta", s.count(s.handleMeta))
-	mux.HandleFunc("GET /shard/v1/zones", s.count(s.handleZones))
-	mux.HandleFunc("GET /shard/v1/dict", s.count(s.handleDict))
-	mux.HandleFunc("GET /shard/v1/chunk", s.count(s.handleChunk))
-	mux.HandleFunc("GET /shard/v1/values", s.count(s.handleValues))
-	mux.HandleFunc("GET /shard/v1/catcounts", s.count(s.handleCatCounts))
-	mux.HandleFunc("GET /shard/v1/boolcounts", s.count(s.handleBoolCounts))
-	mux.HandleFunc("POST /shard/v1/batchstats", s.count(s.handleBatchStats))
-	mux.HandleFunc("POST /shard/v1/partials", s.count(s.handlePartials))
-	mux.HandleFunc("POST /shard/v1/predcount", s.count(s.handlePredCount))
-	mux.HandleFunc("GET /shard/v1/health", s.count(s.handleHealth))
+	mux.HandleFunc("GET /shard/v1/meta", s.wrap("meta", s.handleMeta))
+	mux.HandleFunc("GET /shard/v1/zones", s.wrap("zones", s.handleZones))
+	mux.HandleFunc("GET /shard/v1/dict", s.wrap("dict", s.handleDict))
+	mux.HandleFunc("GET /shard/v1/chunk", s.wrap("chunk", s.handleChunk))
+	mux.HandleFunc("GET /shard/v1/values", s.wrap("values", s.handleValues))
+	mux.HandleFunc("GET /shard/v1/catcounts", s.wrap("catcounts", s.handleCatCounts))
+	mux.HandleFunc("GET /shard/v1/boolcounts", s.wrap("boolcounts", s.handleBoolCounts))
+	mux.HandleFunc("POST /shard/v1/batchstats", s.wrap("batchstats", s.handleBatchStats))
+	mux.HandleFunc("POST /shard/v1/partials", s.wrap("partials", s.handlePartials))
+	mux.HandleFunc("POST /shard/v1/predcount", s.wrap("predcount", s.handlePredCount))
+	mux.HandleFunc("GET /shard/v1/health", s.wrap("health", s.handleHealth))
 	return mux
 }
 
-func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+// wrap is the per-endpoint middleware: request counting, slow-request
+// logging, and — only when the coordinator sent a trace header — a
+// server-side span tree returned in the response headers. Traced
+// responses are buffered so the span tree is complete before any byte
+// (or the Content-Length header) goes out; untraced requests write
+// straight through and pay nothing.
+func (s *Server) wrap(op string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		h(w, r)
+		began := time.Now()
+		rid := r.Header.Get(headerRequestID)
+		traceID, _, traced := obsv.ParseTraceHeader(r.Header.Get(headerTrace))
+		if !traced {
+			h(w, r)
+			s.logSlow(op, rid, time.Since(began))
+			return
+		}
+		tr, root := obsv.NewTraceWithID(traceID, "shard "+op)
+		ctx := obsv.WithSpan(r.Context(), root)
+		if rid != "" {
+			ctx = obsv.WithRequestID(ctx, rid)
+		}
+		rec := newBufferedResponse()
+		h(rec, r.WithContext(ctx))
+		root.End()
+		if enc, err := obsv.EncodeSpanTree(tr.Tree()); err == nil {
+			rec.hdr.Set(headerSpans, enc)
+		}
+		rec.flush(w)
+		s.logSlow(op, rid, time.Since(began))
 	}
+}
+
+// logSlow emits one slow-request line when the server is configured for
+// it. The request id (when the coordinator sent one) joins this line
+// with the client-side ShardError and the coordinator's own slow-query
+// log.
+func (s *Server) logSlow(op, rid string, dur time.Duration) {
+	if s.SlowThreshold <= 0 || dur < s.SlowThreshold || s.SlowLog == nil {
+		return
+	}
+	if rid == "" {
+		rid = "-"
+	}
+	s.SlowLog("slow shard request: op=%s rid=%s dur=%s", op, rid, dur)
+}
+
+// bufferedResponse holds a traced response until its span tree is
+// attached. Handlers fully materialize bodies anyway (writeBody), so
+// buffering adds one copy, only on traced requests.
+type bufferedResponse struct {
+	hdr    http.Header
+	status int
+	body   []byte
+}
+
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{hdr: make(http.Header)}
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.hdr }
+
+func (b *bufferedResponse) WriteHeader(status int) {
+	if b.status == 0 {
+		b.status = status
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	for k, vs := range b.hdr {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	w.WriteHeader(b.status)
+	_, _ = w.Write(b.body)
 }
 
 // writeBody writes a fully-materialized binary body with its length
@@ -329,7 +422,7 @@ func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	e, err := s.statFor(attr)
+	e, err := s.statFor(r.Context(), attr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -344,7 +437,7 @@ func (s *Server) handleCatCounts(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	e, err := s.statFor(attr)
+	e, err := s.statFor(r.Context(), attr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -358,7 +451,7 @@ func (s *Server) handleBoolCounts(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	e, err := s.statFor(attr)
+	e, err := s.statFor(r.Context(), attr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -392,7 +485,7 @@ func (s *Server) handleBatchStats(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 		}
-		e, err := s.statFor(attr)
+		e, err := s.statFor(r.Context(), attr)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
@@ -421,6 +514,8 @@ func (s *Server) handlePartials(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return
 	}
+	_, psp := obsv.StartSpan(r.Context(), "partials compute")
+	defer psp.End()
 	out := make([]partialDTO, len(req.Specs))
 	for i, spec := range req.Specs {
 		var lo, hi float64
@@ -466,6 +561,8 @@ func (s *Server) handlePredCount(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	_, psp := obsv.StartSpan(r.Context(), "predicate eval")
+	defer psp.End()
 	if dto.WantBits {
 		// The caller wants the selection bitmap itself, so session base
 		// assembly can skip the chunk plane even for non-empty answers.

@@ -48,6 +48,16 @@ const (
 	// headerChunkLen carries the payload's byte length, so a truncated
 	// body is detected even when the transport hid the short read.
 	headerChunkLen = "X-Atlas-Chunk-Len"
+	// headerTrace propagates the coordinator's trace context to a shard
+	// server ("<traceID>/<parentSpanID>"), so the server's spans nest
+	// under the RPC attempt that asked.
+	headerTrace = "X-Atlas-Trace"
+	// headerSpans carries the server's span subtree back in the response
+	// (base64-encoded JSON, see obsv.EncodeSpanTree).
+	headerSpans = "X-Atlas-Spans"
+	// headerRequestID propagates the query request id, joining client
+	// errors with server log lines.
+	headerRequestID = "X-Atlas-Request-Id"
 	// headerCount carries the value count of a binary float stream.
 	headerCount = "X-Atlas-Count"
 )

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/remote"
+)
+
+// This file is the coordinator's observability surface: the process
+// metric registry behind GET /metrics, the request middleware (request
+// ids, error counting, the slow-query log) and the latency histograms
+// /api/stats summarizes. Everything here samples counters the other
+// layers already keep — scrapes never take the server's locks beyond
+// the registry's own.
+
+// fabricStats is the slice of a remote opener the metrics need;
+// *remote.Opener implements it.
+type fabricStats interface {
+	Stats() remote.Stats
+}
+
+// serverMetrics are the owned (non-sampled) metrics of the HTTP layer.
+type serverMetrics struct {
+	httpRequests *obsv.Counter
+	httpErrors   *obsv.Counter
+	explores     *obsv.Counter
+	exploreHist  *obsv.Histogram
+	slowQueries  *obsv.Counter
+	profiled     *obsv.Counter
+}
+
+// Registry lazily builds and returns the server's metric registry. The
+// first call wires every layer's counters in: engine scan verdicts from
+// the shared Cartographer, store/cache I/O from the shard set or single
+// store, fabric traffic from the remote opener (when one is serving),
+// and the HTTP layer's own counters and explore-latency histogram.
+func (s *Server) Registry() *obsv.Registry {
+	s.regOnce.Do(func() {
+		r := obsv.NewRegistry()
+		s.metrics = &serverMetrics{
+			httpRequests: r.NewCounter("atlas_http_requests_total", "API requests served", nil),
+			httpErrors:   r.NewCounter("atlas_http_errors_total", "API requests answered with status >= 400", nil),
+			explores:     r.NewCounter("atlas_explores_total", "explorations executed (stateless and session)", nil),
+			exploreHist:  r.NewHistogram("atlas_explore_duration_seconds", "end-to-end exploration latency", nil, nil),
+			slowQueries:  r.NewCounter("atlas_slow_queries_total", "explorations at or above the slow-query threshold", nil),
+			profiled:     r.NewCounter("atlas_profiled_explores_total", "explorations run with profile=1", nil),
+		}
+		r.GaugeFunc("atlas_sessions_open", "live drill-down sessions", nil, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.sessions))
+		})
+		if s.cart != nil {
+			lbl := map[string]string{"layer": "engine"}
+			r.CounterFunc("atlas_engine_chunks_pruned_total", "chunks skipped by zone-map verdicts", lbl, func() float64 {
+				return float64(s.cart.ScanStats().ChunksPruned)
+			})
+			r.CounterFunc("atlas_engine_chunks_full_total", "chunks answered entirely by zone maps", lbl, func() float64 {
+				return float64(s.cart.ScanStats().ChunksFull)
+			})
+			r.CounterFunc("atlas_engine_chunks_scanned_total", "chunks scanned row by row", lbl, func() float64 {
+				return float64(s.cart.ScanStats().ChunksScanned)
+			})
+			r.CounterFunc("atlas_engine_chunks_decoded_total", "lazy chunk payloads decoded for scans", lbl, func() float64 {
+				return float64(s.cart.ScanStats().ChunksDecoded)
+			})
+			r.CounterFunc("atlas_engine_chunk_cache_hits_total", "scan chunk demands served from cache", lbl, func() float64 {
+				return float64(s.cart.ScanStats().ChunkCacheHits)
+			})
+		}
+		ioStats := s.ioStats
+		if ioStats != nil {
+			lbl := map[string]string{"layer": "store"}
+			r.CounterFunc("atlas_store_bytes_read_total", "bytes read from segment files or the wire", lbl, func() float64 {
+				return float64(ioStats().BytesRead)
+			})
+			r.CounterFunc("atlas_store_chunks_decoded_total", "chunk payloads decoded from storage", lbl, func() float64 {
+				return float64(ioStats().ChunksDecoded)
+			})
+			r.CounterFunc("atlas_store_cache_hits_total", "decoded-chunk cache hits", lbl, func() float64 {
+				return float64(ioStats().CacheHits)
+			})
+			r.CounterFunc("atlas_store_cache_evictions_total", "decoded-chunk cache evictions", lbl, func() float64 {
+				return float64(ioStats().CacheEvictions)
+			})
+			r.GaugeFunc("atlas_store_cache_bytes", "decoded-chunk cache residency", lbl, func() float64 {
+				return float64(ioStats().CacheBytes)
+			})
+		}
+		if s.set != nil {
+			r.GaugeFunc("atlas_store_opened_shards", "shard backends opened", map[string]string{"layer": "store"}, func() float64 {
+				return float64(s.set.OpenedShards())
+			})
+		}
+		if s.fabric != nil {
+			lbl := map[string]string{"layer": "fabric"}
+			r.CounterFunc("atlas_fabric_rpcs_total", "fabric requests sent (per attempt)", lbl, func() float64 {
+				return float64(s.fabric.Stats().RPCs)
+			})
+			r.CounterFunc("atlas_fabric_bytes_in_total", "fabric response bytes received", lbl, func() float64 {
+				return float64(s.fabric.Stats().BytesIn)
+			})
+			r.CounterFunc("atlas_fabric_chunk_fetches_total", "chunk payloads fetched over the wire", lbl, func() float64 {
+				return float64(s.fabric.Stats().ChunkFetches)
+			})
+			r.CounterFunc("atlas_fabric_retries_total", "extra attempts after transient failures", lbl, func() float64 {
+				return float64(s.fabric.Stats().Retries)
+			})
+			r.CounterFunc("atlas_fabric_failovers_total", "retries that rotated to a different replica", lbl, func() float64 {
+				return float64(s.fabric.Stats().Failovers)
+			})
+			r.CounterFunc("atlas_fabric_breaker_trips_total", "circuit breakers newly tripped", lbl, func() float64 {
+				return float64(s.fabric.Stats().BreakerTrips)
+			})
+		}
+		s.reg = r
+	})
+	return s.reg
+}
+
+// SetSlowQueryLog configures the slow-query log: explorations taking at
+// least threshold are logged (request id, CQL, duration) through logf.
+// A nil logf uses the standard logger; a non-positive threshold
+// disables the log.
+func (s *Server) SetSlowQueryLog(threshold time.Duration, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	s.slowMu.Lock()
+	s.slowThreshold, s.slowLog = threshold, logf
+	s.slowMu.Unlock()
+}
+
+func (s *Server) slowConfig() (time.Duration, func(format string, args ...any)) {
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	return s.slowThreshold, s.slowLog
+}
+
+// observeExplore records one finished exploration in the metrics and,
+// when it crossed the slow-query threshold, in the slow-query log.
+func (s *Server) observeExplore(rid, input string, dur time.Duration, profiled bool) {
+	s.Registry() // ensure metrics exist
+	s.metrics.explores.Inc()
+	s.metrics.exploreHist.ObserveDuration(dur)
+	if profiled {
+		s.metrics.profiled.Inc()
+	}
+	threshold, logf := s.slowConfig()
+	if threshold > 0 && dur >= threshold && logf != nil {
+		s.metrics.slowQueries.Inc()
+		if rid == "" {
+			rid = "-"
+		}
+		logf("slow query: rid=%s dur=%s cql=%q", rid, dur, input)
+	}
+}
+
+// statusWriter records the response status for error counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+// withObservability is the outer API middleware: every request gets a
+// request id in its context (echoed as X-Atlas-Request-Id, propagated
+// to shard servers by the fabric client), the request counters move,
+// and error responses are tallied.
+func (s *Server) withObservability(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.Registry()
+		s.metrics.httpRequests.Inc()
+		rid := r.Header.Get("X-Atlas-Request-Id")
+		if rid == "" {
+			rid = obsv.NewRequestID()
+		}
+		w.Header().Set("X-Atlas-Request-Id", rid)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r.WithContext(obsv.WithRequestID(r.Context(), rid)))
+		if sw.status >= 400 {
+			s.metrics.httpErrors.Inc()
+		}
+	})
+}
+
+// profileWanted reports whether the request opts into a span-tree
+// profile (?profile=1).
+func profileWanted(r *http.Request) bool {
+	v := r.URL.Query().Get("profile")
+	return v == "1" || v == "true"
+}
+
+var _ fabricStats = (*remote.Opener)(nil)

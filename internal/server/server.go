@@ -4,6 +4,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,10 +12,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/cql"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/remote"
 	"repro/internal/session"
@@ -47,6 +50,20 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[int]*session.Session
 	nextID   int
+
+	// Observability (see obsv.go): the lazily-built metric registry
+	// behind GET /metrics, the fabric opener's traffic counters when
+	// remote shards are served, the store I/O sampler, and the
+	// slow-query log configuration.
+	regOnce sync.Once
+	reg     *obsv.Registry
+	metrics *serverMetrics
+	fabric  fabricStats
+	ioStats func() colstore.IOStats
+
+	slowMu        sync.Mutex
+	slowThreshold time.Duration
+	slowLog       func(format string, args ...any)
 }
 
 // New creates a server over a table with the given pipeline defaults.
@@ -67,6 +84,7 @@ func NewSharded(set *shard.Set, opts core.Options) *Server {
 	if cart, err := core.NewCartographerWith(s.table, opts, set.Provider(opts.Parallelism)); err == nil {
 		s.cart = cart
 	}
+	s.ioStats = set.IOStats
 	return s
 }
 
@@ -103,7 +121,11 @@ func NewFromStoreWith(path string, opts core.Options, sc StoreConfig) (*Server, 
 		if err != nil {
 			return nil, err
 		}
-		return NewSharded(set, opts), nil
+		srv := NewSharded(set, opts)
+		if f, ok := opener.(fabricStats); ok {
+			srv.fabric = f
+		}
+		return srv, nil
 	}
 	st, err := colstore.OpenWith(path, sc.Store)
 	if err != nil {
@@ -111,6 +133,7 @@ func NewFromStoreWith(path string, opts core.Options, sc StoreConfig) (*Server, 
 	}
 	s := New(st.Table(), opts)
 	s.store = st
+	s.ioStats = st.IOStats
 	return s, nil
 }
 
@@ -154,7 +177,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/sessions/{id}/personalized", s.handlePersonalized)
 	mux.HandleFunc("GET /api/shards", s.handleShards)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
-	return mux
+	mux.Handle("GET /metrics", s.Registry().Handler())
+	return s.withObservability(mux)
 }
 
 // ---- DTOs ----
@@ -194,6 +218,10 @@ type ResultDTO struct {
 	ElapsedMs float64  `json:"elapsedMs"`
 	Maps      []MapDTO `json:"maps"`
 	Flagged   []string `json:"flagged,omitempty"`
+	// Profile is the exploration's span tree, present when the request
+	// asked for one (?profile=1). Offsets are nanoseconds from the
+	// trace start; remote (shard-server) subtrees are flagged.
+	Profile *obsv.SpanJSON `json:"profile,omitempty"`
 }
 
 // NodeDTO is one session node.
@@ -261,17 +289,31 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	res, err := s.runCQL(req.CQL)
+	ctx, profile := r.Context(), profileWanted(r)
+	var tr *obsv.Trace
+	if profile {
+		var root *obsv.Span
+		tr, root = obsv.NewTrace("explore")
+		defer root.End()
+		ctx = obsv.WithSpan(ctx, root)
+	}
+	start := time.Now()
+	res, err := s.runCQL(ctx, req.CQL)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toResultDTO(res))
+	s.observeExplore(obsv.RequestIDFrom(ctx), req.CQL, time.Since(start), profile)
+	dto := toResultDTO(res)
+	if tr != nil {
+		dto.Profile = tr.Tree()
+	}
+	writeJSON(w, http.StatusOK, dto)
 }
 
 // runCQL parses, binds and executes a stateless CQL exploration,
-// honoring its WITH options.
-func (s *Server) runCQL(input string) (*core.Result, error) {
+// honoring its WITH options. A trace span in ctx profiles the run.
+func (s *Server) runCQL(ctx context.Context, input string) (*core.Result, error) {
 	q, opts, err := cql.ParseAndBind(input, s.table)
 	if err != nil {
 		return nil, &badRequest{err}
@@ -284,7 +326,7 @@ func (s *Server) runCQL(input string) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cart.Explore(q)
+	return cart.ExploreCtx(ctx, q)
 }
 
 func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
@@ -330,13 +372,27 @@ func (s *Server) handleSessionExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &badRequest{err})
 		return
 	}
-	node, err := sess.Explore(q)
+	ctx, profile := r.Context(), profileWanted(r)
+	var tr *obsv.Trace
+	if profile {
+		var root *obsv.Span
+		tr, root = obsv.NewTrace("explore")
+		defer root.End()
+		ctx = obsv.WithSpan(ctx, root)
+	}
+	start := time.Now()
+	node, err := sess.ExploreCtx(ctx, q)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	s.observeExplore(obsv.RequestIDFrom(ctx), req.CQL, time.Since(start), profile)
 	sess.Prefetch(4) // anticipative computation, Section 5.1
-	writeJSON(w, http.StatusOK, toNodeDTO(node))
+	dto := toNodeDTO(node)
+	if tr != nil {
+		dto.Result.Profile = tr.Tree()
+	}
+	writeJSON(w, http.StatusOK, dto)
 }
 
 func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
@@ -349,13 +405,27 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	node, err := sess.DrillDown(req.Map, req.Region)
+	ctx, profile := r.Context(), profileWanted(r)
+	var tr *obsv.Trace
+	if profile {
+		var root *obsv.Span
+		tr, root = obsv.NewTrace("drill")
+		defer root.End()
+		ctx = obsv.WithSpan(ctx, root)
+	}
+	start := time.Now()
+	node, err := sess.DrillDownCtx(ctx, req.Map, req.Region)
 	if err != nil {
 		writeError(w, &badRequest{err})
 		return
 	}
+	s.observeExplore(obsv.RequestIDFrom(ctx), fmt.Sprintf("drill map=%d region=%d", req.Map, req.Region), time.Since(start), profile)
 	sess.Prefetch(4)
-	writeJSON(w, http.StatusOK, toNodeDTO(node))
+	dto := toNodeDTO(node)
+	if tr != nil {
+		dto.Result.Profile = tr.Tree()
+	}
+	writeJSON(w, http.StatusOK, dto)
 }
 
 func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
@@ -633,10 +703,33 @@ type StoreStatsDTO struct {
 	OpenedShards   int   `json:"openedShards,omitempty"`
 }
 
+// FabricStatsDTO reports the remote opener's aggregate traffic.
+type FabricStatsDTO struct {
+	RPCs         int64 `json:"rpcs"`
+	BytesIn      int64 `json:"bytesIn"`
+	ChunkFetches int64 `json:"chunkFetches"`
+	Retries      int64 `json:"retries"`
+	Failovers    int64 `json:"failovers"`
+	BreakerTrips int64 `json:"breakerTrips"`
+}
+
+// ServerStatsDTO reports the HTTP layer's own counters, with latency
+// quantiles estimated from the explore histogram.
+type ServerStatsDTO struct {
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Explores    int64   `json:"explores"`
+	SlowQueries int64   `json:"slowQueries"`
+	ExploreP50s float64 `json:"exploreP50s"`
+	ExploreP99s float64 `json:"exploreP99s"`
+}
+
 // StatsDTO is the /api/stats answer.
 type StatsDTO struct {
-	Scan  ScanStatsDTO   `json:"scan"`
-	Store *StoreStatsDTO `json:"store,omitempty"`
+	Scan   ScanStatsDTO    `json:"scan"`
+	Store  *StoreStatsDTO  `json:"store,omitempty"`
+	Fabric *FabricStatsDTO `json:"fabric,omitempty"`
+	Server *ServerStatsDTO `json:"server,omitempty"`
 }
 
 // handleStats reports scan-level pruning counters and, for store-backed
@@ -676,6 +769,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			CacheEvictions: io.CacheEvictions,
 			CacheBytes:     io.CacheBytes,
 		}
+	}
+	if s.fabric != nil {
+		fs := s.fabric.Stats()
+		dto.Fabric = &FabricStatsDTO{
+			RPCs:         fs.RPCs,
+			BytesIn:      fs.BytesIn,
+			ChunkFetches: fs.ChunkFetches,
+			Retries:      fs.Retries,
+			Failovers:    fs.Failovers,
+			BreakerTrips: fs.BreakerTrips,
+		}
+	}
+	s.Registry()
+	dto.Server = &ServerStatsDTO{
+		Requests:    s.metrics.httpRequests.Value(),
+		Errors:      s.metrics.httpErrors.Value(),
+		Explores:    s.metrics.explores.Value(),
+		SlowQueries: s.metrics.slowQueries.Value(),
+		ExploreP50s: s.metrics.exploreHist.Quantile(0.5),
+		ExploreP99s: s.metrics.exploreHist.Quantile(0.99),
 	}
 	writeJSON(w, http.StatusOK, dto)
 }

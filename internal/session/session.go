@@ -5,12 +5,14 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/query"
 	"repro/internal/storage"
@@ -61,7 +63,7 @@ type ShardPruner interface {
 // with no chunk payload ever crossing the wire, the per-predicate
 // bitmap-count half of the fabric's statistics plane.
 type ShardPredCounter interface {
-	RemotePredicateCount(shard int, p query.Predicate) (count int, ok bool, err error)
+	RemotePredicateCount(ctx context.Context, shard int, p query.Predicate) (count int, ok bool, err error)
 }
 
 // ShardPredBitmapper is the bitmap extension of ShardPredCounter
@@ -73,7 +75,7 @@ type ShardPredCounter interface {
 // wire. ok=false (old servers, local shards) falls back to the counter
 // and the scan.
 type ShardPredBitmapper interface {
-	RemotePredicateBits(shard int, p query.Predicate) (bm *bitvec.Vector, ok bool, err error)
+	RemotePredicateBits(ctx context.Context, shard int, p query.Predicate) (bm *bitvec.Vector, ok bool, err error)
 }
 
 // Session is a stateful exploration over one table. It is safe for
@@ -123,27 +125,30 @@ func NewSharded(cart *core.Cartographer, layout ShardLayout) *Session {
 // explore runs one exploration, assembling the base selection from the
 // per-predicate bitmap cache. Safe without s.mu: the predicate cache
 // has its own lock and the Cartographer is concurrency-safe.
-func (s *Session) explore(q query.Query) (*core.Result, error) {
+func (s *Session) explore(ctx context.Context, q query.Query) (*core.Result, error) {
 	t := s.cart.Table()
 	if q.Table != "" && q.Table != t.Name() {
 		// Let the Cartographer surface its canonical mismatch error.
-		return s.cart.Explore(q)
+		return s.cart.ExploreCtx(ctx, q)
 	}
 	// Cache misses scan with the cartographer's scan options, keeping
 	// the chunk-parallel sharding of Explore and feeding its cumulative
 	// verdict counters.
-	sopts := s.cart.ScanOpts()
+	bctx, sp := obsv.StartSpan(ctx, "base")
+	sopts := s.cart.ScanOptsCtx(bctx)
 	if s.shards != nil {
-		base, err := s.shardedBase(q, sopts)
+		base, err := s.shardedBase(bctx, q, sopts)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		return s.cart.ExploreSel(q, base)
+		return s.cart.ExploreSelCtx(ctx, q, base)
 	}
 	base := bitvec.NewFull(t.NumRows())
 	for _, p := range q.Preds {
 		bm, err := s.preds.getOrCompute(t, p, sopts)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		base.And(bm)
@@ -151,7 +156,8 @@ func (s *Session) explore(q query.Query) (*core.Result, error) {
 			break
 		}
 	}
-	return s.cart.ExploreSel(q, base)
+	sp.End()
+	return s.cart.ExploreSelCtx(ctx, q, base)
 }
 
 // shardedBase assembles Eval(q) shard by shard: per shard, the cached
@@ -160,7 +166,7 @@ func (s *Session) explore(q query.Query) (*core.Result, error) {
 // ranges of the combined bitmap. Shards fan out over up to workers
 // goroutines; the assembled result is the exact concatenation, so it is
 // identical at any shard count and parallelism.
-func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.Vector, error) {
+func (s *Session) shardedBase(ctx context.Context, q query.Query, sopts engine.ScanOptions) (*bitvec.Vector, error) {
 	n := s.shards.NumShards()
 	pruner, _ := s.shards.(ShardPruner)
 	counter, _ := s.shards.(ShardPredCounter)
@@ -175,6 +181,10 @@ func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.
 	}
 	sels := make([]*bitvec.Vector, n)
 	err := par.For(workers, n, func(i int) error {
+		sctx, ssp := obsv.StartSpan(ctx, fmt.Sprintf("shard %d base", i))
+		defer ssp.End()
+		sopts := inner
+		sopts.Ctx = sctx
 		view := s.shards.ShardTable(i)
 		sel := bitvec.NewFull(view.NumRows())
 		for _, p := range q.Preds {
@@ -184,7 +194,7 @@ func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.
 				sel.Zero()
 				break
 			}
-			bm, err := s.preds.getOrComputeShard(view, p, i, inner, s.shardPredCompute(bitmapper, counter, view, p, i, inner))
+			bm, err := s.preds.getOrComputeShard(view, p, i, sopts, s.shardPredCompute(sctx, bitmapper, counter, view, p, i, sopts))
 			if err != nil {
 				return err
 			}
@@ -215,16 +225,19 @@ func (s *Session) shardedBase(q query.Query, sopts engine.ScanOptions) (*bitvec.
 // unsupporting server falls through to the ordinary scan (whose own
 // error names the shard if it is really down). Local layouts get a nil
 // compute, so the cache scans directly.
-func (s *Session) shardPredCompute(bitmapper ShardPredBitmapper, counter ShardPredCounter, view *storage.Table, p query.Predicate, i int, opts engine.ScanOptions) func() (*bitvec.Vector, error) {
+func (s *Session) shardPredCompute(ctx context.Context, bitmapper ShardPredBitmapper, counter ShardPredCounter, view *storage.Table, p query.Predicate, i int, opts engine.ScanOptions) func() (*bitvec.Vector, error) {
 	if bitmapper == nil && counter == nil {
 		return nil
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return func() (*bitvec.Vector, error) {
 		if bitmapper != nil {
-			if bm, ok, err := bitmapper.RemotePredicateBits(i, p); err == nil && ok {
+			if bm, ok, err := bitmapper.RemotePredicateBits(ctx, i, p); err == nil && ok {
 				return bm, nil
 			}
-		} else if n, ok, err := counter.RemotePredicateCount(i, p); err == nil && ok && n == 0 {
+		} else if n, ok, err := counter.RemotePredicateCount(ctx, i, p); err == nil && ok && n == 0 {
 			return bitvec.New(view.NumRows()), nil
 		}
 		return engine.EvalPredicateOpts(view, p, opts)
@@ -233,8 +246,8 @@ func (s *Session) shardPredCompute(bitmapper ShardPredBitmapper, counter ShardPr
 
 // exploreLocked runs (or serves from cache) an exploration and appends a
 // node. Caller holds s.mu.
-func (s *Session) exploreLocked(q query.Query, parent int) (*Node, error) {
-	res, err := s.resultFor(q)
+func (s *Session) exploreLocked(ctx context.Context, q query.Query, parent int) (*Node, error) {
+	res, err := s.resultFor(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -250,12 +263,15 @@ func (s *Session) exploreLocked(q query.Query, parent int) (*Node, error) {
 // resultFor serves a result from the cache or computes and caches it.
 // Caller holds s.mu; the pipeline runs without the lock would be nicer,
 // but explorations are short and correctness is simpler this way.
-func (s *Session) resultFor(q query.Query) (*core.Result, error) {
+func (s *Session) resultFor(ctx context.Context, q query.Query) (*core.Result, error) {
 	key := q.String()
 	if res, ok := s.cache[key]; ok {
+		if sp := obsv.SpanFrom(ctx); sp != nil {
+			sp.SetAttr("resultCached", true)
+		}
 		return res, nil
 	}
-	res, err := s.explore(q)
+	res, err := s.explore(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -265,15 +281,27 @@ func (s *Session) resultFor(q query.Query) (*core.Result, error) {
 
 // Explore starts a new exploration root for q.
 func (s *Session) Explore(q query.Query) (*Node, error) {
+	return s.ExploreCtx(context.Background(), q)
+}
+
+// ExploreCtx is Explore with a request context: when ctx carries a
+// trace span, the whole pipeline — base assembly included — records
+// into it (see core.Cartographer.ExploreCtx).
+func (s *Session) ExploreCtx(ctx context.Context, q query.Query) (*Node, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.exploreLocked(q, -1)
+	return s.exploreLocked(ctx, q, -1)
 }
 
 // DrillDown explores region regionIdx of map mapIdx of the current
 // node's result — the user "submitting one of the queries for further
 // analysis".
 func (s *Session) DrillDown(mapIdx, regionIdx int) (*Node, error) {
+	return s.DrillDownCtx(context.Background(), mapIdx, regionIdx)
+}
+
+// DrillDownCtx is DrillDown with a request context (see ExploreCtx).
+func (s *Session) DrillDownCtx(ctx context.Context, mapIdx, regionIdx int) (*Node, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur, err := s.currentLocked()
@@ -288,7 +316,7 @@ func (s *Session) DrillDown(mapIdx, regionIdx int) (*Node, error) {
 		return nil, fmt.Errorf("session: region index %d out of range (%d regions)", regionIdx, len(m.Regions))
 	}
 	s.recordInterest(m.Attrs)
-	return s.exploreLocked(m.Regions[regionIdx].Query, cur.ID)
+	return s.exploreLocked(ctx, m.Regions[regionIdx].Query, cur.ID)
 }
 
 // Back moves the cursor to the parent of the current node and returns it.
@@ -386,7 +414,7 @@ func (s *Session) Prefetch(limit int) {
 		s.prefetching.Add(1)
 		go func() {
 			defer s.prefetching.Done()
-			res, err := s.explore(q)
+			res, err := s.explore(context.Background(), q)
 			if err != nil {
 				return // prefetch is best-effort
 			}

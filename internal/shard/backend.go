@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -83,21 +84,24 @@ type PartialSpec struct {
 // them into union space during the reduce — and must be exactly what
 // the equivalent local scan would produce (values in row order, exact
 // counts), which is what keeps remote explorations byte-identical.
+// Every method takes the request context first, so a traced exploration
+// can attribute each fan-out RPC to the pipeline phase that issued it;
+// untraced callers pass context.Background().
 type StatBackend interface {
 	// NumericValues returns attr's non-NULL values in row order under
 	// the full selection.
-	NumericValues(attr string) ([]float64, error)
+	NumericValues(ctx context.Context, attr string) ([]float64, error)
 	// CategoryCounts returns attr's local dictionary and per-code
 	// counts under the full selection.
-	CategoryCounts(attr string) (dict []string, counts []int, err error)
+	CategoryCounts(ctx context.Context, attr string) (dict []string, counts []int, err error)
 	// BoolCounts returns attr's (false, true) tallies.
-	BoolCounts(attr string) (falses, trues int, err error)
+	BoolCounts(ctx context.Context, attr string) (falses, trues int, err error)
 	// ColumnPartials computes one mergeable partial per spec, in one
 	// round trip.
-	ColumnPartials(specs []PartialSpec) ([]*ColumnPartial, error)
+	ColumnPartials(ctx context.Context, specs []PartialSpec) ([]*ColumnPartial, error)
 	// PredicateCount returns how many shard rows satisfy p — the
 	// per-predicate bitmap count of the statistics plane.
-	PredicateCount(p query.Predicate) (int, error)
+	PredicateCount(ctx context.Context, p query.Predicate) (int, error)
 }
 
 // PredBitsBackend is the optional bitmap extension of the statistics
@@ -106,7 +110,7 @@ type StatBackend interface {
 // chunk plane even for non-empty predicates. words is nil when the
 // backend (an old server, say) answered count-only.
 type PredBitsBackend interface {
-	PredicateBits(p query.Predicate) (count int, words []uint64, err error)
+	PredicateBits(ctx context.Context, p query.Predicate) (count int, words []uint64, err error)
 }
 
 // HealthBackend is the optional liveness probe of a backend.
@@ -127,8 +131,15 @@ type ReplicaHealth struct {
 	Fails int
 	// Err is the last failure seen, nil when healthy.
 	Err error
-	// Latency is the last successful round-trip time (0 if none yet).
+	// Latency is the last round-trip time observed against this
+	// replica, successful or not — failed attempts (including the time
+	// burned before a failover) are charged to the replica that failed.
 	Latency time.Duration
+	// Attempts is the cumulative number of requests dialed against this
+	// replica since open.
+	Attempts int64
+	// Failures is the cumulative number of those that failed.
+	Failures int64
 }
 
 // ReplicaBackend is the optional replica-set surface of a backend:

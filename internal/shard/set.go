@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -368,6 +369,17 @@ func (s *Set) shardOfChunk(gk int) int {
 
 // FetchChunk implements storage.ChunkSource.
 func (ss *setSource) FetchChunk(ci, gk int) (*storage.ChunkPayload, bool, error) {
+	return ss.fetch(context.Background(), ci, gk)
+}
+
+// FetchChunkCtx implements storage.CtxChunkSource: same routing, with
+// the request context riding into remote chunk fetches so their RPC
+// spans land in the right trace.
+func (ss *setSource) FetchChunkCtx(ctx context.Context, ci, gk int) (*storage.ChunkPayload, bool, error) {
+	return ss.fetch(ctx, ci, gk)
+}
+
+func (ss *setSource) fetch(ctx context.Context, ci, gk int) (*storage.ChunkPayload, bool, error) {
 	s := ss.s
 	i := s.shardOfChunk(gk)
 	lk := gk - s.chunkOffs[i]
@@ -380,7 +392,7 @@ func (ss *setSource) FetchChunk(ci, gk int) (*storage.ChunkPayload, bool, error)
 		if err != nil {
 			return nil, false, err
 		}
-		return src.FetchChunk(ci, lk)
+		return fetchChunkCtx(ctx, src, ci, lk)
 	}
 	// Distinct shard dictionaries: the remapped payload is its own cache
 	// entry (keyed by the set source) so the copy happens once per
@@ -390,7 +402,7 @@ func (ss *setSource) FetchChunk(ci, gk int) (*storage.ChunkPayload, bool, error)
 		if err != nil {
 			return nil, err
 		}
-		p, _, err := src.FetchChunk(ci, lk)
+		p, _, err := fetchChunkCtx(ctx, src, ci, lk)
 		if err != nil {
 			return nil, err
 		}
@@ -400,6 +412,15 @@ func (ss *setSource) FetchChunk(ci, gk int) (*storage.ChunkPayload, bool, error)
 		}
 		return &storage.ChunkPayload{Codes: codes, Nulls: p.Nulls}, nil
 	})
+}
+
+// fetchChunkCtx forwards the context when the underlying source (a
+// remote client) understands it, and drops it otherwise.
+func fetchChunkCtx(ctx context.Context, src storage.ChunkSource, ci, k int) (*storage.ChunkPayload, bool, error) {
+	if cs, ok := src.(storage.CtxChunkSource); ok && ctx != nil {
+		return cs.FetchChunkCtx(ctx, ci, k)
+	}
+	return src.FetchChunk(ci, k)
 }
 
 // PrefetchChunk implements storage.ChunkPrefetcher: hints are routed to
@@ -434,7 +455,12 @@ type viewSource struct {
 
 // FetchChunk implements storage.ChunkSource.
 func (vs *viewSource) FetchChunk(ci, k int) (*storage.ChunkPayload, bool, error) {
-	return vs.ss.FetchChunk(ci, vs.ss.s.chunkOffs[vs.shard]+k)
+	return vs.ss.fetch(context.Background(), ci, vs.ss.s.chunkOffs[vs.shard]+k)
+}
+
+// FetchChunkCtx implements storage.CtxChunkSource.
+func (vs *viewSource) FetchChunkCtx(ctx context.Context, ci, k int) (*storage.ChunkPayload, bool, error) {
+	return vs.ss.fetch(ctx, ci, vs.ss.s.chunkOffs[vs.shard]+k)
 }
 
 // PrefetchChunk implements storage.ChunkPrefetcher.
@@ -853,12 +879,12 @@ func (s *Set) countsToUnion(i, ci int, counts []int) ([]int, error) {
 // rows satisfy p — the per-predicate bitmap count, answered without any
 // chunk leaving the shard. Local shards (no statistics plane) return
 // ok=false; callers scan the view instead.
-func (s *Set) RemotePredicateCount(i int, p query.Predicate) (count int, ok bool, err error) {
+func (s *Set) RemotePredicateCount(ctx context.Context, i int, p query.Predicate) (count int, ok bool, err error) {
 	sb, err := s.statBackendFor(i)
 	if err != nil || sb == nil {
 		return 0, false, err
 	}
-	count, err = sb.PredicateCount(p)
+	count, err = sb.PredicateCount(ctx, p)
 	if err != nil {
 		return 0, true, err
 	}
@@ -872,7 +898,7 @@ func (s *Set) RemotePredicateCount(i int, p query.Predicate) (count int, ok bool
 // words all return ok=false; callers scan the view instead. The bitmap
 // is validated against the server's own count before it is trusted —
 // on mismatch the caller falls back to scanning.
-func (s *Set) RemotePredicateBits(i int, p query.Predicate) (bm *bitvec.Vector, ok bool, err error) {
+func (s *Set) RemotePredicateBits(ctx context.Context, i int, p query.Predicate) (bm *bitvec.Vector, ok bool, err error) {
 	sb, err := s.statBackendFor(i)
 	if err != nil || sb == nil {
 		return nil, false, err
@@ -881,7 +907,7 @@ func (s *Set) RemotePredicateBits(i int, p query.Predicate) (bm *bitvec.Vector, 
 	pb, isPB := sb.(PredBitsBackend)
 	if !isPB {
 		// Count-only plane: the empty case still skips the chunk plane.
-		n, err := sb.PredicateCount(p)
+		n, err := sb.PredicateCount(ctx, p)
 		if err != nil {
 			return nil, false, err
 		}
@@ -890,7 +916,7 @@ func (s *Set) RemotePredicateBits(i int, p query.Predicate) (bm *bitvec.Vector, 
 		}
 		return nil, false, nil
 	}
-	count, words, err := pb.PredicateBits(p)
+	count, words, err := pb.PredicateBits(ctx, p)
 	if err != nil {
 		return nil, false, err
 	}
@@ -1182,13 +1208,13 @@ type Provider struct {
 // in row order, computed where the data lives — and local shards scan
 // their views; either way the merged result is exactly the unsharded
 // computation.
-func (p *Provider) NumericStats(attr string, opts core.CutOptions) ([]float64, *sketch.GK, error) {
+func (p *Provider) NumericStats(ctx context.Context, attr string, opts core.CutOptions) ([]float64, *sketch.GK, error) {
 	runs := make([][]float64, p.s.NumShards())
 	err := par.For(p.workers, len(runs), func(i int) error {
 		if sb, err := p.s.statBackendFor(i); err != nil {
 			return err
 		} else if sb != nil {
-			vals, err := sb.NumericValues(attr)
+			vals, err := sb.NumericValues(ctx, attr)
 			if err != nil {
 				return err
 			}
@@ -1235,7 +1261,7 @@ func (p *Provider) NumericStats(attr string, opts core.CutOptions) ([]float64, *
 // counts in their local dictionary space; the reduce remaps them into
 // the set's union dictionary, so the summed vector equals the local
 // fan-out exactly.
-func (p *Provider) CategoryStats(attr string) ([]string, []int, error) {
+func (p *Provider) CategoryStats(ctx context.Context, attr string) ([]string, []int, error) {
 	n := p.s.NumShards()
 	partCounts := make([][]int, n)
 	var dict []string
@@ -1247,7 +1273,7 @@ func (p *Provider) CategoryStats(attr string) ([]string, []int, error) {
 			if err != nil {
 				return err
 			}
-			_, counts, err := sb.CategoryCounts(attr)
+			_, counts, err := sb.CategoryCounts(ctx, attr)
 			if err != nil {
 				return err
 			}
@@ -1294,7 +1320,7 @@ func (p *Provider) CategoryStats(attr string) ([]string, []int, error) {
 }
 
 // BoolStats implements core.StatProvider.
-func (p *Provider) BoolStats(attr string) (int, int, error) {
+func (p *Provider) BoolStats(ctx context.Context, attr string) (int, int, error) {
 	n := p.s.NumShards()
 	falses := make([]int, n)
 	trues := make([]int, n)
@@ -1302,7 +1328,7 @@ func (p *Provider) BoolStats(attr string) (int, int, error) {
 		if sb, err := p.s.statBackendFor(i); err != nil {
 			return err
 		} else if sb != nil {
-			f, t, err := sb.BoolCounts(attr)
+			f, t, err := sb.BoolCounts(ctx, attr)
 			if err != nil {
 				return err
 			}
@@ -1392,7 +1418,7 @@ func (s *Set) Partials(parallelism int) ([]*ColumnPartial, error) {
 			for ci := range specs {
 				specs[ci] = PartialSpec{Col: ci, Lo: los[ci], Hi: his[ci], UseHist: useHist[ci]}
 			}
-			parts, err := sb.ColumnPartials(specs)
+			parts, err := sb.ColumnPartials(context.Background(), specs)
 			if err != nil {
 				return err
 			}

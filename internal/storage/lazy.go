@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"strconv"
@@ -82,6 +83,14 @@ type ChunkSource interface {
 	// payload was served from a decoded-chunk cache (false = this call
 	// decoded it).
 	FetchChunk(ci, k int) (p *ChunkPayload, hit bool, err error)
+}
+
+// CtxChunkSource is the optional context-aware side of a ChunkSource:
+// sources that do I/O with per-request state (remote shard clients
+// carrying trace spans and request IDs) implement it; ChunkCtx prefers
+// it when present. Semantics are identical to FetchChunk.
+type CtxChunkSource interface {
+	FetchChunkCtx(ctx context.Context, ci, k int) (p *ChunkPayload, hit bool, err error)
 }
 
 // ChunkPrefetcher is the optional speculative side of a ChunkSource: a
@@ -222,6 +231,21 @@ func (c *LazyColumn) NumChunks() int {
 // Chunk fetches chunk k, reporting whether it came from cache.
 func (c *LazyColumn) Chunk(k int) (*ChunkPayload, bool, error) {
 	p, hit, err := c.src.FetchChunk(c.ci, k)
+	if err != nil {
+		return nil, false, &ChunkError{Col: c.ci, Chunk: k, Err: err}
+	}
+	return p, hit, nil
+}
+
+// ChunkCtx is Chunk with a request context: when the source is
+// context-aware the fetch carries ctx (trace span, request ID) over
+// the wire. A nil ctx, or a plain source, degrades to Chunk.
+func (c *LazyColumn) ChunkCtx(ctx context.Context, k int) (*ChunkPayload, bool, error) {
+	cs, ok := c.src.(CtxChunkSource)
+	if !ok || ctx == nil {
+		return c.Chunk(k)
+	}
+	p, hit, err := cs.FetchChunkCtx(ctx, c.ci, k)
 	if err != nil {
 		return nil, false, &ChunkError{Col: c.ci, Chunk: k, Err: err}
 	}
