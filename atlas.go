@@ -102,6 +102,15 @@ type (
 	// attributes (chunk-scan deltas, replica URLs, cache verdicts),
 	// children, and a Remote flag on subtrees a shard server reported.
 	SpanProfile = obsv.SpanJSON
+	// QueryExplain is the dry-run plan of one query: per-predicate and
+	// per-chunk zone-map verdicts plus a cold-cache I/O estimate,
+	// computed without fetching any chunk.
+	QueryExplain = engine.QueryExplain
+	// PredExplain is one predicate's compile and zone-map summary.
+	PredExplain = engine.PredExplain
+	// LedgerSnapshot is a query's resource bill: chunk verdicts, bytes
+	// read, RPCs, per-phase times.
+	LedgerSnapshot = obsv.LedgerSnapshot
 	// AttrProfile compares an attribute's distribution inside a region
 	// with the whole table (the "why is this region interesting" view).
 	AttrProfile = core.AttrProfile
@@ -285,6 +294,18 @@ func (e *Explorer) NewSession() *Session {
 		return session.NewSharded(e.cart, e.set)
 	}
 	return session.New(e.cart)
+}
+
+// Explain dry-runs a CQL statement: predicates are compiled exactly as
+// Explore compiles them, then judged chunk by chunk against zone maps
+// alone — per-predicate and combined prune/full/scan verdicts plus a
+// cold-cache I/O estimate, without decoding a single chunk.
+func (e *Explorer) Explain(cqlText string) (*QueryExplain, error) {
+	q, _, err := cql.ParseAndBind(cqlText, e.table)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ExplainQuery(e.table, q)
 }
 
 // ParseQuery parses and binds a CQL statement without executing it.

@@ -29,6 +29,7 @@
 // REPL commands:
 //
 //	explore <CQL>      run an exploration, e.g. explore EXPLORE census
+//	explain <CQL>      dry-run a query against zone maps (no chunk I/O)
 //	maps               re-print the current ranked maps
 //	pick <map> <reg>   drill down into a region (1-based indexes)
 //	back               return to the parent exploration
@@ -159,6 +160,13 @@ func main() {
 			for _, sum := range atlas.Summarize(table) {
 				fmt.Println(" ", sum.String())
 			}
+		case "explain":
+			plan, err := ex.Explain(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printExplain(plan)
 		case "explore":
 			q, err := ex.ParseQuery(rest)
 			if err != nil {
@@ -479,6 +487,31 @@ func loadTable(dataset string, rows int, seed int64, csvPath, tblName string) (*
 	}
 }
 
+// printExplain renders a dry-run plan: per-predicate zone-map verdicts,
+// the combined chunk outcome, and the cold-cache I/O estimate — all
+// computed without decoding a single chunk.
+func printExplain(p *atlas.QueryExplain) {
+	fmt.Printf("EXPLAIN %s: %d rows", p.Table, p.Rows)
+	if p.Unchunked {
+		fmt.Println(" (unchunked: whole-column scan, no zone verdicts)")
+		for _, pe := range p.Preds {
+			fmt.Printf("  %s\n", pe.Pred)
+		}
+		return
+	}
+	fmt.Printf(", %d chunk(s) of %d rows\n", p.NumChunks, p.ChunkSize)
+	for _, pe := range p.Preds {
+		if pe.Never {
+			fmt.Printf("  %-40s never matches (empty dictionary intersection)\n", pe.Pred)
+			continue
+		}
+		fmt.Printf("  %-40s prune=%d full=%d scan=%d\n", pe.Pred, pe.Prune, pe.Full, pe.Scan)
+	}
+	fmt.Printf("chunks: %d pruned, %d full, %d scanned\n", p.ChunksPruned, p.ChunksFull, p.ChunksScanned)
+	fmt.Printf("cold-cache estimate: %d chunk fetch(es), ~%d KiB decoded\n",
+		p.EstChunkFetches, (p.EstBytesDecoded+1023)/1024)
+}
+
 // printProfile renders a profiled exploration's span tree as indented
 // JSON, ready to pipe into jq or a flamegraph converter.
 func printProfile(tree *atlas.SpanProfile) {
@@ -498,6 +531,7 @@ func printNode(n *atlas.Node) {
 func printHelp() {
 	fmt.Println(`commands:
   explore <CQL>      run an exploration, e.g. explore EXPLORE census WHERE age BETWEEN 20 AND 60
+  explain <CQL>      dry-run a query: zone-map verdicts per predicate and chunk, estimated I/O, no chunk reads
   maps               re-print the current ranked maps
   pick <map> <reg>   drill down into a region (1-based)
   why <map> <reg>    explain what makes a region special vs the whole table

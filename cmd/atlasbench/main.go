@@ -273,7 +273,12 @@ func writeBenchJSON(path string, quick bool) error {
 	}
 	addMetrics := func(name string, metrics map[string]float64) {
 		rec := results[name]
-		rec.Metrics = metrics
+		if rec.Metrics == nil {
+			rec.Metrics = map[string]float64{}
+		}
+		for k, v := range metrics {
+			rec.Metrics[k] = v
+		}
 		results[name] = rec
 	}
 	run(fmt.Sprintf("Explore/census_n=%d/parallel", n), exploreBench(0))
@@ -809,7 +814,60 @@ func writeBenchJSON(path string, quick bool) error {
 			"opened_shards":  float64(set.OpenedShards()),
 			"shards":         4,
 		})
+
 		set.Close()
+
+		// The same cold exploration once more, under a resource ledger and
+		// through a fresh opener: the per-query bill must equal the
+		// opener's counter deltas over the same window — the ledger is the
+		// same accounting, scoped to one query. A fresh opener/set pays the
+		// full cold bill, so the recorded numbers are the query's true
+		// wire cost, not a cache echo.
+		opener2 := remote.NewOpener(remote.Options{})
+		set2, err := shard.OpenWith(remoteManifest, shard.Options{Remote: opener2, Defer: true})
+		if err != nil {
+			stop()
+			return err
+		}
+		settle := func() remote.Stats {
+			prev := opener2.Stats()
+			for {
+				time.Sleep(25 * time.Millisecond)
+				cur := opener2.Stats()
+				if cur == prev {
+					return cur
+				}
+				prev = cur
+			}
+		}
+		before := settle()
+		led := obsv.NewLedger()
+		cart, err := core.NewCartographer(set2.Table(), core.DefaultOptions())
+		if err != nil {
+			stop()
+			return err
+		}
+		if _, err := cart.ExploreCtx(obsv.WithLedger(context.Background(), led), sq); err != nil {
+			stop()
+			return err
+		}
+		led.Finish()
+		after := settle()
+		bill := led.Snapshot()
+		if bill.RPCs != after.RPCs-before.RPCs || bill.BytesWire != after.BytesIn-before.BytesIn {
+			stop()
+			return fmt.Errorf("ledger disagrees with opener counters: ledger rpcs=%d wire=%d, deltas rpcs=%d wire=%d",
+				bill.RPCs, bill.BytesWire, after.RPCs-before.RPCs, after.BytesIn-before.BytesIn)
+		}
+		addMetrics(name, map[string]float64{
+			"ledger_rpcs":           float64(bill.RPCs),
+			"ledger_bytes_wire":     float64(bill.BytesWire),
+			"ledger_chunks_decoded": float64(bill.StoreChunksDecoded),
+			"ledger_bytes_read":     float64(bill.BytesRead),
+		})
+		fmt.Printf("benchmarking %s ... ledger rpcs=%d wire=%dB decoded=%d (matches opener deltas)\n",
+			name, bill.RPCs, bill.BytesWire, bill.StoreChunksDecoded)
+		set2.Close()
 		stop()
 	}
 

@@ -36,7 +36,14 @@
 //	POST /api/sessions/{id}/drill     {"map": 0, "region": 1}
 //	POST /api/sessions/{id}/back
 //	GET  /api/shards
+//	POST /api/explain                 {"cql": "..."} — dry-run plan, no chunk I/O
+//	GET  /api/querylog                ?slow=1 ?errors=1 ?n=50
 //	GET  /api/stats
+//	GET  /metrics
+//
+// Every query answer carries its resource ledger; ?profile=1 adds the
+// span tree and ?profile=perfetto the same trace as Chrome trace-event
+// JSON. -pprof additionally mounts /debug/pprof/.
 //
 // With -serve-shard, the /shard/v1/* fabric endpoints are served
 // instead (meta, zones, dict, chunk, values, catcounts, boolcounts,
@@ -48,6 +55,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"repro"
@@ -72,6 +80,7 @@ func main() {
 		cacheB  = flag.Int64("cachebudget", 0, "decoded-chunk cache budget in bytes for lazy opens (0 = env/unbounded)")
 		deferS  = flag.Bool("defer", false, "defer opening shard files until first touch (sharded stores)")
 		slowQ   = flag.Duration("slow-query", 0, "log explorations (or, with -serve-shard, fabric requests) that take at least this long (0 = disabled)")
+		pprofF  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (coordinator and -serve-shard)")
 
 		// Remote-fabric failover knobs (coordinator over a manifest with
 		// http(s):// shard locations; ignored otherwise).
@@ -103,6 +112,9 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/", rs.Handler())
 		mux.Handle("GET /metrics", shardRegistry(rs, st).Handler())
+		if *pprofF {
+			mountPprof(mux)
+		}
 		t := st.Table()
 		log.Printf("atlasd: serving shard %q (table %q, %d rows, %d chunks) on %s",
 			*shardF, t.Name(), t.NumRows(), st.NumChunks(), *addr)
@@ -146,10 +158,30 @@ func main() {
 		srv.SetSlowQueryLog(*slowQ, nil)
 	}
 	table := srv.Table()
+	handler := srv.Handler()
+	if *pprofF {
+		// The API handler owns "/" via its middleware; route /debug/pprof/
+		// ahead of it on an outer mux.
+		outer := http.NewServeMux()
+		mountPprof(outer)
+		outer.Handle("/", handler)
+		handler = outer
+	}
 	log.Printf("atlasd: serving table %q (%d rows) on %s", table.Name(), table.NumRows(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// mountPprof wires the net/http/pprof handlers under /debug/pprof/ —
+// the -pprof flag, for live CPU/heap/goroutine profiling of a
+// coordinator or shard server.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // shardRegistry builds the metric registry a -serve-shard process
@@ -180,6 +212,7 @@ func shardRegistry(rs *remote.Server, st *colstore.Store) *obsv.Registry {
 	r.GaugeFunc("atlas_store_cache_bytes", "decoded-chunk cache residency", sto, func() float64 {
 		return float64(st.IOStats().CacheBytes)
 	})
+	obsv.RegisterGoRuntime(r)
 	return r
 }
 

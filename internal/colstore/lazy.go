@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obsv"
 	"repro/internal/storage"
 )
 
@@ -534,9 +536,19 @@ func (lf *lazyFile) buildTable(name string) (*storage.Table, error) {
 // FetchChunk implements storage.ChunkSource: cache lookup, then read +
 // CRC + decode on a miss.
 func (lf *lazyFile) FetchChunk(ci, k int) (*storage.ChunkPayload, bool, error) {
+	return lf.FetchChunkCtx(nil, ci, k)
+}
+
+// FetchChunkCtx implements storage.CtxChunkSource: identical to
+// FetchChunk, but a miss's read and decode are additionally billed to
+// the context's resource ledger — at the same sites the store's own
+// lifetime counters move, so a query's ledger delta equals its IOStats
+// delta.
+func (lf *lazyFile) FetchChunkCtx(ctx context.Context, ci, k int) (*storage.ChunkPayload, bool, error) {
 	if ci < 0 || ci >= len(lf.dir) || k < 0 || k >= len(lf.dir[ci]) {
 		return nil, false, fmt.Errorf("colstore: chunk (%d,%d) out of range", ci, k)
 	}
+	led := obsv.LedgerFrom(ctx)
 	return lf.cache.get(chunkKey{src: lf, ci: ci, k: k}, func() (*storage.ChunkPayload, error) {
 		lf.closeMu.RLock()
 		defer lf.closeMu.RUnlock()
@@ -549,6 +561,7 @@ func (lf *lazyFile) FetchChunk(ci, k int) (*storage.ChunkPayload, bool, error) {
 			return nil, fmt.Errorf("colstore: %s: reading chunk (%d,%d): %w", lf.path, ci, k, err)
 		}
 		lf.bytesRead.Add(ref.length)
+		led.ReadBytes(ref.length)
 		if ref.hasCRC {
 			if got := crc32.ChecksumIEEE(raw); got != ref.crc {
 				return nil, fmt.Errorf("colstore: %s: chunk (%d,%d) checksum mismatch (directory %08x, computed %08x)",
@@ -564,6 +577,7 @@ func (lf *lazyFile) FetchChunk(ci, k int) (*storage.ChunkPayload, bool, error) {
 			return nil, fmt.Errorf("colstore: %s: chunk (%d,%d): %w", lf.path, ci, k, err)
 		}
 		lf.chunksDecoded.Add(1)
+		led.StoreChunkDecoded()
 		return p, nil
 	})
 }
@@ -674,6 +688,14 @@ const maxPrefetchInFlight = 4
 // prefetches are in flight — a prefetch must only ever hide latency,
 // never change what the scan decodes or keeps.
 func (lf *lazyFile) PrefetchChunk(ci, k int) {
+	lf.PrefetchChunkCtx(nil, ci, k)
+}
+
+// PrefetchChunkCtx implements storage.CtxChunkPrefetcher: the
+// speculative load carries the request's values (so its read and
+// decode bill the originating query's ledger) but detaches from its
+// cancellation — the query may finish before the flight does.
+func (lf *lazyFile) PrefetchChunkCtx(ctx context.Context, ci, k int) {
 	if lf.closed.Load() || ci < 0 || ci >= len(lf.dir) || k < 0 || k >= len(lf.dir[ci]) {
 		return
 	}
@@ -693,11 +715,14 @@ func (lf *lazyFile) PrefetchChunk(ci, k int) {
 		lf.prefetching.Add(-1)
 		return
 	}
+	if ctx != nil {
+		ctx = context.WithoutCancel(ctx)
+	}
 	go func() {
 		defer lf.prefetching.Add(-1)
 		// Errors are ignored: failed loads are never cached, so the scan's
 		// own fetch retries and reports them.
-		_, _, _ = lf.FetchChunk(ci, k)
+		_, _, _ = lf.FetchChunkCtx(ctx, ci, k)
 	}()
 }
 

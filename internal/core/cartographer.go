@@ -263,11 +263,14 @@ func (c *Cartographer) ExploreSelCtx(ctx context.Context, q query.Query, base *b
 
 // phaseSpan opens one pipeline-phase span and arranges for the
 // cumulative scan-counter delta of the phase to land in its attributes
-// at end time. The returned end function is nil-safe to call.
+// at end time. When the context carries a resource ledger, the phase's
+// wall and CPU time are additionally billed to it — with or without a
+// trace. The returned end function is nil-safe to call.
 func (c *Cartographer) phaseSpan(ctx context.Context, name string) (context.Context, func()) {
+	endPhase := obsv.LedgerFrom(ctx).StartPhase(name)
 	pctx, sp := obsv.StartSpan(ctx, name)
 	if sp == nil {
-		return ctx, func() {}
+		return pctx, endPhase
 	}
 	before := c.scan.Snapshot()
 	return pctx, func() {
@@ -285,6 +288,7 @@ func (c *Cartographer) phaseSpan(ctx context.Context, name string) (context.Cont
 			sp.SetAttr("chunkCacheHits", d)
 		}
 		sp.End()
+		endPhase()
 	}
 }
 
@@ -309,8 +313,8 @@ func (c *Cartographer) exploreBase(ctx context.Context, q query.Query, base *bit
 	}
 
 	// Step 0 (Section 5.2): screen out keys, codes, comments, constants.
-	_, endScreen := c.phaseSpan(ctx, "screen")
-	attrs := c.candidateAttrs(q, base, res, workers)
+	sctx, endScreen := c.phaseSpan(ctx, "screen")
+	attrs := c.candidateAttrs(sctx, q, base, res, workers)
 	endScreen()
 
 	// Step 1 (Section 3.1): one candidate map per attribute, fanned out
@@ -328,7 +332,8 @@ func (c *Cartographer) exploreBase(ctx context.Context, q query.Query, base *bit
 	err := parallelFor(workers, len(attrs), func(i int) error {
 		actx, asp := obsv.StartSpan(cutCtx, "cut "+attrs[i])
 		defer asp.End()
-		x := cutter{t: c.table, cache: c.stats, ctx: actx}
+		x := cutter{t: c.table, cache: c.stats, ctx: actx,
+			scan: engine.ScanOptions{Workers: workers, Stats: &c.scan, Ctx: actx}}
 		preds, err := x.cutPredicates(base, baseFull, attrs[i], c.opts.Cut)
 		var deg *ErrDegenerate
 		if errors.As(err, &deg) {
@@ -396,7 +401,8 @@ func (c *Cartographer) exploreBase(ctx context.Context, q query.Query, base *bit
 		defer msp.End()
 		// base IS the parent query's selection, so composition starts from
 		// it directly instead of re-evaluating q against the table
-		x := cutter{t: c.table, cache: c.stats, ctx: mctx}
+		x := cutter{t: c.table, cache: c.stats, ctx: mctx,
+			scan: engine.ScanOptions{Workers: workers, Stats: &c.scan, Ctx: mctx}}
 		m, err := x.mergeCluster(base, base, q, group, c.opts.Merge, c.opts.Cut, c.opts.MaxRegions)
 		var deg *ErrDegenerate
 		if errors.As(err, &deg) {
@@ -435,7 +441,7 @@ func (c *Cartographer) exploreBase(ctx context.Context, q query.Query, base *bit
 
 // candidateAttrs selects the attributes to cut, applying screening and
 // the AttrsFromQuery restriction.
-func (c *Cartographer) candidateAttrs(q query.Query, base *bitvec.Vector, res *Result, workers int) []string {
+func (c *Cartographer) candidateAttrs(ctx context.Context, q query.Query, base *bitvec.Vector, res *Result, workers int) []string {
 	var pool []string
 	if c.opts.AttrsFromQuery {
 		pool = q.Attrs()
@@ -447,7 +453,7 @@ func (c *Cartographer) candidateAttrs(q query.Query, base *bitvec.Vector, res *R
 	if !c.opts.Screen {
 		return pool
 	}
-	keep, flagged := screenColumnsN(c.table, base, c.opts.ScreenOpts, workers)
+	keep, flagged := screenColumnsN(ctx, c.table, base, c.opts.ScreenOpts, workers)
 	res.Flagged = append(res.Flagged, flagged...)
 	keepSet := make(map[string]bool, len(keep))
 	for _, k := range keep {

@@ -111,9 +111,15 @@ func (e *ErrDegenerate) Error() string {
 type cutter struct {
 	t     *storage.Table
 	cache *statCache // nil = uncached
-	// ctx carries the exploration's trace span and request ID into
-	// provider fan-outs on the cached path; nil means untraced.
+	// ctx carries the exploration's trace span, request ID and resource
+	// ledger into provider fan-outs and lazy chunk fetches; nil means
+	// untraced.
 	ctx context.Context
+	// scan carries the Cartographer's scan options (worker count, its
+	// ScanStats, ctx) into the partition passes the cutter drives, so
+	// merge-phase re-partitions bill the same stats — and the same
+	// ledger — as every other scan of the exploration.
+	scan engine.ScanOptions
 }
 
 // reqCtx returns the cutter's context, never nil.
@@ -172,7 +178,7 @@ func (x *cutter) cutNumeric(sel *bitvec.Vector, full bool, attr string, opts Cut
 	} else {
 		bufp := valsPool.Get().(*[]float64)
 		defer valsPool.Put(bufp)
-		vals, err := engine.AppendNumericValuesUnder((*bufp)[:0], x.t, attr, sel)
+		vals, err := engine.AppendNumericValuesUnderCtx(x.ctx, (*bufp)[:0], x.t, attr, sel)
 		if err != nil {
 			return nil, err
 		}
@@ -365,7 +371,7 @@ func (x *cutter) cutCategorical(sel *bitvec.Vector, full bool, attr string, opts
 	if x.cache != nil && full {
 		dict, counts, err = x.cache.categoryStats(x.reqCtx(), x.t, attr, sel)
 	} else {
-		dict, counts, err = engine.CategoryCountsUnder(x.t, attr, sel)
+		dict, counts, err = engine.CategoryCountsUnderCtx(x.ctx, x.t, attr, sel)
 	}
 	if err != nil {
 		return nil, err
@@ -461,7 +467,7 @@ func (x *cutter) cutBool(sel *bitvec.Vector, full bool, attr string) ([]query.Pr
 	if x.cache != nil && full {
 		falses, trues, err = x.cache.boolStats(x.reqCtx(), x.t, attr, sel)
 	} else {
-		falses, trues, err = engine.BoolCountsUnder(x.t, attr, sel)
+		falses, trues, err = engine.BoolCountsUnderCtx(x.ctx, x.t, attr, sel)
 	}
 	if err != nil {
 		return nil, err

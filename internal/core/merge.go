@@ -127,7 +127,7 @@ func (x *cutter) composeMaps(base, parentSel *bitvec.Vector, parent query.Query,
 			var deg *ErrDegenerate
 			switch {
 			case err == nil:
-				pb, err := engine.PartitionBits(x.t, attr, preds, b)
+				pb, err := engine.PartitionBitsOpts(x.t, attr, preds, b, x.scan)
 				if err != nil {
 					return nil, err
 				}

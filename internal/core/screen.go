@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
@@ -57,12 +58,14 @@ func DefaultScreenOptions() ScreenOptions {
 // cardinality and/or no semantics … a failure to detect this could lead
 // to very long and useless computations".
 func ScreenColumns(t *storage.Table, sel *bitvec.Vector, opts ScreenOptions) (keep []string, flagged []ScreenFinding) {
-	return screenColumnsN(t, sel, opts, 1)
+	return screenColumnsN(nil, t, sel, opts, 1)
 }
 
 // screenColumnsN is ScreenColumns over a bounded worker pool: columns
 // are screened independently and findings collected in schema order.
-func screenColumnsN(t *storage.Table, sel *bitvec.Vector, opts ScreenOptions, workers int) (keep []string, flagged []ScreenFinding) {
+// ctx carries the exploration's trace and resource ledger into the
+// chunk fetches of lazy columns; nil is fine.
+func screenColumnsN(ctx context.Context, t *storage.Table, sel *bitvec.Vector, opts ScreenOptions, workers int) (keep []string, flagged []ScreenFinding) {
 	if opts.MaxCardinality <= 0 {
 		opts.MaxCardinality = DefaultScreenOptions().MaxCardinality
 	}
@@ -71,7 +74,7 @@ func screenColumnsN(t *storage.Table, sel *bitvec.Vector, opts ScreenOptions, wo
 	}
 	findings := make([]*ScreenFinding, t.NumCols())
 	_ = parallelFor(workers, t.NumCols(), func(ci int) error {
-		findings[ci] = screenColumn(t.Column(ci), t.Schema().Field(ci), sel, opts)
+		findings[ci] = screenColumn(ctx, t.Column(ci), t.Schema().Field(ci), sel, opts)
 		return nil
 	})
 	for ci, finding := range findings {
@@ -84,7 +87,7 @@ func screenColumnsN(t *storage.Table, sel *bitvec.Vector, opts ScreenOptions, wo
 	return keep, flagged
 }
 
-func screenColumn(col storage.Column, f storage.Field, sel *bitvec.Vector, opts ScreenOptions) *ScreenFinding {
+func screenColumn(ctx context.Context, col storage.Column, f storage.Field, sel *bitvec.Vector, opts ScreenOptions) *ScreenFinding {
 	limit := opts.SampleRows
 	if limit <= 0 {
 		limit = sel.Count()
@@ -182,7 +185,7 @@ func screenColumn(col storage.Column, f storage.Field, sel *bitvec.Vector, opts 
 		}
 		return nil
 	case *storage.LazyColumn:
-		return screenLazyColumn(c, f, sel, opts, limit)
+		return screenLazyColumn(ctx, c, f, sel, opts, limit)
 	default:
 		return &ScreenFinding{f.Name, ScreenReason(fmt.Sprintf("unsupported type %T", col)), 0}
 	}
@@ -193,9 +196,9 @@ func screenColumn(col storage.Column, f storage.Field, sel *bitvec.Vector, opts 
 // kinds (findings are identical), touching only chunks that hold
 // selected rows up to the sample limit. A chunk-fetch failure panics
 // with the ChunkError; the pipeline's recovery converts it to an error.
-func screenLazyColumn(c *storage.LazyColumn, f storage.Field, sel *bitvec.Vector, opts ScreenOptions, limit int) *ScreenFinding {
+func screenLazyColumn(ctx context.Context, c *storage.LazyColumn, f storage.Field, sel *bitvec.Vector, opts ScreenOptions, limit int) *ScreenFinding {
 	visit := func(fn func(p *storage.ChunkPayload, l int) bool) {
-		err := c.ForEachSelected(sel, func(p *storage.ChunkPayload, lo, i int) bool {
+		err := c.ForEachSelectedCtx(ctx, sel, func(p *storage.ChunkPayload, lo, i int) bool {
 			return fn(p, i-lo)
 		})
 		if err != nil {

@@ -97,7 +97,7 @@ func (s *statCache) numericStats(ctx context.Context, t *storage.Table, attr str
 			cs.sorted, cs.gk, cs.err = s.provider.NumericStats(ctx, attr, opts)
 			return
 		}
-		vals, err := engine.NumericValuesUnder(t, attr, sel)
+		vals, err := engine.NumericValuesUnderCtx(ctx, t, attr, sel)
 		if err != nil {
 			cs.err = err
 			return
@@ -120,7 +120,7 @@ func (s *statCache) categoryStats(ctx context.Context, t *storage.Table, attr st
 			cs.dict, cs.counts, cs.err = s.provider.CategoryStats(ctx, attr)
 			return
 		}
-		cs.dict, cs.counts, cs.err = engine.CategoryCountsUnder(t, attr, sel)
+		cs.dict, cs.counts, cs.err = engine.CategoryCountsUnderCtx(ctx, t, attr, sel)
 	})
 	return cs.dict, cs.counts, cs.err
 }
@@ -134,7 +134,7 @@ func (s *statCache) boolStats(ctx context.Context, t *storage.Table, attr string
 			cs.falses, cs.trues, cs.err = s.provider.BoolStats(ctx, attr)
 			return
 		}
-		cs.falses, cs.trues, cs.err = engine.BoolCountsUnder(t, attr, sel)
+		cs.falses, cs.trues, cs.err = engine.BoolCountsUnderCtx(ctx, t, attr, sel)
 	})
 	return cs.falses, cs.trues, cs.err
 }

@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitvec"
@@ -106,13 +107,25 @@ func Cover(t *storage.Table, q query.Query) (float64, error) {
 // NumericValuesUnder materializes the non-null float values of a numeric
 // column restricted to the selection. Int64 columns are widened.
 func NumericValuesUnder(t *storage.Table, attr string, sel *bitvec.Vector) ([]float64, error) {
-	return AppendNumericValuesUnder(nil, t, attr, sel)
+	return AppendNumericValuesUnderCtx(nil, nil, t, attr, sel)
+}
+
+// NumericValuesUnderCtx is NumericValuesUnder with a request context:
+// lazy chunk fetches ride the caller's trace and resource ledger.
+func NumericValuesUnderCtx(ctx context.Context, t *storage.Table, attr string, sel *bitvec.Vector) ([]float64, error) {
+	return AppendNumericValuesUnderCtx(ctx, nil, t, attr, sel)
 }
 
 // AppendNumericValuesUnder is NumericValuesUnder appending into dst — the
 // scratch-buffer variant for callers that recycle value slices across
 // cuts.
 func AppendNumericValuesUnder(dst []float64, t *storage.Table, attr string, sel *bitvec.Vector) ([]float64, error) {
+	return AppendNumericValuesUnderCtx(nil, dst, t, attr, sel)
+}
+
+// AppendNumericValuesUnderCtx is AppendNumericValuesUnder with a
+// request context for lazy chunk fetches.
+func AppendNumericValuesUnderCtx(ctx context.Context, dst []float64, t *storage.Table, attr string, sel *bitvec.Vector) ([]float64, error) {
 	col, err := t.ColumnByName(attr)
 	if err != nil {
 		return nil, err
@@ -144,7 +157,7 @@ func AppendNumericValuesUnder(dst []float64, t *storage.Table, attr string, sel 
 		}
 		// Chunk-wise: chunks with no selected rows are never fetched, so
 		// a selective extraction reads only the touched byte ranges.
-		err := c.ForEachSelected(sel, func(p *storage.ChunkPayload, lo, i int) bool {
+		err := c.ForEachSelectedCtx(ctx, sel, func(p *storage.ChunkPayload, lo, i int) bool {
 			if l := i - lo; !p.IsNull(l) {
 				out = append(out, p.Numeric(l))
 			}
@@ -162,6 +175,12 @@ func AppendNumericValuesUnder(dst []float64, t *storage.Table, attr string, sel 
 // CategoryCountsUnder returns per-dictionary-code counts of a string
 // column restricted to the selection, plus the dictionary.
 func CategoryCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (dict []string, counts []int, err error) {
+	return CategoryCountsUnderCtx(nil, t, attr, sel)
+}
+
+// CategoryCountsUnderCtx is CategoryCountsUnder with a request context
+// for lazy chunk fetches.
+func CategoryCountsUnderCtx(ctx context.Context, t *storage.Table, attr string, sel *bitvec.Vector) (dict []string, counts []int, err error) {
 	col, err := t.ColumnByName(attr)
 	if err != nil {
 		return nil, nil, err
@@ -175,7 +194,7 @@ func CategoryCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (dic
 			return nil, nil, err
 		}
 		counts = make([]int, len(dict))
-		err = lc.ForEachSelected(sel, func(p *storage.ChunkPayload, lo, i int) bool {
+		err = lc.ForEachSelectedCtx(ctx, sel, func(p *storage.ChunkPayload, lo, i int) bool {
 			if l := i - lo; !p.IsNull(l) {
 				counts[p.Codes[l]]++
 			}
@@ -204,6 +223,12 @@ func CategoryCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (dic
 // BoolCountsUnder returns the (false, true) counts of a bool column under
 // the selection.
 func BoolCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (falses, trues int, err error) {
+	return BoolCountsUnderCtx(nil, t, attr, sel)
+}
+
+// BoolCountsUnderCtx is BoolCountsUnder with a request context for lazy
+// chunk fetches.
+func BoolCountsUnderCtx(ctx context.Context, t *storage.Table, attr string, sel *bitvec.Vector) (falses, trues int, err error) {
 	col, err := t.ColumnByName(attr)
 	if err != nil {
 		return 0, 0, err
@@ -212,7 +237,7 @@ func BoolCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (falses,
 		if lc.Type() != storage.Bool {
 			return 0, 0, fmt.Errorf("engine: column %q is not boolean (type %v)", attr, col.Type())
 		}
-		err = lc.ForEachSelected(sel, func(p *storage.ChunkPayload, lo, i int) bool {
+		err = lc.ForEachSelectedCtx(ctx, sel, func(p *storage.ChunkPayload, lo, i int) bool {
 			if l := i - lo; !p.IsNull(l) {
 				if p.Bools[l] {
 					trues++

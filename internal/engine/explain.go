@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// This file is the EXPLAIN surface of the engine: a dry run of the
+// fused conjunctive scan that compiles the query's predicates and
+// replays the chunk loop against zone maps ALONE — no chunk payload is
+// ever fetched or decoded, so explaining a query against a cold remote
+// fabric costs zero chunk-plane I/O. (Compiling an In predicate on a
+// lazy string column resolves the dictionary, which on remote shards is
+// one statistics-plane round trip; that is the same cost the real scan
+// pays at compile time.)
+
+// ChunkVerdict is a zone map's answer for one chunk, as EXPLAIN
+// reports it.
+type ChunkVerdict string
+
+const (
+	// VerdictScan: the chunk may hold both matching and non-matching
+	// rows; the scan would fetch and test it.
+	VerdictScan ChunkVerdict = "scan"
+	// VerdictPrune: no row of the chunk can match; the scan would skip
+	// it without I/O.
+	VerdictPrune ChunkVerdict = "prune"
+	// VerdictFull: every row of the chunk matches; the scan would keep
+	// its bits without I/O.
+	VerdictFull ChunkVerdict = "full"
+)
+
+// PredExplain is one predicate's compile + zone-map summary.
+type PredExplain struct {
+	// Attr is the predicate's attribute.
+	Attr string `json:"attr"`
+	// Pred is the predicate rendered in CQL syntax.
+	Pred string `json:"pred"`
+	// Never marks predicates proven unsatisfiable at compile time (an
+	// In set with no dictionary hits): the scan clears the selection
+	// without touching any chunk.
+	Never bool `json:"never,omitempty"`
+	// Prune, Full, Scan count this predicate's chunk verdicts. Chunks a
+	// preceding predicate already pruned are not re-judged — exactly
+	// like the real scan, which stops a chunk at its first prune.
+	Prune int `json:"prune"`
+	Full  int `json:"full"`
+	Scan  int `json:"scan"`
+}
+
+// QueryExplain is the dry-run plan of one conjunctive query against
+// one table: per-predicate and combined chunk verdicts, and the I/O
+// the scan would cost, all read off manifest statistics and zone maps
+// before any chunk is touched.
+type QueryExplain struct {
+	// Table is the table name, Rows its row count.
+	Table string `json:"table"`
+	Rows  int    `json:"rows"`
+	// Unchunked reports a table without chunk metadata: the scan is a
+	// whole-column pass and zone verdicts do not exist.
+	Unchunked bool `json:"unchunked,omitempty"`
+	// NumChunks and ChunkSize describe the chunk grid.
+	NumChunks int `json:"numChunks,omitempty"`
+	ChunkSize int `json:"chunkSize,omitempty"`
+	// Preds summarizes each predicate in query order.
+	Preds []PredExplain `json:"preds"`
+	// ChunksPruned / ChunksFull / ChunksScanned are the combined
+	// per-chunk outcomes: a chunk is pruned when any predicate prunes
+	// it, full when every predicate proves full match, scanned
+	// otherwise.
+	ChunksPruned  int `json:"chunksPruned"`
+	ChunksFull    int `json:"chunksFull"`
+	ChunksScanned int `json:"chunksScanned"`
+	// Verdicts is the combined verdict per chunk, in chunk order.
+	Verdicts []ChunkVerdict `json:"verdicts,omitempty"`
+	// EstChunkFetches counts the distinct (column, chunk) payloads a
+	// cold scan would fetch; EstBytesDecoded estimates their decoded
+	// size from the column type widths (8 bytes per int64/float64 row,
+	// 4 per dictionary code, 1 per bool).
+	EstChunkFetches int   `json:"estChunkFetches"`
+	EstBytesDecoded int64 `json:"estBytesDecoded"`
+}
+
+// typeWidth is the decoded per-row byte width EXPLAIN estimates with.
+func typeWidth(t storage.DataType) int64 {
+	switch t {
+	case storage.Int64, storage.Float64:
+		return 8
+	case storage.String:
+		return 4
+	case storage.Bool:
+		return 1
+	default:
+		return 8
+	}
+}
+
+// ExplainQuery dry-runs q against t: predicates are compiled exactly
+// as EvalAndIntoOpts compiles them, then judged chunk by chunk against
+// zone maps only. No chunk payload is fetched — on a lazy store the
+// decoded-chunk counter does not move.
+func ExplainQuery(t *storage.Table, q query.Query) (*QueryExplain, error) {
+	cps, err := compileQuery(t, q)
+	if err != nil {
+		return nil, err
+	}
+	ex := &QueryExplain{Table: t.Name(), Rows: t.NumRows(), Preds: make([]PredExplain, len(cps))}
+	for i, p := range q.Preds {
+		ex.Preds[i] = PredExplain{Attr: p.Attr, Pred: p.String(), Never: cps[i].never}
+	}
+	ck := t.Chunking()
+	if ck == nil {
+		ex.Unchunked = true
+		return ex, nil
+	}
+	numChunks := ck.NumChunks(t.NumRows())
+	ex.NumChunks = numChunks
+	ex.ChunkSize = ck.Size
+	if len(cps) == 0 || numChunks == 0 {
+		return ex, nil
+	}
+	ex.Verdicts = make([]ChunkVerdict, numChunks)
+	type colChunk struct{ ci, k int }
+	fetched := make(map[colChunk]struct{})
+	lastRows := t.NumRows() - (numChunks-1)*ck.Size
+	for k := 0; k < numChunks; k++ {
+		chunkRows := ck.Size
+		if k == numChunks-1 {
+			chunkRows = lastRows
+		}
+		combined := VerdictFull
+		for i := range cps {
+			cp := &cps[i]
+			switch cp.zone(ck.Zones[cp.colIdx][k], chunkRows) {
+			case zonePrune:
+				ex.Preds[i].Prune++
+				combined = VerdictPrune
+			case zoneFull:
+				ex.Preds[i].Full++
+				continue
+			default:
+				ex.Preds[i].Scan++
+				if combined != VerdictPrune {
+					combined = VerdictScan
+				}
+				if cp.lazyCol != nil {
+					cc := colChunk{cp.colIdx, k}
+					if _, ok := fetched[cc]; !ok {
+						fetched[cc] = struct{}{}
+						ex.EstBytesDecoded += typeWidth(t.Schema().Field(cp.colIdx).Type) * int64(chunkRows)
+					}
+				}
+				continue
+			}
+			break // first prune ends the chunk, like the real scan
+		}
+		ex.Verdicts[k] = combined
+		switch combined {
+		case VerdictPrune:
+			ex.ChunksPruned++
+		case VerdictFull:
+			ex.ChunksFull++
+		default:
+			ex.ChunksScanned++
+		}
+	}
+	ex.EstChunkFetches = len(fetched)
+	return ex, nil
+}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/bitvec"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/query"
 	"repro/internal/storage"
@@ -152,6 +153,7 @@ func PartitionBitsOpts(t *storage.Table, attr string, preds []query.Predicate, s
 		return nil, fmt.Errorf("engine: unsupported column type %T", col)
 	}
 
+	led := obsv.LedgerFrom(opts.Ctx)
 	selWords := sel.Words()
 	ck := t.Chunking()
 	if ck == nil {
@@ -179,6 +181,7 @@ func PartitionBitsOpts(t *storage.Table, attr string, preds []query.Predicate, s
 				return err
 			}
 			countFetch(opts.Stats, hit)
+			led.ChunkFetch(hit)
 			v = mkVisit(p, k*ck.Size)
 		}
 		visitSelectedRange(selWords, w0, w1, v)

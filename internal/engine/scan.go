@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bitvec"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/query"
 	"repro/internal/storage"
@@ -361,6 +362,9 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 	if len(cps) == 0 {
 		return nil
 	}
+	// The context's ledger is billed at exactly the sites opts.Stats is,
+	// so a query's ledger delta equals the ScanStats delta it produced.
+	led := obsv.LedgerFrom(opts.Ctx)
 	words := sel.Words()
 	ck := t.Chunking()
 	if ck == nil {
@@ -415,11 +419,13 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 				if opts.Stats != nil {
 					opts.Stats.ChunksPruned.Add(1)
 				}
+				led.ChunkPruned()
 				return nil
 			case zoneFull:
 				if opts.Stats != nil {
 					opts.Stats.ChunksFull.Add(1)
 				}
+				led.ChunkFull()
 			default:
 				match := cp.match
 				if cp.lazyCol != nil {
@@ -428,9 +434,10 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 						return err
 					}
 					countFetch(opts.Stats, hit)
+					led.ChunkFetch(hit)
 					if serial && !hit && k+1 < numChunks &&
 						cp.zone(ck.Zones[cp.colIdx][k+1], chunkRowsOf(k+1)) == zoneScan {
-						cp.lazyCol.PrefetchHint(k + 1)
+						cp.lazyCol.PrefetchHintCtx(opts.Ctx, k+1)
 					}
 					match = cp.mkMatch(pl, k*ck.Size)
 				}
@@ -438,6 +445,7 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 				if opts.Stats != nil {
 					opts.Stats.ChunksScanned.Add(1)
 				}
+				led.ChunkScanned()
 			}
 		}
 		return nil

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obsv
+
+// processCPUNs reports 0 on platforms without rusage accounting; CPU
+// fields of the ledger stay zero there.
+func processCPUNs() int64 { return 0 }

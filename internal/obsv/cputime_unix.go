@@ -1,0 +1,15 @@
+//go:build unix
+
+package obsv
+
+import "syscall"
+
+// processCPUNs returns the process's cumulative user+system CPU time in
+// nanoseconds, or 0 when the platform cannot report it.
+func processCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

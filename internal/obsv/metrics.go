@@ -19,9 +19,10 @@ import (
 // already exist elsewhere (engine scan stats, store I/O, fabric
 // traffic). No dependencies, atomics throughout.
 type Registry struct {
-	mu      sync.Mutex
-	entries []*metricEntry
-	index   map[string]*metricEntry // name + rendered labels
+	mu       sync.Mutex
+	entries  []*metricEntry
+	index    map[string]*metricEntry // name + rendered labels
+	onScrape []func()
 }
 
 type metricEntry struct {
@@ -227,6 +228,16 @@ func (r *Registry) register(typ, name, help string, labels map[string]string, va
 	return nil
 }
 
+// OnScrape registers a hook run at the start of every WritePrometheus
+// — the seam for samplers that refresh a shared snapshot (e.g. one
+// ReadMemStats feeding several Go runtime families) or feed histograms
+// from counters that only move between scrapes.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.onScrape = append(r.onScrape, fn)
+	r.mu.Unlock()
+}
+
 // NumMetrics returns the number of registered series.
 func (r *Registry) NumMetrics() int {
 	r.mu.Lock()
@@ -261,7 +272,11 @@ func escapeLabel(v string) string {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	entries := append([]*metricEntry(nil), r.entries...)
+	hooks := append([]func(){}, r.onScrape...)
 	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	sort.SliceStable(entries, func(i, j int) bool {
 		if entries[i].name != entries[j].name {
 			return entries[i].name < entries[j].name

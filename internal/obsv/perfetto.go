@@ -1,0 +1,97 @@
+package obsv
+
+import "encoding/json"
+
+// Chrome trace-event export: a finished span tree rendered as the JSON
+// object format Perfetto (and chrome://tracing) load directly —
+// {"traceEvents": [...]} of "X" complete events with microsecond
+// timestamps. The coordinator's spans form process 1; every grafted
+// remote subtree (a shard server's spans) becomes its own process, so
+// a coordinator + shard-server trace opens as one timeline with one
+// track group per machine.
+
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// perfettoLanes assigns spans of one process to non-overlapping lanes
+// (thread IDs): each span takes the lowest lane that is free at its
+// start time. Parents overlap their children, so a child always lands
+// on a deeper lane — a waterfall layout every trace viewer renders
+// without nesting heuristics.
+type perfettoLanes struct {
+	endNs []int64 // per lane, the end of the last span placed there
+}
+
+func (p *perfettoLanes) place(startNs, durNs int64) int {
+	for i, end := range p.endNs {
+		if end <= startNs {
+			p.endNs[i] = startNs + durNs
+			return i
+		}
+	}
+	p.endNs = append(p.endNs, startNs+durNs)
+	return len(p.endNs) - 1
+}
+
+// PerfettoTrace renders a span tree (Trace.Tree output) as Chrome
+// trace-event JSON. The result is a complete, self-contained file —
+// write it to disk and open it in https://ui.perfetto.dev.
+func PerfettoTrace(root *SpanJSON) ([]byte, error) {
+	f := perfettoFile{TraceEvents: []perfettoEvent{}, DisplayTimeUnit: "ms"}
+	if root != nil {
+		names := map[int]string{1: "coordinator"}
+		lanes := map[int]*perfettoLanes{}
+		nextPid := 2
+		var walk func(sp *SpanJSON, pid int)
+		walk = func(sp *SpanJSON, pid int) {
+			if sp.Remote {
+				// A grafted shard-server subtree: its own process.
+				pid = nextPid
+				nextPid++
+				names[pid] = sp.Name
+			}
+			ln := lanes[pid]
+			if ln == nil {
+				ln = &perfettoLanes{}
+				lanes[pid] = ln
+			}
+			ev := perfettoEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Ts:   float64(sp.StartNs) / 1e3,
+				Dur:  float64(sp.DurNs) / 1e3,
+				Pid:  pid,
+				Tid:  ln.place(sp.StartNs, sp.DurNs),
+			}
+			if len(sp.Attrs) > 0 {
+				ev.Args = sp.Attrs
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+			for _, c := range sp.Children {
+				walk(c, pid)
+			}
+		}
+		walk(root, 1)
+		for pid := 1; pid < nextPid; pid++ {
+			f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  pid,
+				Args: map[string]any{"name": names[pid]},
+			})
+		}
+	}
+	return json.Marshal(f)
+}

@@ -1,0 +1,74 @@
+package obsv
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterGoRuntime adds the Go runtime's own families to a registry:
+// goroutine and GOMAXPROCS gauges, heap residency, GC cycle count and a
+// GC pause histogram. Memory statistics are sampled once per scrape
+// (via the registry's OnScrape hook) and shared by every family, so a
+// scrape costs one runtime.ReadMemStats regardless of family count.
+func RegisterGoRuntime(r *Registry) {
+	rt := &goRuntimeSampler{
+		pauses: r.NewHistogram("go_gc_pause_seconds", "stop-the-world GC pause durations",
+			nil, []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.1}),
+	}
+	r.OnScrape(rt.sample)
+	r.GaugeFunc("go_goroutines", "number of live goroutines", nil, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_gomaxprocs", "GOMAXPROCS", nil, func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "bytes of allocated heap objects", nil, func() float64 {
+		return float64(rt.get().HeapAlloc)
+	})
+	r.GaugeFunc("go_heap_sys_bytes", "bytes of heap obtained from the OS", nil, func() float64 {
+		return float64(rt.get().HeapSys)
+	})
+	r.GaugeFunc("go_heap_objects", "number of allocated heap objects", nil, func() float64 {
+		return float64(rt.get().HeapObjects)
+	})
+	r.CounterFunc("go_gc_cycles_total", "completed GC cycles", nil, func() float64 {
+		return float64(rt.get().NumGC)
+	})
+	r.CounterFunc("go_alloc_bytes_total", "cumulative bytes allocated on the heap", nil, func() float64 {
+		return float64(rt.get().TotalAlloc)
+	})
+}
+
+// goRuntimeSampler caches one MemStats per scrape and feeds new GC
+// pauses (since the previous scrape) into the pause histogram.
+type goRuntimeSampler struct {
+	mu        sync.Mutex
+	ms        runtime.MemStats
+	lastNumGC uint32
+	pauses    *Histogram
+}
+
+func (g *goRuntimeSampler) sample() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	runtime.ReadMemStats(&g.ms)
+	// PauseNs is a 256-entry ring indexed by GC cycle; replay the cycles
+	// completed since the previous scrape.
+	n := g.ms.NumGC
+	last := g.lastNumGC
+	if n > last {
+		if n-last > uint32(len(g.ms.PauseNs)) {
+			last = n - uint32(len(g.ms.PauseNs))
+		}
+		for c := last; c < n; c++ {
+			g.pauses.Observe(float64(g.ms.PauseNs[c%uint32(len(g.ms.PauseNs))]) / 1e9)
+		}
+		g.lastNumGC = n
+	}
+}
+
+func (g *goRuntimeSampler) get() runtime.MemStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ms
+}

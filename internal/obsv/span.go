@@ -100,6 +100,7 @@ type ctxKey int
 const (
 	spanCtxKey ctxKey = iota
 	ridCtxKey
+	ledgerCtxKey
 )
 
 // WithSpan returns a context carrying sp as the current span.

@@ -136,9 +136,11 @@ type dictSlot struct {
 	done bool
 }
 
-// init fetches and validates the shard's metadata and zone maps.
-func (c *Client) init() error {
-	data, _, err := c.do(context.Background(), "meta", http.MethodGet, "/shard/v1/meta", nil, nil, nil)
+// initCtx fetches and validates the shard's metadata and zone maps.
+// The context is the caller's: when a query forces a deferred shard
+// open, the open's own RPCs are traced and billed to that query.
+func (c *Client) initCtx(ctx context.Context) error {
+	data, _, err := c.do(ctx, "meta", http.MethodGet, "/shard/v1/meta", nil, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -169,7 +171,7 @@ func (c *Client) init() error {
 	c.schema = schema
 	c.dicts = make([]dictSlot, len(fields))
 
-	data, _, err = c.do(context.Background(), "zones", http.MethodGet, "/shard/v1/zones", nil, nil, nil)
+	data, _, err = c.do(ctx, "zones", http.MethodGet, "/shard/v1/zones", nil, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -348,6 +350,11 @@ func (c *Client) Replicas() []shard.ReplicaHealth {
 	return out
 }
 
+// doOnce runs one attempt. Besides the opener-wide and per-shard
+// counters, the attempt bills the context's resource ledger at the very
+// same sites: one RPC, and the response body both as wire traffic
+// (fabric plane) and as bytes read (store plane — ownBytes is what this
+// shard's IOStats reports as BytesRead).
 func (c *Client) doOnce(ctx context.Context, base, method, path string, q url.Values, body []byte, rid string) ([]byte, http.Header, error) {
 	u := base + path
 	if len(q) > 0 {
@@ -371,7 +378,9 @@ func (c *Client) doOnce(ctx context.Context, base, method, path string, q url.Va
 	if rid != "" {
 		req.Header.Set(headerRequestID, rid)
 	}
+	led := obsv.LedgerFrom(ctx)
 	c.stats.rpcs.Add(1)
+	led.RPC()
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, nil, err
@@ -380,6 +389,8 @@ func (c *Client) doOnce(ctx context.Context, base, method, path string, q url.Va
 	data, err := io.ReadAll(resp.Body)
 	c.stats.bytesIn.Add(int64(len(data)))
 	c.ownBytes.Add(int64(len(data)))
+	led.WireBytes(int64(len(data)))
+	led.ReadBytes(int64(len(data)))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -437,6 +448,19 @@ func (c *Client) Zones() [][]storage.ZoneMap { return c.zones }
 // Dicts implements shard.Backend, fetching each string dictionary once
 // (per-column locks, so different columns' first touches overlap).
 func (c *Client) Dicts(ci int) ([]string, error) {
+	return c.dictsCtx(context.Background(), ci)
+}
+
+// DictsCtx implements shard.CtxDictBackend — Dicts with the caller's
+// context riding into a first-touch fetch.
+func (c *Client) DictsCtx(ctx context.Context, ci int) ([]string, error) {
+	return c.dictsCtx(ctx, ci)
+}
+
+// dictsCtx is Dicts with the caller's context riding into a first-touch
+// fetch — so a chunk load's implied dictionary round trip is traced and
+// billed with the query that caused it.
+func (c *Client) dictsCtx(ctx context.Context, ci int) ([]string, error) {
 	if ci < 0 || ci >= c.schema.NumFields() {
 		return nil, &ShardError{Location: c.primary, Op: "dict", Err: fmt.Errorf("column %d out of range", ci)}
 	}
@@ -456,7 +480,7 @@ func (c *Client) Dicts(ci int) ([]string, error) {
 		return slot.vals, nil
 	}
 	var dto dictDTO
-	if err := c.getJSON(context.Background(), "dict", "/shard/v1/dict", url.Values{"col": {strconv.Itoa(ci)}}, &dto); err != nil {
+	if err := c.getJSON(ctx, "dict", "/shard/v1/dict", url.Values{"col": {strconv.Itoa(ci)}}, &dto); err != nil {
 		return nil, err
 	}
 	if dto.Values == nil {
@@ -514,7 +538,7 @@ func (c *Client) FetchChunkCtx(ctx context.Context, ci, k int) (*storage.ChunkPa
 func (c *Client) loadChunk(ctx context.Context, ci, k int) (*storage.ChunkPayload, error) {
 	dictLen := 0
 	if c.schema.Field(ci).Type == storage.String {
-		dict, err := c.Dicts(ci)
+		dict, err := c.dictsCtx(ctx, ci)
 		if err != nil {
 			return nil, err
 		}
@@ -554,6 +578,7 @@ func (c *Client) loadChunk(ctx context.Context, ci, k int) (*storage.ChunkPayloa
 	}
 	c.stats.chunkFetches.Add(1)
 	c.ownChunks.Add(1)
+	obsv.LedgerFrom(ctx).StoreChunkDecoded()
 	return p, nil
 }
 
@@ -566,6 +591,14 @@ const maxClientPrefetch = 2
 // latency. Skipped when the chunk is resident, the cache has no room,
 // or enough prefetches are already in flight.
 func (c *Client) PrefetchChunk(ci, k int) {
+	c.PrefetchChunkCtx(nil, ci, k)
+}
+
+// PrefetchChunkCtx implements storage.CtxChunkPrefetcher: the
+// speculative RPC carries the request's values (resource ledger,
+// request ID) detached from its cancellation, so the fetch it hides
+// latency for is the query it bills.
+func (c *Client) PrefetchChunkCtx(ctx context.Context, ci, k int) {
 	if c.closed.Load() || ci < 0 || ci >= c.schema.NumFields() || k < 0 || k >= c.numChunks() {
 		return
 	}
@@ -583,9 +616,17 @@ func (c *Client) PrefetchChunk(ci, k int) {
 		c.prefetching.Add(-1)
 		return
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	} else {
+		// Detach from cancellation and drop the trace span: the flight may
+		// outlive the request, and a span ended after its parent would
+		// malform the exported tree. The ledger and request ID stay.
+		ctx = obsv.WithSpan(context.WithoutCancel(ctx), nil)
+	}
 	go func() {
 		defer c.prefetching.Add(-1)
-		_, _, _ = c.FetchChunk(ci, k)
+		_, _, _ = c.FetchChunkCtx(ctx, ci, k)
 	}()
 }
 

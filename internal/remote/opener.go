@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -96,6 +97,14 @@ func NewOpener(o Options) *Opener {
 // shared decoded-chunk cache (store.Cache; a private cache is created
 // when the caller shares none).
 func (o *Opener) OpenShard(locations []string, store colstore.Options) (shard.Backend, error) {
+	return o.OpenShardCtx(context.Background(), locations, store)
+}
+
+// OpenShardCtx is OpenShard with the caller's context riding into the
+// open's metadata and zone-map round trips — when a query forces a
+// deferred shard open, those RPCs are traced and billed to that query.
+// It implements shard.CtxRemoteOpener.
+func (o *Opener) OpenShardCtx(ctx context.Context, locations []string, store colstore.Options) (shard.Backend, error) {
 	if len(locations) == 0 {
 		return nil, fmt.Errorf("remote: no locations to open")
 	}
@@ -126,7 +135,7 @@ func (o *Opener) OpenShard(locations []string, store colstore.Options) (shard.Ba
 		cache:            cache,
 		stats:            &o.stats,
 	}
-	if err := c.init(); err != nil {
+	if err := c.initCtx(ctx); err != nil {
 		return nil, err
 	}
 	c.warmReplicas()

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -122,6 +123,39 @@ func TestProfiledRemoteExploreSpanTree(t *testing.T) {
 	}
 	if opener.Stats().Failovers == 0 {
 		t.Error("no failover recorded while a replica was dying")
+	}
+
+	// Perfetto acceptance: the same traced 2-shard × 2-replica run must
+	// export as valid Chrome trace-event JSON, with the shard servers'
+	// grafted subtrees appearing as their own processes.
+	b, err := obsv.PerfettoTrace(tree)
+	if err != nil {
+		t.Fatalf("perfetto export: %v", err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatalf("perfetto export is not valid trace-event JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	pids := map[int]bool{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.Pid] = true
+		}
+	}
+	if !pids[1] {
+		t.Error("perfetto export has no coordinator (pid 1) slices")
+	}
+	if len(pids) < 2 {
+		t.Error("perfetto export gave the shard servers no process of their own")
 	}
 }
 

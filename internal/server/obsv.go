@@ -3,6 +3,7 @@ package server
 import (
 	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/obsv"
@@ -24,12 +25,46 @@ type fabricStats interface {
 
 // serverMetrics are the owned (non-sampled) metrics of the HTTP layer.
 type serverMetrics struct {
+	reg          *obsv.Registry
 	httpRequests *obsv.Counter
 	httpErrors   *obsv.Counter
 	explores     *obsv.Counter
 	exploreHist  *obsv.Histogram
 	slowQueries  *obsv.Counter
 	profiled     *obsv.Counter
+
+	// opMu guards the per-operation latency histograms, one
+	// atlas_query_duration_seconds{op=...} series per op kind.
+	opMu    sync.Mutex
+	opHists map[string]*obsv.Histogram
+}
+
+// opHistogram returns (registering on first use) the latency histogram
+// of one operation kind — explore, session-explore, drill.
+func (m *serverMetrics) opHistogram(op string) *obsv.Histogram {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	if h, ok := m.opHists[op]; ok {
+		return h
+	}
+	h := m.reg.NewHistogram("atlas_query_duration_seconds", "query latency by operation kind",
+		map[string]string{"op": op}, nil)
+	m.opHists[op] = h
+	return h
+}
+
+// opLatencies summarizes every per-op histogram for /api/stats.
+func (m *serverMetrics) opLatencies() map[string]OpLatencyDTO {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	if len(m.opHists) == 0 {
+		return nil
+	}
+	out := make(map[string]OpLatencyDTO, len(m.opHists))
+	for op, h := range m.opHists {
+		out[op] = OpLatencyDTO{Count: h.Count(), P50s: h.Quantile(0.5), P99s: h.Quantile(0.99)}
+	}
+	return out
 }
 
 // Registry lazily builds and returns the server's metric registry. The
@@ -41,6 +76,8 @@ func (s *Server) Registry() *obsv.Registry {
 	s.regOnce.Do(func() {
 		r := obsv.NewRegistry()
 		s.metrics = &serverMetrics{
+			reg:          r,
+			opHists:      map[string]*obsv.Histogram{},
 			httpRequests: r.NewCounter("atlas_http_requests_total", "API requests served", nil),
 			httpErrors:   r.NewCounter("atlas_http_errors_total", "API requests answered with status >= 400", nil),
 			explores:     r.NewCounter("atlas_explores_total", "explorations executed (stateless and session)", nil),
@@ -116,6 +153,7 @@ func (s *Server) Registry() *obsv.Registry {
 				return float64(s.fabric.Stats().BreakerTrips)
 			})
 		}
+		obsv.RegisterGoRuntime(r)
 		s.reg = r
 	})
 	return s.reg
@@ -138,25 +176,6 @@ func (s *Server) slowConfig() (time.Duration, func(format string, args ...any)) 
 	s.slowMu.Lock()
 	defer s.slowMu.Unlock()
 	return s.slowThreshold, s.slowLog
-}
-
-// observeExplore records one finished exploration in the metrics and,
-// when it crossed the slow-query threshold, in the slow-query log.
-func (s *Server) observeExplore(rid, input string, dur time.Duration, profiled bool) {
-	s.Registry() // ensure metrics exist
-	s.metrics.explores.Inc()
-	s.metrics.exploreHist.ObserveDuration(dur)
-	if profiled {
-		s.metrics.profiled.Inc()
-	}
-	threshold, logf := s.slowConfig()
-	if threshold > 0 && dur >= threshold && logf != nil {
-		s.metrics.slowQueries.Inc()
-		if rid == "" {
-			rid = "-"
-		}
-		logf("slow query: rid=%s dur=%s cql=%q", rid, dur, input)
-	}
 }
 
 // statusWriter records the response status for error counting.
@@ -191,13 +210,6 @@ func (s *Server) withObservability(h http.Handler) http.Handler {
 			s.metrics.httpErrors.Inc()
 		}
 	})
-}
-
-// profileWanted reports whether the request opts into a span-tree
-// profile (?profile=1).
-func profileWanted(r *http.Request) bool {
-	v := r.URL.Query().Get("profile")
-	return v == "1" || v == "true"
 }
 
 var _ fabricStats = (*remote.Opener)(nil)

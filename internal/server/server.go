@@ -64,11 +64,17 @@ type Server struct {
 	slowMu        sync.Mutex
 	slowThreshold time.Duration
 	slowLog       func(format string, args ...any)
+
+	// Query insights (see insights.go): the bounded query-log ring and
+	// the lifetime ledger totals accumulated from every query's bill.
+	qlog   *obsv.QueryLog
+	totals *obsv.Ledger
 }
 
 // New creates a server over a table with the given pipeline defaults.
 func New(table *storage.Table, opts core.Options) *Server {
-	s := &Server{table: table, opts: opts, sessions: map[int]*session.Session{}}
+	s := &Server{table: table, opts: opts, sessions: map[int]*session.Session{},
+		qlog: obsv.NewQueryLog(obsv.DefaultQueryLogDepth), totals: &obsv.Ledger{}}
 	if cart, err := core.NewCartographer(table, opts); err == nil {
 		s.cart = cart
 	}
@@ -80,7 +86,8 @@ func New(table *storage.Table, opts core.Options) *Server {
 // partials, and sessions keep their predicate-bitmap LRU keyed per
 // shard.
 func NewSharded(set *shard.Set, opts core.Options) *Server {
-	s := &Server{table: set.Table(), opts: opts, set: set, sessions: map[int]*session.Session{}}
+	s := &Server{table: set.Table(), opts: opts, set: set, sessions: map[int]*session.Session{},
+		qlog: obsv.NewQueryLog(obsv.DefaultQueryLogDepth), totals: &obsv.Ledger{}}
 	if cart, err := core.NewCartographerWith(s.table, opts, set.Provider(opts.Parallelism)); err == nil {
 		s.cart = cart
 	}
@@ -176,6 +183,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/sessions/{id}/describe", s.handleDescribe)
 	mux.HandleFunc("GET /api/sessions/{id}/personalized", s.handlePersonalized)
 	mux.HandleFunc("GET /api/shards", s.handleShards)
+	mux.HandleFunc("POST /api/explain", s.handleExplain)
+	mux.HandleFunc("GET /api/querylog", s.handleQueryLog)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.Registry().Handler())
 	return s.withObservability(mux)
@@ -222,6 +231,12 @@ type ResultDTO struct {
 	// asked for one (?profile=1). Offsets are nanoseconds from the
 	// trace start; remote (shard-server) subtrees are flagged.
 	Profile *obsv.SpanJSON `json:"profile,omitempty"`
+	// ProfilePerfetto is the same trace as Chrome trace-event JSON
+	// (?profile=perfetto) — save it to a file and open it in Perfetto.
+	ProfilePerfetto json.RawMessage `json:"profilePerfetto,omitempty"`
+	// Ledger is the query's resource bill — always present: every query
+	// runs with a ledger threaded through its context.
+	Ledger *obsv.LedgerSnapshot `json:"ledger,omitempty"`
 }
 
 // NodeDTO is one session node.
@@ -289,25 +304,15 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	ctx, profile := r.Context(), profileWanted(r)
-	var tr *obsv.Trace
-	if profile {
-		var root *obsv.Span
-		tr, root = obsv.NewTrace("explore")
-		defer root.End()
-		ctx = obsv.WithSpan(ctx, root)
-	}
-	start := time.Now()
-	res, err := s.runCQL(ctx, req.CQL)
+	qr := s.startQuery(r, "explore")
+	res, err := s.runCQL(qr.ctx, req.CQL)
+	tree := qr.finish(s, "explore", req.CQL, err)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	s.observeExplore(obsv.RequestIDFrom(ctx), req.CQL, time.Since(start), profile)
 	dto := toResultDTO(res)
-	if tr != nil {
-		dto.Profile = tr.Tree()
-	}
+	qr.attach(&dto, tree)
 	writeJSON(w, http.StatusOK, dto)
 }
 
@@ -372,26 +377,16 @@ func (s *Server) handleSessionExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &badRequest{err})
 		return
 	}
-	ctx, profile := r.Context(), profileWanted(r)
-	var tr *obsv.Trace
-	if profile {
-		var root *obsv.Span
-		tr, root = obsv.NewTrace("explore")
-		defer root.End()
-		ctx = obsv.WithSpan(ctx, root)
-	}
-	start := time.Now()
-	node, err := sess.ExploreCtx(ctx, q)
+	qr := s.startQuery(r, "session-explore")
+	node, err := sess.ExploreCtx(qr.ctx, q)
+	tree := qr.finish(s, "session-explore", req.CQL, err)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	s.observeExplore(obsv.RequestIDFrom(ctx), req.CQL, time.Since(start), profile)
 	sess.Prefetch(4) // anticipative computation, Section 5.1
 	dto := toNodeDTO(node)
-	if tr != nil {
-		dto.Result.Profile = tr.Tree()
-	}
+	qr.attach(&dto.Result, tree)
 	writeJSON(w, http.StatusOK, dto)
 }
 
@@ -405,26 +400,16 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	ctx, profile := r.Context(), profileWanted(r)
-	var tr *obsv.Trace
-	if profile {
-		var root *obsv.Span
-		tr, root = obsv.NewTrace("drill")
-		defer root.End()
-		ctx = obsv.WithSpan(ctx, root)
-	}
-	start := time.Now()
-	node, err := sess.DrillDownCtx(ctx, req.Map, req.Region)
+	qr := s.startQuery(r, "drill")
+	node, err := sess.DrillDownCtx(qr.ctx, req.Map, req.Region)
+	tree := qr.finish(s, "drill", fmt.Sprintf("drill map=%d region=%d", req.Map, req.Region), err)
 	if err != nil {
 		writeError(w, &badRequest{err})
 		return
 	}
-	s.observeExplore(obsv.RequestIDFrom(ctx), fmt.Sprintf("drill map=%d region=%d", req.Map, req.Region), time.Since(start), profile)
 	sess.Prefetch(4)
 	dto := toNodeDTO(node)
-	if tr != nil {
-		dto.Result.Profile = tr.Tree()
-	}
+	qr.attach(&dto.Result, tree)
 	writeJSON(w, http.StatusOK, dto)
 }
 
@@ -713,8 +698,17 @@ type FabricStatsDTO struct {
 	BreakerTrips int64 `json:"breakerTrips"`
 }
 
+// OpLatencyDTO is one operation's latency summary on /api/stats.
+type OpLatencyDTO struct {
+	Count int64   `json:"count"`
+	P50s  float64 `json:"p50s"`
+	P99s  float64 `json:"p99s"`
+}
+
 // ServerStatsDTO reports the HTTP layer's own counters, with latency
-// quantiles estimated from the explore histogram.
+// quantiles estimated from the explore histogram — across every
+// operation kind, and broken out per op (explore, session-explore,
+// drill) so drill-downs and session explores report their own tails.
 type ServerStatsDTO struct {
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
@@ -722,6 +716,13 @@ type ServerStatsDTO struct {
 	SlowQueries int64   `json:"slowQueries"`
 	ExploreP50s float64 `json:"exploreP50s"`
 	ExploreP99s float64 `json:"exploreP99s"`
+	// Ops holds per-operation latency summaries.
+	Ops map[string]OpLatencyDTO `json:"ops,omitempty"`
+	// QueryLogDepth / QueriesLogged describe the query-log ring.
+	QueryLogDepth int    `json:"queryLogDepth"`
+	QueriesLogged uint64 `json:"queriesLogged"`
+	// LedgerTotals accumulates every query's resource bill since start.
+	LedgerTotals *obsv.LedgerSnapshot `json:"ledgerTotals,omitempty"`
 }
 
 // StatsDTO is the /api/stats answer.
@@ -782,13 +783,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	s.Registry()
+	totals := s.totals.Snapshot()
 	dto.Server = &ServerStatsDTO{
-		Requests:    s.metrics.httpRequests.Value(),
-		Errors:      s.metrics.httpErrors.Value(),
-		Explores:    s.metrics.explores.Value(),
-		SlowQueries: s.metrics.slowQueries.Value(),
-		ExploreP50s: s.metrics.exploreHist.Quantile(0.5),
-		ExploreP99s: s.metrics.exploreHist.Quantile(0.99),
+		Requests:      s.metrics.httpRequests.Value(),
+		Errors:        s.metrics.httpErrors.Value(),
+		Explores:      s.metrics.explores.Value(),
+		SlowQueries:   s.metrics.slowQueries.Value(),
+		ExploreP50s:   s.metrics.exploreHist.Quantile(0.5),
+		ExploreP99s:   s.metrics.exploreHist.Quantile(0.99),
+		Ops:           s.metrics.opLatencies(),
+		QueryLogDepth: s.qlog.Depth(),
+		QueriesLogged: s.qlog.Total(),
+		LedgerTotals:  &totals,
 	}
 	writeJSON(w, http.StatusOK, dto)
 }

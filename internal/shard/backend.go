@@ -159,6 +159,23 @@ type RemoteOpener interface {
 	OpenShard(locations []string, store colstore.Options) (Backend, error)
 }
 
+// CtxRemoteOpener is the optional context-aware extension of
+// RemoteOpener: when a query forces a deferred shard open, the open's
+// own round trips (metadata, zone maps) run under that query's context,
+// so they land in its trace and resource ledger. Openers without it
+// fall back to OpenShard.
+type CtxRemoteOpener interface {
+	OpenShardCtx(ctx context.Context, locations []string, store colstore.Options) (Backend, error)
+}
+
+// CtxDictBackend is the optional context-aware dictionary fetch of a
+// backend: deferred sets load dictionaries on first categorical
+// demand, and a dictionary pulled mid-query is then traced and billed
+// to the query that forced it. Backends without it fall back to Dicts.
+type CtxDictBackend interface {
+	DictsCtx(ctx context.Context, ci int) ([]string, error)
+}
+
 // IsRemoteLocation reports whether a manifest shard location names a
 // remote shard server rather than a file next to the manifest.
 func IsRemoteLocation(loc string) bool {

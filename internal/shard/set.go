@@ -282,6 +282,13 @@ type lazyShard struct {
 // backend opens the shard's backend if needed, validating it against
 // the manifest, and returns it.
 func (ls *lazyShard) backend() (Backend, error) {
+	return ls.backendCtx(context.Background())
+}
+
+// backendCtx is backend with the caller's context riding into a
+// deferred remote open, so the open's own RPCs are billed to the query
+// that forced it.
+func (ls *lazyShard) backendCtx(ctx context.Context) (Backend, error) {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	if ls.be != nil || ls.err != nil {
@@ -304,7 +311,11 @@ func (ls *lazyShard) backend() (Backend, error) {
 		if ls.s.remote == nil {
 			return fail(fmt.Errorf("shard: shard %d is remote (%s) but no remote opener is configured", ls.idx, ls.locs[0]))
 		}
-		be, err = ls.s.remote.OpenShard(ls.locs, ls.s.storeOpts)
+		if co, ok := ls.s.remote.(CtxRemoteOpener); ok {
+			be, err = co.OpenShardCtx(ctx, ls.locs, ls.s.storeOpts)
+		} else {
+			be, err = ls.s.remote.OpenShard(ls.locs, ls.s.storeOpts)
+		}
 	} else {
 		be, err = openFileBackend(ls.locs[0], ls.s.storeOpts)
 	}
@@ -330,7 +341,13 @@ func (ls *lazyShard) backend() (Backend, error) {
 
 // source opens the shard backend if needed and returns its chunk source.
 func (ls *lazyShard) source() (storage.ChunkSource, error) {
-	if _, err := ls.backend(); err != nil {
+	return ls.sourceCtx(context.Background())
+}
+
+// sourceCtx is source with the caller's context riding into a deferred
+// open.
+func (ls *lazyShard) sourceCtx(ctx context.Context) (storage.ChunkSource, error) {
+	if _, err := ls.backendCtx(ctx); err != nil {
 		return nil, err
 	}
 	ls.mu.Lock()
@@ -383,12 +400,12 @@ func (ss *setSource) fetch(ctx context.Context, ci, gk int) (*storage.ChunkPaylo
 	s := ss.s
 	i := s.shardOfChunk(gk)
 	lk := gk - s.chunkOffs[i]
-	remap, err := s.remapFor(i, ci)
+	remap, err := s.remapFor(ctx, i, ci)
 	if err != nil {
 		return nil, false, err
 	}
 	if remap == nil {
-		src, err := s.shards[i].source()
+		src, err := s.shards[i].sourceCtx(ctx)
 		if err != nil {
 			return nil, false, err
 		}
@@ -398,7 +415,7 @@ func (ss *setSource) fetch(ctx context.Context, ci, gk int) (*storage.ChunkPaylo
 	// entry (keyed by the set source) so the copy happens once per
 	// residency, not per touch.
 	return s.cache.Get(ss, ci, gk, func() (*storage.ChunkPayload, error) {
-		src, err := s.shards[i].source()
+		src, err := s.shards[i].sourceCtx(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -470,11 +487,11 @@ func (vs *viewSource) PrefetchChunk(ci, k int) {
 
 // remapFor returns the local→union code remap of (shard, col), nil for
 // identity or non-string columns. Loads dictionaries on first use.
-func (s *Set) remapFor(shard, ci int) ([]uint32, error) {
+func (s *Set) remapFor(ctx context.Context, shard, ci int) ([]uint32, error) {
 	if s.combined.Schema().Field(ci).Type != storage.String {
 		return nil, nil
 	}
-	if err := s.loadDicts(); err != nil {
+	if err := s.loadDictsCtx(ctx); err != nil {
 		return nil, err
 	}
 	return s.remaps[shard][ci], nil
@@ -482,8 +499,15 @@ func (s *Set) remapFor(shard, ci int) ([]uint32, error) {
 
 // loadDicts runs the one-time union-dictionary build (all shards open).
 func (s *Set) loadDicts() error {
+	return s.loadDictsCtx(context.Background())
+}
+
+// loadDictsCtx is loadDicts with the caller's context riding into the
+// deferred first-demand build — the shard opens and dictionary fetches
+// are billed to the query that forced them.
+func (s *Set) loadDictsCtx(ctx context.Context) error {
 	s.dictsOnce.Do(func() {
-		s.dictsErr = s.loadDictsLocked()
+		s.dictsErr = s.buildDicts(ctx, s.combined.Schema())
 		if s.dictsErr == nil {
 			s.dictsDone.Store(true)
 		}
@@ -495,7 +519,7 @@ func (s *Set) loadDicts() error {
 // schema object is at hand before the combined table exists.
 func (s *Set) loadDictsNow(schema *storage.Schema) error {
 	s.dictsOnce.Do(func() {
-		s.dictsErr = s.buildDicts(schema)
+		s.dictsErr = s.buildDicts(context.Background(), schema)
 		if s.dictsErr == nil {
 			s.dictsDone.Store(true)
 		}
@@ -503,19 +527,15 @@ func (s *Set) loadDictsNow(schema *storage.Schema) error {
 	return s.dictsErr
 }
 
-func (s *Set) loadDictsLocked() error {
-	return s.buildDicts(s.combined.Schema())
-}
-
 // buildDicts opens every shard, reads the string dictionaries, unions
 // them in (shard, dictionary) order — exactly the order the eager
 // concatenation builds — and derives per-shard remap tables (nil when a
 // shard's dictionary already equals the union prefix).
-func (s *Set) buildDicts(schema *storage.Schema) error {
+func (s *Set) buildDicts(ctx context.Context, schema *storage.Schema) error {
 	n := len(s.shards)
 	shardDicts := make([][][]string, n) // [shard][col]
 	err := par.For(runtime.GOMAXPROCS(0), n, func(i int) error {
-		be, err := s.shards[i].backend()
+		be, err := s.shards[i].backendCtx(ctx)
 		if err != nil {
 			return err
 		}
@@ -524,7 +544,12 @@ func (s *Set) buildDicts(schema *storage.Schema) error {
 			if schema.Field(ci).Type != storage.String {
 				continue
 			}
-			d, err := be.Dicts(ci)
+			var d []string
+			if cd, ok := be.(CtxDictBackend); ok {
+				d, err = cd.DictsCtx(ctx, ci)
+			} else {
+				d, err = be.Dicts(ci)
+			}
 			if err != nil {
 				return fmt.Errorf("shard: shard %d column %d dictionary: %w", i, ci, err)
 			}
@@ -827,10 +852,16 @@ func (s *Set) ShardMayMatch(i int, p query.Predicate) bool {
 // shards return (nil, nil): their statistics run against the shard
 // views, sharing the chunk cache and the scan-verdict counters.
 func (s *Set) statBackendFor(i int) (StatBackend, error) {
+	return s.statBackendForCtx(context.Background(), i)
+}
+
+// statBackendForCtx is statBackendFor with the caller's context riding
+// into a deferred open.
+func (s *Set) statBackendForCtx(ctx context.Context, i int) (StatBackend, error) {
 	if s.shards == nil || !IsRemoteLocation(s.shards[i].locs[0]) {
 		return nil, nil
 	}
-	be, err := s.shards[i].backend()
+	be, err := s.shards[i].backendCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -852,8 +883,8 @@ func (s *Set) colIndex(attr string) (int, error) {
 // countsToUnion remaps shard i's local-dictionary count vector for
 // column ci into union-code space — the reduce-side translation of
 // statistics computed where a remote shard lives.
-func (s *Set) countsToUnion(i, ci int, counts []int) ([]int, error) {
-	if err := s.loadDicts(); err != nil {
+func (s *Set) countsToUnion(ctx context.Context, i, ci int, counts []int) ([]int, error) {
+	if err := s.loadDictsCtx(ctx); err != nil {
 		return nil, err
 	}
 	out := make([]int, len(s.unionDict[ci]))
@@ -880,7 +911,7 @@ func (s *Set) countsToUnion(i, ci int, counts []int) ([]int, error) {
 // chunk leaving the shard. Local shards (no statistics plane) return
 // ok=false; callers scan the view instead.
 func (s *Set) RemotePredicateCount(ctx context.Context, i int, p query.Predicate) (count int, ok bool, err error) {
-	sb, err := s.statBackendFor(i)
+	sb, err := s.statBackendForCtx(ctx, i)
 	if err != nil || sb == nil {
 		return 0, false, err
 	}
@@ -899,7 +930,7 @@ func (s *Set) RemotePredicateCount(ctx context.Context, i int, p query.Predicate
 // is validated against the server's own count before it is trusted —
 // on mismatch the caller falls back to scanning.
 func (s *Set) RemotePredicateBits(ctx context.Context, i int, p query.Predicate) (bm *bitvec.Vector, ok bool, err error) {
-	sb, err := s.statBackendFor(i)
+	sb, err := s.statBackendForCtx(ctx, i)
 	if err != nil || sb == nil {
 		return nil, false, err
 	}
@@ -1211,7 +1242,7 @@ type Provider struct {
 func (p *Provider) NumericStats(ctx context.Context, attr string, opts core.CutOptions) ([]float64, *sketch.GK, error) {
 	runs := make([][]float64, p.s.NumShards())
 	err := par.For(p.workers, len(runs), func(i int) error {
-		if sb, err := p.s.statBackendFor(i); err != nil {
+		if sb, err := p.s.statBackendForCtx(ctx, i); err != nil {
 			return err
 		} else if sb != nil {
 			vals, err := sb.NumericValues(ctx, attr)
@@ -1222,7 +1253,7 @@ func (p *Provider) NumericStats(ctx context.Context, attr string, opts core.CutO
 			return nil
 		}
 		view := p.s.views[i]
-		vals, err := engine.NumericValuesUnder(view, attr, bitvec.NewFull(view.NumRows()))
+		vals, err := engine.NumericValuesUnderCtx(ctx, view, attr, bitvec.NewFull(view.NumRows()))
 		if err != nil {
 			return err
 		}
@@ -1266,7 +1297,7 @@ func (p *Provider) CategoryStats(ctx context.Context, attr string) ([]string, []
 	partCounts := make([][]int, n)
 	var dict []string
 	err := par.For(p.workers, n, func(i int) error {
-		if sb, err := p.s.statBackendFor(i); err != nil {
+		if sb, err := p.s.statBackendForCtx(ctx, i); err != nil {
 			return err
 		} else if sb != nil {
 			ci, err := p.s.colIndex(attr)
@@ -1277,7 +1308,7 @@ func (p *Provider) CategoryStats(ctx context.Context, attr string) ([]string, []
 			if err != nil {
 				return err
 			}
-			u, err := p.s.countsToUnion(i, ci, counts)
+			u, err := p.s.countsToUnion(ctx, i, ci, counts)
 			if err != nil {
 				return err
 			}
@@ -1285,7 +1316,7 @@ func (p *Provider) CategoryStats(ctx context.Context, attr string) ([]string, []
 			return nil
 		}
 		view := p.s.views[i]
-		d, counts, err := engine.CategoryCountsUnder(view, attr, bitvec.NewFull(view.NumRows()))
+		d, counts, err := engine.CategoryCountsUnderCtx(ctx, view, attr, bitvec.NewFull(view.NumRows()))
 		if err != nil {
 			return err
 		}
@@ -1305,7 +1336,7 @@ func (p *Provider) CategoryStats(ctx context.Context, attr string) ([]string, []
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := p.s.loadDicts(); err != nil {
+		if err := p.s.loadDictsCtx(ctx); err != nil {
 			return nil, nil, err
 		}
 		dict = p.s.unionDict[ci]
@@ -1325,7 +1356,7 @@ func (p *Provider) BoolStats(ctx context.Context, attr string) (int, int, error)
 	falses := make([]int, n)
 	trues := make([]int, n)
 	err := par.For(p.workers, n, func(i int) error {
-		if sb, err := p.s.statBackendFor(i); err != nil {
+		if sb, err := p.s.statBackendForCtx(ctx, i); err != nil {
 			return err
 		} else if sb != nil {
 			f, t, err := sb.BoolCounts(ctx, attr)
@@ -1336,7 +1367,7 @@ func (p *Provider) BoolStats(ctx context.Context, attr string) (int, int, error)
 			return nil
 		}
 		view := p.s.views[i]
-		f, t, err := engine.BoolCountsUnder(view, attr, bitvec.NewFull(view.NumRows()))
+		f, t, err := engine.BoolCountsUnderCtx(ctx, view, attr, bitvec.NewFull(view.NumRows()))
 		if err != nil {
 			return err
 		}
@@ -1427,7 +1458,7 @@ func (s *Set) Partials(parallelism int) ([]*ColumnPartial, error) {
 			}
 			for ci, p := range parts {
 				if p != nil && p.CatCounts != nil {
-					u, err := s.countsToUnion(i, ci, p.CatCounts)
+					u, err := s.countsToUnion(context.Background(), i, ci, p.CatCounts)
 					if err != nil {
 						return err
 					}

@@ -104,6 +104,15 @@ type ChunkPrefetcher interface {
 	PrefetchChunk(ci, k int)
 }
 
+// CtxChunkPrefetcher is the context-aware side of a ChunkPrefetcher:
+// the asynchronous load carries the request's values (resource ledger,
+// request ID) so speculative I/O is billed to the query that caused it.
+// Implementations must detach from the context's cancellation — the
+// request may complete before the flight does.
+type CtxChunkPrefetcher interface {
+	PrefetchChunkCtx(ctx context.Context, ci, k int)
+}
+
 // ChunkError is the named error for a chunk that could not be read or
 // decoded on first touch (CRC mismatch, short read, corrupt encoding).
 // It is returned by the error-aware access paths and carried by the
@@ -268,8 +277,22 @@ func (c *LazyColumn) chunkOrPanic(k int) *ChunkPayload {
 // cache miss, overlapping the current chunk's work with the next one's
 // fetch — which is what hides a remote source's round-trip latency.
 func (c *LazyColumn) PrefetchHint(k int) {
+	c.PrefetchHintCtx(nil, k)
+}
+
+// PrefetchHintCtx is PrefetchHint with a request context: on
+// context-aware sources the speculative load is billed to the request's
+// resource ledger. A nil ctx, or a plain source, degrades to the
+// context-free hint.
+func (c *LazyColumn) PrefetchHintCtx(ctx context.Context, k int) {
 	if k < 0 || k >= c.NumChunks() {
 		return
+	}
+	if ctx != nil {
+		if p, ok := c.src.(CtxChunkPrefetcher); ok {
+			p.PrefetchChunkCtx(ctx, c.ci, k)
+			return
+		}
 	}
 	if p, ok := c.src.(ChunkPrefetcher); ok {
 		p.PrefetchChunk(c.ci, k)
@@ -471,14 +494,20 @@ func (c *LazyColumn) Materialize() (Column, error) {
 // After a fetch that missed the cache, the next chunk is prefetched (on
 // sources that support it) so its load overlaps fn's work on this one.
 func (c *LazyColumn) ForEachChunk(fn func(k, lo int, p *ChunkPayload) (bool, error)) error {
+	return c.ForEachChunkCtx(nil, fn)
+}
+
+// ForEachChunkCtx is ForEachChunk with a request context carried into
+// every fetch and prefetch hint.
+func (c *LazyColumn) ForEachChunkCtx(ctx context.Context, fn func(k, lo int, p *ChunkPayload) (bool, error)) error {
 	n := c.NumChunks()
 	for k := 0; k < n; k++ {
-		p, hit, err := c.Chunk(k)
+		p, hit, err := c.ChunkCtx(ctx, k)
 		if err != nil {
 			return err
 		}
 		if !hit {
-			c.PrefetchHint(k + 1)
+			c.PrefetchHintCtx(ctx, k+1)
 		}
 		cont, err := fn(k, k*c.chunkSize, p)
 		if err != nil {
@@ -498,6 +527,12 @@ func (c *LazyColumn) ForEachChunk(fn func(k, lo int, p *ChunkPayload) (bool, err
 // payload, the chunk's first row lo, and the global row index i; it
 // returns false to stop.
 func (c *LazyColumn) ForEachSelected(sel *bitvec.Vector, fn func(p *ChunkPayload, lo, i int) bool) error {
+	return c.ForEachSelectedCtx(nil, sel, fn)
+}
+
+// ForEachSelectedCtx is ForEachSelected with a request context carried
+// into every fetch and prefetch hint.
+func (c *LazyColumn) ForEachSelectedCtx(ctx context.Context, sel *bitvec.Vector, fn func(p *ChunkPayload, lo, i int) bool) error {
 	if sel.Len() != c.rows {
 		return fmt.Errorf("storage: selection length %d != column length %d", sel.Len(), c.rows)
 	}
@@ -522,12 +557,12 @@ func (c *LazyColumn) ForEachSelected(sel *bitvec.Vector, fn func(p *ChunkPayload
 		}
 	}
 	for ti, k := range touched {
-		p, hit, err := c.Chunk(k)
+		p, hit, err := c.ChunkCtx(ctx, k)
 		if err != nil {
 			return err
 		}
 		if !hit && ti+1 < len(touched) {
-			c.PrefetchHint(touched[ti+1])
+			c.PrefetchHintCtx(ctx, touched[ti+1])
 		}
 		w0 := k * wordsPerChunk
 		w1 := w0 + wordsPerChunk
