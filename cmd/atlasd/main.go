@@ -51,12 +51,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/colstore"
@@ -81,6 +86,13 @@ func main() {
 		deferS  = flag.Bool("defer", false, "defer opening shard files until first touch (sharded stores)")
 		slowQ   = flag.Duration("slow-query", 0, "log explorations (or, with -serve-shard, fabric requests) that take at least this long (0 = disabled)")
 		pprofF  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (coordinator and -serve-shard)")
+
+		// Overload-safety knobs (see README "Production hardening").
+		queryTimeout = flag.Duration("query-timeout", 0, "per-query wall-clock deadline; requests may shorten it via X-Atlas-Query-Timeout (0 = none)")
+		maxConc      = flag.Int("max-concurrent", 0, "queries executing at once before new ones queue (0 = unlimited)")
+		queueDepth   = flag.Int("queue-depth", 64, "queries allowed to wait for a slot; excess is shed with 429")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "max wait in the admission queue before shedding with 429 (0 = wait until the client gives up)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT: budget for in-flight queries to finish before connections close")
 
 		// Remote-fabric failover knobs (coordinator over a manifest with
 		// http(s):// shard locations; ignored otherwise).
@@ -118,7 +130,10 @@ func main() {
 		t := st.Table()
 		log.Printf("atlasd: serving shard %q (table %q, %d rows, %d chunks) on %s",
 			*shardF, t.Name(), t.NumRows(), st.NumChunks(), *addr)
-		if err := http.ListenAndServe(*addr, mux); err != nil {
+		// On SIGTERM the shard fails health checks (coordinators rotate to
+		// replicas) and finishes in-flight fabric requests within the
+		// drain budget.
+		if err := serveWithDrain(*addr, mux, *drainTimeout, func() { rs.SetDraining(true) }); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -157,6 +172,12 @@ func main() {
 	if *slowQ > 0 {
 		srv.SetSlowQueryLog(*slowQ, nil)
 	}
+	srv.SetAdmission(server.AdmissionConfig{
+		MaxConcurrent: *maxConc,
+		QueueDepth:    *queueDepth,
+		QueueTimeout:  *queueTimeout,
+		QueryTimeout:  *queryTimeout,
+	})
 	table := srv.Table()
 	handler := srv.Handler()
 	if *pprofF {
@@ -168,9 +189,66 @@ func main() {
 		handler = outer
 	}
 	log.Printf("atlasd: serving table %q (%d rows) on %s", table.Name(), table.NumRows(), *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	// On SIGTERM/SIGINT: /healthz starts failing and new queries are
+	// refused with 503, in-flight ones finish (or hit their -query-timeout
+	// deadline) within the drain budget, then the process exits 0.
+	if err := serveWithDrain(*addr, handler, *drainTimeout, func() { srv.SetDraining(true) }); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// serveWithDrain runs an HTTP server until SIGTERM/SIGINT, then drains:
+// onDrain flips the role's drain switch (health fails, admissions are
+// refused), in-flight requests get drainTimeout to finish, and past the
+// budget every live request context is cancelled — queries unwind at
+// the next chunk boundary — before connections close. A clean drain
+// returns nil and the process exits 0.
+func serveWithDrain(addr string, handler http.Handler, drainTimeout time.Duration, onDrain func()) error {
+	// Requests derive from baseCtx so the drain deadline can cancel
+	// whatever refuses to finish on its own.
+	baseCtx, cancelInflight := context.WithCancel(context.Background())
+	defer cancelInflight()
+	srv := &http.Server{
+		Addr:        addr,
+		Handler:     handler,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop() // a second signal falls back to the default hard kill
+	log.Printf("atlasd: signal received, draining (budget %s)", drainTimeout)
+	onDrain()
+	// Grace window before the listener closes: health checks answer 503
+	// and the gate refuses new queries while load balancers rotate away.
+	// It comes out of the drain budget and is capped so tiny budgets
+	// still leave time for the in-flight work.
+	grace := drainTimeout / 4
+	if grace > 500*time.Millisecond {
+		grace = 500 * time.Millisecond
+	}
+	time.Sleep(grace)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout-grace)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		// Budget spent: cancel the stragglers' contexts so they unwind
+		// with a ledgered cancellation, then close their connections.
+		log.Printf("atlasd: drain budget exceeded, cancelling in-flight requests: %v", err)
+		cancelInflight()
+		_ = srv.Close()
+	}
+	log.Printf("atlasd: drained, exiting")
+	return nil
 }
 
 // mountPprof wires the net/http/pprof handlers under /debug/pprof/ —

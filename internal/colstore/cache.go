@@ -2,8 +2,10 @@ package colstore
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
+	"repro/internal/obsv"
 	"repro/internal/storage"
 )
 
@@ -37,6 +39,11 @@ type cacheEntry struct {
 	bytes int64
 	ready chan struct{} // closed when p/err are set
 	err   error
+	// retry marks a flight whose loader was cancelled (its own context,
+	// not the chunk's fault): waiters re-enter the cache and one of them
+	// re-arms the slot as the new loader under its own context, so a
+	// cancelled first toucher never poisons the chunk for everyone else.
+	retry bool
 	// dropped marks a loading entry whose source closed mid-flight: the
 	// finished payload is handed to waiters but never cached.
 	dropped bool
@@ -59,7 +66,17 @@ func (c *ChunkCache) Budget() int64 { return c.budget }
 // remapped payloads) use to share one budget with the stores beneath
 // them. owner is compared by identity.
 func (c *ChunkCache) Get(owner any, ci, k int, load func() (*storage.ChunkPayload, error)) (*storage.ChunkPayload, bool, error) {
-	return c.get(chunkKey{src: owner, ci: ci, k: k}, load)
+	return c.getCtx(nil, chunkKey{src: owner, ci: ci, k: k}, load)
+}
+
+// GetCtx is Get with the caller's context governing the wait: a waiter
+// whose ctx is done abandons the flight with a named cancellation error
+// without disturbing the load, and a loader whose own load is cancelled
+// hands the slot off so waiting goroutines (or the next touch) retry
+// cleanly instead of inheriting the canceller's fate. load runs under
+// the caller's context — it is the caller's job to capture ctx in it.
+func (c *ChunkCache) GetCtx(ctx context.Context, owner any, ci, k int, load func() (*storage.ChunkPayload, error)) (*storage.ChunkPayload, bool, error) {
+	return c.getCtx(ctx, chunkKey{src: owner, ci: ci, k: k}, load)
 }
 
 // Drop removes every ready entry owned by owner and marks its in-flight
@@ -87,61 +104,81 @@ func (c *ChunkCache) HasRoom(n int64) bool {
 	return c.budget <= 0 || c.used+n <= c.budget
 }
 
-// get returns the payload for key, loading it via load on a miss. The
-// returned bool reports a cache hit (the payload existed or another
-// goroutine was already loading it).
-func (c *ChunkCache) get(key chunkKey, load func() (*storage.ChunkPayload, error)) (*storage.ChunkPayload, bool, error) {
-	c.mu.Lock()
-	if el, ok := c.byKey[key]; ok {
-		e := el.Value.(*cacheEntry)
-		c.order.MoveToFront(el)
-		c.hits++
-		c.mu.Unlock()
-		<-e.ready
-		if e.err != nil {
-			return nil, false, e.err
+// getCtx returns the payload for key, loading it via load on a miss.
+// The returned bool reports a cache hit (the payload existed or another
+// goroutine was already loading it). A nil ctx waits unconditionally.
+func (c *ChunkCache) getCtx(ctx context.Context, key chunkKey, load func() (*storage.ChunkPayload, error)) (*storage.ChunkPayload, bool, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.byKey[key]; ok {
+			e := el.Value.(*cacheEntry)
+			c.order.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			if ctx != nil {
+				select {
+				case <-e.ready:
+				case <-ctx.Done():
+					// Abandon only this waiter: the flight (and its other
+					// waiters) continue unharmed.
+					return nil, false, obsv.Cancelled(ctx, "colstore.wait")
+				}
+			} else {
+				<-e.ready
+			}
+			if e.retry {
+				// The loader was cancelled before finishing. The slot was
+				// re-armed (entry removed), so loop: the first waiter back
+				// becomes the new loader under its own context.
+				continue
+			}
+			if e.err != nil {
+				return nil, false, e.err
+			}
+			return e.p, true, nil
 		}
-		return e.p, true, nil
-	}
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
-	el := c.order.PushFront(e)
-	c.byKey[key] = el
-	c.misses++
-	c.mu.Unlock()
+		e := &cacheEntry{key: key, ready: make(chan struct{})}
+		el := c.order.PushFront(e)
+		c.byKey[key] = el
+		c.misses++
+		c.mu.Unlock()
 
-	// Decode outside the lock: loads are the expensive part and must not
-	// serialize fetches of different chunks.
-	p, err := load()
+		// Decode outside the lock: loads are the expensive part and must not
+		// serialize fetches of different chunks.
+		p, err := load()
 
-	c.mu.Lock()
-	if err != nil {
-		// Failed loads are not cached: drop the entry so a later touch
-		// retries, and fail every waiter of this flight.
-		e.err = err
-		if el2, ok := c.byKey[key]; ok && el2 == el {
-			c.order.Remove(el)
-			delete(c.byKey, key)
+		c.mu.Lock()
+		if err != nil {
+			// Failed loads are not cached: drop the entry so a later touch
+			// retries. Cancelled loads additionally mark the flight for
+			// retry so waiters re-arm instead of inheriting the error.
+			e.err = err
+			e.retry = obsv.IsCancellation(err)
+			if el2, ok := c.byKey[key]; ok && el2 == el {
+				c.order.Remove(el)
+				delete(c.byKey, key)
+			}
+			c.mu.Unlock()
+			close(e.ready)
+			return nil, false, err
+		}
+		e.p = p
+		e.bytes = p.MemBytes()
+		if e.dropped {
+			// The source closed while this load was in flight: serve the
+			// waiters but leave nothing cached under the dead source.
+			if el2, ok := c.byKey[key]; ok && el2 == el {
+				c.order.Remove(el)
+				delete(c.byKey, key)
+			}
+		} else {
+			c.used += e.bytes
+			c.evictLocked()
 		}
 		c.mu.Unlock()
 		close(e.ready)
-		return nil, false, err
+		return p, false, nil
 	}
-	e.p = p
-	e.bytes = p.MemBytes()
-	if e.dropped {
-		// The source closed while this load was in flight: serve the
-		// waiters but leave nothing cached under the dead source.
-		if el2, ok := c.byKey[key]; ok && el2 == el {
-			c.order.Remove(el)
-			delete(c.byKey, key)
-		}
-	} else {
-		c.used += e.bytes
-		c.evictLocked()
-	}
-	c.mu.Unlock()
-	close(e.ready)
-	return p, false, nil
 }
 
 // evictLocked drops least-recently-used ready entries until the budget

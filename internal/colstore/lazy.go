@@ -549,7 +549,10 @@ func (lf *lazyFile) FetchChunkCtx(ctx context.Context, ci, k int) (*storage.Chun
 		return nil, false, fmt.Errorf("colstore: chunk (%d,%d) out of range", ci, k)
 	}
 	led := obsv.LedgerFrom(ctx)
-	return lf.cache.get(chunkKey{src: lf, ci: ci, k: k}, func() (*storage.ChunkPayload, error) {
+	return lf.cache.getCtx(ctx, chunkKey{src: lf, ci: ci, k: k}, func() (*storage.ChunkPayload, error) {
+		if err := obsv.CheckCtx(ctx, "colstore.load"); err != nil {
+			return nil, err
+		}
 		lf.closeMu.RLock()
 		defer lf.closeMu.RUnlock()
 		if lf.closed.Load() {

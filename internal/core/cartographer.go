@@ -330,6 +330,11 @@ func (c *Cartographer) exploreBase(ctx context.Context, q query.Query, base *bit
 	outs := make([]candOut, len(attrs))
 	cutCtx, endCut := c.phaseSpan(ctx, "cut")
 	err := parallelFor(workers, len(attrs), func(i int) error {
+		// Work-item-granular cancellation: a dead caller abandons the
+		// remaining attributes instead of cutting them all.
+		if err := obsv.CheckCtx(cutCtx, "core.cut"); err != nil {
+			return err
+		}
 		actx, asp := obsv.StartSpan(cutCtx, "cut "+attrs[i])
 		defer asp.End()
 		x := cutter{t: c.table, cache: c.stats, ctx: actx,
@@ -377,8 +382,8 @@ func (c *Cartographer) exploreBase(ctx context.Context, q query.Query, base *bit
 	}
 
 	// Step 2 (Section 3.2): cluster candidates by statistical dependency.
-	_, endCluster := c.phaseSpan(ctx, "cluster")
-	clusters, err := c.clusterCandidates(candidates, workers)
+	clctx, endCluster := c.phaseSpan(ctx, "cluster")
+	clusters, err := c.clusterCandidates(clctx, candidates, workers)
 	endCluster()
 	if err != nil {
 		return nil, err
@@ -389,6 +394,9 @@ func (c *Cartographer) exploreBase(ctx context.Context, q query.Query, base *bit
 	merged := make([]*Map, len(clusters))
 	mergeCtx, endMerge := c.phaseSpan(ctx, "merge")
 	err = parallelFor(workers, len(clusters), func(i int) error {
+		if err := obsv.CheckCtx(mergeCtx, "core.merge"); err != nil {
+			return err
+		}
 		idxs := clusters[i]
 		group := make([]*Map, len(idxs))
 		for gi, ci := range idxs {
@@ -472,12 +480,12 @@ func (c *Cartographer) candidateAttrs(ctx context.Context, q query.Query, base *
 // cuts the dendrogram at the dependency threshold, holding cluster sizes
 // to the predicate budget. The pairwise distances are computed in
 // parallel; SLINK itself is serial but O(n²) over tiny n.
-func (c *Cartographer) clusterCandidates(candidates []*Map, workers int) ([][]int, error) {
+func (c *Cartographer) clusterCandidates(ctx context.Context, candidates []*Map, workers int) ([][]int, error) {
 	n := len(candidates)
 	if n == 1 {
 		return [][]int{{0}}, nil
 	}
-	dm, err := DistanceMatrix(candidates, c.opts.Distance, workers)
+	dm, err := DistanceMatrixCtx(ctx, candidates, c.opts.Distance, workers)
 	if err != nil {
 		return nil, err
 	}

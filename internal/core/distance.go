@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/obsv"
 )
 
 // Distance selects the map dependency measure of Section 3.2. All
@@ -83,6 +85,13 @@ func (m *DistMatrix) At(i, j int) float64 {
 // up to `parallelism` goroutines (<= 1 computes serially). Entries are
 // written by pair index, so the result is identical at any parallelism.
 func DistanceMatrix(maps []*Map, kind Distance, parallelism int) (*DistMatrix, error) {
+	return DistanceMatrixCtx(context.Background(), maps, kind, parallelism)
+}
+
+// DistanceMatrixCtx is DistanceMatrix with the caller's context checked
+// per pair, so a cancelled exploration abandons the remaining distance
+// computations.
+func DistanceMatrixCtx(ctx context.Context, maps []*Map, kind Distance, parallelism int) (*DistMatrix, error) {
 	n := len(maps)
 	m := &DistMatrix{n: n, d: make([]float64, n*(n-1)/2)}
 	type pair struct{ i, j int }
@@ -93,6 +102,9 @@ func DistanceMatrix(maps []*Map, kind Distance, parallelism int) (*DistMatrix, e
 		}
 	}
 	err := parallelFor(parallelism, len(pairs), func(k int) error {
+		if err := obsv.CheckCtx(ctx, "core.distance"); err != nil {
+			return err
+		}
 		p := pairs[k]
 		v, err := MapDistance(maps[p.i], maps[p.j], kind)
 		if err != nil {

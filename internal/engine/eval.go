@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitvec"
+	"repro/internal/obsv"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
@@ -126,6 +127,9 @@ func AppendNumericValuesUnder(dst []float64, t *storage.Table, attr string, sel 
 // AppendNumericValuesUnderCtx is AppendNumericValuesUnder with a
 // request context for lazy chunk fetches.
 func AppendNumericValuesUnderCtx(ctx context.Context, dst []float64, t *storage.Table, attr string, sel *bitvec.Vector) ([]float64, error) {
+	if err := obsv.CheckCtx(ctx, "engine.stats"); err != nil {
+		return nil, err
+	}
 	col, err := t.ColumnByName(attr)
 	if err != nil {
 		return nil, err
@@ -181,6 +185,9 @@ func CategoryCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (dic
 // CategoryCountsUnderCtx is CategoryCountsUnder with a request context
 // for lazy chunk fetches.
 func CategoryCountsUnderCtx(ctx context.Context, t *storage.Table, attr string, sel *bitvec.Vector) (dict []string, counts []int, err error) {
+	if err := obsv.CheckCtx(ctx, "engine.stats"); err != nil {
+		return nil, nil, err
+	}
 	col, err := t.ColumnByName(attr)
 	if err != nil {
 		return nil, nil, err
@@ -229,6 +236,9 @@ func BoolCountsUnder(t *storage.Table, attr string, sel *bitvec.Vector) (falses,
 // BoolCountsUnderCtx is BoolCountsUnder with a request context for lazy
 // chunk fetches.
 func BoolCountsUnderCtx(ctx context.Context, t *storage.Table, attr string, sel *bitvec.Vector) (falses, trues int, err error) {
+	if err := obsv.CheckCtx(ctx, "engine.stats"); err != nil {
+		return 0, 0, err
+	}
 	col, err := t.ColumnByName(attr)
 	if err != nil {
 		return 0, 0, err

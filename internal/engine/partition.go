@@ -166,6 +166,10 @@ func PartitionBitsOpts(t *storage.Table, attr string, preds []query.Predicate, s
 	numChunks := ck.NumChunks(n)
 	wordsPerChunk := ck.Size / 64
 	visitChunk := func(k int) error {
+		// Chunk-granular cancellation, before any fetch or row visit.
+		if err := obsv.CheckCtx(opts.Ctx, "engine.partition"); err != nil {
+			return err
+		}
 		w0 := k * wordsPerChunk
 		w1 := w0 + wordsPerChunk
 		if w1 > len(selWords) {

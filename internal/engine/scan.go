@@ -369,6 +369,9 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 	ck := t.Chunking()
 	if ck == nil {
 		for i := range cps {
+			if err := obsv.CheckCtx(opts.Ctx, "engine.scan"); err != nil {
+				return err
+			}
 			if cps[i].never {
 				sel.Zero()
 				return nil
@@ -399,6 +402,11 @@ func evalCompiled(t *storage.Table, cps []compiledPred, sel *bitvec.Vector, opts
 	// hint: its workers already overlap fetches.
 	serial := false
 	scanChunk := func(k int) error {
+		// Chunk-granular cancellation: a dead caller abandons the scan
+		// here, before any fetch or row test for this chunk.
+		if err := obsv.CheckCtx(opts.Ctx, "engine.scan"); err != nil {
+			return err
+		}
 		w0 := k * wordsPerChunk
 		w1 := w0 + wordsPerChunk
 		if w1 > len(words) {

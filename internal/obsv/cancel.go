@@ -1,0 +1,77 @@
+package obsv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// This file is the query path's cancellation vocabulary. Every layer
+// that unwinds on ctx.Done() — engine scan/partition drivers, core
+// fan-outs, session base assembly, colstore single-flight loads, the
+// fabric client — returns a *CancelledError naming the stage that
+// noticed, wrapping the context's cause so errors.Is(err,
+// context.Canceled) and errors.Is(err, context.DeadlineExceeded) keep
+// working across process layers. The first stage to notice also marks
+// the query's ledger, so /api/querylog and EXPLAIN show where a
+// cancelled query died.
+
+// CancelledError is the named error a cancelled or deadlined query
+// unwinds with. Stage names the layer/work-item that observed
+// ctx.Done() (e.g. "engine.scan", "core.cut", "colstore.load").
+type CancelledError struct {
+	Stage string
+	Err   error
+}
+
+func (e *CancelledError) Error() string {
+	if errors.Is(e.Err, context.DeadlineExceeded) {
+		return fmt.Sprintf("%s: query deadline exceeded: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("%s: query cancelled: %v", e.Stage, e.Err)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// CheckCtx polls ctx at a work-item boundary. Live contexts cost one
+// atomic-free channel poll; done contexts return a *CancelledError
+// naming stage and mark the context's ledger (first marker wins), so
+// cancellation observed deep in a scan loop surfaces in the query's
+// resource bill.
+func CheckCtx(ctx context.Context, stage string) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return Cancelled(ctx, stage)
+	default:
+		return nil
+	}
+}
+
+// Cancelled builds the stage's *CancelledError from a done context and
+// marks the context's ledger. Callers that already know ctx is done
+// (e.g. a select that just fired) use this directly.
+func Cancelled(ctx context.Context, stage string) *CancelledError {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = context.Canceled
+	}
+	if led := LedgerFrom(ctx); led != nil {
+		led.MarkCancelled(stage)
+	}
+	return &CancelledError{Stage: stage, Err: cause}
+}
+
+// IsCancellation reports whether err is (or wraps) a context
+// cancellation or deadline expiry — ours or the stdlib's.
+func IsCancellation(err error) bool {
+	return err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// IsDeadline reports whether err is (or wraps) a deadline expiry.
+func IsDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
+}

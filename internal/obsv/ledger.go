@@ -56,6 +56,10 @@ type Ledger struct {
 
 	mu     sync.Mutex
 	phases []PhaseCost
+
+	// cancelledAt names the first stage that observed cancellation
+	// (empty for queries that ran to completion).
+	cancelledAt atomic.Pointer[string]
 }
 
 // PhaseCost is the wall-clock (and best-effort CPU) time one pipeline
@@ -144,6 +148,28 @@ func (l *Ledger) WireBytes(n int64) {
 	}
 }
 
+// MarkCancelled records the first stage that observed the query's
+// cancellation; later marks (deeper layers unwinding the same query)
+// are ignored so the snapshot names where the unwind began.
+func (l *Ledger) MarkCancelled(stage string) {
+	if l == nil || stage == "" {
+		return
+	}
+	l.cancelledAt.CompareAndSwap(nil, &stage)
+}
+
+// CancelledAt returns the stage that first observed cancellation, or
+// "" for uncancelled queries.
+func (l *Ledger) CancelledAt() string {
+	if l == nil {
+		return ""
+	}
+	if p := l.cancelledAt.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // --- process costs and phases ---
 
 // AddPhase records one pipeline phase's wall (and CPU) time.
@@ -200,6 +226,7 @@ type LedgerSnapshot struct {
 	BytesWire          int64       `json:"bytesWire"`
 	CPUNs              int64       `json:"cpuNs,omitempty"`
 	AllocBytes         int64       `json:"allocBytes,omitempty"`
+	CancelledAt        string      `json:"cancelledAt,omitempty"`
 	Phases             []PhaseCost `json:"phases,omitempty"`
 }
 
@@ -225,6 +252,7 @@ func (l *Ledger) Snapshot() LedgerSnapshot {
 		BytesWire:          l.bytesWire.Load(),
 		CPUNs:              l.cpuNs.Load(),
 		AllocBytes:         l.allocBytes.Load(),
+		CancelledAt:        l.CancelledAt(),
 		Phases:             phases,
 	}
 }

@@ -24,6 +24,11 @@ type QueryLogEntry struct {
 	DurNs int64 `json:"durNs"`
 	// Err is the error message of a failed query, "" on success.
 	Err string `json:"error,omitempty"`
+	// Outcome classifies how the query ended: "" (ok) or "error" for
+	// ordinary completions, "cancelled" for caller-abandoned queries,
+	// "deadline" for wall-clock deadline expiries, "shed" for requests
+	// the admission gate refused.
+	Outcome string `json:"outcome,omitempty"`
 	// Slow marks entries at or over the server's slow-query threshold.
 	Slow bool `json:"slow,omitempty"`
 	// Ledger is the query's resource bill.

@@ -251,7 +251,14 @@ func (c *Client) do(ctx context.Context, op, method, path string, q url.Values, 
 	if c.closed.Load() {
 		return nil, nil, &ShardError{Location: c.primary, Op: op, RequestID: rid, Err: errors.New("client closed")}
 	}
-	c.sem <- struct{}{}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, nil, &ShardError{Location: c.primary, Op: op, RequestID: rid, Err: obsv.Cancelled(ctx, "fabric.admit")}
+	}
 	defer func() { <-c.sem }()
 	rctx, rsp := obsv.StartSpan(ctx, "rpc "+op)
 	defer rsp.End()
@@ -263,6 +270,11 @@ func (c *Client) do(ctx context.Context, op, method, path string, q url.Values, 
 	start := int(c.cur.Load())
 	prev, sameStreak := -1, 0
 	for attempt := 0; attempt < attempts; attempt++ {
+		if ctx.Err() != nil {
+			// The caller is gone or out of time: stop retrying. Whatever
+			// the last replica did, the cause here is ours — no strike.
+			return nil, nil, &ShardError{Location: c.primary, Op: op, RequestID: rid, Err: obsv.Cancelled(ctx, "fabric.rpc")}
+		}
 		i := c.pick(start, time.Now())
 		r := c.reps[i]
 		if attempt > 0 {
@@ -272,17 +284,32 @@ func (c *Client) do(ctx context.Context, op, method, path string, q url.Values, 
 				sameStreak = 0
 			} else {
 				sameStreak++
-				time.Sleep(backoffJitter(c.retryWait, sameStreak, c.maxRetryWait))
+				if !sleepCtx(ctx, backoffJitter(c.retryWait, sameStreak, c.maxRetryWait)) {
+					return nil, nil, &ShardError{Location: c.primary, Op: op, RequestID: rid, Err: obsv.Cancelled(ctx, "fabric.backoff")}
+				}
 			}
 		}
 		prev = i
 		actx, asp := obsv.StartSpan(rctx, "attempt")
 		asp.SetAttr("replica", r.url)
+		// Per-attempt budget: when the caller's deadline leaves room for
+		// more attempts, cap this one at half the remaining budget, so a
+		// hung replica is escaped by the attempt timeout with budget left
+		// to fail over instead of burning the whole query deadline.
+		cancelAttempt := func() {}
+		if dl, ok := ctx.Deadline(); ok && attempt < attempts-1 {
+			if remaining := time.Until(dl); remaining > 2*minAttemptBudget {
+				var cancel context.CancelFunc
+				actx, cancel = context.WithTimeout(actx, remaining/2)
+				cancelAttempt = cancel
+			}
+		}
 		began := time.Now()
 		data, hdr, err := c.doOnce(actx, r.url, method, path, q, body, rid)
 		if err == nil && check != nil {
 			err = check(data, hdr)
 		}
+		cancelAttempt()
 		elapsed := time.Since(began)
 		if err == nil {
 			r.onSuccess(elapsed)
@@ -299,6 +326,15 @@ func (c *Client) do(ctx context.Context, op, method, path string, q url.Values, 
 			asp.End()
 			break
 		}
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			// The attempt died of OUR caller's cancellation (or deadline),
+			// not the replica's: an impatient client must not trip a
+			// healthy replica's breaker. A per-attempt timeout expiring
+			// while the caller is still live is NOT this case — that one
+			// strikes below, because the replica really did hang.
+			asp.End()
+			return nil, nil, &ShardError{Location: c.primary, Op: op, RequestID: rid, Err: obsv.Cancelled(ctx, "fabric.rpc")}
+		}
 		// The time burned on a failed attempt — timeout included — is
 		// charged to the replica that failed, so ShardHealth latencies
 		// stay honest about what failovers actually cost.
@@ -310,6 +346,27 @@ func (c *Client) do(ctx context.Context, op, method, path string, q url.Values, 
 		start = i + 1 // rotate past the replica that just failed
 	}
 	return nil, nil, &ShardError{Location: c.primary, Op: op, RequestID: rid, Err: lastErr}
+}
+
+// minAttemptBudget is the smallest remaining-deadline slice worth
+// splitting for failover: below twice this, the attempt just rides the
+// caller's own deadline.
+const minAttemptBudget = 25 * time.Millisecond
+
+// sleepCtx sleeps for d unless ctx is done first; it reports whether
+// the full sleep happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // pick chooses the replica for the next attempt: the first breaker-
@@ -364,7 +421,7 @@ func (c *Client) doOnce(ctx context.Context, base, method, path string, q url.Va
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, u, rd)
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -377,6 +434,13 @@ func (c *Client) doOnce(ctx context.Context, base, method, path string, q url.Va
 	}
 	if rid != "" {
 		req.Header.Set(headerRequestID, rid)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Ship the remaining budget (milliseconds) so the server aborts
+		// statcompute/chunk work its caller will never read.
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(headerDeadline, strconv.FormatInt(ms, 10))
+		}
 	}
 	led := obsv.LedgerFrom(ctx)
 	c.stats.rpcs.Add(1)
@@ -529,7 +593,7 @@ func (c *Client) FetchChunkCtx(ctx context.Context, ci, k int) (*storage.ChunkPa
 	if ci < 0 || ci >= c.schema.NumFields() || k < 0 || k >= c.numChunks() {
 		return nil, false, &ShardError{Location: c.primary, Op: "chunk", Err: fmt.Errorf("chunk (%d,%d) out of range", ci, k)}
 	}
-	return c.cache.Get(c, ci, k, func() (*storage.ChunkPayload, error) {
+	return c.cache.GetCtx(ctx, c, ci, k, func() (*storage.ChunkPayload, error) {
 		return c.loadChunk(ctx, ci, k)
 	})
 }

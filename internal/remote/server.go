@@ -81,6 +81,11 @@ type Server struct {
 	requests atomic.Int64
 	bytesOut atomic.Int64
 
+	// draining flips when the process received SIGTERM: health answers
+	// not-OK with 503 so coordinators rotate away, while data-plane
+	// endpoints keep serving until the listener drains.
+	draining atomic.Bool
+
 	// SlowThreshold, when positive, logs fabric requests that took at
 	// least this long through SlowLog (set both before serving).
 	SlowThreshold time.Duration
@@ -104,6 +109,15 @@ type ServerStats struct {
 	// (cache misses); repeat stats RPCs do not move it.
 	StatComputes int64
 }
+
+// SetDraining flips the server's drain state: a draining shard answers
+// health probes with 503 / OK=false (so replica rotation and load
+// balancers stop sending new work here) while in-flight data-plane
+// requests finish normally.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports the drain state.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() ServerStats {
@@ -165,16 +179,19 @@ func (s *Server) statFor(ctx context.Context, attr string) (*statEntry, error) {
 	}
 	full := bitvec.NewFull(s.tbl.NumRows())
 	var err error
+	// The caller's context (deadline header included) rides into the
+	// column scan, so statcompute work whose caller already gave up is
+	// abandoned at chunk granularity instead of run to completion.
 	switch {
 	case f.Type.IsNumeric():
 		var vals []float64
-		if vals, err = engine.NumericValuesUnder(s.tbl, attr, full); err == nil {
+		if vals, err = engine.NumericValuesUnderCtx(ctx, s.tbl, attr, full); err == nil {
 			e.enc, e.count = encodeFloats(vals), len(vals)
 		}
 	case f.Type == storage.String:
-		e.dict, e.counts, err = engine.CategoryCountsUnder(s.tbl, attr, full)
+		e.dict, e.counts, err = engine.CategoryCountsUnderCtx(ctx, s.tbl, attr, full)
 	default:
-		e.falses, e.trues, err = engine.BoolCountsUnder(s.tbl, attr, full)
+		e.falses, e.trues, err = engine.BoolCountsUnderCtx(ctx, s.tbl, attr, full)
 	}
 	if err != nil {
 		s.statMu.Lock()
@@ -216,14 +233,25 @@ func (s *Server) wrap(op string, h http.HandlerFunc) http.HandlerFunc {
 		s.requests.Add(1)
 		began := time.Now()
 		rid := r.Header.Get(headerRequestID)
+		// The coordinator's remaining deadline budget bounds this
+		// request's context, so statcompute and chunk work the caller
+		// will never read is abandoned server-side too.
+		rctx := r.Context()
+		if hv := r.Header.Get(headerDeadline); hv != "" {
+			if ms, err := strconv.ParseInt(hv, 10, 64); err == nil && ms > 0 {
+				var cancel context.CancelFunc
+				rctx, cancel = context.WithTimeout(rctx, time.Duration(ms)*time.Millisecond)
+				defer cancel()
+			}
+		}
 		traceID, _, traced := obsv.ParseTraceHeader(r.Header.Get(headerTrace))
 		if !traced {
-			h(w, r)
+			h(w, r.WithContext(rctx))
 			s.logSlow(op, rid, time.Since(began))
 			return
 		}
 		tr, root := obsv.NewTraceWithID(traceID, "shard "+op)
-		ctx := obsv.WithSpan(r.Context(), root)
+		ctx := obsv.WithSpan(rctx, root)
 		if rid != "" {
 			ctx = obsv.WithRequestID(ctx, rid)
 		}
@@ -583,5 +611,14 @@ func (s *Server) handlePredCount(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		// 503 so clients treat the probe as a failure and rotate away;
+		// the body still says who is drained.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		data, _ := json.Marshal(healthDTO{OK: false, Table: s.tbl.Name(), Rows: s.tbl.NumRows()})
+		_, _ = w.Write(data)
+		return
+	}
 	s.writeJSON(w, healthDTO{OK: true, Table: s.tbl.Name(), Rows: s.tbl.NumRows()})
 }

@@ -60,6 +60,11 @@ const (
 	headerRequestID = "X-Atlas-Request-Id"
 	// headerCount carries the value count of a binary float stream.
 	headerCount = "X-Atlas-Count"
+	// headerDeadline carries the caller's remaining deadline budget in
+	// integer milliseconds; the server bounds the request's context by
+	// it, aborting statcompute/chunk work whose caller has already given
+	// up. Absent or malformed values mean "no deadline".
+	headerDeadline = "X-Atlas-Deadline"
 )
 
 // metaDTO is GET /shard/v1/meta: the shard's identity.

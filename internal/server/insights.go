@@ -38,25 +38,35 @@ func profileMode(r *http.Request) string {
 // failed queries keep their span tree in the query log), a resource
 // ledger threaded through the context, and the wall clock.
 type queryRun struct {
-	ctx   context.Context
-	tr    *obsv.Trace
-	root  *obsv.Span
-	led   *obsv.Ledger
-	mode  string
-	start time.Time
+	ctx    context.Context
+	cancel context.CancelFunc
+	tr     *obsv.Trace
+	root   *obsv.Span
+	led    *obsv.Ledger
+	mode   string
+	start  time.Time
 }
 
-// startQuery opens the instrumentation for one query named op.
+// startQuery opens the instrumentation for one query named op. When
+// the server (or the request, via X-Atlas-Query-Timeout) sets a query
+// budget, the context carries the wall-clock deadline: every layer
+// below — scans, cuts, fabric RPCs, chunk loads — unwinds at it.
 func (s *Server) startQuery(r *http.Request, op string) *queryRun {
 	tr, root := obsv.NewTrace(op)
 	led := obsv.NewLedger()
-	ctx := obsv.WithLedger(obsv.WithSpan(r.Context(), root), led)
-	return &queryRun{ctx: ctx, tr: tr, root: root, led: led, mode: profileMode(r), start: time.Now()}
+	rctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if d := s.queryBudget(r); d > 0 {
+		rctx, cancel = context.WithTimeout(rctx, d)
+	}
+	ctx := obsv.WithLedger(obsv.WithSpan(rctx, root), led)
+	return &queryRun{ctx: ctx, cancel: cancel, tr: tr, root: root, led: led, mode: profileMode(r), start: time.Now()}
 }
 
 // finish closes the trace and the ledger, feeds the metrics, the slow
 // log and the query log, and returns the finished span tree.
 func (qr *queryRun) finish(s *Server, op, input string, qerr error) *obsv.SpanJSON {
+	qr.cancel()
 	qr.root.End()
 	qr.led.Finish()
 	tree := qr.tr.Tree()
@@ -269,6 +279,20 @@ func (s *Server) observeQuery(op, rid, input string, dur time.Duration, qerr err
 	}
 	if qerr != nil {
 		entry.Err = qerr.Error()
+	}
+	// Classify the ending: deadline expiries and caller cancellations
+	// are lifecycle outcomes, not ordinary errors — the log and the
+	// counters keep them apart so overload shows up as itself.
+	switch {
+	case qerr == nil:
+	case obsv.IsDeadline(qerr):
+		entry.Outcome = "deadline"
+		s.metrics.deadlineQueries.Inc()
+	case obsv.IsCancellation(qerr):
+		entry.Outcome = "cancelled"
+		s.metrics.cancelledQueries.Inc()
+	default:
+		entry.Outcome = "error"
 	}
 	if slow || qerr != nil {
 		entry.Profile = tree

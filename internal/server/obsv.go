@@ -33,6 +33,11 @@ type serverMetrics struct {
 	slowQueries  *obsv.Counter
 	profiled     *obsv.Counter
 
+	// Lifecycle outcomes: queries stopped at their wall-clock deadline
+	// and queries abandoned by their caller.
+	cancelledQueries *obsv.Counter
+	deadlineQueries  *obsv.Counter
+
 	// opMu guards the per-operation latency histograms, one
 	// atlas_query_duration_seconds{op=...} series per op kind.
 	opMu    sync.Mutex
@@ -84,7 +89,34 @@ func (s *Server) Registry() *obsv.Registry {
 			exploreHist:  r.NewHistogram("atlas_explore_duration_seconds", "end-to-end exploration latency", nil, nil),
 			slowQueries:  r.NewCounter("atlas_slow_queries_total", "explorations at or above the slow-query threshold", nil),
 			profiled:     r.NewCounter("atlas_profiled_explores_total", "explorations run with profile=1", nil),
+
+			cancelledQueries: r.NewCounter("atlas_queries_cancelled_total", "queries abandoned by caller cancellation", nil),
+			deadlineQueries:  r.NewCounter("atlas_queries_deadline_total", "queries stopped at their wall-clock deadline", nil),
 		}
+		// Admission gate: the overload view. Gauges sample the gate's
+		// own state; the shed counter moves on every 429/503 refusal.
+		gate := s.gate
+		r.GaugeFunc("atlas_admission_inflight", "queries currently holding an admission slot", nil, func() float64 {
+			return float64(gate.inflight())
+		})
+		r.GaugeFunc("atlas_admission_queued", "queries waiting for an admission slot", nil, func() float64 {
+			return float64(gate.queued())
+		})
+		r.CounterFunc("atlas_admission_admitted_total", "queries admitted past the gate", nil, func() float64 {
+			return float64(gate.admitted.Load())
+		})
+		r.CounterFunc("atlas_admission_shed_total", "queries refused by the admission gate (429/503)", nil, func() float64 {
+			return float64(gate.shed.Load())
+		})
+		r.CounterFunc("atlas_admission_queue_timeouts_total", "queued queries shed at the queue timeout", nil, func() float64 {
+			return float64(gate.queueTimeouts.Load())
+		})
+		r.GaugeFunc("atlas_draining", "1 while the server refuses new queries to drain", nil, func() float64 {
+			if gate.isDraining() {
+				return 1
+			}
+			return 0
+		})
 		r.GaugeFunc("atlas_sessions_open", "live drill-down sessions", nil, func() float64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()

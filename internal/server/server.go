@@ -69,12 +69,17 @@ type Server struct {
 	// the lifetime ledger totals accumulated from every query's bill.
 	qlog   *obsv.QueryLog
 	totals *obsv.Ledger
+
+	// Admission (see admission.go): the bounded concurrency gate and
+	// drain switch every query handler passes through.
+	gate *admissionGate
 }
 
 // New creates a server over a table with the given pipeline defaults.
 func New(table *storage.Table, opts core.Options) *Server {
 	s := &Server{table: table, opts: opts, sessions: map[int]*session.Session{},
-		qlog: obsv.NewQueryLog(obsv.DefaultQueryLogDepth), totals: &obsv.Ledger{}}
+		qlog: obsv.NewQueryLog(obsv.DefaultQueryLogDepth), totals: &obsv.Ledger{},
+		gate: newAdmissionGate()}
 	if cart, err := core.NewCartographer(table, opts); err == nil {
 		s.cart = cart
 	}
@@ -87,7 +92,8 @@ func New(table *storage.Table, opts core.Options) *Server {
 // shard.
 func NewSharded(set *shard.Set, opts core.Options) *Server {
 	s := &Server{table: set.Table(), opts: opts, set: set, sessions: map[int]*session.Session{},
-		qlog: obsv.NewQueryLog(obsv.DefaultQueryLogDepth), totals: &obsv.Ledger{}}
+		qlog: obsv.NewQueryLog(obsv.DefaultQueryLogDepth), totals: &obsv.Ledger{},
+		gate: newAdmissionGate()}
 	if cart, err := core.NewCartographerWith(s.table, opts, set.Provider(opts.Parallelism)); err == nil {
 		s.cart = cart
 	}
@@ -186,6 +192,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/explain", s.handleExplain)
 	mux.HandleFunc("GET /api/querylog", s.handleQueryLog)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.Registry().Handler())
 	return s.withObservability(mux)
 }
@@ -304,6 +311,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	release, err := s.admit(r, "explore", req.CQL)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	qr := s.startQuery(r, "explore")
 	res, err := s.runCQL(qr.ctx, req.CQL)
 	tree := qr.finish(s, "explore", req.CQL, err)
@@ -377,6 +390,12 @@ func (s *Server) handleSessionExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &badRequest{err})
 		return
 	}
+	release, err := s.admit(r, "session-explore", req.CQL)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	qr := s.startQuery(r, "session-explore")
 	node, err := sess.ExploreCtx(qr.ctx, q)
 	tree := qr.finish(s, "session-explore", req.CQL, err)
@@ -400,11 +419,24 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	input := fmt.Sprintf("drill map=%d region=%d", req.Map, req.Region)
+	release, err := s.admit(r, "drill", input)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	qr := s.startQuery(r, "drill")
 	node, err := sess.DrillDownCtx(qr.ctx, req.Map, req.Region)
-	tree := qr.finish(s, "drill", fmt.Sprintf("drill map=%d region=%d", req.Map, req.Region), err)
+	tree := qr.finish(s, "drill", input, err)
 	if err != nil {
-		writeError(w, &badRequest{err})
+		// Cancellations and deadlines are the caller's lifecycle, not a
+		// bad request — let writeError pick their status.
+		if obsv.IsCancellation(err) {
+			writeError(w, err)
+		} else {
+			writeError(w, &badRequest{err})
+		}
 		return
 	}
 	sess.Prefetch(4)
@@ -727,10 +759,11 @@ type ServerStatsDTO struct {
 
 // StatsDTO is the /api/stats answer.
 type StatsDTO struct {
-	Scan   ScanStatsDTO    `json:"scan"`
-	Store  *StoreStatsDTO  `json:"store,omitempty"`
-	Fabric *FabricStatsDTO `json:"fabric,omitempty"`
-	Server *ServerStatsDTO `json:"server,omitempty"`
+	Scan      ScanStatsDTO       `json:"scan"`
+	Store     *StoreStatsDTO     `json:"store,omitempty"`
+	Fabric    *FabricStatsDTO    `json:"fabric,omitempty"`
+	Server    *ServerStatsDTO    `json:"server,omitempty"`
+	Admission *AdmissionStatsDTO `json:"admission,omitempty"`
 }
 
 // handleStats reports scan-level pruning counters and, for store-backed
@@ -796,6 +829,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		QueriesLogged: s.qlog.Total(),
 		LedgerTotals:  &totals,
 	}
+	dto.Admission = s.admissionStats()
 	writeJSON(w, http.StatusOK, dto)
 }
 
@@ -830,7 +864,19 @@ func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var br *badRequest
 	var nf *notFound
+	var oe *overloadError
 	switch {
+	case errors.As(err, &oe):
+		// Admission refusal: tell well-behaved clients when to retry.
+		w.Header().Set("Retry-After", strconv.Itoa(int(max(1, int64(oe.retryAfter/time.Second)))))
+		status = oe.status
+	case obsv.IsDeadline(err):
+		// The query's wall-clock budget expired server-side.
+		status = http.StatusGatewayTimeout
+	case obsv.IsCancellation(err):
+		// The caller went away; 499 per the de-facto convention. Nothing
+		// is usually listening, but proxies and logs see the status.
+		status = 499
 	case errors.As(err, &br):
 		status = http.StatusBadRequest
 	case errors.As(err, &nf):

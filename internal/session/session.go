@@ -146,6 +146,10 @@ func (s *Session) explore(ctx context.Context, q query.Query) (*core.Result, err
 	}
 	base := bitvec.NewFull(t.NumRows())
 	for _, p := range q.Preds {
+		if err := obsv.CheckCtx(bctx, "session.base"); err != nil {
+			sp.End()
+			return nil, err
+		}
 		bm, err := s.preds.getOrCompute(t, p, sopts)
 		if err != nil {
 			sp.End()
@@ -181,6 +185,11 @@ func (s *Session) shardedBase(ctx context.Context, q query.Query, sopts engine.S
 	}
 	sels := make([]*bitvec.Vector, n)
 	err := par.For(workers, n, func(i int) error {
+		// Per-shard-work-item cancellation: a dead caller abandons the
+		// remaining shard assemblies before their scans or RPCs start.
+		if err := obsv.CheckCtx(ctx, "session.base"); err != nil {
+			return err
+		}
 		sctx, ssp := obsv.StartSpan(ctx, fmt.Sprintf("shard %d base", i))
 		defer ssp.End()
 		sopts := inner
@@ -188,6 +197,9 @@ func (s *Session) shardedBase(ctx context.Context, q query.Query, sopts engine.S
 		view := s.shards.ShardTable(i)
 		sel := bitvec.NewFull(view.NumRows())
 		for _, p := range q.Preds {
+			if err := obsv.CheckCtx(sctx, "session.base"); err != nil {
+				return err
+			}
 			if pruner != nil && !pruner.ShardMayMatch(i, p) {
 				// Manifest statistics prove the predicate is disjoint with
 				// this shard: empty selection, no scan, no file open.

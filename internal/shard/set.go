@@ -414,7 +414,7 @@ func (ss *setSource) fetch(ctx context.Context, ci, gk int) (*storage.ChunkPaylo
 	// Distinct shard dictionaries: the remapped payload is its own cache
 	// entry (keyed by the set source) so the copy happens once per
 	// residency, not per touch.
-	return s.cache.Get(ss, ci, gk, func() (*storage.ChunkPayload, error) {
+	return s.cache.GetCtx(ctx, ss, ci, gk, func() (*storage.ChunkPayload, error) {
 		src, err := s.shards[i].sourceCtx(ctx)
 		if err != nil {
 			return nil, err

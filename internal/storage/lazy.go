@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/bitvec"
+	"repro/internal/obsv"
 )
 
 // This file is the memory-tier boundary of the storage layer: columns
@@ -557,6 +558,11 @@ func (c *LazyColumn) ForEachSelectedCtx(ctx context.Context, sel *bitvec.Vector,
 		}
 	}
 	for ti, k := range touched {
+		// Chunk-granular cancellation: resident chunks would never
+		// surface the dead context through the fetch, so poll here.
+		if err := obsv.CheckCtx(ctx, "storage.extract"); err != nil {
+			return err
+		}
 		p, hit, err := c.ChunkCtx(ctx, k)
 		if err != nil {
 			return err
