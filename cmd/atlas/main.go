@@ -11,6 +11,7 @@
 //	atlas ingest -csv data.csv -shards 4 [-by keycol] [-out data.atlm]
 //	atlas remote-manifest -manifest data.atlm -out remote.atlm \
 //	    -urls http://host1:9001,http://host2:9001
+//	atlas workload -in workload.jsonl [-v]
 //
 // The ingest subcommand converts a CSV file into the on-disk columnar
 // store format (".atl"): per-column chunked segments with zone maps,
@@ -69,6 +70,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "remote-manifest" {
 		if err := runRemoteManifest(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "atlas remote-manifest:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "workload" {
+		if err := runWorkload(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "atlas workload:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// runWorkload implements the "atlas workload" subcommand: parse a
+// recorded workload file (atlasd -record-workload / GET /api/workload)
+// and summarize it — ops by kind and outcome, sessions, duration
+// quantiles, scanned-chunk totals — without replaying anything. -v
+// additionally lists every entry.
+func runWorkload(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("workload", flag.ContinueOnError)
+	in := fs.String("in", "", "workload file to summarize (JSONL)")
+	verbose := fs.Bool("v", false, "list every entry after the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in <workload.jsonl>")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := workload.Parse(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "workload %s: format v%d, table %q, recorded %s\n",
+		*in, w.Header.Version, w.Header.Table, w.Header.Start.Format(time.RFC3339))
+	fmt.Fprintf(out, "%d entries, %d sessions\n", len(w.Entries), len(w.Sessions()))
+
+	type bucket struct {
+		n    int
+		durs []time.Duration
+	}
+	byOp := map[string]*bucket{}
+	byOutcome := map[string]int{}
+	replayable := 0
+	var chunksScanned, bytesRead int64
+	for i := range w.Entries {
+		e := &w.Entries[i]
+		b := byOp[e.Op]
+		if b == nil {
+			b = &bucket{}
+			byOp[e.Op] = b
+		}
+		b.n++
+		b.durs = append(b.durs, time.Duration(e.DurNs))
+		outcome := e.Outcome
+		if outcome == "" {
+			outcome = "ok"
+		}
+		byOutcome[outcome]++
+		if e.Replayable() {
+			replayable++
+		}
+		if e.Ledger != nil {
+			chunksScanned += e.Ledger.ChunksScanned
+			bytesRead += e.Ledger.BytesRead
+		}
+	}
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		b := byOp[op]
+		sort.Slice(b.durs, func(i, j int) bool { return b.durs[i] < b.durs[j] })
+		p50 := b.durs[len(b.durs)/2]
+		p99 := b.durs[(len(b.durs)-1)*99/100]
+		fmt.Fprintf(out, "  %-16s %6d ops   p50 %-10v p99 %v\n", op, b.n, p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	}
+	outcomes := make([]string, 0, len(byOutcome))
+	for o := range byOutcome {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	fmt.Fprintf(out, "outcomes:")
+	for _, o := range outcomes {
+		fmt.Fprintf(out, " %s=%d", o, byOutcome[o])
+	}
+	fmt.Fprintf(out, " (%d replayable)\n", replayable)
+	if chunksScanned > 0 || bytesRead > 0 {
+		fmt.Fprintf(out, "resource bill: %d chunks scanned, %d bytes read\n", chunksScanned, bytesRead)
+	}
+	if *verbose {
+		for i := range w.Entries {
+			e := &w.Entries[i]
+			sess := "-"
+			if e.Session != workload.StatelessSession {
+				sess = fmt.Sprintf("s%d", e.Session)
+			}
+			fmt.Fprintf(out, "%5d +%-12v %-16s %-4s %-10s %q\n", e.Seq,
+				time.Duration(e.OffsetNs).Round(time.Millisecond), e.Op, sess,
+				orDefault(e.Outcome, "ok"), e.Input)
+		}
+	}
+	return nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

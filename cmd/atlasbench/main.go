@@ -11,6 +11,8 @@
 //	atlasbench -all [-quick]
 //	atlasbench -benchjson BENCH_1.json [-quick]
 //	atlasbench -overloadjson BENCH_9.json [-quick]
+//	atlasbench -workloadjson BENCH_10.json [-quick]
+//	atlasbench -replay workload.jsonl -target http://localhost:8080 [-pacing open] [-slo-strict]
 package main
 
 import (
@@ -54,8 +56,33 @@ func main() {
 		quick        = flag.Bool("quick", false, "reduced input sizes")
 		benchJSON    = flag.String("benchjson", "", "write pipeline micro-benchmark results to this JSON file (name → ns/op, allocs/op)")
 		overloadJSON = flag.String("overloadjson", "", "run the admission-control overload scenario and write its results to this JSON file")
+
+		// Workload replay (see README "Workload capture & replay").
+		workloadJSON = flag.String("workloadjson", "", "run the synthetic 32-session zipf workload scenario and write its results to this JSON file")
+		replayF      = flag.String("replay", "", "replay a recorded workload file (atlasd -record-workload / GET /api/workload), verify byte-identity against a sequential reference pass, and score it")
+		target       = flag.String("target", "", "base URL of the running atlasd -replay drives (default: an in-process census server)")
+		pacing       = flag.String("pacing", "closed", "-replay pacing: closed (back-to-back per session) or open (recorded arrival schedule)")
+		speed        = flag.Float64("speed", 1, "-replay open-loop speedup over the recorded schedule")
+		sloStrict    = flag.Bool("slo-strict", false, "-replay: exit non-zero on SLO violations instead of warning")
 	)
 	flag.Parse()
+
+	if *replayF != "" {
+		cfg := replayConfig{Target: *target, Pacing: *pacing, Speed: *speed, SLOStrict: *sloStrict, SLO: defaultSLO()}
+		if err := runReplay(*replayF, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "atlasbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *workloadJSON != "" {
+		if err := writeWorkloadJSON(*workloadJSON, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "atlasbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-5s %-55s %s\n", "id", "title", "paper artifact")

@@ -37,7 +37,8 @@
 //	POST /api/sessions/{id}/back
 //	GET  /api/shards
 //	POST /api/explain                 {"cql": "..."} — dry-run plan, no chunk I/O
-//	GET  /api/querylog                ?slow=1 ?errors=1 ?n=50
+//	GET  /api/querylog                ?slow=1 ?errors=1 ?op=drill ?since=42 ?n=50
+//	GET  /api/workload                captured workload export (JSONL)
 //	GET  /api/stats
 //	GET  /metrics
 //
@@ -86,6 +87,7 @@ func main() {
 		deferS  = flag.Bool("defer", false, "defer opening shard files until first touch (sharded stores)")
 		slowQ   = flag.Duration("slow-query", 0, "log explorations (or, with -serve-shard, fabric requests) that take at least this long (0 = disabled)")
 		pprofF  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (coordinator and -serve-shard)")
+		recordW = flag.String("record-workload", "", "append the query workload (JSONL, replayable with 'atlasbench -replay') to this file as queries finish")
 
 		// Overload-safety knobs (see README "Production hardening").
 		queryTimeout = flag.Duration("query-timeout", 0, "per-query wall-clock deadline; requests may shorten it via X-Atlas-Query-Timeout (0 = none)")
@@ -171,6 +173,16 @@ func main() {
 	}
 	if *slowQ > 0 {
 		srv.SetSlowQueryLog(*slowQ, nil)
+	}
+	if *recordW != "" {
+		f, err := os.OpenFile(*recordW, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atlasd: -record-workload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		srv.RecordWorkloadTo(f)
+		log.Printf("atlasd: recording workload to %s", *recordW)
 	}
 	srv.SetAdmission(server.AdmissionConfig{
 		MaxConcurrent: *maxConc,
@@ -290,6 +302,7 @@ func shardRegistry(rs *remote.Server, st *colstore.Store) *obsv.Registry {
 	r.GaugeFunc("atlas_store_cache_bytes", "decoded-chunk cache residency", sto, func() float64 {
 		return float64(st.IOStats().CacheBytes)
 	})
+	obsv.RegisterBuildInfo(r, colstore.Version)
 	obsv.RegisterGoRuntime(r)
 	return r
 }

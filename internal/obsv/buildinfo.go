@@ -1,0 +1,25 @@
+package obsv
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// Version is the atlas release version, reported by the
+// atlas_build_info gauge and the shard-server stats RPC. Bump it with
+// each release line.
+const Version = "0.10.0"
+
+// RegisterBuildInfo registers the atlas_build_info gauge: constant 1,
+// with the build identity in its labels (the Prometheus build-info
+// convention, joinable against any other family). atlVersion is the
+// .atl store format version the binary writes (colstore.Version —
+// passed in because obsv sits below the storage layers).
+func RegisterBuildInfo(r *Registry, atlVersion int) {
+	r.GaugeFunc("atlas_build_info", "build metadata; value is always 1",
+		map[string]string{
+			"version": Version,
+			"go":      runtime.Version(),
+			"atl":     strconv.Itoa(atlVersion),
+		}, func() float64 { return 1 })
+}

@@ -1,0 +1,109 @@
+package obsv
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestHistogramQuantileMonotonic: quantiles must be non-decreasing in q
+// for any observation mix — interpolation inside a bucket must never
+// cross bucket boundaries backwards.
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_lat", "t", nil, nil)
+	rnd := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		// Spread across several buckets, including sub-first-bound and
+		// beyond-last-bound values.
+		h.Observe(rnd.ExpFloat64() * 0.05)
+	}
+	qs := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+	prev := -1.0
+	for _, q := range qs {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile at lower q = %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestHistogramQuantileInfBucket: observations beyond the last finite
+// bound land in +Inf; quantiles falling there must report the last
+// finite bound, never Inf or garbage.
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_inf", "t", nil, []float64{0.1, 1})
+	for i := 0; i < 10; i++ {
+		h.Observe(50) // all +Inf
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1 {
+			t.Fatalf("all-inf histogram Quantile(%v) = %v, want last finite bound 1", q, got)
+		}
+	}
+
+	// Mixed: half in the first bucket, half in +Inf. The median must
+	// stay within the finite buckets.
+	h2 := r.NewHistogram("t_inf2", "t", nil, []float64{0.1, 1})
+	for i := 0; i < 5; i++ {
+		h2.Observe(0.05)
+		h2.Observe(50)
+	}
+	if got := h2.Quantile(0.5); got > 0.1 {
+		t.Fatalf("median of half-finite mix = %v, want <= first bound 0.1", got)
+	}
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("p99 of half-inf mix = %v, want last finite bound 1", got)
+	}
+}
+
+// TestHistogramQuantileAgainstExact: on a uniform sample the bucket
+// estimate must land within one bucket width of the exact quantile.
+func TestHistogramQuantileAgainstExact(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	h := r.NewHistogram("t_uniform", "t", nil, bounds)
+	rnd := rand.New(rand.NewSource(11))
+	var xs []float64
+	for i := 0; i < 10000; i++ {
+		v := rnd.Float64()
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := xs[int(q*float64(len(xs)))-1]
+		got := h.Quantile(q)
+		if diff := got - exact; diff < -0.1 || diff > 0.1 {
+			t.Fatalf("Quantile(%v) = %v, exact %v — off by more than a bucket", q, got, exact)
+		}
+	}
+}
+
+// TestRegisterBuildInfo: the gauge renders with the build identity in
+// its labels and a constant value of 1.
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, 3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "atlas_build_info{") {
+		t.Fatalf("no atlas_build_info family rendered:\n%s", out)
+	}
+	for _, want := range []string{`version="` + Version + `"`, `atl="3"`, `go="go`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("atlas_build_info missing label %s:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "atlas_build_info{") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("atlas_build_info value not 1: %q", line)
+		}
+	}
+}

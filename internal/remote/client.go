@@ -967,6 +967,26 @@ func (c *Client) PredicateBits(ctx context.Context, p query.Predicate) (int, []u
 	return dto.Count, words, nil
 }
 
+// ServerStats implements shard.ServerStatsBackend: one RPC fetching
+// the shard server's own counter snapshot for fleet rollup.
+func (c *Client) ServerStats(ctx context.Context) (shard.ServerStats, error) {
+	var dto shardStatsDTO
+	if err := c.getJSON(ctx, "stats", "/shard/v1/stats", nil, &dto); err != nil {
+		return shard.ServerStats{}, err
+	}
+	return shard.ServerStats{
+		Requests:      dto.Requests,
+		BytesOut:      dto.BytesOut,
+		StatComputes:  dto.StatComputes,
+		ChunkServes:   dto.ChunkServes,
+		Draining:      dto.Draining,
+		BytesRead:     dto.BytesRead,
+		ChunksDecoded: dto.ChunksDecoded,
+		CacheHits:     dto.CacheHits,
+		CacheBytes:    dto.CacheBytes,
+	}, nil
+}
+
 // Health implements shard.HealthBackend: one uncached round trip,
 // timed.
 func (c *Client) Health() (time.Duration, error) {

@@ -78,8 +78,9 @@ type Server struct {
 	statCache    map[string]*statEntry
 	statComputes atomic.Int64
 
-	requests atomic.Int64
-	bytesOut atomic.Int64
+	requests    atomic.Int64
+	bytesOut    atomic.Int64
+	chunkServes atomic.Int64
 
 	// draining flips when the process received SIGTERM: health answers
 	// not-OK with 503 so coordinators rotate away, while data-plane
@@ -108,6 +109,8 @@ type ServerStats struct {
 	// StatComputes counts per-attribute statistics actually computed
 	// (cache misses); repeat stats RPCs do not move it.
 	StatComputes int64
+	// ChunkServes counts chunk-plane payloads served.
+	ChunkServes int64
 }
 
 // SetDraining flips the server's drain state: a draining shard answers
@@ -125,6 +128,7 @@ func (s *Server) Stats() ServerStats {
 		Requests:     s.requests.Load(),
 		BytesOut:     s.bytesOut.Load(),
 		StatComputes: s.statComputes.Load(),
+		ChunkServes:  s.chunkServes.Load(),
 	}
 }
 
@@ -219,6 +223,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /shard/v1/partials", s.wrap("partials", s.handlePartials))
 	mux.HandleFunc("POST /shard/v1/predcount", s.wrap("predcount", s.handlePredCount))
 	mux.HandleFunc("GET /shard/v1/health", s.wrap("health", s.handleHealth))
+	mux.HandleFunc("GET /shard/v1/stats", s.wrap("stats", s.handleStats))
 	return mux
 }
 
@@ -425,6 +430,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(headerChunkCRC, fmt.Sprintf("%08x", crc))
 	w.Header().Set(headerChunkLen, strconv.Itoa(len(raw)))
+	s.chunkServes.Add(1)
 	s.writeBody(w, "application/octet-stream", raw)
 }
 
@@ -608,6 +614,30 @@ func (s *Server) handlePredCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, countDTO{Count: n})
+}
+
+// handleStats answers GET /shard/v1/stats: the server's own counters
+// in one RPC — request/byte tallies, statistics-cache and chunk-plane
+// activity, drain state, store I/O (for the cache hit rate) and build
+// identity — so a coordinator can roll the whole fleet into one
+// Prometheus scrape without asking N endpoints per shard. Stats stay
+// served while draining: a draining shard should still be observable.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	io := s.st.IOStats()
+	s.writeJSON(w, shardStatsDTO{
+		Table:         s.tbl.Name(),
+		Rows:          s.tbl.NumRows(),
+		Requests:      s.requests.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		StatComputes:  s.statComputes.Load(),
+		ChunkServes:   s.chunkServes.Load(),
+		Draining:      s.draining.Load(),
+		BytesRead:     io.BytesRead,
+		ChunksDecoded: io.ChunksDecoded,
+		CacheHits:     io.CacheHits,
+		CacheBytes:    io.CacheBytes,
+		Version:       obsv.Version,
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

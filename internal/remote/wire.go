@@ -450,6 +450,25 @@ type healthDTO struct {
 	Rows  int    `json:"rows"`
 }
 
+// shardStatsDTO is GET /shard/v1/stats: the shard server's own
+// counters, one RPC per scrape. Plain integers (no float bit patterns:
+// counters are exact by construction) plus the server's release
+// version, so a fleet rollup can spot skew.
+type shardStatsDTO struct {
+	Table         string `json:"table"`
+	Rows          int    `json:"rows"`
+	Requests      int64  `json:"requests"`
+	BytesOut      int64  `json:"bytesOut"`
+	StatComputes  int64  `json:"statComputes"`
+	ChunkServes   int64  `json:"chunkServes"`
+	Draining      bool   `json:"draining,omitempty"`
+	BytesRead     int64  `json:"bytesRead,omitempty"`
+	ChunksDecoded int64  `json:"chunksDecoded,omitempty"`
+	CacheHits     int64  `json:"cacheHits,omitempty"`
+	CacheBytes    int64  `json:"cacheBytes,omitempty"`
+	Version       string `json:"version,omitempty"`
+}
+
 // encodeFloats packs values as little-endian IEEE-754 bits — the binary
 // body of the values endpoint.
 func encodeFloats(vals []float64) []byte {

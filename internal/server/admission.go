@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obsv"
+	"repro/internal/workload"
 )
 
 // This file is the overload-safety surface of the HTTP layer: a bounded
@@ -243,12 +244,14 @@ func (s *Server) SetDraining(on bool) { s.gate.setDraining(on) }
 func (s *Server) Draining() bool { return s.gate.isDraining() }
 
 // admit passes one query through the gate. A refusal is recorded in
-// the shed counters and the query log (Outcome "shed") before the
-// error returns; on nil error the caller must call the returned
-// release exactly once.
-func (s *Server) admit(r *http.Request, op, input string) (release func(), err error) {
+// the shed counters, the query log (Outcome "shed") and the workload
+// recorder (shed requests are offered load) before the error returns;
+// on nil error the caller must call the returned release exactly once.
+// sess is the drill-down session the query targeted
+// (workload.StatelessSession for stateless explores).
+func (s *Server) admit(r *http.Request, op, input string, sess int) (release func(), err error) {
 	if err := s.gate.acquire(r.Context()); err != nil {
-		s.recordShed(op, obsv.RequestIDFrom(r.Context()), input, err)
+		s.recordShed(op, obsv.RequestIDFrom(r.Context()), input, sess, err)
 		return nil, err
 	}
 	return s.gate.release, nil
@@ -257,7 +260,7 @@ func (s *Server) admit(r *http.Request, op, input string) (release func(), err e
 // recordShed logs one refused query. Shed requests never start a
 // trace or ledger — the point of shedding is to not spend on them —
 // so the entry carries the outcome and the error only.
-func (s *Server) recordShed(op, rid, input string, err error) {
+func (s *Server) recordShed(op, rid, input string, sess int, err error) {
 	s.Registry()
 	var oe *overloadError
 	if !errors.As(err, &oe) {
@@ -265,6 +268,7 @@ func (s *Server) recordShed(op, rid, input string, err error) {
 		s.metrics.cancelledQueries.Inc()
 		return
 	}
+	input = workload.CapInput(input, 0)
 	s.qlog.Add(&obsv.QueryLogEntry{
 		Time:      time.Now(),
 		RequestID: rid,
@@ -273,6 +277,7 @@ func (s *Server) recordShed(op, rid, input string, err error) {
 		Err:       err.Error(),
 		Outcome:   "shed",
 	})
+	s.wrec.Observe(op, input, sess, "shed", 0, nil)
 }
 
 // queryBudget resolves the effective wall-clock budget of one request:

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+)
+
+// TestFleetRollup: a coordinator over a 2-shard remote manifest polls
+// each shard server's own counters and rolls them up into
+// atlas_fabric_shard_* families on /metrics and the fabric section of
+// /api/stats — one scrape sees every member of the deployment.
+func TestFleetRollup(t *testing.T) {
+	remoteManifest, _ := startRemoteManifest(t, 2)
+	opts := core.DefaultOptions()
+	opts.Parallelism = 2
+	srv, err := NewFromStoreWith(remoteManifest, opts, StoreConfig{
+		Remote: remote.NewOpener(remote.Options{Timeout: 10 * time.Second}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No TTL: every scrape re-polls, so the test never reads a stale
+	// snapshot.
+	srv.fleet.ttl = 0
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Generate shard-server traffic: an exploration fans statistics and
+	// chunk requests out to both shards.
+	resp, err := http.Post(ts.URL+"/api/explore", "application/json",
+		bytes.NewReader([]byte(`{"cql":"EXPLORE census WHERE age BETWEEN 25 AND 60"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore answered %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		`atlas_fabric_shards_healthy 2`,
+		`atlas_fabric_shard_up{`,
+		`atlas_fabric_shard_requests_total{`,
+		`atlas_fabric_shard_bytes_out_total{`,
+		`atlas_fabric_shard_stat_computes_total{`,
+		`atlas_fabric_shard_chunk_serves_total{`,
+		`atlas_fabric_shard_cache_hit_rate{`,
+		`atlas_build_info{`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	// Every shard appears as its own labeled series, and the polled
+	// request counters are live (the explore touched both shards).
+	for _, shardLbl := range []string{`shard="0"`, `shard="1"`} {
+		found := false
+		for _, line := range strings.Split(metrics, "\n") {
+			if strings.HasPrefix(line, "atlas_fabric_shard_requests_total{") && strings.Contains(line, shardLbl) {
+				found = true
+				if strings.HasSuffix(line, " 0") {
+					t.Errorf("shard request counter did not move: %q", line)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no atlas_fabric_shard_requests_total series with %s", shardLbl)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dto StatsDTO
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	if dto.Fabric == nil {
+		t.Fatal("/api/stats has no fabric section")
+	}
+	if dto.Fabric.ShardsHealthy != 2 {
+		t.Errorf("ShardsHealthy = %d, want 2", dto.Fabric.ShardsHealthy)
+	}
+	if len(dto.Fabric.Shards) != 2 {
+		t.Fatalf("fabric shards = %d, want 2: %+v", len(dto.Fabric.Shards), dto.Fabric.Shards)
+	}
+	for _, sh := range dto.Fabric.Shards {
+		if !sh.OK {
+			t.Errorf("shard %d not polled: %+v", sh.Shard, sh)
+		}
+		if sh.Requests == 0 {
+			t.Errorf("shard %d reports zero requests after an exploration", sh.Shard)
+		}
+		if !strings.HasPrefix(sh.Location, "http") {
+			t.Errorf("shard %d location = %q", sh.Shard, sh.Location)
+		}
+	}
+}
+
+// TestFleetRollupLocalShards: local (non-remote) sharded servers have no
+// fleet to poll — no atlas_fabric_shard_* families, no fabric shards on
+// /api/stats.
+func TestFleetRollupLocalShards(t *testing.T) {
+	_, localManifest := startRemoteManifest(t, 2)
+	opts := core.DefaultOptions()
+	opts.Parallelism = 2
+	srv, err := NewFromStoreWith(localManifest, opts, StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(buf.String(), "atlas_fabric_shard_") {
+		t.Error("local sharded server rendered fleet families")
+	}
+	if !strings.Contains(buf.String(), "atlas_build_info{") {
+		t.Error("local sharded server missing atlas_build_info")
+	}
+	resp, err = http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dto StatsDTO
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	if dto.Fabric != nil && len(dto.Fabric.Shards) != 0 {
+		t.Errorf("local sharded server reported fleet shards: %+v", dto.Fabric.Shards)
+	}
+}

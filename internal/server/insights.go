@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obsv"
 	"repro/internal/shard"
+	"repro/internal/workload"
 )
 
 // This file is the query-insights surface: the per-query resource
@@ -64,13 +66,15 @@ func (s *Server) startQuery(r *http.Request, op string) *queryRun {
 }
 
 // finish closes the trace and the ledger, feeds the metrics, the slow
-// log and the query log, and returns the finished span tree.
-func (qr *queryRun) finish(s *Server, op, input string, qerr error) *obsv.SpanJSON {
+// log, the query log and the workload recorder, and returns the
+// finished span tree. sess is the drill-down session the query ran in
+// (workload.StatelessSession for stateless explores).
+func (qr *queryRun) finish(s *Server, op, input string, sess int, qerr error) *obsv.SpanJSON {
 	qr.cancel()
 	qr.root.End()
 	qr.led.Finish()
 	tree := qr.tr.Tree()
-	s.observeQuery(op, obsv.RequestIDFrom(qr.ctx), input, time.Since(qr.start), qerr, qr.mode != "", qr.led, tree)
+	s.observeQuery(op, obsv.RequestIDFrom(qr.ctx), input, sess, time.Since(qr.start), qerr, qr.mode != "", qr.led, tree)
 	return tree
 }
 
@@ -219,19 +223,42 @@ type QueryLogDTO struct {
 
 // handleQueryLog serves the bounded query log. ?slow=1 keeps only
 // entries at or over the slow-query threshold, ?errors=1 only failed
-// queries, ?n= caps the count after filtering.
+// queries, ?op=explore|session-explore|drill one operation kind,
+// ?since=<seq> only entries strictly newer than a previously seen
+// sequence number (incremental tailing: pass the highest seq you have),
+// ?n= caps the count after filtering.
 func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	slowOnly := q.Get("slow") == "1" || q.Get("slow") == "true"
 	errOnly := q.Get("errors") == "1" || q.Get("errors") == "true"
+	opOnly := q.Get("op")
+	since, haveSince := uint64(0), false
+	if sv := q.Get("since"); sv != "" {
+		if parsed, err := strconv.ParseUint(sv, 10, 64); err == nil {
+			since, haveSince = parsed, true
+		} else {
+			writeError(w, &badRequest{fmt.Errorf("invalid since %q", sv)})
+			return
+		}
+	}
 	n, _ := strconv.Atoi(q.Get("n"))
 	entries := s.qlog.Entries()
-	if slowOnly || errOnly {
+	if slowOnly || errOnly || opOnly != "" || haveSince {
 		kept := entries[:0]
 		for _, e := range entries {
-			if (slowOnly && e.Slow) || (errOnly && e.Err != "") {
-				kept = append(kept, e)
+			if slowOnly && !e.Slow {
+				continue
 			}
+			if errOnly && e.Err == "" {
+				continue
+			}
+			if opOnly != "" && e.Op != opOnly {
+				continue
+			}
+			if haveSince && e.Seq <= since {
+				continue
+			}
+			kept = append(kept, e)
 		}
 		entries = kept
 	}
@@ -246,10 +273,14 @@ func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
 
 // observeQuery records one finished query: the explore counters and
 // per-op latency histogram, the lifetime ledger totals, the slow-query
-// log, and the query-log ring (slow and failed entries keep their span
-// tree; fast successes drop it to bound memory).
-func (s *Server) observeQuery(op, rid, input string, dur time.Duration, qerr error, profiled bool, led *obsv.Ledger, tree *obsv.SpanJSON) {
+// log, the query-log ring (slow and failed entries keep their span
+// tree; fast successes drop it to bound memory) and the workload
+// recorder. Inputs are capped at the workload byte budget before any
+// of them, so a pathological CQL string can't bloat the ring or a
+// recorded workload.
+func (s *Server) observeQuery(op, rid, input string, sess int, dur time.Duration, qerr error, profiled bool, led *obsv.Ledger, tree *obsv.SpanJSON) {
 	s.Registry() // ensure metrics exist
+	input = workload.CapInput(input, 0)
 	s.metrics.explores.Inc()
 	s.metrics.exploreHist.ObserveDuration(dur)
 	s.metrics.opHistogram(op).ObserveDuration(dur)
@@ -298,4 +329,5 @@ func (s *Server) observeQuery(op, rid, input string, dur time.Duration, qerr err
 		entry.Profile = tree
 	}
 	s.qlog.Add(entry)
+	s.wrec.Observe(op, input, sess, entry.Outcome, dur, &snap)
 }

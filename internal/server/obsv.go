@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/obsv"
 	"repro/internal/remote"
 )
@@ -185,6 +186,10 @@ func (s *Server) Registry() *obsv.Registry {
 				return float64(s.fabric.Stats().BreakerTrips)
 			})
 		}
+		if s.fleet != nil {
+			s.fleet.register(r)
+		}
+		obsv.RegisterBuildInfo(r, int(colstore.Version))
 		obsv.RegisterGoRuntime(r)
 		s.reg = r
 	})

@@ -23,6 +23,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/workload"
 )
 
 // Server holds one explorable table and its sessions. All requests that
@@ -70,6 +71,16 @@ type Server struct {
 	qlog   *obsv.QueryLog
 	totals *obsv.Ledger
 
+	// wrec captures the query stream as a bounded, replayable workload
+	// (see workload.go in this package): always on in memory, exported
+	// by GET /api/workload, streamed to disk by atlasd -record-workload.
+	wrec *workload.Recorder
+
+	// fleet polls remote shard servers' own counters and rolls them up
+	// into atlas_fabric_shard_* metric families and the fabric section
+	// of /api/stats (see fleet.go); nil for unsharded servers.
+	fleet *fleetPoller
+
 	// Admission (see admission.go): the bounded concurrency gate and
 	// drain switch every query handler passes through.
 	gate *admissionGate
@@ -79,7 +90,8 @@ type Server struct {
 func New(table *storage.Table, opts core.Options) *Server {
 	s := &Server{table: table, opts: opts, sessions: map[int]*session.Session{},
 		qlog: obsv.NewQueryLog(obsv.DefaultQueryLogDepth), totals: &obsv.Ledger{},
-		gate: newAdmissionGate()}
+		gate: newAdmissionGate(),
+		wrec: workload.NewRecorder(table.Name(), workload.RecorderOptions{MaxEntries: workloadCaptureDepth})}
 	if cart, err := core.NewCartographer(table, opts); err == nil {
 		s.cart = cart
 	}
@@ -93,11 +105,13 @@ func New(table *storage.Table, opts core.Options) *Server {
 func NewSharded(set *shard.Set, opts core.Options) *Server {
 	s := &Server{table: set.Table(), opts: opts, set: set, sessions: map[int]*session.Session{},
 		qlog: obsv.NewQueryLog(obsv.DefaultQueryLogDepth), totals: &obsv.Ledger{},
-		gate: newAdmissionGate()}
+		gate: newAdmissionGate(),
+		wrec: workload.NewRecorder(set.Table().Name(), workload.RecorderOptions{MaxEntries: workloadCaptureDepth})}
 	if cart, err := core.NewCartographerWith(s.table, opts, set.Provider(opts.Parallelism)); err == nil {
 		s.cart = cart
 	}
 	s.ioStats = set.IOStats
+	s.fleet = newFleetPoller(set)
 	return s
 }
 
@@ -191,6 +205,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/shards", s.handleShards)
 	mux.HandleFunc("POST /api/explain", s.handleExplain)
 	mux.HandleFunc("GET /api/querylog", s.handleQueryLog)
+	mux.HandleFunc("GET /api/workload", s.handleWorkload)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.Registry().Handler())
@@ -311,7 +326,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	release, err := s.admit(r, "explore", req.CQL)
+	release, err := s.admit(r, "explore", req.CQL, workload.StatelessSession)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -319,7 +334,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	qr := s.startQuery(r, "explore")
 	res, err := s.runCQL(qr.ctx, req.CQL)
-	tree := qr.finish(s, "explore", req.CQL, err)
+	tree := qr.finish(s, "explore", req.CQL, workload.StatelessSession, err)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -361,22 +376,24 @@ func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
 }
 
-func (s *Server) sessionFor(r *http.Request) (*session.Session, error) {
+// sessionFor resolves the request's session and its id — the id rides
+// into the query log and the workload recorder (session affinity).
+func (s *Server) sessionFor(r *http.Request) (*session.Session, int, error) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		return nil, &badRequest{fmt.Errorf("invalid session id %q", r.PathValue("id"))}
+		return nil, workload.StatelessSession, &badRequest{fmt.Errorf("invalid session id %q", r.PathValue("id"))}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
 	if !ok {
-		return nil, &notFound{fmt.Errorf("no session %d", id)}
+		return nil, id, &notFound{fmt.Errorf("no session %d", id)}
 	}
-	return sess, nil
+	return sess, id, nil
 }
 
 func (s *Server) handleSessionExplore(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessionFor(r)
+	sess, sid, err := s.sessionFor(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -390,7 +407,7 @@ func (s *Server) handleSessionExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &badRequest{err})
 		return
 	}
-	release, err := s.admit(r, "session-explore", req.CQL)
+	release, err := s.admit(r, "session-explore", req.CQL, sid)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -398,7 +415,7 @@ func (s *Server) handleSessionExplore(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	qr := s.startQuery(r, "session-explore")
 	node, err := sess.ExploreCtx(qr.ctx, q)
-	tree := qr.finish(s, "session-explore", req.CQL, err)
+	tree := qr.finish(s, "session-explore", req.CQL, sid, err)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -410,7 +427,7 @@ func (s *Server) handleSessionExplore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessionFor(r)
+	sess, sid, err := s.sessionFor(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -420,7 +437,7 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	input := fmt.Sprintf("drill map=%d region=%d", req.Map, req.Region)
-	release, err := s.admit(r, "drill", input)
+	release, err := s.admit(r, "drill", input, sid)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -428,7 +445,7 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	qr := s.startQuery(r, "drill")
 	node, err := sess.DrillDownCtx(qr.ctx, req.Map, req.Region)
-	tree := qr.finish(s, "drill", input, err)
+	tree := qr.finish(s, "drill", input, sid, err)
 	if err != nil {
 		// Cancellations and deadlines are the caller's lifecycle, not a
 		// bad request — let writeError pick their status.
@@ -446,7 +463,7 @@ func (s *Server) handleDrill(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessionFor(r)
+	sess, _, err := s.sessionFor(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -460,7 +477,7 @@ func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCurrent(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessionFor(r)
+	sess, _, err := s.sessionFor(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -474,7 +491,7 @@ func (s *Server) handleCurrent(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessionFor(r)
+	sess, _, err := s.sessionFor(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -496,7 +513,7 @@ type ProfileDTO struct {
 // handleDescribe explains one region of the current node's maps: the
 // Section 5.2 "why is this region interesting" view.
 func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessionFor(r)
+	sess, _, err := s.sessionFor(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -534,7 +551,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 // handlePersonalized returns the current node's maps re-ranked by the
 // session's learned attribute interests (Section 5.2 personalization).
 func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessionFor(r)
+	sess, _, err := s.sessionFor(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -720,7 +737,9 @@ type StoreStatsDTO struct {
 	OpenedShards   int   `json:"openedShards,omitempty"`
 }
 
-// FabricStatsDTO reports the remote opener's aggregate traffic.
+// FabricStatsDTO reports the remote opener's aggregate traffic plus,
+// for coordinators, the fleet rollup: each remote shard server's own
+// counters polled over GET /shard/v1/stats (see fleet.go).
 type FabricStatsDTO struct {
 	RPCs         int64 `json:"rpcs"`
 	BytesIn      int64 `json:"bytesIn"`
@@ -728,6 +747,10 @@ type FabricStatsDTO struct {
 	Retries      int64 `json:"retries"`
 	Failovers    int64 `json:"failovers"`
 	BreakerTrips int64 `json:"breakerTrips"`
+	// Shards is the per-shard-server rollup; ShardsHealthy counts the
+	// members that answered the last poll and are not draining.
+	Shards        []FabricShardDTO `json:"shards,omitempty"`
+	ShardsHealthy int              `json:"shardsHealthy,omitempty"`
 }
 
 // OpLatencyDTO is one operation's latency summary on /api/stats.
@@ -813,6 +836,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Retries:      fs.Retries,
 			Failovers:    fs.Failovers,
 			BreakerTrips: fs.BreakerTrips,
+		}
+	}
+	if shards := s.fleetStats(); shards != nil {
+		if dto.Fabric == nil {
+			dto.Fabric = &FabricStatsDTO{}
+		}
+		dto.Fabric.Shards = shards
+		for _, sh := range shards {
+			if sh.OK && !sh.Draining {
+				dto.Fabric.ShardsHealthy++
+			}
 		}
 	}
 	s.Registry()

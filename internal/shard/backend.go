@@ -148,6 +148,48 @@ type ReplicaBackend interface {
 	Replicas() []ReplicaHealth
 }
 
+// ServerStats is one remote shard server's own counter snapshot — what
+// GET /shard/v1/stats answers: the server's request and byte tallies,
+// its memoized-statistics and chunk-plane activity, its drain state,
+// and its store-side I/O (from which the coordinator derives the
+// shard's decoded-chunk cache hit rate).
+type ServerStats struct {
+	// Requests counts fabric requests served (including errors).
+	Requests int64
+	// BytesOut counts response body bytes of successful answers.
+	BytesOut int64
+	// StatComputes counts per-attribute statistics actually computed
+	// (cache misses).
+	StatComputes int64
+	// ChunkServes counts chunk-plane payloads served.
+	ChunkServes int64
+	// Draining reports the server's drain switch.
+	Draining bool
+	// BytesRead / ChunksDecoded / CacheHits / CacheBytes are the
+	// server's own store I/O counters (colstore.IOStats fields).
+	BytesRead     int64
+	ChunksDecoded int64
+	CacheHits     int64
+	CacheBytes    int64
+}
+
+// CacheHitRate derives the shard's decoded-chunk cache hit fraction;
+// zero before any chunk demand.
+func (s ServerStats) CacheHitRate() float64 {
+	total := s.CacheHits + s.ChunksDecoded
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// ServerStatsBackend is the optional counter-rollup surface of a
+// remote backend: one RPC fetching the shard server's own counters, so
+// a coordinator scrape can aggregate the whole fleet.
+type ServerStatsBackend interface {
+	ServerStats(ctx context.Context) (ServerStats, error)
+}
+
 // RemoteOpener opens backends for http(s):// shard locations. The
 // locations are one shard's dial order — primary first, then replicas
 // serving the same immutable shard — and the backend fails over among

@@ -1030,6 +1030,27 @@ func (s *Set) ShardHealth(i int) ShardHealthInfo {
 	return info
 }
 
+// ShardServerStats polls shard i's server-side counters over the
+// fabric (GET /shard/v1/stats), opening the backend if needed — like
+// ShardHealth, a rollup scrape is a diagnostic, not a data path.
+// polled is false when the shard is local or its backend lacks the
+// capability (an old server, say); err carries open or RPC failures.
+func (s *Set) ShardServerStats(ctx context.Context, i int) (stats ServerStats, polled bool, err error) {
+	if s.shards == nil || !IsRemoteLocation(s.shards[i].locs[0]) {
+		return ServerStats{}, false, nil
+	}
+	be, err := s.shards[i].backendCtx(ctx)
+	if err != nil {
+		return ServerStats{}, true, err
+	}
+	sb, ok := be.(ServerStatsBackend)
+	if !ok {
+		return ServerStats{}, false, nil
+	}
+	stats, err = sb.ServerStats(ctx)
+	return stats, true, err
+}
+
 // assemble builds the combined table and per-shard views from opened,
 // validated shard tables.
 func assemble(m *Manifest, parts []*storage.Table) (*Set, error) {

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// GenSpec parameterizes a synthetic workload: N concurrent drill-down
+// sessions, each issuing a zipf-skewed mix of session explores and
+// drill-downs — the paper's interactive traffic shape, made
+// reproducible by the seed.
+type GenSpec struct {
+	// Table names the target table (header only; entries carry CQL).
+	Table string
+	// Sessions is the number of concurrent drill-down sessions.
+	Sessions int
+	// OpsPerSession is the op count per session, the opening explore
+	// included.
+	OpsPerSession int
+	// Explores are the candidate session-explore inputs, popularity
+	// order: rank 0 is the hottest under the zipf skew.
+	Explores []string
+	// ZipfS is the zipf exponent over Explores (1.1 when 0; <= 0 via
+	// explicit negative means uniform).
+	ZipfS float64
+	// DrillProb is the probability a non-opening op drills instead of
+	// exploring (0.35 when 0).
+	DrillProb float64
+	// MaxDrillDepth bounds consecutive drills before the generator
+	// resets with a fresh explore (3 when 0) — drilling forever narrows
+	// a session into empty maps.
+	MaxDrillDepth int
+	// ThinkTime spaces consecutive ops of one session on the recorded
+	// timeline (25ms when 0); open-loop replay paces by these offsets.
+	ThinkTime time.Duration
+	// Seed drives every random choice; the same spec generates the same
+	// workload, byte for byte.
+	Seed int64
+}
+
+func (g *GenSpec) withDefaults() GenSpec {
+	out := *g
+	if out.Sessions <= 0 {
+		out.Sessions = 1
+	}
+	if out.OpsPerSession <= 0 {
+		out.OpsPerSession = 1
+	}
+	if out.ZipfS == 0 {
+		out.ZipfS = 1.1
+	}
+	if out.DrillProb == 0 {
+		out.DrillProb = 0.35
+	}
+	if out.MaxDrillDepth <= 0 {
+		out.MaxDrillDepth = 3
+	}
+	if out.ThinkTime <= 0 {
+		out.ThinkTime = 25 * time.Millisecond
+	}
+	return out
+}
+
+// Generate synthesizes a workload from the spec. Each session opens
+// with a session-explore (a drill needs a current node), then mixes
+// zipf-picked explores with shallow drill-downs. Offsets interleave the
+// sessions: op j of every session arrives around j*ThinkTime, with
+// deterministic per-op jitter, so open-loop replay recreates concurrent
+// arrival bursts. Deterministic: same spec, same bytes.
+func Generate(spec GenSpec) *Workload {
+	sp := spec.withDefaults()
+	rnd := rand.New(rand.NewSource(sp.Seed))
+	zipf := NewZipf(rnd, len(sp.Explores), sp.ZipfS)
+	w := &Workload{Header: Header{Format: formatName, Version: FormatVersion, Table: sp.Table, Start: time.Unix(0, 0).UTC()}}
+	for sess := 0; sess < sp.Sessions; sess++ {
+		depth := 0
+		for op := 0; op < sp.OpsPerSession; op++ {
+			jitter := time.Duration(rnd.Int63n(int64(sp.ThinkTime)/2 + 1))
+			e := Entry{
+				Seq:      len(w.Entries),
+				OffsetNs: (time.Duration(op)*sp.ThinkTime + jitter).Nanoseconds(),
+				Session:  sess,
+			}
+			drill := op > 0 && depth < sp.MaxDrillDepth && rnd.Float64() < sp.DrillProb
+			if drill {
+				// Shallow indexes: any exploration with results has a map 0
+				// with regions 0..1, so generated drills rarely miss; a
+				// miss is a deterministic 400 both passes see identically.
+				e.Op = "drill"
+				e.Input = fmt.Sprintf("drill map=0 region=%d", rnd.Intn(2))
+				depth++
+			} else {
+				e.Op = "session-explore"
+				e.Input = sp.Explores[zipf.Next()]
+				depth = 0
+			}
+			w.Entries = append(w.Entries, e)
+		}
+	}
+	// Capture order is arrival order: re-sort the per-session streams by
+	// offset (stable, so one session's ops keep their relative order —
+	// equal offsets cannot reorder a session's explore before its drill).
+	sortEntriesByOffset(w.Entries)
+	for i := range w.Entries {
+		w.Entries[i].Seq = i
+	}
+	return w
+}
+
+// sortEntriesByOffset stable-sorts entries by arrival offset.
+func sortEntriesByOffset(es []Entry) {
+	// Insertion sort keeps the dependency on sort out and is stable;
+	// generated workloads are small (sessions × ops).
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j-1].OffsetNs > es[j].OffsetNs; j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file replays a captured workload against a live server. Two
+// disciplines keep replay honest:
+//
+//   - Session affinity is preserved: one captured session's ops run in
+//     capture order against one fresh server session (drill-downs are
+//     state-dependent), while different sessions run concurrently —
+//     the captured concurrency, not a serialized imitation of it.
+//   - Results are canonicalized (volatile fields — elapsed time, the
+//     resource ledger, profiles — stripped) and compared byte-for-byte
+//     against a sequential reference pass, the same guard the ledger
+//     benchmarks use: concurrency may change timing, never answers.
+
+// Pacing selects how replay schedules arrivals.
+type Pacing string
+
+const (
+	// ClosedLoop issues each lane's next op as soon as the previous one
+	// answers — the throughput-probing mode.
+	ClosedLoop Pacing = "closed"
+	// OpenLoop issues ops at their recorded offsets (scaled by Speed),
+	// regardless of completions — the latency-under-load mode.
+	OpenLoop Pacing = "open"
+)
+
+// ReplayOptions configure one replay pass.
+type ReplayOptions struct {
+	// Target is the server's base URL (e.g. http://127.0.0.1:8080).
+	Target string
+	// Pacing is ClosedLoop (default) or OpenLoop.
+	Pacing Pacing
+	// Speed scales open-loop pacing: 2 replays twice as fast as
+	// recorded, 0 defaults to 1.
+	Speed float64
+	// Sequential serializes every entry in capture order on one lane —
+	// the reference pass replays use to verify against.
+	Sequential bool
+	// Client is the HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+}
+
+// EntryResult is one replayed entry's observation.
+type EntryResult struct {
+	// Index is the entry's position in Workload.Entries.
+	Index int
+	// Status is the HTTP status (0 when the request never completed).
+	Status int
+	// Body is the canonicalized response body.
+	Body string
+	// Dur is the request round trip.
+	Dur time.Duration
+	// Err is a transport-level failure ("" otherwise).
+	Err string
+}
+
+// ReplayResult is one pass over a workload.
+type ReplayResult struct {
+	// Results holds one observation per replayed entry, in entry order.
+	Results []EntryResult
+	// Wall is the pass duration, first issue to last answer.
+	Wall time.Duration
+	// Skipped counts entries not replayed (non-deterministic outcomes).
+	Skipped int
+}
+
+// lane is one sequential stream of entries: a captured session, or a
+// single stateless explore.
+type lane struct {
+	session int // StatelessSession for stateless lanes
+	idxs    []int
+}
+
+// buildLanes groups replayable entries into lanes preserving capture
+// order within each.
+func buildLanes(w *Workload) ([]lane, int) {
+	bySession := map[int]int{} // session id -> lane index
+	var lanes []lane
+	skipped := 0
+	for i := range w.Entries {
+		e := &w.Entries[i]
+		if !e.Replayable() {
+			skipped++
+			continue
+		}
+		if e.Session == StatelessSession {
+			lanes = append(lanes, lane{session: StatelessSession, idxs: []int{i}})
+			continue
+		}
+		li, ok := bySession[e.Session]
+		if !ok {
+			li = len(lanes)
+			bySession[e.Session] = li
+			lanes = append(lanes, lane{session: e.Session})
+		}
+		lanes[li].idxs = append(lanes[li].idxs, i)
+	}
+	return lanes, skipped
+}
+
+// Replay runs one pass of the workload against opts.Target. The
+// returned results are indexed by entry position, so two passes over
+// the same workload compare element-wise.
+func Replay(ctx context.Context, w *Workload, opts ReplayOptions) (*ReplayResult, error) {
+	if opts.Target == "" {
+		return nil, fmt.Errorf("workload: replay needs a target URL")
+	}
+	hc := opts.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	speed := opts.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	lanes, skipped := buildLanes(w)
+	res := &ReplayResult{Results: make([]EntryResult, len(w.Entries)), Skipped: skipped}
+	for i := range res.Results {
+		res.Results[i].Index = i
+	}
+	start := time.Now()
+	if opts.Sequential {
+		// One lane-spanning pass in capture order; per-session server
+		// sessions are still created on first touch.
+		sessions := map[int]int{}
+		var order []int
+		for _, ln := range lanes {
+			order = append(order, ln.idxs...)
+		}
+		sort.Ints(order)
+		for _, idx := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			replayEntry(ctx, hc, opts.Target, w, idx, sessions, &res.Results[idx])
+		}
+		res.Wall = time.Since(start)
+		return res, nil
+	}
+	var wg sync.WaitGroup
+	for _, ln := range lanes {
+		ln := ln
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sessions := map[int]int{}
+			for _, idx := range ln.idxs {
+				if ctx.Err() != nil {
+					return
+				}
+				if opts.Pacing == OpenLoop {
+					due := time.Duration(float64(w.Entries[idx].OffsetNs) / speed)
+					if wait := due - time.Since(start); wait > 0 {
+						select {
+						case <-time.After(wait):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				replayEntry(ctx, hc, opts.Target, w, idx, sessions, &res.Results[idx])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// replayEntry issues one entry, creating the lane's server session on
+// first session-affine touch, and stores the canonicalized observation.
+func replayEntry(ctx context.Context, hc *http.Client, target string, w *Workload, idx int, sessions map[int]int, out *EntryResult) {
+	e := &w.Entries[idx]
+	var path string
+	var body any
+	switch e.Op {
+	case "explore":
+		path = "/api/explore"
+		body = map[string]string{"cql": e.Input}
+	case "session-explore", "drill":
+		sid, ok := sessions[e.Session]
+		if !ok {
+			var err error
+			if sid, err = createSession(ctx, hc, target); err != nil {
+				out.Err = err.Error()
+				return
+			}
+			sessions[e.Session] = sid
+		}
+		if e.Op == "drill" {
+			var m, rg int
+			if _, err := fmt.Sscanf(e.Input, "drill map=%d region=%d", &m, &rg); err != nil {
+				out.Err = fmt.Sprintf("unparsable drill input %q", e.Input)
+				return
+			}
+			path = fmt.Sprintf("/api/sessions/%d/drill", sid)
+			body = map[string]int{"map": m, "region": rg}
+		} else {
+			path = fmt.Sprintf("/api/sessions/%d/explore", sid)
+			body = map[string]string{"cql": e.Input}
+		}
+	default:
+		out.Err = fmt.Sprintf("unknown op %q", e.Op)
+		return
+	}
+	began := time.Now()
+	status, raw, err := postJSON(ctx, hc, target+path, body)
+	out.Dur = time.Since(began)
+	if err != nil {
+		out.Err = err.Error()
+		return
+	}
+	out.Status = status
+	canon, err := CanonicalBody(raw)
+	if err != nil {
+		out.Err = fmt.Sprintf("uncanonicalizable body: %v", err)
+		return
+	}
+	out.Body = canon
+}
+
+func createSession(ctx context.Context, hc *http.Client, target string) (int, error) {
+	status, raw, err := postJSON(ctx, hc, target+"/api/sessions", struct{}{})
+	if err != nil {
+		return 0, err
+	}
+	if status != http.StatusCreated {
+		return 0, fmt.Errorf("session create answered %d: %s", status, raw)
+	}
+	var dto struct {
+		ID int `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &dto); err != nil {
+		return 0, err
+	}
+	return dto.ID, nil
+}
+
+func postJSON(ctx context.Context, hc *http.Client, url string, body any) (int, []byte, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// volatileKeys are result fields that legitimately differ between runs:
+// wall-clock time, the resource bill (cache state differs), profiles.
+var volatileKeys = []string{"elapsedMs", "ledger", "profile", "profilePerfetto"}
+
+// CanonicalBody strips the volatile fields from a response body —
+// top-level for explore answers, under "result" for session node
+// answers — and re-marshals with sorted keys, so two runs of the same
+// deterministic query compare byte-for-byte.
+func CanonicalBody(raw []byte) (string, error) {
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		// Non-JSON bodies (empty, plain text) canonicalize to themselves.
+		return strings.TrimSpace(string(raw)), nil
+	}
+	scrub := m
+	if inner, ok := m["result"].(map[string]any); ok {
+		scrub = inner
+	}
+	for _, k := range volatileKeys {
+		delete(scrub, k)
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// VerifyIdentical compares two passes over the same workload entry by
+// entry: same statuses, same canonical bodies. The first drift is named
+// (entry index, op, input) — the hard-fail guard replay benchmarks use.
+func VerifyIdentical(w *Workload, ref, got *ReplayResult) error {
+	if len(ref.Results) != len(got.Results) {
+		return fmt.Errorf("workload: passes replayed %d vs %d entries", len(ref.Results), len(got.Results))
+	}
+	for i := range ref.Results {
+		a, b := &ref.Results[i], &got.Results[i]
+		if a.Err != "" || b.Err != "" {
+			if a.Err != b.Err {
+				return fmt.Errorf("workload: entry %d (%s %q): transport drift: %q vs %q", i, w.Entries[i].Op, w.Entries[i].Input, a.Err, b.Err)
+			}
+			continue
+		}
+		if a.Status != b.Status {
+			return fmt.Errorf("workload: entry %d (%s %q): status drift: %d vs %d", i, w.Entries[i].Op, w.Entries[i].Input, a.Status, b.Status)
+		}
+		if a.Body != b.Body {
+			return fmt.Errorf("workload: entry %d (%s %q): result drift:\n  ref: %.200s\n  got: %.200s", i, w.Entries[i].Op, w.Entries[i].Input, a.Body, b.Body)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// SLO declares the service-level thresholds a replay pass is scored
+// against. Zero-valued fields are not evaluated.
+type SLO struct {
+	// P50 / P99 bound the latency quantiles over completed requests.
+	P50 time.Duration
+	P99 time.Duration
+	// MaxErrRate bounds the fraction of requests answering >= 500 or
+	// failing at the transport (deterministic 4xx answers — a drill
+	// into an empty map — are the workload's own shape, not a service
+	// failure). Evaluated whenever MaxErrRateSet.
+	MaxErrRate    float64
+	MaxErrRateSet bool
+	// MaxShedRate bounds the fraction shed by admission control (429 /
+	// 503). Evaluated whenever MaxShedRateSet.
+	MaxShedRate    float64
+	MaxShedRateSet bool
+	// MinQPSPerCore bounds throughput per core from below.
+	MinQPSPerCore float64
+}
+
+// Score is a replay pass measured against an SLO.
+type Score struct {
+	// Requests counts issued requests; Completed those that answered
+	// below 500 and were not shed.
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	// Errors counts transport failures and >= 500 answers; Shed counts
+	// 429/503 refusals; Client4xx counts deterministic 4xx answers.
+	Errors    int `json:"errors"`
+	Shed      int `json:"shed"`
+	Client4xx int `json:"client4xx"`
+	// P50 / P99 are latency quantiles over completed requests.
+	P50 time.Duration `json:"p50Ns"`
+	P99 time.Duration `json:"p99Ns"`
+	// Wall is the pass duration; QPS and QPSPerCore derive from it.
+	Wall       time.Duration `json:"wallNs"`
+	QPS        float64       `json:"qps"`
+	QPSPerCore float64       `json:"qpsPerCore"`
+	ErrRate    float64       `json:"errRate"`
+	ShedRate   float64       `json:"shedRate"`
+	// Pass reports whether every declared threshold held; Violations
+	// names each one that did not.
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// ScoreReplay measures one replay pass against the SLO. cores is the
+// divisor for QPS-per-core (runtime.GOMAXPROCS(0) at the caller).
+func ScoreReplay(res *ReplayResult, slo SLO, cores int) *Score {
+	if cores <= 0 {
+		cores = 1
+	}
+	sc := &Score{}
+	var durs []time.Duration
+	for i := range res.Results {
+		r := &res.Results[i]
+		if r.Status == 0 && r.Err == "" {
+			continue // never issued (skipped outcome)
+		}
+		sc.Requests++
+		switch {
+		// 429 and 503 are the admission gate's refusals (shed / drain),
+		// classified before the >= 500 bucket.
+		case r.Status == http.StatusTooManyRequests || r.Status == http.StatusServiceUnavailable:
+			sc.Shed++
+		case r.Err != "" || r.Status >= 500:
+			sc.Errors++
+		case r.Status >= 400:
+			sc.Client4xx++
+			sc.Completed++
+			durs = append(durs, r.Dur)
+		default:
+			sc.Completed++
+			durs = append(durs, r.Dur)
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	sc.P50 = quantileDur(durs, 0.50)
+	sc.P99 = quantileDur(durs, 0.99)
+	sc.Wall = res.Wall
+	if res.Wall > 0 {
+		sc.QPS = float64(sc.Completed) / res.Wall.Seconds()
+		sc.QPSPerCore = sc.QPS / float64(cores)
+	}
+	if sc.Requests > 0 {
+		sc.ErrRate = float64(sc.Errors) / float64(sc.Requests)
+		sc.ShedRate = float64(sc.Shed) / float64(sc.Requests)
+	}
+	if slo.P50 > 0 && sc.P50 > slo.P50 {
+		sc.Violations = append(sc.Violations, fmt.Sprintf("p50 %s > SLO %s", sc.P50, slo.P50))
+	}
+	if slo.P99 > 0 && sc.P99 > slo.P99 {
+		sc.Violations = append(sc.Violations, fmt.Sprintf("p99 %s > SLO %s", sc.P99, slo.P99))
+	}
+	if slo.MaxErrRateSet && sc.ErrRate > slo.MaxErrRate {
+		sc.Violations = append(sc.Violations, fmt.Sprintf("error rate %.4f > SLO %.4f", sc.ErrRate, slo.MaxErrRate))
+	}
+	if slo.MaxShedRateSet && sc.ShedRate > slo.MaxShedRate {
+		sc.Violations = append(sc.Violations, fmt.Sprintf("shed rate %.4f > SLO %.4f", sc.ShedRate, slo.MaxShedRate))
+	}
+	if slo.MinQPSPerCore > 0 && sc.QPSPerCore < slo.MinQPSPerCore {
+		sc.Violations = append(sc.Violations, fmt.Sprintf("QPS/core %.2f < SLO %.2f", sc.QPSPerCore, slo.MinQPSPerCore))
+	}
+	sc.Pass = len(sc.Violations) == 0
+	return sc
+}
+
+// quantileDur reads quantile q from an ascending-sorted sample by the
+// nearest-rank method (exact, monotone; empty samples score zero).
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s — the skewed query popularity the paper's exploration
+// front-ends produce (a few explorations dominate, a long tail of
+// one-offs). It is deterministic under a seeded rand.Rand: the same
+// seed yields the same sample sequence on every platform, which is what
+// lets a generated workload be regenerated bit-identically. (math/rand's
+// own Zipf is float-order-sensitive across versions; this one owns its
+// cumulative table.)
+type Zipf struct {
+	rnd *rand.Rand
+	cum []float64 // cumulative probabilities, cum[n-1] == 1
+}
+
+// NewZipf builds a sampler over n ranks with exponent s (s <= 0 means
+// uniform). n must be >= 1.
+func NewZipf(rnd *rand.Rand, n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		w := 1.0
+		if s > 0 {
+			w = 1.0 / math.Pow(float64(k+1), s)
+		}
+		total += w
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	cum[n-1] = 1 // guard against rounding
+	return &Zipf{rnd: rnd, cum: cum}
+}
+
+// Next samples one rank.
+func (z *Zipf) Next() int {
+	u := z.rnd.Float64()
+	// Binary search the cumulative table for the first rank with cum >= u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
